@@ -1,0 +1,28 @@
+//! Criterion bench for Fig. 1: the six serial algorithms on one analog
+//! per graph class (kkt_power, cit-Patents, wikipedia).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graft_core::{init::random_greedy, solve_from, Algorithm, SolveOptions};
+use graft_gen::{suite::fig1_graphs, Scale};
+
+fn bench(c: &mut Criterion) {
+    let opts = SolveOptions::default();
+    let mut group = c.benchmark_group("fig1_serial");
+    group.sample_size(10);
+    for entry in fig1_graphs() {
+        let g = entry.build(Scale::Tiny);
+        let m0 = random_greedy(&g, 0xC0FFEE);
+        for alg in Algorithm::SERIAL {
+            group.bench_with_input(BenchmarkId::new(alg.name(), entry.name), &g, |b, g| {
+                b.iter(|| {
+                    let out = solve_from(g, m0.clone(), alg, &opts);
+                    std::hint::black_box(out.matching.cardinality())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for Fig. 3: MS-BFS-Graft vs. Pothen-Fan vs.
+//! push-relabel, serial and parallel, on one analog per class.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graft_core::{init::random_greedy, solve_from, Algorithm, SolveOptions};
+use graft_gen::{suite::fig1_graphs, Scale};
+
+fn bench(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let serial = SolveOptions::default();
+    let parallel = SolveOptions {
+        threads,
+        ..SolveOptions::default()
+    };
+    let mut group = c.benchmark_group("fig3_relative");
+    group.sample_size(10);
+    for entry in fig1_graphs() {
+        let g = entry.build(Scale::Tiny);
+        let m0 = random_greedy(&g, 0xC0FFEE);
+        let cases = [
+            (Algorithm::MsBfsGraft, &serial),
+            (Algorithm::PothenFan, &serial),
+            (Algorithm::PushRelabel, &serial),
+            (Algorithm::MsBfsGraftParallel, &parallel),
+            (Algorithm::PothenFanParallel, &parallel),
+            (Algorithm::PushRelabelParallel, &parallel),
+        ];
+        for (alg, opts) in cases {
+            group.bench_with_input(BenchmarkId::new(alg.name(), entry.name), &g, |b, g| {
+                b.iter(|| {
+                    let out = solve_from(g, m0.clone(), alg, opts);
+                    std::hint::black_box(out.matching.cardinality())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for Fig. 4: search rate (edge throughput) of parallel
+//! MS-BFS-Graft vs. parallel Pothen-Fan. Criterion's throughput mode
+//! reports elements/second where an element is one traversed edge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graft_core::{init::random_greedy, solve_from, Algorithm, SolveOptions};
+use graft_gen::{suite::by_name, Scale};
+
+fn bench(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let opts = SolveOptions {
+        threads,
+        ..SolveOptions::default()
+    };
+    let mut group = c.benchmark_group("fig4_mteps");
+    group.sample_size(10);
+    for name in ["kkt_power", "coPapersDBLP", "wikipedia"] {
+        let entry = by_name(name).expect("suite graph");
+        let g = entry.build(Scale::Tiny);
+        let m0 = random_greedy(&g, 0xC0FFEE);
+        for alg in [Algorithm::MsBfsGraftParallel, Algorithm::PothenFanParallel] {
+            // Calibrate throughput on the edges the algorithm actually
+            // traverses (the paper's TEPS accounting).
+            let probe = solve_from(&g, m0.clone(), alg, &opts);
+            group.throughput(Throughput::Elements(probe.stats.edges_traversed.max(1)));
+            group.bench_with_input(BenchmarkId::new(alg.name(), name), &g, |b, g| {
+                b.iter(|| {
+                    let out = solve_from(g, m0.clone(), alg, &opts);
+                    std::hint::black_box(out.stats.edges_traversed)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for Fig. 5: strong scaling of parallel MS-BFS-Graft
+//! across thread counts on one analog per class.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graft_core::{init::random_greedy, solve_from, Algorithm, SolveOptions};
+use graft_gen::{suite::fig1_graphs, Scale};
+
+fn bench(c: &mut Criterion) {
+    let t_max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut threads = vec![1usize];
+    while *threads.last().unwrap() * 2 <= t_max {
+        threads.push(threads.last().unwrap() * 2);
+    }
+    let mut group = c.benchmark_group("fig5_scaling");
+    group.sample_size(10);
+    for entry in fig1_graphs() {
+        let g = entry.build(Scale::Tiny);
+        let m0 = random_greedy(&g, 0xC0FFEE);
+        for &t in &threads {
+            let opts = SolveOptions {
+                threads: t,
+                ..SolveOptions::default()
+            };
+            group.bench_with_input(BenchmarkId::new(format!("t{t}"), entry.name), &g, |b, g| {
+                b.iter(|| {
+                    let out = solve_from(g, m0.clone(), Algorithm::MsBfsGraftParallel, &opts);
+                    std::hint::black_box(out.matching.cardinality())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

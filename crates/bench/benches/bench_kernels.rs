@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the building blocks: CSR construction, the
+//! Karp-Sipser and greedy initializers, a single alternating-BFS solve,
+//! and the König verification sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graft_core::frontier::{LocalBuffer, SharedQueue};
+use graft_core::init::{greedy_maximal, karp_sipser, parallel_greedy_maximal};
+use graft_core::verify::koenig_cover;
+use graft_core::{hopcroft_karp, Matching};
+use graft_gen::{erdos_renyi, preferential_attachment};
+use graft_graph::BipartiteCsr;
+use rayon::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let n = 20_000;
+    let g = erdos_renyi(n, n, 6 * n, 11);
+    let pa = preferential_attachment(n, n, 4, 0.6, 13);
+
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+
+    group.bench_function("csr_construction", |b| {
+        let edges: Vec<(u32, u32)> = g.edges().collect();
+        b.iter(|| {
+            let h = BipartiteCsr::from_edges(n, n, &edges);
+            std::hint::black_box(h.num_edges())
+        })
+    });
+
+    group.bench_function("karp_sipser_init", |b| {
+        b.iter(|| std::hint::black_box(karp_sipser(&g, 5).cardinality()))
+    });
+
+    group.bench_function("greedy_init", |b| {
+        b.iter(|| std::hint::black_box(greedy_maximal(&g).cardinality()))
+    });
+
+    group.bench_function("parallel_greedy_init", |b| {
+        b.iter(|| std::hint::black_box(parallel_greedy_maximal(&g).cardinality()))
+    });
+
+    group.bench_function("hopcroft_karp_scale_free", |b| {
+        let m0 = karp_sipser(&pa, 5);
+        b.iter(|| std::hint::black_box(hopcroft_karp(&pa, m0.clone()).matching.cardinality()))
+    });
+
+    group.bench_function("koenig_verify", |b| {
+        let m = hopcroft_karp(&g, Matching::for_graph(&g)).matching;
+        b.iter(|| std::hint::black_box(koenig_cover(&g, &m).size()))
+    });
+
+    // Frontier collection schemes (DESIGN.md §3, "Frontier queues"): the
+    // rayon fold/reduce idiom the engines use vs. the paper's explicit
+    // private-buffer + shared-queue scheme.
+    let frontier_n = 200_000u32;
+    group.bench_function("frontier_fold_reduce", |b| {
+        b.iter(|| {
+            let v: Vec<u32> = (0..frontier_n)
+                .into_par_iter()
+                .fold(Vec::new, |mut acc, x| {
+                    acc.push(x);
+                    acc
+                })
+                .reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                });
+            std::hint::black_box(v.len())
+        })
+    });
+    group.bench_function("frontier_shared_queue", |b| {
+        let q = SharedQueue::with_capacity(frontier_n as usize);
+        b.iter(|| {
+            (0..frontier_n)
+                .into_par_iter()
+                .for_each_init(|| LocalBuffer::new(&q), |buf, x| buf.push(x));
+            std::hint::black_box(q.drain().len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Experiment runner: regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments <all|table1|table2|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|variability>...
+//!             [--scale tiny|small|medium|large] [--threads N] [--reps N] [--out DIR]
+//! ```
+
+use graft_bench::{experiments, Config};
+use graft_gen::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <experiment>... [--scale tiny|small|medium|large] [--threads N] [--reps N] [--out DIR] [--init none|greedy|random-greedy|karp-sipser]\n\
+         experiments: all table1 table2 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 variability ablation_alpha ablation_init ablation_pr_order dist anatomy"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = Config::default();
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                cfg.scale = Scale::parse(&v).unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                cfg.threads = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--reps" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                cfg.reps = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--out" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                cfg.out_dir = v.into();
+            }
+            "--init" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                cfg.init = graft_core::init::Initializer::parse(&v).unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names.push("all".to_string());
+    }
+    println!(
+        "experiment config: scale={:?} (×{}), threads={} (max {}), reps={}, init={}, out={}",
+        cfg.scale,
+        cfg.scale.factor(),
+        cfg.threads,
+        cfg.max_threads(),
+        cfg.reps,
+        cfg.init.name(),
+        cfg.out_dir.display()
+    );
+    for name in names {
+        match experiments::run_by_name(&name, &cfg) {
+            Ok(true) => {}
+            Ok(false) => {
+                eprintln!("unknown experiment `{name}`");
+                usage();
+            }
+            Err(e) => {
+                eprintln!("experiment `{name}` failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Future-work experiment: communication profile of the distributed
+//! MS-BFS-Graft engine (not a paper figure — the paper's conclusion
+//! names the distributed algorithm as planned work).
+
+use super::load_suite;
+use crate::report::Report;
+use crate::Config;
+use graft_dist::distributed_ms_bfs_graft;
+
+/// Runs the BSP-simulated distributed engine over a rank sweep and
+/// reports messages, supersteps and phases. Cardinality is asserted
+/// against the shared-memory result for every cell.
+pub fn dist(cfg: &Config) -> std::io::Result<()> {
+    let rank_counts = [1usize, 4, 16];
+    let headers: Vec<String> = ["graph", "|M|"]
+        .iter()
+        .map(|s| s.to_string())
+        .chain(
+            rank_counts
+                .iter()
+                .flat_map(|r| [format!("msgs p={r}"), format!("steps p={r}")]),
+        )
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut r = Report::new(
+        "dist_communication",
+        "Future work — distributed MS-BFS-Graft communication profile",
+        &header_refs,
+    );
+    for inst in load_suite(cfg) {
+        let oracle = graft_core::hopcroft_karp(&inst.graph, inst.init.clone())
+            .matching
+            .cardinality();
+        let mut row = vec![inst.entry.name.to_string(), oracle.to_string()];
+        for &ranks in &rank_counts {
+            let out = distributed_ms_bfs_graft(&inst.graph, inst.init.clone(), ranks);
+            assert_eq!(
+                out.matching.cardinality(),
+                oracle,
+                "{} ranks={ranks} disagrees with oracle",
+                inst.entry.name
+            );
+            row.push(out.stats.messages.to_string());
+            row.push(out.stats.supersteps.to_string());
+        }
+        r.row(row);
+    }
+    r.note("message volume grows with rank count (Visit fan-out + Renewable broadcasts); supersteps stay bounded by BFS levels × phases — the level-synchronous structure the paper cites as distributable.");
+    r.emit(&cfg.out_dir)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graft_gen::Scale;
+
+    #[test]
+    fn dist_runs_at_tiny_scale() {
+        let cfg = Config {
+            scale: Scale::Tiny,
+            reps: 1,
+            threads: 2,
+            out_dir: std::env::temp_dir().join("graft_bench_dist_test"),
+            ..Config::default()
+        };
+        dist(&cfg).unwrap();
+        assert!(cfg.out_dir.join("dist_communication.csv").exists());
+    }
+}

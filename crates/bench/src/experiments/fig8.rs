@@ -1,0 +1,108 @@
+//! Fig. 8 — BFS frontier size per level, with and without grafting, on
+//! the coPapersDBLP analog.
+
+use super::load_instance;
+use crate::report::Report;
+use crate::Config;
+use graft_core::{solve_from, Algorithm, MsBfsOptions, SolveOptions};
+use graft_gen::suite::by_name;
+
+/// Records the frontier-size history of MS-BFS and MS-BFS-Graft and
+/// prints the per-level sizes of two mid-run phases (the paper shows
+/// phases 2 and 4). Grafting should start each phase with a large
+/// frontier that only shrinks; without grafting each phase restarts small,
+/// grows, then shrinks.
+pub fn fig8(cfg: &Config) -> std::io::Result<()> {
+    let entry = by_name("coPapersDBLP").expect("suite graph");
+    let inst = load_instance(entry, cfg);
+    let mut r = Report::new(
+        "fig8_frontier_sizes",
+        "Fig. 8 — frontier size per BFS level (coPapersDBLP analog)",
+        &["algorithm", "phase", "level", "frontier", "direction"],
+    );
+    for (name, alg) in [
+        ("MS-BFS", Algorithm::MsBfs),
+        ("MS-BFS-Graft", Algorithm::MsBfsGraft),
+    ] {
+        let opts = SolveOptions {
+            ms_bfs: MsBfsOptions {
+                record_frontier: true,
+                ..MsBfsOptions::graft()
+            },
+            ..SolveOptions::default()
+        };
+        let out = solve_from(&inst.graph, inst.init.clone(), alg, &opts);
+        let max_phase = out
+            .stats
+            .frontier_history
+            .iter()
+            .map(|s| s.phase)
+            .max()
+            .unwrap_or(1);
+        // The paper plots phases 2 and 4; clamp for short runs.
+        for phase in [2u32.min(max_phase), 4u32.min(max_phase)] {
+            for s in out.stats.frontier_of_phase(phase) {
+                r.row(vec![
+                    name.into(),
+                    s.phase.to_string(),
+                    s.level.to_string(),
+                    s.size.to_string(),
+                    if s.bottom_up {
+                        "bottom-up".into()
+                    } else {
+                        "top-down".into()
+                    },
+                ]);
+            }
+        }
+        // Summary: total forest work per phase (area under the curve).
+        let total: usize = out.stats.frontier_history.iter().map(|s| s.size).sum();
+        r.note(format!(
+            "{name}: {} phases, total frontier volume {} (area under the curves)",
+            max_phase, total
+        ));
+        // ASCII rendition of the paper's curves: one bar row per level.
+        let peak = out
+            .stats
+            .frontier_history
+            .iter()
+            .map(|s| s.size)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        for phase in [2u32.min(max_phase), 4u32.min(max_phase)] {
+            for s in out.stats.frontier_of_phase(phase) {
+                let width = (s.size * 40).div_ceil(peak);
+                r.note(format!(
+                    "{name:>12} p{} L{:<2} |{:<40}| {}",
+                    s.phase,
+                    s.level,
+                    "█".repeat(width),
+                    s.size
+                ));
+            }
+        }
+    }
+    r.note("paper expectation: grafting starts phases with large frontiers that shrink monotonically; without grafting phases start small, grow, then shrink — with a larger area (more traversal work) and taller forests (more synchronization).");
+    r.emit(&cfg.out_dir)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graft_gen::Scale;
+
+    #[test]
+    fn fig8_runs_at_tiny_scale() {
+        let cfg = Config {
+            scale: Scale::Tiny,
+            reps: 1,
+            threads: 2,
+            out_dir: std::env::temp_dir().join("graft_bench_fig8_test"),
+            ..Config::default()
+        };
+        fig8(&cfg).unwrap();
+        assert!(cfg.out_dir.join("fig8_frontier_sizes.csv").exists());
+    }
+}

@@ -1,0 +1,173 @@
+//! Tabular reporting: aligned stdout tables plus CSV files.
+
+use std::io::Write;
+use std::path::Path;
+
+/// One experiment's output table.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// File/figure identifier, e.g. `fig1_edges`.
+    pub name: String,
+    /// Human title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (paper-expectation text).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(name: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            name: name.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in {}",
+            self.name
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Prints the aligned table to stdout.
+    pub fn print(&self) {
+        println!("\n== {} — {} ==", self.name, self.title);
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", fmt_row(&self.headers));
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+        for n in &self.notes {
+            println!("  note: {n}");
+        }
+    }
+
+    /// Writes the table as `<dir>/<name>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        writeln!(f, "{}", escape_row(&self.headers))?;
+        for row in &self.rows {
+            writeln!(f, "{}", escape_row(row))?;
+        }
+        Ok(path)
+    }
+
+    /// Prints and writes in one step; returns the CSV path.
+    pub fn emit(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        self.print();
+        let p = self.write_csv(dir)?;
+        println!("  → {}", p.display());
+        Ok(p)
+    }
+}
+
+fn escape_cell(c: &str) -> String {
+    if c.contains(',') || c.contains('"') || c.contains('\n') {
+        format!("\"{}\"", c.replace('"', "\"\""))
+    } else {
+        c.to_string()
+    }
+}
+
+fn escape_row(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| escape_cell(c))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Formats a `f64` with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a `f64` with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a duration in adaptive units.
+pub fn dur(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.0}µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrip() {
+        let mut r = Report::new("t", "test", &["a", "b"]);
+        r.row(vec!["1".into(), "x,y".into()]);
+        r.note("hello");
+        let dir = std::env::temp_dir().join("graft_bench_report_test");
+        let p = r.write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(p).unwrap();
+        assert!(content.contains("a,b"));
+        assert!(content.contains("\"x,y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut r = Report::new("t", "test", &["a", "b"]);
+        r.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(f3(0.1), "0.100");
+        assert_eq!(dur(std::time::Duration::from_millis(1500)), "1.50s");
+        assert_eq!(dur(std::time::Duration::from_micros(1500)), "1.50ms");
+        assert_eq!(dur(std::time::Duration::from_nanos(500_000)), "500µs");
+    }
+}

@@ -1,0 +1,90 @@
+//! Host introspection for Table I (machine description).
+//!
+//! The paper's Table I lists Edison (2×12-core Ivy Bridge) and Mirasol
+//! (4×10-core Westmere-EX). This module reports the equivalent facts for
+//! the machine the reproduction actually runs on, so EXPERIMENTS.md can
+//! record paper-vs-measured hardware context honestly.
+
+/// A machine description, best-effort from `/proc` and the environment.
+#[derive(Clone, Debug, Default)]
+pub struct SystemInfo {
+    /// CPU model string.
+    pub cpu_model: String,
+    /// Logical CPUs visible to the process.
+    pub logical_cpus: usize,
+    /// Physical cores (best effort; falls back to logical count).
+    pub physical_cores: usize,
+    /// Total memory in GiB (0 if unknown).
+    pub memory_gib: f64,
+    /// Operating system description.
+    pub os: String,
+    /// rustc version used to build (compile-time environment if present).
+    pub rustc: String,
+}
+
+impl SystemInfo {
+    /// Collects host facts.
+    pub fn collect() -> Self {
+        let cpuinfo = std::fs::read_to_string("/proc/cpuinfo").unwrap_or_default();
+        let cpu_model = cpuinfo
+            .lines()
+            .find(|l| l.starts_with("model name"))
+            .and_then(|l| l.split(':').nth(1))
+            .map(|s| s.trim().to_string())
+            .unwrap_or_else(|| "unknown".into());
+        let logical_cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        // Physical cores: count distinct (physical id, core id) pairs.
+        let mut pairs = std::collections::HashSet::new();
+        let mut phys = String::new();
+        for line in cpuinfo.lines() {
+            if let Some(v) = line.strip_prefix("physical id") {
+                phys = v.trim_start_matches([' ', '\t', ':']).to_string();
+            }
+            if let Some(v) = line.strip_prefix("core id") {
+                let core = v.trim_start_matches([' ', '\t', ':']).to_string();
+                pairs.insert((phys.clone(), core));
+            }
+        }
+        let physical_cores = if pairs.is_empty() {
+            logical_cpus
+        } else {
+            pairs.len()
+        };
+        let meminfo = std::fs::read_to_string("/proc/meminfo").unwrap_or_default();
+        let memory_gib = meminfo
+            .lines()
+            .find(|l| l.starts_with("MemTotal"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|kb| kb.parse::<f64>().ok())
+            .map(|kb| kb / 1024.0 / 1024.0)
+            .unwrap_or(0.0);
+        let os = std::fs::read_to_string("/proc/sys/kernel/osrelease")
+            .map(|s| format!("Linux {}", s.trim()))
+            .unwrap_or_else(|_| std::env::consts::OS.to_string());
+        Self {
+            cpu_model,
+            logical_cpus,
+            physical_cores,
+            memory_gib,
+            os,
+            rustc: option_env!("RUSTC_VERSION")
+                .unwrap_or("(build rustc)")
+                .to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_reports_at_least_one_cpu() {
+        let s = SystemInfo::collect();
+        assert!(s.logical_cpus >= 1);
+        assert!(s.physical_cores >= 1);
+        assert!(!s.cpu_model.is_empty());
+    }
+}

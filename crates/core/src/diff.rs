@@ -1,0 +1,292 @@
+//! Symmetric difference of two matchings, decomposed into alternating
+//! paths and cycles.
+//!
+//! `M ⊕ M′ = (M ∖ M′) ∪ (M′ ∖ M)` induces a subgraph of maximum degree 2
+//! whose components alternate between `M`-edges and `M′`-edges — the
+//! object at the heart of Berge's theorem and of the paper's augmentation
+//! step (`M ← M ⊕ P`, §II-A). The decomposition gives the test suite a
+//! *structural* comparison between two solvers' outputs: two **maximum**
+//! matchings always differ by even alternating paths and cycles only
+//! (any odd path would augment one of them), which the property tests
+//! assert for every algorithm pair.
+
+use crate::Matching;
+use graft_graph::{VertexId, NONE};
+
+/// Which matching contributed an edge of the symmetric difference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// The edge belongs to the first matching only.
+    A,
+    /// The edge belongs to the second matching only.
+    B,
+}
+
+/// One connected component of `M_A ⊕ M_B`.
+#[derive(Clone, Debug)]
+pub struct DiffComponent {
+    /// The component's edges in walk order, each tagged with its source.
+    pub edges: Vec<(VertexId, VertexId, Side)>,
+    /// Whether the walk closes into a cycle.
+    pub is_cycle: bool,
+}
+
+impl DiffComponent {
+    /// Number of edges contributed by matching A.
+    pub fn a_edges(&self) -> usize {
+        self.edges.iter().filter(|e| e.2 == Side::A).count()
+    }
+
+    /// Number of edges contributed by matching B.
+    pub fn b_edges(&self) -> usize {
+        self.edges.iter().filter(|e| e.2 == Side::B).count()
+    }
+
+    /// A path with more B-edges than A-edges is an `M_A`-augmenting path
+    /// (and vice versa); balanced components exchange no cardinality.
+    pub fn imbalance(&self) -> i64 {
+        self.b_edges() as i64 - self.a_edges() as i64
+    }
+}
+
+/// Decomposes `a ⊕ b` into alternating paths and cycles.
+///
+/// Panics if the matchings have different dimensions. Runs in
+/// `O(nx + ny)`.
+///
+/// ```
+/// use graft_core::diff::symmetric_difference;
+/// use graft_core::Matching;
+///
+/// let mut a = Matching::empty(2, 2);
+/// a.match_pair(0, 0);
+/// a.match_pair(1, 1);
+/// let mut b = Matching::empty(2, 2);
+/// b.match_pair(0, 1);
+/// b.match_pair(1, 0);
+/// let comps = symmetric_difference(&a, &b);
+/// assert_eq!(comps.len(), 1);
+/// assert!(comps[0].is_cycle); // the two perfect matchings differ by a 4-cycle
+/// ```
+pub fn symmetric_difference(a: &Matching, b: &Matching) -> Vec<DiffComponent> {
+    let nx = a.mates_x().len();
+    let ny = a.mates_y().len();
+    assert_eq!(nx, b.mates_x().len(), "dimension mismatch");
+    assert_eq!(ny, b.mates_y().len(), "dimension mismatch");
+
+    // Diff edges from each x: the A-mate if it differs, the B-mate if it
+    // differs. Each x and each y touches at most one edge per side.
+    let a_edge = |x: usize| -> VertexId {
+        let ya = a.mates_x()[x];
+        if ya != NONE && b.mates_x()[x] != ya {
+            ya
+        } else {
+            NONE
+        }
+    };
+    let b_edge = |x: usize| -> VertexId {
+        let yb = b.mates_x()[x];
+        if yb != NONE && a.mates_x()[x] != yb {
+            yb
+        } else {
+            NONE
+        }
+    };
+
+    let mut seen_x = vec![false; nx];
+    let mut components = Vec::new();
+
+    // Diff edge incident to y from the given side (the x endpoint), or
+    // NONE when y has no such edge.
+    let y_edge = |y: usize, side: Side| -> VertexId {
+        match side {
+            Side::A => {
+                let xa = a.mates_y()[y];
+                if xa != NONE && b.mates_y()[y] != xa {
+                    xa
+                } else {
+                    NONE
+                }
+            }
+            Side::B => {
+                let xb = b.mates_y()[y];
+                if xb != NONE && a.mates_y()[y] != xb {
+                    xb
+                } else {
+                    NONE
+                }
+            }
+        }
+    };
+    let flip = |s: Side| match s {
+        Side::A => Side::B,
+        Side::B => Side::A,
+    };
+
+    // Walks one component starting from `x0`, departing via `start_side`.
+    // Each iteration consumes the X-side edge (x, y) and the Y-side
+    // through-edge (next_x, y); arriving at `next_x` via one matching
+    // forces departure via the other, so the departure side is invariant.
+    let walk = |x0: usize, start_side: Side, seen_x: &mut [bool]| -> DiffComponent {
+        let mut edges = Vec::new();
+        let mut x = x0;
+        let dep = start_side;
+        let mut is_cycle = false;
+        loop {
+            seen_x[x] = true;
+            let y = match dep {
+                Side::A => a_edge(x),
+                Side::B => b_edge(x),
+            };
+            if y == NONE {
+                break; // path ends at x
+            }
+            edges.push((x as VertexId, y, dep));
+            let other = flip(dep);
+            let next_x = y_edge(y as usize, other);
+            if next_x == NONE {
+                break; // path ends at y
+            }
+            edges.push((next_x, y, other));
+            if next_x as usize == x0 {
+                is_cycle = true; // the through-edge closed the cycle
+                break;
+            }
+            x = next_x as usize;
+        }
+        DiffComponent { edges, is_cycle }
+    };
+
+    // Path endpoints first: x vertices with exactly one diff edge.
+    for x0 in 0..nx {
+        if seen_x[x0] {
+            continue;
+        }
+        let has_a = a_edge(x0) != NONE;
+        let has_b = b_edge(x0) != NONE;
+        match (has_a, has_b) {
+            (false, false) => {} // not in the diff
+            (true, false) => components.push(walk(x0, Side::A, &mut seen_x)),
+            (false, true) => components.push(walk(x0, Side::B, &mut seen_x)),
+            (true, true) => {} // interior or cycle vertex: second pass
+        }
+    }
+    // Paths that end on the Y side at both ends never visit a degree-1 x;
+    // they and the cycles are picked up here.
+    for x0 in 0..nx {
+        if seen_x[x0] {
+            continue;
+        }
+        if a_edge(x0) != NONE && b_edge(x0) != NONE {
+            // Either a cycle (one walk covers it completely) or a path
+            // whose both endpoints lie on the Y side (x0 is interior):
+            // walk both directions from x0 and stitch.
+            let forward = walk(x0, Side::A, &mut seen_x);
+            if forward.is_cycle {
+                components.push(forward);
+            } else {
+                let backward = walk(x0, Side::B, &mut seen_x);
+                debug_assert!(!backward.is_cycle);
+                let mut edges = backward.edges;
+                edges.reverse();
+                edges.extend(forward.edges);
+                components.push(DiffComponent {
+                    edges,
+                    is_cycle: false,
+                });
+            }
+        }
+    }
+    components
+}
+
+/// `|A ⊕ B|` as a plain edge count (cheap cardinality check).
+pub fn symmetric_difference_size(a: &Matching, b: &Matching) -> usize {
+    symmetric_difference(a, b)
+        .iter()
+        .map(|c| c.edges.len())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_matchings_empty_diff() {
+        let mut a = Matching::empty(3, 3);
+        a.match_pair(0, 0);
+        a.match_pair(1, 1);
+        let b = a.clone();
+        assert!(symmetric_difference(&a, &b).is_empty());
+        assert_eq!(symmetric_difference_size(&a, &b), 0);
+    }
+
+    #[test]
+    fn single_swapped_pair_is_two_paths_or_cycle() {
+        // A: (0,0), (1,1); B: (0,1), (1,0) — a 4-cycle.
+        let mut a = Matching::empty(2, 2);
+        a.match_pair(0, 0);
+        a.match_pair(1, 1);
+        let mut b = Matching::empty(2, 2);
+        b.match_pair(0, 1);
+        b.match_pair(1, 0);
+        let comps = symmetric_difference(&a, &b);
+        assert_eq!(comps.len(), 1);
+        assert!(comps[0].is_cycle);
+        assert_eq!(comps[0].edges.len(), 4);
+        assert_eq!(comps[0].a_edges(), 2);
+        assert_eq!(comps[0].b_edges(), 2);
+        assert_eq!(comps[0].imbalance(), 0);
+    }
+
+    #[test]
+    fn augmenting_path_shows_imbalance() {
+        // A: (1,0); B: (0,0), (1,1) — B is one bigger; diff is the path
+        // x0-y0-x1-y1 with 1 A-edge, 2 B-edges.
+        let mut a = Matching::empty(2, 2);
+        a.match_pair(1, 0);
+        let mut b = Matching::empty(2, 2);
+        b.match_pair(0, 0);
+        b.match_pair(1, 1);
+        let comps = symmetric_difference(&a, &b);
+        assert_eq!(comps.len(), 1);
+        let c = &comps[0];
+        assert!(!c.is_cycle);
+        assert_eq!(c.edges.len(), 3);
+        assert_eq!(c.imbalance(), 1);
+    }
+
+    #[test]
+    fn one_sided_edge_is_singleton_path() {
+        let mut a = Matching::empty(2, 2);
+        a.match_pair(0, 1);
+        let b = Matching::empty(2, 2);
+        let comps = symmetric_difference(&a, &b);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].edges, vec![(0, 1, Side::A)]);
+        assert!(!comps[0].is_cycle);
+    }
+
+    #[test]
+    fn diff_size_counts_all_edges() {
+        let mut a = Matching::empty(3, 3);
+        a.match_pair(0, 0);
+        a.match_pair(1, 1);
+        a.match_pair(2, 2);
+        let mut b = Matching::empty(3, 3);
+        b.match_pair(0, 0); // shared
+        b.match_pair(1, 2);
+        b.match_pair(2, 1);
+        // Diff: (1,1)A, (2,2)A, (1,2)B, (2,1)B.
+        assert_eq!(symmetric_difference_size(&a, &b), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let a = Matching::empty(2, 2);
+        let b = Matching::empty(3, 2);
+        symmetric_difference(&a, &b);
+    }
+}

@@ -1,0 +1,280 @@
+//! The Karp-Sipser maximal-matching initializer, plus a CAS-based parallel
+//! greedy initializer.
+//!
+//! Karp-Sipser repeatedly applies the **degree-1 rule**: a vertex with
+//! exactly one unmatched neighbor is matched to that neighbor (this is
+//! always optimal — some maximum matching contains that edge). When no
+//! degree-1 vertex exists, a random unmatched vertex is matched to a random
+//! unmatched neighbor. The paper uses this as the initializer for every
+//! algorithm it evaluates (§II-B), citing Duff et al.'s finding that it is
+//! among the best initializers for cardinality matching.
+
+use crate::Matching;
+use graft_graph::{BipartiteCsr, VertexId, NONE};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Side {
+    X,
+    Y,
+}
+
+/// Karp-Sipser maximal matching with the degree-1 rule and seeded random
+/// edge selection. Runs in `O(n + m)` amortized.
+///
+/// Deterministic for a fixed `(g, seed)` pair, which the experiment harness
+/// relies on for reproducibility.
+///
+/// ```
+/// use graft_core::init::karp_sipser;
+/// use graft_graph::BipartiteCsr;
+///
+/// let g = BipartiteCsr::from_edges(2, 2, &[(0, 0), (1, 0), (1, 1)]);
+/// let m = karp_sipser(&g, 42);
+/// // The degree-1 rule matches x0 to its only neighbor first, so KS
+/// // finds the perfect matching here.
+/// assert_eq!(m.cardinality(), 2);
+/// ```
+pub fn karp_sipser(g: &BipartiteCsr, seed: u64) -> Matching {
+    let nx = g.num_x();
+    let ny = g.num_y();
+    let mut m = Matching::for_graph(g);
+    // deg[v] = current number of *unmatched* neighbors of v.
+    let mut deg_x: Vec<u32> = (0..nx).map(|x| g.x_degree(x as VertexId) as u32).collect();
+    let mut deg_y: Vec<u32> = (0..ny).map(|y| g.y_degree(y as VertexId) as u32).collect();
+
+    let mut q1: VecDeque<(Side, VertexId)> = VecDeque::new();
+    for (x, &d) in deg_x.iter().enumerate() {
+        if d == 1 {
+            q1.push_back((Side::X, x as VertexId));
+        }
+    }
+    for (y, &d) in deg_y.iter().enumerate() {
+        if d == 1 {
+            q1.push_back((Side::Y, y as VertexId));
+        }
+    }
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Pool of X vertices to consider in the random phase. Every edge has an
+    // X endpoint, so exhausting this pool certifies maximality.
+    let mut pool: Vec<VertexId> = (0..nx as VertexId)
+        .filter(|&x| deg_x[x as usize] > 0)
+        .collect();
+
+    // Matches (x, y) and maintains effective degrees, feeding the
+    // degree-1 queue.
+    macro_rules! do_match {
+        ($m:ident, $x:expr, $y:expr, $deg_x:ident, $deg_y:ident, $q1:ident) => {{
+            let (x, y) = ($x, $y);
+            $m.match_pair(x, y);
+            for &ny_ in g.x_neighbors(x) {
+                if !$m.is_y_matched(ny_) {
+                    $deg_y[ny_ as usize] -= 1;
+                    if $deg_y[ny_ as usize] == 1 {
+                        $q1.push_back((Side::Y, ny_));
+                    }
+                }
+            }
+            for &nx_ in g.y_neighbors(y) {
+                if !$m.is_x_matched(nx_) {
+                    $deg_x[nx_ as usize] -= 1;
+                    if $deg_x[nx_ as usize] == 1 {
+                        $q1.push_back((Side::X, nx_));
+                    }
+                }
+            }
+        }};
+    }
+
+    loop {
+        // Degree-1 rule to exhaustion.
+        while let Some((side, v)) = q1.pop_front() {
+            match side {
+                Side::X => {
+                    if m.is_x_matched(v) || deg_x[v as usize] != 1 {
+                        continue;
+                    }
+                    let y = g
+                        .x_neighbors(v)
+                        .iter()
+                        .copied()
+                        .find(|&y| !m.is_y_matched(y))
+                        .expect("degree counter promised an unmatched neighbor");
+                    do_match!(m, v, y, deg_x, deg_y, q1);
+                }
+                Side::Y => {
+                    if m.is_y_matched(v) || deg_y[v as usize] != 1 {
+                        continue;
+                    }
+                    let x = g
+                        .y_neighbors(v)
+                        .iter()
+                        .copied()
+                        .find(|&x| !m.is_x_matched(x))
+                        .expect("degree counter promised an unmatched neighbor");
+                    do_match!(m, x, v, deg_x, deg_y, q1);
+                }
+            }
+        }
+
+        // Random phase: pick a random live X vertex and a random unmatched
+        // neighbor.
+        let mut matched_one = false;
+        while !pool.is_empty() {
+            let i = rng.gen_range(0..pool.len());
+            let x = pool.swap_remove(i);
+            if m.is_x_matched(x) || deg_x[x as usize] == 0 {
+                continue;
+            }
+            let unmatched: Vec<VertexId> = g
+                .x_neighbors(x)
+                .iter()
+                .copied()
+                .filter(|&y| !m.is_y_matched(y))
+                .collect();
+            debug_assert_eq!(unmatched.len() as u32, deg_x[x as usize]);
+            let y = unmatched[rng.gen_range(0..unmatched.len())];
+            do_match!(m, x, y, deg_x, deg_y, q1);
+            matched_one = true;
+            break;
+        }
+        if !matched_one {
+            break;
+        }
+    }
+    m
+}
+
+/// Lock-free parallel greedy maximal matching: every `X` vertex races to
+/// claim its first unmatched neighbor with a `compare_exchange` on the
+/// `Y`-side mate array.
+///
+/// After the sweep no edge has two unmatched endpoints (any `y` that an
+/// unmatched `x` scanned was already claimed, and claims are never
+/// released), so the result is maximal. Used as the initializer for the
+/// parallel solvers when Karp-Sipser's serial phase would dominate.
+pub fn parallel_greedy_maximal(g: &BipartiteCsr) -> Matching {
+    use rayon::prelude::*;
+    let ny = g.num_y();
+    let mate_y: Vec<AtomicU32> = (0..ny).map(|_| AtomicU32::new(NONE)).collect();
+    let mate_x: Vec<VertexId> = (0..g.num_x() as VertexId)
+        .into_par_iter()
+        .map(|x| {
+            for &y in g.x_neighbors(x) {
+                // Cheap non-atomic-looking pre-check (paper idiom: test
+                // before CAS to avoid wasted atomics).
+                if mate_y[y as usize].load(Ordering::Relaxed) != NONE {
+                    continue;
+                }
+                if mate_y[y as usize]
+                    .compare_exchange(NONE, x, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return y;
+                }
+            }
+            NONE
+        })
+        .collect();
+    let mate_y: Vec<VertexId> = mate_y.into_iter().map(|a| a.into_inner()).collect();
+    Matching::from_mates(mate_x, mate_y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::is_maximal;
+
+    fn crown(k: usize) -> BipartiteCsr {
+        // Perfect matching exists: (i, i); plus distracting edges (i, i+1).
+        let mut edges = Vec::new();
+        for i in 0..k as VertexId {
+            edges.push((i, i));
+            if (i as usize) < k - 1 {
+                edges.push((i, i + 1));
+            }
+        }
+        BipartiteCsr::from_edges(k, k, &edges)
+    }
+
+    #[test]
+    fn ks_is_valid_and_maximal() {
+        let g = crown(50);
+        let m = karp_sipser(&g, 1);
+        assert!(m.validate(&g).is_ok());
+        assert!(is_maximal(&g, &m));
+    }
+
+    #[test]
+    fn ks_deterministic_per_seed() {
+        let g = crown(64);
+        let a = karp_sipser(&g, 7);
+        let b = karp_sipser(&g, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ks_degree_one_rule_finds_perfect_matching_on_path() {
+        // A path x0-y0-x1-y1-...-x(k-1)-y(k-1): degree-1 cascade should
+        // recover the unique perfect matching without any random picks.
+        let k = 20;
+        let mut edges = Vec::new();
+        for i in 0..k as VertexId {
+            edges.push((i, i));
+            if i > 0 {
+                edges.push((i, i - 1));
+            }
+        }
+        let g = BipartiteCsr::from_edges(k, k, &edges);
+        let m = karp_sipser(&g, 0);
+        assert_eq!(m.cardinality(), k);
+    }
+
+    #[test]
+    fn ks_handles_isolated_vertices() {
+        let g = BipartiteCsr::from_edges(5, 5, &[(0, 0), (1, 1)]);
+        let m = karp_sipser(&g, 3);
+        assert_eq!(m.cardinality(), 2);
+        assert!(is_maximal(&g, &m));
+    }
+
+    #[test]
+    fn ks_empty_graph() {
+        let g = BipartiteCsr::from_edges(0, 0, &[]);
+        assert_eq!(karp_sipser(&g, 0).cardinality(), 0);
+    }
+
+    #[test]
+    fn ks_star() {
+        // Hub x0 with 5 leaves: degree-1 rule fires on the leaves.
+        let g = BipartiteCsr::from_edges(1, 5, &[(0, 0), (0, 1), (0, 2), (0, 3), (0, 4)]);
+        let m = karp_sipser(&g, 0);
+        assert_eq!(m.cardinality(), 1);
+    }
+
+    #[test]
+    fn parallel_greedy_is_valid_and_maximal() {
+        let g = crown(100);
+        let m = parallel_greedy_maximal(&g);
+        assert!(m.validate(&g).is_ok());
+        assert!(is_maximal(&g, &m));
+        assert!(m.cardinality() >= 50); // ≥ half of maximum (100)
+    }
+
+    #[test]
+    fn parallel_greedy_empty() {
+        let g = BipartiteCsr::from_edges(3, 0, &[]);
+        assert_eq!(parallel_greedy_maximal(&g).cardinality(), 0);
+    }
+
+    #[test]
+    fn ks_at_least_half_of_maximum_on_crown() {
+        let g = crown(40);
+        let m = karp_sipser(&g, 11);
+        assert!(m.cardinality() >= 20);
+    }
+}

@@ -1,0 +1,464 @@
+//! Karp-Sipser with the degree-2 contraction rule (KS2).
+//!
+//! The classic Karp-Sipser heuristic has two optimality-preserving rules:
+//!
+//! * **degree-1** — a vertex with one unmatched neighbor is matched to it
+//!   (implemented in [`super::karp_sipser`]);
+//! * **degree-2** — a vertex `x` with exactly two (super-)neighbors
+//!   `y₁, y₂` can be *contracted away*: merge `y₁` and `y₂` into one
+//!   super-vertex and delete `x`. The maximum matching of the contracted
+//!   graph is exactly one smaller, and expanding the contraction always
+//!   matches `x`: if the super-vertex ended up matched through the `y₁`
+//!   half, `x` takes its `y₂` edge, and vice versa; if it ended up
+//!   unmatched, `x` takes either edge.
+//!
+//! Duff, Kaya & Uçar's experiments (cited by the paper for its
+//! initializer choice, §II-B) show the degree-2 rule improves the
+//! initializer's cardinality on graphs whose 2-core survives the degree-1
+//! cascade. This implementation applies the degree-1 rule on both sides
+//! and the degree-2 contraction for `X` vertices (merging `Y`
+//! super-vertices), falling back to seeded random picks when no rule
+//! fires — each rule is independently optimality-preserving, so any
+//! subset of them is sound.
+//!
+//! ## Implementation notes
+//!
+//! `Y` super-vertices live in a union-find whose roots carry merged
+//! adjacency lists (smaller list absorbed into larger, `O(m log n)`
+//! total). Every adjacency entry remembers its **original** `Y` endpoint,
+//! which is what the expansion needs to emit real graph edges.
+//! Contractions build a *merge forest* (leaves = original `Y` vertices,
+//! internal nodes = contraction events); expansion walks the recorded
+//! events in reverse, propagating "which half holds the matched leaf"
+//! down the forest.
+
+use crate::Matching;
+use graft_graph::{BipartiteCsr, VertexId, NONE};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// An adjacency entry of a `Y` super-vertex: the `X` endpoint plus the
+/// original `Y` vertex the edge touches.
+#[derive(Clone, Copy, Debug)]
+struct Arc {
+    x: VertexId,
+    y_orig: VertexId,
+}
+
+/// One degree-2 contraction event.
+#[derive(Clone, Copy, Debug)]
+struct Contraction {
+    /// The removed X vertex.
+    x: VertexId,
+    /// Its edge into the first half (original Y endpoint).
+    y_to_first: VertexId,
+    /// Its edge into the second half.
+    y_to_second: VertexId,
+    /// Merge-forest node of the first half at event time.
+    node_first: u32,
+    /// Merge-forest node of the second half at event time.
+    node_second: u32,
+    /// The new node created for the merged super-vertex.
+    node_merged: u32,
+}
+
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, v: u32) -> u32 {
+        let mut root = v;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = v;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+}
+
+/// Karp-Sipser with degree-1 (both sides) and degree-2 (X side)
+/// rules. Deterministic for fixed `(g, seed)`; returns a maximal
+/// matching.
+pub fn karp_sipser_two(g: &BipartiteCsr, seed: u64) -> Matching {
+    let nx = g.num_x();
+    let ny = g.num_y();
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // --- Super-vertex state on the Y side. ---
+    let mut dsu = Dsu::new(ny);
+    let mut adj_y: Vec<Vec<Arc>> = (0..ny as VertexId)
+        .map(|y| {
+            g.y_neighbors(y)
+                .iter()
+                .map(|&x| Arc { x, y_orig: y })
+                .collect()
+        })
+        .collect();
+    // Merge-forest: nodes 0..ny are the leaves; contractions append.
+    // parent[node] = NONE until the node is merged under another.
+    let mut node_parent: Vec<u32> = vec![u32::MAX; ny];
+    // Current forest node of each live Y root.
+    let mut node_of: Vec<u32> = (0..ny as u32).collect();
+
+    let mut x_alive = vec![true; nx];
+    let mut y_alive = vec![true; ny]; // indexed by DSU root
+                                      // Matching on super-vertices: (x, root, y_orig of the matched edge).
+    let mut matched: Vec<(VertexId, u32, VertexId)> = Vec::new();
+    let mut x_matched = vec![false; nx];
+    let mut contractions: Vec<Contraction> = Vec::new();
+
+    // Scratch for distinct-root computation.
+    let mut mark: Vec<u32> = vec![u32::MAX; ny];
+    let mut stamp: u32 = 0;
+
+    // Recheck queues (lazy: entries may be stale).
+    let mut x_queue: VecDeque<VertexId> = (0..nx as VertexId).collect();
+    let mut y_queue: VecDeque<u32> = (0..ny as u32).collect();
+    let mut pool: Vec<VertexId> = (0..nx as VertexId).collect();
+
+    // Distinct live roots adjacent to x, with one original-Y witness per
+    // root. Returns at most 3 entries (callers only need to distinguish
+    // 0/1/2/≥3).
+    macro_rules! distinct_roots {
+        ($x:expr) => {{
+            stamp = stamp.wrapping_add(1);
+            let mut out: Vec<(u32, VertexId)> = Vec::with_capacity(3);
+            for &y in g.x_neighbors($x) {
+                let r = dsu.find(y);
+                if !y_alive[r as usize] || mark[r as usize] == stamp {
+                    continue;
+                }
+                mark[r as usize] = stamp;
+                out.push((r, y));
+                if out.len() > 2 {
+                    break;
+                }
+            }
+            out
+        }};
+    }
+
+    // Matches x to the super-vertex `root` through original edge
+    // (x, y_orig), then notifies neighbors.
+    macro_rules! do_match {
+        ($x:expr, $root:expr, $y_orig:expr) => {{
+            let (x, root, y_orig) = ($x, $root, $y_orig);
+            debug_assert!(x_alive[x as usize] && y_alive[root as usize]);
+            matched.push((x, root, y_orig));
+            x_matched[x as usize] = true;
+            x_alive[x as usize] = false;
+            y_alive[root as usize] = false;
+            // X vertices that lost a neighbor: everything adjacent to root.
+            for i in 0..adj_y[root as usize].len() {
+                let ax = adj_y[root as usize][i].x;
+                if x_alive[ax as usize] {
+                    x_queue.push_back(ax);
+                }
+            }
+            // Y roots that lost a neighbor: everything adjacent to x.
+            for &y in g.x_neighbors(x) {
+                let r = dsu.find(y);
+                if y_alive[r as usize] {
+                    y_queue.push_back(r);
+                }
+            }
+        }};
+    }
+
+    loop {
+        let mut progressed = false;
+
+        // --- Rule pass: drain both recheck queues. ---
+        loop {
+            if let Some(x) = x_queue.pop_front() {
+                if !x_alive[x as usize] {
+                    continue;
+                }
+                let roots = distinct_roots!(x);
+                match roots.len() {
+                    0 => {
+                        x_alive[x as usize] = false; // isolated: drop
+                    }
+                    1 => {
+                        let (r, y_orig) = roots[0];
+                        do_match!(x, r, y_orig);
+                        progressed = true;
+                    }
+                    2 => {
+                        // Degree-2 contraction: merge the two halves.
+                        let (r1, yo1) = roots[0];
+                        let (r2, yo2) = roots[1];
+                        let node_merged = (node_parent.len()) as u32;
+                        contractions.push(Contraction {
+                            x,
+                            y_to_first: yo1,
+                            y_to_second: yo2,
+                            node_first: node_of[r1 as usize],
+                            node_second: node_of[r2 as usize],
+                            node_merged,
+                        });
+                        node_parent.push(u32::MAX);
+                        node_parent[node_of[r1 as usize] as usize] = node_merged;
+                        node_parent[node_of[r2 as usize] as usize] = node_merged;
+                        x_alive[x as usize] = false;
+                        // Smaller-into-larger adjacency merge.
+                        let (big, small) = if adj_y[r1 as usize].len() >= adj_y[r2 as usize].len() {
+                            (r1, r2)
+                        } else {
+                            (r2, r1)
+                        };
+                        dsu.parent[small as usize] = big;
+                        let moved = std::mem::take(&mut adj_y[small as usize]);
+                        // X vertices adjacent to the absorbed half may have
+                        // lost a distinct neighbor (if they also touch the
+                        // surviving half).
+                        for &arc in &moved {
+                            if x_alive[arc.x as usize] {
+                                x_queue.push_back(arc.x);
+                            }
+                        }
+                        adj_y[big as usize].extend(moved);
+                        y_alive[small as usize] = false;
+                        node_of[big as usize] = node_merged;
+                        y_queue.push_back(big);
+                        progressed = true;
+                    }
+                    _ => {}
+                }
+                continue;
+            }
+            if let Some(r0) = y_queue.pop_front() {
+                let r = dsu.find(r0);
+                if r != r0 || !y_alive[r as usize] {
+                    continue; // stale entry
+                }
+                // Clean dead arcs lazily and apply the Y-side degree-1 rule.
+                adj_y[r as usize].retain(|a| x_alive[a.x as usize]);
+                if adj_y[r as usize].is_empty() {
+                    y_alive[r as usize] = false;
+                } else if adj_y[r as usize]
+                    .iter()
+                    .map(|a| a.x)
+                    .all(|x| x == adj_y[r as usize][0].x)
+                {
+                    let arc = adj_y[r as usize][0];
+                    do_match!(arc.x, r, arc.y_orig);
+                    progressed = true;
+                }
+                continue;
+            }
+            break;
+        }
+
+        // --- Random phase: one random pick, then rules again. ---
+        let mut picked = false;
+        while !pool.is_empty() {
+            let i = rng.gen_range(0..pool.len());
+            let x = pool.swap_remove(i);
+            if !x_alive[x as usize] {
+                continue;
+            }
+            let roots = distinct_roots!(x);
+            if roots.is_empty() {
+                x_alive[x as usize] = false;
+                continue;
+            }
+            let (r, y_orig) = roots[rng.gen_range(0..roots.len())];
+            do_match!(x, r, y_orig);
+            picked = true;
+            break;
+        }
+        if !picked && !progressed {
+            break;
+        }
+    }
+
+    // --- Expansion: resolve contractions in reverse. ---
+    // matched_leaf_under[node]: the original Y vertex through which the
+    // subtree rooted at `node` is matched, if any.
+    let mut matched_leaf: Vec<VertexId> = vec![NONE; node_parent.len()];
+    let mut mate_y: Vec<VertexId> = vec![NONE; ny];
+    let mut mate_x: Vec<VertexId> = vec![NONE; nx];
+    // Seed from the super-vertex matching: walk from the matched leaf up
+    // to the forest root, labelling every ancestor.
+    let label_up = |leaf: VertexId, matched_leaf: &mut Vec<VertexId>, node_parent: &[u32]| {
+        let mut node = leaf;
+        loop {
+            matched_leaf[node as usize] = leaf;
+            let p = node_parent[node as usize];
+            if p == u32::MAX {
+                break;
+            }
+            node = p;
+        }
+    };
+    for &(x, _root, y_orig) in &matched {
+        mate_x[x as usize] = y_orig;
+        mate_y[y_orig as usize] = x;
+        label_up(y_orig, &mut matched_leaf, &node_parent);
+    }
+    for c in contractions.iter().rev() {
+        let merged_match = matched_leaf[c.node_merged as usize];
+        let under_first =
+            merged_match != NONE && matched_leaf[c.node_first as usize] == merged_match;
+        debug_assert!(
+            !(under_first && matched_leaf[c.node_second as usize] == merged_match),
+            "matched leaf cannot sit under both halves"
+        );
+        let y = if merged_match == NONE || !under_first {
+            c.y_to_first
+        } else {
+            c.y_to_second
+        };
+        debug_assert_eq!(mate_y[y as usize], NONE, "expansion double-matched y{y}");
+        mate_x[c.x as usize] = y;
+        mate_y[y as usize] = c.x;
+        // The chosen half is now matched through `y`: propagate downward
+        // by labelling `y`'s chain (it stops mattering above node_merged,
+        // which is already resolved).
+        label_up(y, &mut matched_leaf, &node_parent);
+    }
+
+    Matching::from_mates(mate_x, mate_y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::is_maximal;
+    use crate::verify::is_maximum;
+
+    #[test]
+    fn ks2_simple_path() {
+        let g = BipartiteCsr::from_edges(2, 2, &[(0, 0), (1, 0), (1, 1)]);
+        let m = karp_sipser_two(&g, 1);
+        assert!(m.validate(&g).is_ok());
+        assert!(is_maximal(&g, &m));
+    }
+
+    #[test]
+    fn ks2_pure_degree2_cycle_is_optimal() {
+        // A single even cycle: every x has degree 2, so KS2 resolves the
+        // whole instance by contraction and must reach the perfect
+        // matching.
+        let n = 24;
+        let mut edges = Vec::new();
+        for i in 0..n as VertexId {
+            edges.push((i, i));
+            edges.push((i, (i + 1) % n as VertexId));
+        }
+        let g = BipartiteCsr::from_edges(n, n, &edges);
+        let m = karp_sipser_two(&g, 3);
+        assert!(m.validate(&g).is_ok());
+        assert_eq!(
+            m.cardinality(),
+            n,
+            "degree-2 rule must solve the cycle exactly"
+        );
+        assert!(is_maximum(&g, &m));
+    }
+
+    #[test]
+    fn ks2_chain_of_contractions() {
+        // Long chain: alternating degree-1/degree-2 opportunities.
+        let k = 60;
+        let mut edges = Vec::new();
+        for i in 0..k as VertexId {
+            edges.push((i, i));
+            if i > 0 {
+                edges.push((i, i - 1));
+            }
+        }
+        let g = BipartiteCsr::from_edges(k, k, &edges);
+        let m = karp_sipser_two(&g, 7);
+        assert!(m.validate(&g).is_ok());
+        assert_eq!(m.cardinality(), k);
+    }
+
+    #[test]
+    fn ks2_never_worse_than_valid_maximal() {
+        for seed in 0..8 {
+            let g = crate::tests_support::random_graph(60, 60, 200, seed);
+            let m = karp_sipser_two(&g, seed);
+            assert!(m.validate(&g).is_ok(), "seed {seed}");
+            assert!(is_maximal(&g, &m), "seed {seed}");
+            let max = crate::hopcroft_karp(&g, Matching::for_graph(&g))
+                .matching
+                .cardinality();
+            assert!(2 * m.cardinality() >= max, "below half at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ks2_deterministic() {
+        let g = crate::tests_support::random_graph(50, 50, 150, 9);
+        assert_eq!(karp_sipser_two(&g, 4), karp_sipser_two(&g, 4));
+    }
+
+    #[test]
+    fn ks2_beats_or_ties_ks1_on_two_core_instances() {
+        // Union of three random permutations: 3-regular, pure 2-core
+        // after no degree-1 vertices exist. KS2's contraction shines here.
+        let n = 400;
+        let mut wins = 0;
+        let mut total_ks1 = 0usize;
+        let mut total_ks2 = 0usize;
+        for seed in 0..5 {
+            let mut edges = Vec::new();
+            for k in 0..3u64 {
+                let perm = graft_graph::random_permutation_with(n, seed * 31 + k);
+                for (x, &y) in perm.iter().enumerate() {
+                    edges.push((x as VertexId, y));
+                }
+            }
+            let g = BipartiteCsr::from_edges(n, n, &edges);
+            let ks1 = crate::init::karp_sipser(&g, seed).cardinality();
+            let ks2 = karp_sipser_two(&g, seed).cardinality();
+            total_ks1 += ks1;
+            total_ks2 += ks2;
+            if ks2 >= ks1 {
+                wins += 1;
+            }
+        }
+        assert!(
+            total_ks2 >= total_ks1,
+            "KS2 ({total_ks2}) should not lose to KS1 ({total_ks1}) in aggregate"
+        );
+        assert!(wins >= 3, "KS2 should win or tie most seeds, got {wins}/5");
+    }
+
+    #[test]
+    fn ks2_empty_and_isolated() {
+        let g = BipartiteCsr::from_edges(0, 0, &[]);
+        assert_eq!(karp_sipser_two(&g, 0).cardinality(), 0);
+        let g = BipartiteCsr::from_edges(4, 4, &[(1, 2)]);
+        let m = karp_sipser_two(&g, 0);
+        assert_eq!(m.cardinality(), 1);
+        assert_eq!(m.mate_of_x(1), 2);
+    }
+
+    #[test]
+    fn ks2_parallel_multi_edges_to_same_root() {
+        // x1 has two edges into what becomes one super-vertex: its
+        // effective degree is 1, so the degree-1 rule must fire, not the
+        // contraction.
+        let g = BipartiteCsr::from_edges(3, 3, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 1), (2, 2)]);
+        let m = karp_sipser_two(&g, 2);
+        assert!(m.validate(&g).is_ok());
+        assert!(is_maximal(&g, &m));
+    }
+}

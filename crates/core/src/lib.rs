@@ -1,0 +1,335 @@
+//! # graft-core — maximum cardinality bipartite matching algorithms
+//!
+//! A Rust reproduction of *"A Parallel Tree Grafting Algorithm for Maximum
+//! Cardinality Matching in Bipartite Graphs"* (Azad, Buluç, Pothen,
+//! IPDPS 2015), together with every baseline the paper evaluates against:
+//!
+//! | algorithm | function | kind |
+//! |---|---|---|
+//! | SS-DFS | [`ss_dfs`] | serial, single-source |
+//! | SS-BFS | [`ss_bfs`] | serial, single-source |
+//! | Pothen-Fan (fairness + lookahead) | [`pothen_fan`] / [`pothen_fan_parallel`] | serial / parallel multi-source DFS |
+//! | Hopcroft-Karp | [`hopcroft_karp`] | serial, `O(m√n)` oracle |
+//! | Push-relabel | [`push_relabel`] / [`push_relabel_parallel`] | serial / parallel |
+//! | MS-BFS (+ direction opt., + grafting) | [`ms_bfs_serial`] | serial engine with toggles |
+//! | **MS-BFS-Graft** | [`ms_bfs_graft_parallel`] | the paper's parallel contribution |
+//!
+//! All solvers take a [`Matching`] as the starting point — typically the
+//! Karp-Sipser maximal matching ([`init::Initializer`]) as in the paper —
+//! and return a [`RunOutcome`] bundling the final matching with the
+//! instrumentation ([`stats::SearchStats`]) that the experiment harness
+//! uses to regenerate the paper's figures.
+//!
+//! ```
+//! use graft_core::{solve, Algorithm, SolveOptions};
+//! use graft_graph::BipartiteCsr;
+//!
+//! let g = BipartiteCsr::from_edges(2, 2, &[(0, 0), (1, 0), (1, 1)]);
+//! let out = solve(&g, Algorithm::MsBfsGraftParallel, &SolveOptions::default());
+//! assert_eq!(out.matching.cardinality(), 2);
+//! assert!(graft_core::verify::is_maximum(&g, &out.matching));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diff;
+pub mod frontier;
+pub mod init;
+mod matching;
+pub mod ms_bfs;
+mod par;
+mod pothen_fan;
+mod pothen_fan_par;
+mod push_relabel;
+#[cfg(feature = "serde")]
+pub mod serde_impl;
+mod ss;
+pub mod stats;
+pub mod verify;
+
+mod hopcroft_karp;
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use graft_graph::{BipartiteCsr, GraphBuilder, VertexId};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Seeded random bipartite graph for unit tests.
+    pub fn random_graph(nx: usize, ny: usize, m: usize, seed: u64) -> BipartiteCsr {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::with_capacity(nx, ny, m);
+        for _ in 0..m {
+            b.add_edge(
+                rng.gen_range(0..nx) as VertexId,
+                rng.gen_range(0..ny) as VertexId,
+            );
+        }
+        b.build()
+    }
+}
+
+pub use hopcroft_karp::hopcroft_karp;
+pub use matching::Matching;
+pub use ms_bfs::{ms_bfs_serial, MsBfsOptions};
+pub use par::ms_bfs_graft_parallel;
+pub use pothen_fan::pothen_fan;
+pub use pothen_fan_par::pothen_fan_parallel;
+pub use push_relabel::{push_relabel, push_relabel_parallel, PrOrder, PushRelabelOptions};
+pub use ss::{ss_bfs, ss_dfs};
+
+use graft_graph::BipartiteCsr;
+use stats::SearchStats;
+
+/// The result of one solver run: the matching plus instrumentation.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The (maximum) matching computed by the solver.
+    pub matching: Matching,
+    /// Counters and timings collected during the run.
+    pub stats: SearchStats,
+}
+
+/// Every algorithm exposed by the crate, for table-driven experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Single-source DFS.
+    SsDfs,
+    /// Single-source BFS.
+    SsBfs,
+    /// Serial Pothen-Fan with fairness and lookahead.
+    PothenFan,
+    /// Multithreaded Pothen-Fan.
+    PothenFanParallel,
+    /// Hopcroft-Karp.
+    HopcroftKarp,
+    /// Serial MS-BFS, always top-down, no grafting.
+    MsBfs,
+    /// Serial MS-BFS with direction-optimizing BFS.
+    MsBfsDirOpt,
+    /// Serial MS-BFS-Graft (direction optimization + tree grafting).
+    MsBfsGraft,
+    /// Parallel MS-BFS-Graft — the paper's contribution.
+    MsBfsGraftParallel,
+    /// Serial push-relabel.
+    PushRelabel,
+    /// Multithreaded push-relabel.
+    PushRelabelParallel,
+}
+
+impl Algorithm {
+    /// All variants, in the order the experiment tables print them.
+    pub const ALL: [Algorithm; 11] = [
+        Algorithm::SsDfs,
+        Algorithm::SsBfs,
+        Algorithm::PothenFan,
+        Algorithm::PothenFanParallel,
+        Algorithm::HopcroftKarp,
+        Algorithm::MsBfs,
+        Algorithm::MsBfsDirOpt,
+        Algorithm::MsBfsGraft,
+        Algorithm::MsBfsGraftParallel,
+        Algorithm::PushRelabel,
+        Algorithm::PushRelabelParallel,
+    ];
+
+    /// The serial algorithms compared in Fig. 1.
+    pub const SERIAL: [Algorithm; 6] = [
+        Algorithm::SsDfs,
+        Algorithm::SsBfs,
+        Algorithm::PothenFan,
+        Algorithm::HopcroftKarp,
+        Algorithm::MsBfs,
+        Algorithm::MsBfsGraft,
+    ];
+
+    /// Display name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::SsDfs => "SS-DFS",
+            Algorithm::SsBfs => "SS-BFS",
+            Algorithm::PothenFan => "PF",
+            Algorithm::PothenFanParallel => "PF(par)",
+            Algorithm::HopcroftKarp => "HK",
+            Algorithm::MsBfs => "MS-BFS",
+            Algorithm::MsBfsDirOpt => "MS-BFS-DO",
+            Algorithm::MsBfsGraft => "MS-BFS-Graft",
+            Algorithm::MsBfsGraftParallel => "MS-BFS-Graft(par)",
+            Algorithm::PushRelabel => "PR",
+            Algorithm::PushRelabelParallel => "PR(par)",
+        }
+    }
+
+    /// Whether the algorithm uses threads.
+    pub fn is_parallel(self) -> bool {
+        matches!(
+            self,
+            Algorithm::PothenFanParallel
+                | Algorithm::MsBfsGraftParallel
+                | Algorithm::PushRelabelParallel
+        )
+    }
+}
+
+/// Options for the [`solve`] dispatcher.
+#[derive(Clone, Copy, Debug)]
+pub struct SolveOptions {
+    /// Initial maximal matching (paper default: Karp-Sipser).
+    pub initializer: init::Initializer,
+    /// Seed for the initializer's random choices.
+    pub seed: u64,
+    /// Thread count for parallel algorithms (0 = ambient rayon pool).
+    pub threads: usize,
+    /// MS-BFS engine configuration.
+    pub ms_bfs: MsBfsOptions,
+    /// Push-relabel configuration.
+    pub push_relabel: PushRelabelOptions,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        Self {
+            initializer: init::Initializer::KarpSipser,
+            seed: 1,
+            threads: 0,
+            ms_bfs: MsBfsOptions::default(),
+            push_relabel: PushRelabelOptions::default(),
+        }
+    }
+}
+
+/// Runs `algorithm` on `g` after computing the configured initial matching.
+pub fn solve(g: &BipartiteCsr, algorithm: Algorithm, opts: &SolveOptions) -> RunOutcome {
+    let m0 = opts.initializer.run(g, opts.seed);
+    solve_from(g, m0, algorithm, opts)
+}
+
+/// One-call maximum cardinality matching with the paper's default stack
+/// (Karp-Sipser initialization + parallel MS-BFS-Graft).
+///
+/// ```
+/// use graft_graph::BipartiteCsr;
+///
+/// let g = BipartiteCsr::from_edges(2, 2, &[(0, 0), (1, 0), (1, 1)]);
+/// let m = graft_core::maximum_matching(&g);
+/// assert_eq!(m.cardinality(), 2);
+/// ```
+pub fn maximum_matching(g: &BipartiteCsr) -> Matching {
+    solve(g, Algorithm::MsBfsGraftParallel, &SolveOptions::default()).matching
+}
+
+/// The matching number of `g` (size of a maximum matching).
+pub fn matching_number(g: &BipartiteCsr) -> usize {
+    maximum_matching(g).cardinality()
+}
+
+/// Runs `algorithm` on `g` starting from the given matching.
+pub fn solve_from(
+    g: &BipartiteCsr,
+    m0: Matching,
+    algorithm: Algorithm,
+    opts: &SolveOptions,
+) -> RunOutcome {
+    match algorithm {
+        Algorithm::SsDfs => ss_dfs(g, m0),
+        Algorithm::SsBfs => ss_bfs(g, m0),
+        Algorithm::PothenFan => pothen_fan(g, m0),
+        Algorithm::PothenFanParallel => pothen_fan_parallel(g, m0, opts.threads),
+        Algorithm::HopcroftKarp => hopcroft_karp(g, m0),
+        Algorithm::MsBfs => ms_bfs_serial(
+            g,
+            m0,
+            &MsBfsOptions {
+                record_frontier: opts.ms_bfs.record_frontier,
+                ..MsBfsOptions::plain()
+            },
+        ),
+        Algorithm::MsBfsDirOpt => ms_bfs_serial(
+            g,
+            m0,
+            &MsBfsOptions {
+                record_frontier: opts.ms_bfs.record_frontier,
+                alpha: opts.ms_bfs.alpha,
+                ..MsBfsOptions::dir_opt_only()
+            },
+        ),
+        Algorithm::MsBfsGraft => ms_bfs_serial(g, m0, &opts.ms_bfs),
+        Algorithm::MsBfsGraftParallel => ms_bfs_graft_parallel(g, m0, &opts.ms_bfs, opts.threads),
+        Algorithm::PushRelabel => push_relabel(g, m0, &opts.push_relabel),
+        Algorithm::PushRelabelParallel => push_relabel_parallel(
+            g,
+            m0,
+            &PushRelabelOptions {
+                threads: opts.threads,
+                ..opts.push_relabel
+            },
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_every_algorithm_agrees() {
+        let g = BipartiteCsr::from_edges(
+            6,
+            6,
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 1),
+                (1, 2),
+                (2, 0),
+                (2, 2),
+                (3, 3),
+                (3, 4),
+                (4, 4),
+                (4, 5),
+                (5, 3),
+                (5, 5),
+                (0, 3),
+            ],
+        );
+        let opts = SolveOptions {
+            threads: 2,
+            ..Default::default()
+        };
+        let oracle = solve(&g, Algorithm::HopcroftKarp, &opts)
+            .matching
+            .cardinality();
+        for alg in Algorithm::ALL {
+            let out = solve(&g, alg, &opts);
+            assert_eq!(out.matching.cardinality(), oracle, "{}", alg.name());
+            assert!(verify::is_maximum(&g, &out.matching), "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn algorithm_names_unique() {
+        let mut names: Vec<_> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Algorithm::ALL.len());
+    }
+
+    #[test]
+    fn parallel_flags() {
+        assert!(Algorithm::MsBfsGraftParallel.is_parallel());
+        assert!(!Algorithm::MsBfsGraft.is_parallel());
+    }
+
+    #[test]
+    fn solve_with_no_initializer() {
+        let g = BipartiteCsr::from_edges(2, 2, &[(0, 0), (1, 1)]);
+        let opts = SolveOptions {
+            initializer: init::Initializer::None,
+            ..SolveOptions::default()
+        };
+        let out = solve(&g, Algorithm::MsBfsGraft, &opts);
+        assert_eq!(out.matching.cardinality(), 2);
+        assert_eq!(out.stats.initial_cardinality, 0);
+    }
+}

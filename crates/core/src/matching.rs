@@ -1,0 +1,401 @@
+//! The [`Matching`] type: a set of vertex-disjoint edges with O(1) mate
+//! lookup on both sides.
+//!
+//! All algorithms in this crate communicate through this type. It mirrors
+//! the paper's `mate` array (§III-B): `mate[u] = -1` for an unmatched
+//! vertex, here represented by [`NONE`].
+
+use graft_graph::{BipartiteCsr, VertexId, NONE};
+
+/// A matching in a bipartite graph: `mate_x[x] = y ⇔ mate_y[y] = x`.
+///
+/// The cardinality is maintained incrementally so that `cardinality()` is
+/// O(1) — the algorithms poll it after every phase.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matching {
+    mate_x: Vec<VertexId>,
+    mate_y: Vec<VertexId>,
+    cardinality: usize,
+}
+
+impl Matching {
+    /// The empty matching for an `nx × ny` bipartite graph.
+    pub fn empty(nx: usize, ny: usize) -> Self {
+        Self {
+            mate_x: vec![NONE; nx],
+            mate_y: vec![NONE; ny],
+            cardinality: 0,
+        }
+    }
+
+    /// The empty matching sized for `g`.
+    pub fn for_graph(g: &BipartiteCsr) -> Self {
+        Self::empty(g.num_x(), g.num_y())
+    }
+
+    /// Reconstructs a matching from raw mate arrays.
+    ///
+    /// Panics if the arrays are inconsistent (mates that do not point back
+    /// at each other, or out-of-range ids). See
+    /// [`Matching::try_from_mates`] for the fallible variant.
+    pub fn from_mates(mate_x: Vec<VertexId>, mate_y: Vec<VertexId>) -> Self {
+        Self::try_from_mates(mate_x, mate_y).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Matching::from_mates`] for untrusted input.
+    pub fn try_from_mates(mate_x: Vec<VertexId>, mate_y: Vec<VertexId>) -> Result<Self, String> {
+        let mut cardinality = 0;
+        for (x, &y) in mate_x.iter().enumerate() {
+            if y != NONE {
+                if (y as usize) >= mate_y.len() || mate_y[y as usize] != x as VertexId {
+                    return Err(format!("mate arrays inconsistent at x={x}"));
+                }
+                cardinality += 1;
+            }
+        }
+        for (y, &x) in mate_y.iter().enumerate() {
+            if x != NONE && ((x as usize) >= mate_x.len() || mate_x[x as usize] != y as VertexId) {
+                return Err(format!("mate arrays inconsistent at y={y}"));
+            }
+        }
+        Ok(Self {
+            mate_x,
+            mate_y,
+            cardinality,
+        })
+    }
+
+    /// Number of matched edges `|M|`.
+    #[inline(always)]
+    pub fn cardinality(&self) -> usize {
+        self.cardinality
+    }
+
+    /// The mate of `x`, or [`NONE`] if unmatched.
+    #[inline(always)]
+    pub fn mate_of_x(&self, x: VertexId) -> VertexId {
+        self.mate_x[x as usize]
+    }
+
+    /// The mate of `y`, or [`NONE`] if unmatched.
+    #[inline(always)]
+    pub fn mate_of_y(&self, y: VertexId) -> VertexId {
+        self.mate_y[y as usize]
+    }
+
+    /// Whether `x` is matched.
+    #[inline(always)]
+    pub fn is_x_matched(&self, x: VertexId) -> bool {
+        self.mate_x[x as usize] != NONE
+    }
+
+    /// Whether `y` is matched.
+    #[inline(always)]
+    pub fn is_y_matched(&self, y: VertexId) -> bool {
+        self.mate_y[y as usize] != NONE
+    }
+
+    /// The raw `X`-side mate array.
+    #[inline(always)]
+    pub fn mates_x(&self) -> &[VertexId] {
+        &self.mate_x
+    }
+
+    /// The raw `Y`-side mate array.
+    #[inline(always)]
+    pub fn mates_y(&self) -> &[VertexId] {
+        &self.mate_y
+    }
+
+    /// Iterator over unmatched `X` vertices.
+    pub fn unmatched_x(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.mate_x
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m == NONE)
+            .map(|(x, _)| x as VertexId)
+    }
+
+    /// Iterator over unmatched `Y` vertices.
+    pub fn unmatched_y(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.mate_y
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m == NONE)
+            .map(|(y, _)| y as VertexId)
+    }
+
+    /// Iterator over the matched edges `(x, y)`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.mate_x
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m != NONE)
+            .map(|(x, &y)| (x as VertexId, y))
+    }
+
+    /// Matches the currently-unmatched pair `(x, y)`.
+    ///
+    /// Panics (debug) if either endpoint is already matched; use
+    /// [`Matching::rematch`] to steal.
+    #[inline]
+    pub fn match_pair(&mut self, x: VertexId, y: VertexId) {
+        debug_assert_eq!(self.mate_x[x as usize], NONE, "x={x} already matched");
+        debug_assert_eq!(self.mate_y[y as usize], NONE, "y={y} already matched");
+        self.mate_x[x as usize] = y;
+        self.mate_y[y as usize] = x;
+        self.cardinality += 1;
+    }
+
+    /// Matches `(x, y)`, unmatching any previous partners. Returns the
+    /// previous mate of `y` (the "stolen-from" vertex used by push-relabel),
+    /// or [`NONE`].
+    pub fn rematch(&mut self, x: VertexId, y: VertexId) -> VertexId {
+        let old_x = self.mate_y[y as usize];
+        if old_x == x {
+            return NONE; // already matched to each other
+        }
+        if old_x != NONE {
+            self.mate_x[old_x as usize] = NONE;
+            self.cardinality -= 1;
+        }
+        let old_y = self.mate_x[x as usize];
+        if old_y != NONE {
+            self.mate_y[old_y as usize] = NONE;
+            self.cardinality -= 1;
+        }
+        self.mate_x[x as usize] = y;
+        self.mate_y[y as usize] = x;
+        self.cardinality += 1;
+        old_x
+    }
+
+    /// Removes the matched edge incident to `x`. Panics (debug) if `x` is
+    /// unmatched.
+    pub fn unmatch_x(&mut self, x: VertexId) {
+        let y = self.mate_x[x as usize];
+        debug_assert_ne!(y, NONE);
+        self.mate_x[x as usize] = NONE;
+        self.mate_y[y as usize] = NONE;
+        self.cardinality -= 1;
+    }
+
+    /// Augments along the path
+    /// `x₀, y₁, x₁, y₂, …, x_k, y_{k+1}` given as the interleaved vertex
+    /// sequence `[x₀, y₁, x₁, …, x_k, y_{k+1}]` (even length ≥ 2).
+    ///
+    /// Endpoints must be unmatched; interior edges must alternate
+    /// matched/unmatched with respect to the current matching (checked in
+    /// debug builds). Increases the cardinality by exactly one.
+    pub fn augment(&mut self, path: &[VertexId]) {
+        assert!(
+            path.len() >= 2 && path.len().is_multiple_of(2),
+            "augmenting path must interleave x,y"
+        );
+        debug_assert_eq!(
+            self.mate_x[path[0] as usize], NONE,
+            "path must start unmatched"
+        );
+        debug_assert_eq!(
+            self.mate_y[path[path.len() - 1] as usize],
+            NONE,
+            "path must end unmatched"
+        );
+        // path[2i] = x_i, path[2i+1] = y_{i+1}; matched pairs before the
+        // augmentation are (x_i, y_i), i.e. (path[2i], path[2i-1]).
+        for i in (2..path.len()).step_by(2) {
+            debug_assert_eq!(
+                self.mate_x[path[i] as usize],
+                path[i - 1],
+                "interior path edge not matched"
+            );
+        }
+        for i in (0..path.len()).step_by(2) {
+            let (x, y) = (path[i], path[i + 1]);
+            self.mate_x[x as usize] = y;
+            self.mate_y[y as usize] = x;
+        }
+        self.cardinality += 1;
+    }
+
+    /// Consumes the matching, returning the `(mate_x, mate_y)` arrays.
+    pub fn into_mates(self) -> (Vec<VertexId>, Vec<VertexId>) {
+        (self.mate_x, self.mate_y)
+    }
+
+    /// Checks structural validity against `g`: mates point at each other,
+    /// every matched pair is an edge of `g`, cardinality is consistent.
+    pub fn validate(&self, g: &BipartiteCsr) -> Result<(), String> {
+        if self.mate_x.len() != g.num_x() || self.mate_y.len() != g.num_y() {
+            return Err("matching dimensions do not match graph".into());
+        }
+        let mut count = 0;
+        for x in 0..g.num_x() {
+            let y = self.mate_x[x];
+            if y == NONE {
+                continue;
+            }
+            if y as usize >= g.num_y() {
+                return Err(format!("x={x} matched to out-of-range y={y}"));
+            }
+            if self.mate_y[y as usize] != x as VertexId {
+                return Err(format!("mate_y[{y}] does not point back at x={x}"));
+            }
+            if !g.has_edge(x as VertexId, y) {
+                return Err(format!("matched pair ({x},{y}) is not an edge"));
+            }
+            count += 1;
+        }
+        for y in 0..g.num_y() {
+            let x = self.mate_y[y];
+            if x != NONE && self.mate_x[x as usize] != y as VertexId {
+                return Err(format!("mate_x[{x}] does not point back at y={y}"));
+            }
+        }
+        if count != self.cardinality {
+            return Err(format!(
+                "cached cardinality {} disagrees with actual {count}",
+                self.cardinality
+            ));
+        }
+        Ok(())
+    }
+
+    /// The matching number as a fraction of `|V|`, the normalization the
+    /// paper's Table II reports (`2|M| / n` — a perfect matching of a
+    /// balanced graph gives 1.0).
+    pub fn matching_fraction(&self, g: &BipartiteCsr) -> f64 {
+        if g.num_vertices() == 0 {
+            return 0.0;
+        }
+        2.0 * self.cardinality as f64 / g.num_vertices() as f64
+    }
+}
+
+impl std::fmt::Debug for Matching {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Matching")
+            .field("nx", &self.mate_x.len())
+            .field("ny", &self.mate_y.len())
+            .field("cardinality", &self.cardinality)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matching() {
+        let m = Matching::empty(3, 4);
+        assert_eq!(m.cardinality(), 0);
+        assert_eq!(m.unmatched_x().count(), 3);
+        assert_eq!(m.unmatched_y().count(), 4);
+        assert!(!m.is_x_matched(0));
+    }
+
+    #[test]
+    fn match_and_unmatch() {
+        let mut m = Matching::empty(2, 2);
+        m.match_pair(0, 1);
+        assert_eq!(m.cardinality(), 1);
+        assert_eq!(m.mate_of_x(0), 1);
+        assert_eq!(m.mate_of_y(1), 0);
+        assert!(m.is_y_matched(1));
+        assert!(!m.is_y_matched(0));
+        m.unmatch_x(0);
+        assert_eq!(m.cardinality(), 0);
+        assert_eq!(m.mate_of_y(1), NONE);
+    }
+
+    #[test]
+    fn rematch_steals() {
+        let mut m = Matching::empty(3, 3);
+        m.match_pair(0, 0);
+        let stolen = m.rematch(1, 0);
+        assert_eq!(stolen, 0);
+        assert_eq!(m.cardinality(), 1);
+        assert_eq!(m.mate_of_x(0), NONE);
+        assert_eq!(m.mate_of_x(1), 0);
+        // Rematching the same pair is a no-op.
+        assert_eq!(m.rematch(1, 0), NONE);
+        assert_eq!(m.cardinality(), 1);
+    }
+
+    #[test]
+    fn rematch_releases_both_old_partners() {
+        let mut m = Matching::empty(3, 3);
+        m.match_pair(0, 0);
+        m.match_pair(1, 1);
+        m.rematch(0, 1); // 0 leaves y0, steals y1 from x1
+        assert_eq!(m.cardinality(), 1);
+        assert_eq!(m.mate_of_x(0), 1);
+        assert_eq!(m.mate_of_y(0), NONE);
+        assert_eq!(m.mate_of_x(1), NONE);
+    }
+
+    #[test]
+    fn augment_length_one() {
+        let mut m = Matching::empty(1, 1);
+        m.augment(&[0, 0]);
+        assert_eq!(m.cardinality(), 1);
+        assert_eq!(m.mate_of_x(0), 0);
+    }
+
+    #[test]
+    fn augment_length_three() {
+        // x0 - y1 - x1 - y2 where (x1,y1) is matched.
+        let mut m = Matching::empty(2, 3);
+        m.match_pair(1, 1);
+        m.augment(&[0, 1, 1, 2]);
+        assert_eq!(m.cardinality(), 2);
+        assert_eq!(m.mate_of_x(0), 1);
+        assert_eq!(m.mate_of_x(1), 2);
+    }
+
+    #[test]
+    fn validate_catches_non_edge() {
+        let g = BipartiteCsr::from_edges(2, 2, &[(0, 0)]);
+        let mut m = Matching::for_graph(&g);
+        m.match_pair(0, 1); // not an edge of g
+        assert!(m.validate(&g).is_err());
+        let mut m2 = Matching::for_graph(&g);
+        m2.match_pair(0, 0);
+        assert!(m2.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn from_mates_roundtrip() {
+        let mut m = Matching::empty(3, 3);
+        m.match_pair(0, 2);
+        m.match_pair(2, 0);
+        let (mx, my) = m.clone().into_mates();
+        let m2 = Matching::from_mates(mx, my);
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_mates_rejects_inconsistent() {
+        Matching::from_mates(vec![1], vec![NONE, NONE]);
+    }
+
+    #[test]
+    fn matching_fraction_perfect() {
+        let g = BipartiteCsr::from_edges(2, 2, &[(0, 0), (1, 1)]);
+        let mut m = Matching::for_graph(&g);
+        m.match_pair(0, 0);
+        m.match_pair(1, 1);
+        assert!((m.matching_fraction(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_iterator() {
+        let mut m = Matching::empty(3, 3);
+        m.match_pair(2, 0);
+        m.match_pair(0, 1);
+        let e: Vec<_> = m.edges().collect();
+        assert_eq!(e, vec![(0, 1), (2, 0)]);
+    }
+}

@@ -1,0 +1,584 @@
+//! The serial MS-BFS engine with direction-optimizing BFS and tree
+//! grafting (Algorithms 3–7 of the paper).
+//!
+//! One engine implements three of the paper's algorithms through the
+//! [`MsBfsOptions`] toggles, which is exactly the ablation axis of Fig. 7:
+//!
+//! | configuration | paper name |
+//! |---|---|
+//! | `direction_optimizing = false, grafting = false` | MS-BFS |
+//! | `direction_optimizing = true, grafting = false` | MS-BFS + direction optimization |
+//! | `direction_optimizing = true, grafting = true` | **MS-BFS-Graft** |
+//!
+//! ## Phase anatomy (Algorithm 3)
+//!
+//! Each phase (1) grows an alternating BFS forest from the frontier until
+//! it is empty, choosing top-down vs. bottom-up per level by the frontier
+//! size against `numUnvisitedY / α`; (2) augments the matching along the
+//! one augmenting path recorded per *renewable* tree (`leaf[root] ≠ NONE`);
+//! (3) rebuilds the next frontier, either by **grafting** the `Y` vertices
+//! of renewable trees onto active trees (a bottom-up step restricted to
+//! `renewableY`) or, when grafting would not pay (`|activeX| ≤
+//! |renewableY|/α`), by destroying the forest and restarting from the
+//! unmatched `X` vertices.
+//!
+//! ## Pointer roles (§III-B)
+//!
+//! * `visited[y]` — `y` belongs to some tree this phase (trees stay
+//!   vertex-disjoint);
+//! * `parent[y]` — the `X` parent through which `y` was discovered;
+//! * `root[v]` — the unmatched root of the tree containing `v`;
+//! * `leaf[x₀]` — `NONE` while `T(x₀)` is *active*; the free `Y` endpoint
+//!   of the discovered augmenting path once the tree is *renewable*.
+//!
+//! Matched `X` vertices are only ever reached through their unique mate,
+//! so they need neither a visited flag nor a parent pointer.
+
+use crate::ss::reconstruct;
+use crate::stats::{SearchStats, Step};
+use crate::{Matching, RunOutcome};
+use graft_graph::{BipartiteCsr, VertexId, NONE};
+use std::time::Instant;
+
+/// Configuration of the MS-BFS engine (serial and parallel).
+#[derive(Clone, Copy, Debug)]
+pub struct MsBfsOptions {
+    /// Direction-optimization threshold α: top-down is used while
+    /// `|F| < numUnvisitedY / α`, and the graft-vs-rebuild decision uses
+    /// `|activeX| > |renewableY| / α`. The paper found α ≈ 5 best.
+    pub alpha: f64,
+    /// Enable direction-optimizing BFS (bottom-up steps).
+    pub direction_optimizing: bool,
+    /// Enable tree grafting between phases.
+    pub grafting: bool,
+    /// Record per-level frontier sizes into the stats (Fig. 8).
+    pub record_frontier: bool,
+    /// Record per-phase summaries ([`crate::stats::PhaseTrace`]).
+    pub record_phases: bool,
+}
+
+impl Default for MsBfsOptions {
+    fn default() -> Self {
+        Self {
+            alpha: 5.0,
+            direction_optimizing: true,
+            grafting: true,
+            record_frontier: false,
+            record_phases: false,
+        }
+    }
+}
+
+impl MsBfsOptions {
+    /// Plain MS-BFS: always top-down, rebuild every phase.
+    pub fn plain() -> Self {
+        Self {
+            direction_optimizing: false,
+            grafting: false,
+            ..Self::default()
+        }
+    }
+
+    /// MS-BFS with direction-optimization but no grafting (Fig. 7 middle
+    /// bar).
+    pub fn dir_opt_only() -> Self {
+        Self {
+            direction_optimizing: true,
+            grafting: false,
+            ..Self::default()
+        }
+    }
+
+    /// The full MS-BFS-Graft configuration (default).
+    pub fn graft() -> Self {
+        Self::default()
+    }
+}
+
+struct Engine<'a> {
+    g: &'a BipartiteCsr,
+    m: Matching,
+    opts: MsBfsOptions,
+    visited: Vec<bool>,
+    parent_y: Vec<VertexId>,
+    root_y: Vec<VertexId>,
+    root_x: Vec<VertexId>,
+    leaf: Vec<VertexId>,
+    num_unvisited_y: usize,
+    /// Cached list of unvisited Y vertices: exact when present, rebuilt
+    /// from a full scan after a graft/destroy reset invalidates it, and
+    /// filtered incrementally between bottom-up levels of one phase so
+    /// repeated levels do not rescan all of `Y`.
+    unvisited_cache: Option<Vec<VertexId>>,
+    stats: SearchStats,
+}
+
+/// Maximum matching by the serial MS-BFS engine configured by `opts`.
+///
+/// ```
+/// use graft_core::{ms_bfs_serial, Matching, MsBfsOptions};
+/// use graft_graph::BipartiteCsr;
+///
+/// let g = BipartiteCsr::from_edges(2, 2, &[(0, 0), (1, 0), (1, 1)]);
+/// let out = ms_bfs_serial(&g, Matching::for_graph(&g), &MsBfsOptions::graft());
+/// assert_eq!(out.matching.cardinality(), 2);
+/// assert!(out.stats.phases >= 1);
+/// ```
+pub fn ms_bfs_serial(g: &BipartiteCsr, m: Matching, opts: &MsBfsOptions) -> RunOutcome {
+    let start = Instant::now();
+    let mut e = Engine {
+        g,
+        stats: SearchStats {
+            initial_cardinality: m.cardinality(),
+            ..Default::default()
+        },
+        m,
+        opts: *opts,
+        visited: vec![false; g.num_y()],
+        parent_y: vec![NONE; g.num_y()],
+        root_y: vec![NONE; g.num_y()],
+        root_x: vec![NONE; g.num_x()],
+        leaf: vec![NONE; g.num_x()],
+        num_unvisited_y: g.num_y(),
+        unvisited_cache: None,
+    };
+    e.run();
+    let Engine { m, mut stats, .. } = e;
+    stats.final_cardinality = m.cardinality();
+    stats.elapsed = start.elapsed();
+    RunOutcome { matching: m, stats }
+}
+
+impl Engine<'_> {
+    fn run(&mut self) {
+        // Initial frontier: all unmatched X vertices become roots.
+        let mut frontier: Vec<VertexId> = self.m.unmatched_x().collect();
+        for &x in &frontier {
+            self.root_x[x as usize] = x;
+        }
+
+        loop {
+            self.stats.phases += 1;
+            let phase = self.stats.phases;
+            let mut trace = crate::stats::PhaseTrace {
+                phase,
+                ..Default::default()
+            };
+            let edges_at_start = self.stats.edges_traversed;
+            let path_edges_at_start = self.stats.total_augmenting_path_edges;
+
+            // ---- Step 1: grow the alternating BFS forest. ----
+            let mut level: u32 = 0;
+            while !frontier.is_empty() {
+                let bottom_up = self.opts.direction_optimizing
+                    && (frontier.len() as f64) >= self.num_unvisited_y as f64 / self.opts.alpha;
+                if self.opts.record_frontier {
+                    self.stats
+                        .record_frontier(phase, level, frontier.len(), bottom_up);
+                }
+                trace.frontier_peak = trace.frontier_peak.max(frontier.len());
+                trace.bottom_up_levels += u32::from(bottom_up);
+                let t0 = Instant::now();
+                let (step, next) = if bottom_up {
+                    (Step::BottomUp, self.bottom_up_level())
+                } else {
+                    (Step::TopDown, self.top_down_level(&frontier))
+                };
+                self.stats.breakdown.add(step, t0.elapsed());
+                frontier = next;
+                level += 1;
+            }
+            trace.levels = level;
+
+            // ---- Step 2: augment along one path per renewable tree. ----
+            let t0 = Instant::now();
+            let augmented = self.augment_all();
+            self.stats.breakdown.add(Step::Augment, t0.elapsed());
+            trace.augmenting_paths = augmented;
+            trace.path_edges = self.stats.total_augmenting_path_edges - path_edges_at_start;
+            if augmented == 0 {
+                trace.edges_traversed = self.stats.edges_traversed - edges_at_start;
+                if self.opts.record_phases {
+                    self.stats.phase_traces.push(trace);
+                }
+                break; // no augmenting path in this phase: maximum reached
+            }
+
+            // ---- Step 3: rebuild the frontier (Algorithm 7). ----
+            let (next_frontier, active_x, renewable_y, grafted) = self.rebuild_frontier();
+            frontier = next_frontier;
+            trace.active_x = active_x;
+            trace.renewable_y = renewable_y;
+            trace.grafted = grafted;
+            trace.edges_traversed = self.stats.edges_traversed - edges_at_start;
+            if self.opts.record_phases {
+                self.stats.phase_traces.push(trace);
+            }
+        }
+    }
+
+    /// Algorithm 4: expand the frontier top-down. Returns the next frontier.
+    fn top_down_level(&mut self, frontier: &[VertexId]) -> Vec<VertexId> {
+        let g = self.g;
+        let mut next = Vec::new();
+        for &x in frontier {
+            // The tree may have turned renewable earlier this level.
+            let root = self.root_x[x as usize];
+            if self.leaf[root as usize] != NONE {
+                continue;
+            }
+            for &y in g.x_neighbors(x) {
+                self.stats.edges_traversed += 1;
+                if !self.visited[y as usize] {
+                    self.visit(y, x, &mut next);
+                }
+            }
+        }
+        next
+    }
+
+    /// Algorithm 6: expand bottom-up over the unvisited `Y` vertices.
+    fn bottom_up_level(&mut self) -> Vec<VertexId> {
+        let mut candidates = match self.unvisited_cache.take() {
+            Some(mut list) => {
+                list.retain(|&y| !self.visited[y as usize]);
+                list
+            }
+            None => (0..self.g.num_y() as VertexId)
+                .filter(|&y| !self.visited[y as usize])
+                .collect(),
+        };
+        let mut next = Vec::new();
+        // Indexed loop: `adopt_into_active` needs `&mut self` while the
+        // candidate list is iterated.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..candidates.len() {
+            let y = candidates[i];
+            self.adopt_into_active(y, &mut next);
+        }
+        candidates.retain(|&y| !self.visited[y as usize]);
+        self.unvisited_cache = Some(candidates);
+        next
+    }
+
+    /// Scans the neighbors of the unvisited vertex `y` for a member of an
+    /// active tree; on success `y` (and its mate) join that tree.
+    fn adopt_into_active(&mut self, y: VertexId, next: &mut Vec<VertexId>) {
+        let g = self.g;
+        for &x in g.y_neighbors(y) {
+            self.stats.edges_traversed += 1;
+            let root = self.root_x[x as usize];
+            if root != NONE && self.leaf[root as usize] == NONE {
+                self.visit(y, x, next);
+                return; // stop exploring y's neighbors (Algorithm 6 line 7)
+            }
+        }
+    }
+
+    /// Algorithm 5: record `y`'s discovery from `x`, extending the tree.
+    fn visit(&mut self, y: VertexId, x: VertexId, next: &mut Vec<VertexId>) {
+        debug_assert!(!self.visited[y as usize]);
+        self.visited[y as usize] = true;
+        self.num_unvisited_y -= 1;
+        self.parent_y[y as usize] = x;
+        let root = self.root_x[x as usize];
+        self.root_y[y as usize] = root;
+        let mate = self.m.mate_of_y(y);
+        if mate != NONE {
+            self.root_x[mate as usize] = root;
+            next.push(mate);
+        } else {
+            // Augmenting path found: mark T(root) renewable. Later finds in
+            // the same tree overwrite — one path per tree survives.
+            self.leaf[root as usize] = y;
+        }
+    }
+
+    /// Step 2: augment every renewable tree; returns the number of paths.
+    fn augment_all(&mut self) -> u64 {
+        let mut count = 0u64;
+        for x0 in 0..self.g.num_x() as VertexId {
+            if self.m.is_x_matched(x0)
+                || self.root_x[x0 as usize] != x0
+                || self.leaf[x0 as usize] == NONE
+            {
+                continue;
+            }
+            let path = reconstruct(&self.m, &self.parent_y, self.leaf[x0 as usize]);
+            debug_assert_eq!(path[0], x0);
+            self.stats.total_augmenting_path_edges += (path.len() - 1) as u64;
+            self.m.augment(&path);
+            count += 1;
+        }
+        self.stats.augmenting_paths += count;
+        count
+    }
+
+    /// Algorithm 7: construct the next phase's frontier by tree grafting,
+    /// or destroy the forest and restart from the unmatched vertices.
+    /// Returns `(frontier, |activeX|, |renewableY|, grafted)`.
+    fn rebuild_frontier(&mut self) -> (Vec<VertexId>, usize, usize, bool) {
+        // -- Statistics driving the decision (timed separately: Fig. 6). --
+        let t_stats = Instant::now();
+        let active_x = (0..self.g.num_x())
+            .filter(|&x| {
+                let r = self.root_x[x];
+                r != NONE && self.leaf[r as usize] == NONE
+            })
+            .count();
+        let renewable_y: Vec<VertexId> = (0..self.g.num_y() as VertexId)
+            .filter(|&y| {
+                let r = self.root_y[y as usize];
+                r != NONE && self.visited[y as usize] && self.leaf[r as usize] != NONE
+            })
+            .collect();
+        self.stats
+            .breakdown
+            .add(Step::Statistics, t_stats.elapsed());
+
+        let t_graft = Instant::now();
+        // Resets below un-visit vertices: the cached unvisited list is no
+        // longer a superset and must be rebuilt at the next bottom-up.
+        self.unvisited_cache = None;
+        // Reset the renewable Y vertices so they can be reused.
+        for &y in &renewable_y {
+            self.visited[y as usize] = false;
+            self.num_unvisited_y += 1;
+            self.root_y[y as usize] = NONE;
+            self.parent_y[y as usize] = NONE;
+        }
+
+        let renewable_count = renewable_y.len();
+        let graft_profitable =
+            self.opts.grafting && active_x as f64 > renewable_count as f64 / self.opts.alpha;
+
+        let frontier = if graft_profitable {
+            // Tree grafting: bottom-up step restricted to the renewable Y
+            // vertices; any of them adjacent to an active tree is adopted
+            // and its mate becomes part of the new frontier.
+            let mut next = Vec::new();
+            for &y in &renewable_y {
+                self.adopt_into_active(y, &mut next);
+            }
+            next
+        } else {
+            // Destroy everything and restart from the unmatched vertices.
+            for y in 0..self.g.num_y() {
+                if self.visited[y] {
+                    self.visited[y] = false;
+                    self.num_unvisited_y += 1;
+                    self.root_y[y] = NONE;
+                    self.parent_y[y] = NONE;
+                }
+            }
+            for x in 0..self.g.num_x() {
+                self.root_x[x] = NONE;
+                self.leaf[x] = NONE;
+            }
+            let frontier: Vec<VertexId> = self.m.unmatched_x().collect();
+            for &x in &frontier {
+                self.root_x[x as usize] = x;
+            }
+            frontier
+        };
+        self.stats.breakdown.add(Step::Graft, t_graft.elapsed());
+        (frontier, active_x, renewable_count, graft_profitable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_maximum;
+
+    fn all_configs() -> [MsBfsOptions; 3] {
+        [
+            MsBfsOptions::plain(),
+            MsBfsOptions::dir_opt_only(),
+            MsBfsOptions::graft(),
+        ]
+    }
+
+    /// The worked example of Fig. 2: 6 X vertices, 6 Y vertices.
+    /// x1..x6 → 0-indexed x0..x5, same for y.
+    fn fig2_graph() -> BipartiteCsr {
+        BipartiteCsr::from_edges(
+            6,
+            6,
+            &[
+                (0, 0), // x1-y1
+                (0, 1), // x1-y2
+                (1, 1), // x2-y2  (matched in the example's initial matching)
+                (1, 2), // x2-y3
+                (2, 0), // x3-y1  (matched)
+                (2, 2), // x3-y3
+                (3, 1), // x4-y2
+                (3, 3), // x4-y4  (matched)
+                (4, 2), // x5-y3  (matched... actually x5-y5 matched)
+                (4, 4), // x5-y5
+                (5, 3), // x6-y4
+                (5, 5), // x6-y6
+            ],
+        )
+    }
+
+    #[test]
+    fn fig2_example_reaches_maximum() {
+        let g = fig2_graph();
+        // The maximal matching of Fig. 2(a): (x2,y2), (x3,y1), (x4,y4), (x5,y5).
+        let mut m0 = Matching::for_graph(&g);
+        m0.match_pair(1, 1);
+        m0.match_pair(2, 0);
+        m0.match_pair(3, 3);
+        m0.match_pair(4, 4);
+        for opts in all_configs() {
+            let out = ms_bfs_serial(&g, m0.clone(), &opts);
+            assert!(is_maximum(&g, &out.matching), "not maximum under {opts:?}");
+            assert_eq!(out.matching.cardinality(), 6);
+        }
+    }
+
+    #[test]
+    fn all_configs_agree_on_hard_graphs() {
+        let graphs = [
+            BipartiteCsr::from_edges(4, 2, &[(0, 0), (1, 0), (2, 0), (2, 1), (3, 1)]),
+            BipartiteCsr::from_edges(1, 1, &[(0, 0)]),
+            BipartiteCsr::from_edges(3, 3, &[]),
+            BipartiteCsr::from_edges(
+                5,
+                5,
+                &[
+                    (0, 0),
+                    (0, 1),
+                    (1, 0),
+                    (2, 1),
+                    (2, 2),
+                    (3, 2),
+                    (3, 3),
+                    (4, 3),
+                    (4, 4),
+                    (0, 4),
+                ],
+            ),
+        ];
+        for g in &graphs {
+            let oracle = crate::hopcroft_karp(g, Matching::for_graph(g))
+                .matching
+                .cardinality();
+            for opts in all_configs() {
+                let out = ms_bfs_serial(g, Matching::for_graph(g), &opts);
+                assert_eq!(out.matching.cardinality(), oracle, "config {opts:?}");
+                assert!(is_maximum(g, &out.matching));
+            }
+        }
+    }
+
+    #[test]
+    fn long_chain_all_configs() {
+        let k = 80;
+        let mut edges = Vec::new();
+        for i in 0..k as VertexId {
+            edges.push((i, i));
+            if i > 0 {
+                edges.push((i, i - 1));
+            }
+        }
+        let g = BipartiteCsr::from_edges(k, k, &edges);
+        let mut m0 = Matching::for_graph(&g);
+        for i in 1..k as VertexId {
+            m0.match_pair(i, i - 1);
+        }
+        for opts in all_configs() {
+            let out = ms_bfs_serial(&g, m0.clone(), &opts);
+            assert_eq!(out.matching.cardinality(), k, "config {opts:?}");
+        }
+    }
+
+    #[test]
+    fn grafting_reduces_traversals_on_low_matching_graph() {
+        // Deficient graph: a few hubs serve many X vertices; most X stay
+        // unmatched, so ungrafted MS-BFS rebuilds dead trees every phase.
+        let mut edges = Vec::new();
+        let nx = 300u32;
+        for x in 0..nx {
+            edges.push((x, x % 10));
+            edges.push((x, 10 + (x % 7)));
+        }
+        // A tail of private vertices creating some augmenting-path churn.
+        for i in 0..10u32 {
+            edges.push((i, 17 + i));
+        }
+        let g = BipartiteCsr::from_edges(nx as usize, 27, &edges);
+        let plain = ms_bfs_serial(&g, Matching::for_graph(&g), &MsBfsOptions::plain());
+        let graft = ms_bfs_serial(&g, Matching::for_graph(&g), &MsBfsOptions::graft());
+        assert_eq!(plain.matching.cardinality(), graft.matching.cardinality());
+        assert!(
+            graft.stats.edges_traversed <= plain.stats.edges_traversed,
+            "grafting should not traverse more edges: {} vs {}",
+            graft.stats.edges_traversed,
+            plain.stats.edges_traversed
+        );
+    }
+
+    #[test]
+    fn frontier_history_recorded() {
+        let g = fig2_graph();
+        let opts = MsBfsOptions {
+            record_frontier: true,
+            ..MsBfsOptions::graft()
+        };
+        let out = ms_bfs_serial(&g, Matching::for_graph(&g), &opts);
+        assert!(!out.stats.frontier_history.is_empty());
+        assert_eq!(out.stats.frontier_history[0].level, 0);
+    }
+
+    #[test]
+    fn fig2_phase_trace_is_stable() {
+        // Regression pin of the engine's deterministic behavior on the
+        // paper's Fig. 2 instance: with direction optimization both free
+        // roots resolve in one phase (two disjoint augmenting paths of
+        // lengths 1 and 3), and the second phase certifies termination.
+        let g = fig2_graph();
+        let mut m0 = Matching::for_graph(&g);
+        m0.match_pair(1, 1);
+        m0.match_pair(2, 0);
+        m0.match_pair(3, 3);
+        m0.match_pair(4, 4);
+        let opts = MsBfsOptions {
+            record_phases: true,
+            ..MsBfsOptions::graft()
+        };
+        let out = ms_bfs_serial(&g, m0, &opts);
+        assert_eq!(out.matching.cardinality(), 6);
+        let t = &out.stats.phase_traces;
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].augmenting_paths, 2);
+        assert_eq!(t[0].path_edges, 4); // lengths 1 + 3
+        assert_eq!(t[0].renewable_y, 5);
+        assert_eq!(t[0].active_x, 0); // every tree found a path
+        assert_eq!(t[1].augmenting_paths, 0); // certification phase
+    }
+
+    #[test]
+    fn stats_consistency() {
+        let g = fig2_graph();
+        let out = ms_bfs_serial(&g, Matching::for_graph(&g), &MsBfsOptions::graft());
+        assert_eq!(
+            out.stats.final_cardinality - out.stats.initial_cardinality,
+            out.stats.augmenting_paths as usize
+        );
+        assert!(out.stats.phases >= 1);
+    }
+
+    #[test]
+    fn starts_from_perfect_matching() {
+        let g = BipartiteCsr::from_edges(2, 2, &[(0, 0), (1, 1)]);
+        let mut m0 = Matching::for_graph(&g);
+        m0.match_pair(0, 0);
+        m0.match_pair(1, 1);
+        let out = ms_bfs_serial(&g, m0, &MsBfsOptions::graft());
+        assert_eq!(out.stats.phases, 1); // one phase discovers nothing
+        assert_eq!(out.stats.augmenting_paths, 0);
+        assert_eq!(out.matching.cardinality(), 2);
+    }
+}

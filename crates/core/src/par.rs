@@ -1,0 +1,508 @@
+//! The multithreaded MS-BFS-Graft engine (Algorithm 3 of the paper).
+//!
+//! This is the paper's contribution: a level-synchronous parallel
+//! alternating BFS with direction optimization and tree grafting. The
+//! parallel structure maps the paper's OpenMP implementation onto rayon:
+//!
+//! * **Private queues → fold/reduce.** The paper gives each thread a small
+//!   private queue that spills into a shared global queue (the Graph500
+//!   `omp-csr` scheme). Rayon's `fold` creates exactly that: a per-task
+//!   local `Vec` filled lock-free, and `reduce` concatenates them into the
+//!   global next frontier — no hot-path locks.
+//! * **Vertex-disjoint trees → visited CAS.** A `Y` vertex joins exactly
+//!   one tree because discovery happens through a `compare_exchange` on its
+//!   visited flag. A cheap relaxed load screens out already-visited
+//!   vertices before attempting the CAS, mirroring the paper's
+//!   "check the flags before performing the atomic operations".
+//! * **Benign `leaf` race.** Threads finding augmenting paths in the same
+//!   tree all store to `leaf[root]`; the last write wins and exactly one
+//!   path per tree is augmented. Free endpoints whose record was
+//!   overwritten are recycled by the renewable-tree reset, so no matching
+//!   opportunity is lost (the serial engine has the same overwrite
+//!   semantics).
+//! * **Bottom-up needs no atomics.** Each unvisited `Y` vertex is owned by
+//!   one task, which is the only writer of its flags (§III-B).
+//! * **Parallel augmentation.** Augmenting paths live in distinct trees and
+//!   are therefore vertex-disjoint; each is flipped by one task.
+//!
+//! Memory ordering: claims use `AcqRel` CAS; all other pointer stores are
+//! `Relaxed` and become visible to the next level / step through the
+//! happens-before edges of the rayon joins that end every parallel region
+//! (the level-synchronous barrier the paper relies on).
+
+use crate::ms_bfs::MsBfsOptions;
+use crate::stats::{SearchStats, Step, Stopwatch};
+use crate::{Matching, RunOutcome};
+use graft_graph::{BipartiteCsr, VertexId, NONE};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use std::time::Instant;
+
+/// Maximum matching by the parallel MS-BFS-Graft engine.
+///
+/// `opts` carries the α threshold and the direction-optimization /
+/// grafting toggles (the Fig. 7 ablation axis also applies to the parallel
+/// engine). `threads = 0` uses the ambient rayon pool.
+pub fn ms_bfs_graft_parallel(
+    g: &BipartiteCsr,
+    m: Matching,
+    opts: &MsBfsOptions,
+    threads: usize,
+) -> RunOutcome {
+    if threads == 0 {
+        return run(g, m, opts);
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool");
+    pool.install(|| run(g, m, opts))
+}
+
+struct Shared<'a> {
+    g: &'a BipartiteCsr,
+    mate_x: Vec<AtomicU32>,
+    mate_y: Vec<AtomicU32>,
+    visited: Vec<AtomicU8>,
+    parent_y: Vec<AtomicU32>,
+    root_y: Vec<AtomicU32>,
+    root_x: Vec<AtomicU32>,
+    leaf: Vec<AtomicU32>,
+}
+
+/// Accumulator for one BFS level: next frontier, newly visited count,
+/// edges traversed.
+type LevelAcc = (Vec<VertexId>, u64, u64);
+
+fn merge(mut a: LevelAcc, mut b: LevelAcc) -> LevelAcc {
+    // Append the smaller into the larger to keep the reduction linear.
+    if a.0.len() < b.0.len() {
+        std::mem::swap(&mut a, &mut b);
+    }
+    a.0.append(&mut b.0);
+    (a.0, a.1 + b.1, a.2 + b.2)
+}
+
+impl Shared<'_> {
+    /// Algorithm 5: pointer updates after the calling task has claimed `y`.
+    #[inline]
+    fn visit_claimed(&self, y: VertexId, x: VertexId, acc: &mut LevelAcc) {
+        let root = self.root_x[x as usize].load(Ordering::Relaxed);
+        self.parent_y[y as usize].store(x, Ordering::Relaxed);
+        self.root_y[y as usize].store(root, Ordering::Relaxed);
+        acc.1 += 1;
+        let mate = self.mate_y[y as usize].load(Ordering::Relaxed);
+        if mate != NONE {
+            self.root_x[mate as usize].store(root, Ordering::Relaxed);
+            acc.0.push(mate);
+        } else {
+            // Benign race: last writer wins, one augmenting path per tree.
+            self.leaf[root as usize].store(y, Ordering::Relaxed);
+        }
+    }
+
+    /// `x` is in an active tree (root known and not yet renewable).
+    #[inline]
+    fn x_is_active(&self, x: VertexId) -> bool {
+        let root = self.root_x[x as usize].load(Ordering::Relaxed);
+        root != NONE && self.leaf[root as usize].load(Ordering::Relaxed) == NONE
+    }
+
+    /// Algorithm 4: one parallel top-down level.
+    fn top_down(&self, frontier: &[VertexId]) -> LevelAcc {
+        frontier
+            .par_iter()
+            .fold(
+                || (Vec::new(), 0u64, 0u64),
+                |mut acc, &x| {
+                    if !self.x_is_active(x) {
+                        return acc; // tree became renewable
+                    }
+                    for &y in self.g.x_neighbors(x) {
+                        acc.2 += 1;
+                        // Screen with a relaxed load before the CAS.
+                        if self.visited[y as usize].load(Ordering::Relaxed) != 0 {
+                            continue;
+                        }
+                        if self.visited[y as usize]
+                            .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed)
+                            .is_ok()
+                        {
+                            self.visit_claimed(y, x, &mut acc);
+                        }
+                    }
+                    acc
+                },
+            )
+            .reduce(|| (Vec::new(), 0, 0), merge)
+    }
+
+    /// Algorithm 6: one parallel bottom-up step over the candidate `Y`
+    /// vertices `r` (unvisited vertices during BFS; renewable vertices
+    /// during grafting). Each candidate is owned by one task, so its
+    /// visited flag needs no atomics.
+    fn bottom_up(&self, r: &[VertexId]) -> LevelAcc {
+        r.par_iter()
+            .fold(
+                || (Vec::new(), 0u64, 0u64),
+                |mut acc, &y| {
+                    for &x in self.g.y_neighbors(y) {
+                        acc.2 += 1;
+                        if self.x_is_active(x) {
+                            self.visited[y as usize].store(1, Ordering::Relaxed);
+                            self.visit_claimed(y, x, &mut acc);
+                            break; // stop exploring y's neighbors
+                        }
+                    }
+                    acc
+                },
+            )
+            .reduce(|| (Vec::new(), 0, 0), merge)
+    }
+
+    fn unvisited_y(&self) -> Vec<VertexId> {
+        (0..self.g.num_y() as VertexId)
+            .into_par_iter()
+            .filter(|&y| self.visited[y as usize].load(Ordering::Relaxed) == 0)
+            .collect()
+    }
+}
+
+fn run(g: &BipartiteCsr, m: Matching, opts: &MsBfsOptions) -> RunOutcome {
+    let start = Instant::now();
+    let mut stats = SearchStats {
+        initial_cardinality: m.cardinality(),
+        ..Default::default()
+    };
+
+    let (mx, my) = m.into_mates();
+    let sh = Shared {
+        g,
+        mate_x: mx.into_iter().map(AtomicU32::new).collect(),
+        mate_y: my.into_iter().map(AtomicU32::new).collect(),
+        visited: (0..g.num_y()).map(|_| AtomicU8::new(0)).collect(),
+        parent_y: (0..g.num_y()).map(|_| AtomicU32::new(NONE)).collect(),
+        root_y: (0..g.num_y()).map(|_| AtomicU32::new(NONE)).collect(),
+        root_x: (0..g.num_x()).map(|_| AtomicU32::new(NONE)).collect(),
+        leaf: (0..g.num_x()).map(|_| AtomicU32::new(NONE)).collect(),
+    };
+
+    // Initial frontier: unmatched X vertices become roots.
+    let mut frontier: Vec<VertexId> = (0..g.num_x() as VertexId)
+        .filter(|&x| sh.mate_x[x as usize].load(Ordering::Relaxed) == NONE)
+        .collect();
+    for &x in &frontier {
+        sh.root_x[x as usize].store(x, Ordering::Relaxed);
+    }
+    let mut num_unvisited_y = g.num_y();
+    // Cached unvisited-Y list for bottom-up levels: exact when present,
+    // invalidated by the step-3 resets, filtered in parallel between
+    // levels so repeated bottom-up levels do not rescan all of Y.
+    let mut unvisited_cache: Option<Vec<VertexId>> = None;
+
+    loop {
+        stats.phases += 1;
+        let phase = stats.phases;
+        let mut trace = crate::stats::PhaseTrace {
+            phase,
+            ..Default::default()
+        };
+        let edges_at_start = stats.edges_traversed;
+        let path_edges_at_start = stats.total_augmenting_path_edges;
+
+        // ---- Step 1: grow the alternating BFS forest. ----
+        let mut level: u32 = 0;
+        while !frontier.is_empty() {
+            let bottom_up = opts.direction_optimizing
+                && (frontier.len() as f64) >= num_unvisited_y as f64 / opts.alpha;
+            if opts.record_frontier {
+                stats.record_frontier(phase, level, frontier.len(), bottom_up);
+            }
+            trace.frontier_peak = trace.frontier_peak.max(frontier.len());
+            trace.bottom_up_levels += u32::from(bottom_up);
+            let (next, newly_visited, edges) = if bottom_up {
+                let _t = Stopwatch::start(&mut stats.breakdown, Step::BottomUp);
+                let r = match unvisited_cache.take() {
+                    Some(list) => list
+                        .into_par_iter()
+                        .filter(|&y| sh.visited[y as usize].load(Ordering::Relaxed) == 0)
+                        .collect(),
+                    None => sh.unvisited_y(),
+                };
+                let out = sh.bottom_up(&r);
+                unvisited_cache = Some(
+                    r.into_par_iter()
+                        .filter(|&y| sh.visited[y as usize].load(Ordering::Relaxed) == 0)
+                        .collect(),
+                );
+                out
+            } else {
+                let _t = Stopwatch::start(&mut stats.breakdown, Step::TopDown);
+                sh.top_down(&frontier)
+            };
+            num_unvisited_y -= newly_visited as usize;
+            stats.edges_traversed += edges;
+            frontier = next;
+            level += 1;
+        }
+        trace.levels = level;
+
+        // ---- Step 2: parallel augmentation, one path per renewable tree. ----
+        let augmented = {
+            let _t = Stopwatch::start(&mut stats.breakdown, Step::Augment);
+            let roots: Vec<VertexId> = (0..g.num_x() as VertexId)
+                .into_par_iter()
+                .filter(|&x0| {
+                    sh.mate_x[x0 as usize].load(Ordering::Relaxed) == NONE
+                        && sh.root_x[x0 as usize].load(Ordering::Relaxed) == x0
+                        && sh.leaf[x0 as usize].load(Ordering::Relaxed) != NONE
+                })
+                .collect();
+            let (count, path_edges) = roots
+                .par_iter()
+                .map(|&x0| augment_tree(&sh, x0))
+                .reduce(|| (0u64, 0u64), |a, b| (a.0 + b.0, a.1 + b.1));
+            stats.augmenting_paths += count;
+            stats.total_augmenting_path_edges += path_edges;
+            count
+        };
+        trace.augmenting_paths = augmented;
+        trace.path_edges = stats.total_augmenting_path_edges - path_edges_at_start;
+        if augmented == 0 {
+            trace.edges_traversed = stats.edges_traversed - edges_at_start;
+            if opts.record_phases {
+                stats.phase_traces.push(trace);
+            }
+            break;
+        }
+
+        // ---- Step 3: rebuild the frontier (Algorithm 7). ----
+        // Statistics gathering (timed separately, Fig. 6's "Statistics").
+        let (active_x_count, renewable_y) = {
+            let _t = Stopwatch::start(&mut stats.breakdown, Step::Statistics);
+            let active_x_count = (0..g.num_x() as VertexId)
+                .into_par_iter()
+                .filter(|&x| sh.x_is_active(x))
+                .count();
+            let renewable_y: Vec<VertexId> = (0..g.num_y() as VertexId)
+                .into_par_iter()
+                .filter(|&y| {
+                    let r = sh.root_y[y as usize].load(Ordering::Relaxed);
+                    r != NONE
+                        && sh.visited[y as usize].load(Ordering::Relaxed) != 0
+                        && sh.leaf[r as usize].load(Ordering::Relaxed) != NONE
+                })
+                .collect();
+            (active_x_count, renewable_y)
+        };
+
+        let _t = Stopwatch::start(&mut stats.breakdown, Step::Graft);
+        // The resets below un-visit vertices: invalidate the cache.
+        unvisited_cache = None;
+        // Reset renewable Y vertices for reuse.
+        renewable_y.par_iter().for_each(|&y| {
+            sh.visited[y as usize].store(0, Ordering::Relaxed);
+            sh.root_y[y as usize].store(NONE, Ordering::Relaxed);
+            sh.parent_y[y as usize].store(NONE, Ordering::Relaxed);
+        });
+        num_unvisited_y += renewable_y.len();
+
+        trace.active_x = active_x_count;
+        trace.renewable_y = renewable_y.len();
+        let graft_profitable =
+            opts.grafting && active_x_count as f64 > renewable_y.len() as f64 / opts.alpha;
+        trace.grafted = graft_profitable;
+        frontier = if graft_profitable {
+            let (next, newly_visited, edges) = sh.bottom_up(&renewable_y);
+            num_unvisited_y -= newly_visited as usize;
+            stats.edges_traversed += edges;
+            next
+        } else {
+            // Destroy the forest and restart from the unmatched vertices.
+            (0..g.num_y()).into_par_iter().for_each(|y| {
+                if sh.visited[y].load(Ordering::Relaxed) != 0 {
+                    sh.visited[y].store(0, Ordering::Relaxed);
+                    sh.root_y[y].store(NONE, Ordering::Relaxed);
+                    sh.parent_y[y].store(NONE, Ordering::Relaxed);
+                }
+            });
+            (0..g.num_x()).into_par_iter().for_each(|x| {
+                sh.root_x[x].store(NONE, Ordering::Relaxed);
+                sh.leaf[x].store(NONE, Ordering::Relaxed);
+            });
+            num_unvisited_y = g.num_y();
+            let f: Vec<VertexId> = (0..g.num_x() as VertexId)
+                .into_par_iter()
+                .filter(|&x| sh.mate_x[x as usize].load(Ordering::Relaxed) == NONE)
+                .collect();
+            f.par_iter()
+                .for_each(|&x| sh.root_x[x as usize].store(x, Ordering::Relaxed));
+            f
+        };
+        trace.edges_traversed = stats.edges_traversed - edges_at_start;
+        if opts.record_phases {
+            stats.phase_traces.push(trace);
+        }
+    }
+
+    let mate_x: Vec<VertexId> = sh
+        .mate_x
+        .iter()
+        .map(|a| a.load(Ordering::Relaxed))
+        .collect();
+    let mate_y: Vec<VertexId> = sh
+        .mate_y
+        .iter()
+        .map(|a| a.load(Ordering::Relaxed))
+        .collect();
+    let matching = Matching::from_mates(mate_x, mate_y);
+    stats.final_cardinality = matching.cardinality();
+    stats.elapsed = start.elapsed();
+    RunOutcome { matching, stats }
+}
+
+/// Flips the unique augmenting path of the renewable tree rooted at `x0`.
+/// Returns `(1, path length in edges)`.
+///
+/// Paths of distinct trees are vertex-disjoint, so the relaxed stores of
+/// concurrent augmentations never touch the same slots; the rayon join
+/// publishes them to the grafting step.
+fn augment_tree(sh: &Shared<'_>, x0: VertexId) -> (u64, u64) {
+    let leaf = sh.leaf[x0 as usize].load(Ordering::Relaxed);
+    let mut edges = 0u64;
+    let mut y = leaf;
+    loop {
+        let x = sh.parent_y[y as usize].load(Ordering::Relaxed);
+        let next_y = sh.mate_x[x as usize].load(Ordering::Relaxed);
+        sh.mate_y[y as usize].store(x, Ordering::Relaxed);
+        sh.mate_x[x as usize].store(y, Ordering::Relaxed);
+        edges += 1;
+        if x == x0 {
+            break;
+        }
+        y = next_y;
+        edges += 1;
+    }
+    (1, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_maximum;
+
+    fn configs() -> [MsBfsOptions; 3] {
+        [
+            MsBfsOptions::plain(),
+            MsBfsOptions::dir_opt_only(),
+            MsBfsOptions::graft(),
+        ]
+    }
+
+    fn chain(k: u32) -> BipartiteCsr {
+        let mut edges = Vec::new();
+        for i in 0..k {
+            edges.push((i, i));
+            if i > 0 {
+                edges.push((i, i - 1));
+            }
+        }
+        BipartiteCsr::from_edges(k as usize, k as usize, &edges)
+    }
+
+    #[test]
+    fn parallel_graft_simple() {
+        let g = BipartiteCsr::from_edges(2, 2, &[(0, 0), (1, 0), (1, 1)]);
+        let out = ms_bfs_graft_parallel(&g, Matching::for_graph(&g), &MsBfsOptions::graft(), 2);
+        assert_eq!(out.matching.cardinality(), 2);
+        assert!(is_maximum(&g, &out.matching));
+    }
+
+    #[test]
+    fn parallel_all_configs_on_chain() {
+        let g = chain(120);
+        for opts in configs() {
+            let out = ms_bfs_graft_parallel(&g, Matching::for_graph(&g), &opts, 4);
+            assert_eq!(out.matching.cardinality(), 120, "{opts:?}");
+            assert!(is_maximum(&g, &out.matching));
+        }
+    }
+
+    #[test]
+    fn parallel_deficient_graph() {
+        let mut edges = Vec::new();
+        for x in 0..80u32 {
+            edges.push((x, x % 5));
+            edges.push((x, 5 + (x % 3)));
+        }
+        let g = BipartiteCsr::from_edges(80, 8, &edges);
+        let oracle = crate::hopcroft_karp(&g, Matching::for_graph(&g))
+            .matching
+            .cardinality();
+        for opts in configs() {
+            let out = ms_bfs_graft_parallel(&g, Matching::for_graph(&g), &opts, 3);
+            assert_eq!(out.matching.cardinality(), oracle, "{opts:?}");
+            assert!(is_maximum(&g, &out.matching));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_engine() {
+        let g = chain(64);
+        let mut m0 = Matching::for_graph(&g);
+        for i in 1..64u32 {
+            m0.match_pair(i, i - 1);
+        }
+        let s = crate::ms_bfs::ms_bfs_serial(&g, m0.clone(), &MsBfsOptions::graft());
+        let p = ms_bfs_graft_parallel(&g, m0, &MsBfsOptions::graft(), 2);
+        assert_eq!(s.matching.cardinality(), p.matching.cardinality());
+        assert!(is_maximum(&g, &p.matching));
+    }
+
+    #[test]
+    fn parallel_with_karp_sipser_init() {
+        let g = chain(100);
+        let m0 = crate::init::Initializer::KarpSipser.run(&g, 42);
+        let out = ms_bfs_graft_parallel(&g, m0, &MsBfsOptions::graft(), 2);
+        assert!(is_maximum(&g, &out.matching));
+        assert_eq!(out.matching.cardinality(), 100);
+    }
+
+    #[test]
+    fn parallel_repeated_runs_same_cardinality() {
+        // Scheduling nondeterminism must never change the result size.
+        let mut edges = Vec::new();
+        for x in 0..60u32 {
+            edges.push((x, (x * 7) % 40));
+            edges.push((x, (x * 13 + 5) % 40));
+            edges.push((x, (x * 3 + 11) % 40));
+        }
+        let g = BipartiteCsr::from_edges(60, 40, &edges);
+        let oracle = crate::hopcroft_karp(&g, Matching::for_graph(&g))
+            .matching
+            .cardinality();
+        for _ in 0..5 {
+            let out = ms_bfs_graft_parallel(&g, Matching::for_graph(&g), &MsBfsOptions::graft(), 4);
+            assert_eq!(out.matching.cardinality(), oracle);
+            assert!(is_maximum(&g, &out.matching));
+        }
+    }
+
+    #[test]
+    fn parallel_empty_graph() {
+        let g = BipartiteCsr::from_edges(0, 5, &[]);
+        let out = ms_bfs_graft_parallel(&g, Matching::for_graph(&g), &MsBfsOptions::graft(), 2);
+        assert_eq!(out.matching.cardinality(), 0);
+    }
+
+    #[test]
+    fn frontier_recording_in_parallel() {
+        let g = chain(50);
+        let opts = MsBfsOptions {
+            record_frontier: true,
+            ..MsBfsOptions::graft()
+        };
+        let out = ms_bfs_graft_parallel(&g, Matching::for_graph(&g), &opts, 2);
+        assert!(!out.stats.frontier_history.is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! Validated serde support (behind the `serde` feature): checkpointing
+//! matchings. Statistics types derive serde directly (plain data); the
+//! [`crate::Matching`] implementation routes through
+//! [`crate::Matching::try_from_mates`] so hostile input cannot violate the
+//! mate-consistency invariant.
+
+use crate::Matching;
+use graft_graph::VertexId;
+use serde::de::Error as DeError;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+#[derive(Serialize, Deserialize)]
+struct MatchingRepr {
+    mate_x: Vec<VertexId>,
+    mate_y: Vec<VertexId>,
+}
+
+impl Serialize for Matching {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        MatchingRepr {
+            mate_x: self.mates_x().to_vec(),
+            mate_y: self.mates_y().to_vec(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Matching {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = MatchingRepr::deserialize(deserializer)?;
+        Matching::try_from_mates(repr.mate_x, repr.mate_y).map_err(D::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::SearchStats;
+
+    #[test]
+    fn matching_json_roundtrip() {
+        let mut m = Matching::empty(3, 3);
+        m.match_pair(0, 2);
+        m.match_pair(2, 0);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Matching = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn hostile_matching_rejected() {
+        let json = r#"{"mate_x":[1],"mate_y":[4294967295,4294967295]}"#;
+        let err = serde_json::from_str::<Matching>(json).unwrap_err();
+        assert!(err.to_string().contains("inconsistent"), "{err}");
+    }
+
+    #[test]
+    fn stats_json_roundtrip() {
+        let g = graft_graph::BipartiteCsr::from_edges(2, 2, &[(0, 0), (1, 0), (1, 1)]);
+        let out = crate::ms_bfs_serial(
+            &g,
+            Matching::for_graph(&g),
+            &crate::MsBfsOptions {
+                record_phases: true,
+                ..crate::MsBfsOptions::graft()
+            },
+        );
+        let json = serde_json::to_string(&out.stats).unwrap();
+        let back: SearchStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.phases, out.stats.phases);
+        assert_eq!(back.edges_traversed, out.stats.edges_traversed);
+        assert_eq!(back.phase_traces, out.stats.phase_traces);
+    }
+}

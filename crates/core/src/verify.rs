@@ -1,0 +1,365 @@
+//! Independent verification of maximum matchings via König's theorem.
+//!
+//! For bipartite graphs, König's theorem says the size of a maximum
+//! matching equals the size of a minimum vertex cover. Given any matching
+//! `M`, an alternating-reachability sweep constructs a candidate cover; if
+//! that cover has size `|M|` and covers every edge, then — by weak duality
+//! (`|M'| ≤ |C|` for every matching `M'` and cover `C`) — `M` is maximum
+//! and the cover is minimum.
+//!
+//! This gives the test suite a way to certify the output of *every*
+//! algorithm in the crate without trusting any of them: the certificate is
+//! checked by elementary edge enumeration.
+
+use crate::Matching;
+use graft_graph::{BipartiteCsr, VertexId, NONE};
+
+/// A vertex cover of a bipartite graph: a set of `X` and `Y` vertices such
+/// that every edge has at least one endpoint in the set.
+#[derive(Clone, Debug)]
+pub struct VertexCover {
+    /// Membership flags for `X` vertices.
+    pub in_cover_x: Vec<bool>,
+    /// Membership flags for `Y` vertices.
+    pub in_cover_y: Vec<bool>,
+}
+
+impl VertexCover {
+    /// Total number of vertices in the cover.
+    pub fn size(&self) -> usize {
+        self.in_cover_x.iter().filter(|&&b| b).count()
+            + self.in_cover_y.iter().filter(|&&b| b).count()
+    }
+
+    /// Checks that every edge of `g` is covered.
+    pub fn covers(&self, g: &BipartiteCsr) -> bool {
+        g.edges()
+            .all(|(x, y)| self.in_cover_x[x as usize] || self.in_cover_y[y as usize])
+    }
+}
+
+/// Runs the alternating-reachability sweep from unmatched `X` vertices and
+/// returns `(reached_x, reached_y)`.
+///
+/// Reachability follows **unmatched** edges from `X` to `Y` and **matched**
+/// edges from `Y` to `X` — i.e. the vertices lying on some `M`-alternating
+/// path starting at an unmatched `X` vertex.
+pub fn alternating_reachability(g: &BipartiteCsr, m: &Matching) -> (Vec<bool>, Vec<bool>) {
+    let mut reached_x = vec![false; g.num_x()];
+    let mut reached_y = vec![false; g.num_y()];
+    let mut stack: Vec<VertexId> = m.unmatched_x().collect();
+    for &x in &stack {
+        reached_x[x as usize] = true;
+    }
+    while let Some(x) = stack.pop() {
+        for &y in g.x_neighbors(x) {
+            if reached_y[y as usize] {
+                continue;
+            }
+            reached_y[y as usize] = true;
+            let mate = m.mate_of_y(y);
+            if mate != NONE && !reached_x[mate as usize] {
+                reached_x[mate as usize] = true;
+                stack.push(mate);
+            }
+        }
+    }
+    (reached_x, reached_y)
+}
+
+/// Constructs the König cover candidate `C = (X \ R_X) ∪ R_Y` where
+/// `(R_X, R_Y)` is the alternating reachability of `m`.
+pub fn koenig_cover(g: &BipartiteCsr, m: &Matching) -> VertexCover {
+    let (reached_x, reached_y) = alternating_reachability(g, m);
+    VertexCover {
+        in_cover_x: reached_x.iter().map(|&r| !r).collect(),
+        in_cover_y: reached_y,
+    }
+}
+
+/// Certifies that `m` is a **maximum** matching of `g`.
+///
+/// Returns the minimum vertex cover witnessing optimality, or a description
+/// of the failure: either `m` is structurally invalid, or the candidate
+/// cover misses an edge / has the wrong size (which happens exactly when an
+/// augmenting path exists, i.e. `m` is not maximum).
+pub fn certify_maximum(g: &BipartiteCsr, m: &Matching) -> Result<VertexCover, String> {
+    m.validate(g)?;
+    let cover = koenig_cover(g, m);
+    if !cover.covers(g) {
+        // An uncovered edge (x, y) means x is reached and y is not, so the
+        // alternating path to x extends to unmatched-or-new y: augmenting
+        // path exists.
+        return Err("König candidate cover misses an edge: matching is not maximum".into());
+    }
+    let cs = cover.size();
+    if cs != m.cardinality() {
+        return Err(format!(
+            "cover size {} ≠ matching cardinality {}: matching is not maximum",
+            cs,
+            m.cardinality()
+        ));
+    }
+    Ok(cover)
+}
+
+/// `true` iff `m` is a valid maximum matching of `g`.
+pub fn is_maximum(g: &BipartiteCsr, m: &Matching) -> bool {
+    certify_maximum(g, m).is_ok()
+}
+
+/// A witness that a bipartite graph has no perfect matching on the `X`
+/// side: a set `S ⊆ X` with `|N(S)| < |S|` (Hall's condition violated).
+///
+/// Produced by [`hall_violator`] from a maximum matching; the deficiency
+/// `|S| − |N(S)|` equals the number of unmatched `X` vertices, so the
+/// witness also *explains* the deficiency exactly.
+#[derive(Clone, Debug)]
+pub struct HallViolator {
+    /// The violating set `S` of `X` vertices.
+    pub set_x: Vec<VertexId>,
+    /// Its neighborhood `N(S)` in `Y`.
+    pub neighborhood_y: Vec<VertexId>,
+}
+
+impl HallViolator {
+    /// `|S| − |N(S)|`, the certified deficiency.
+    pub fn deficiency(&self) -> usize {
+        self.set_x.len() - self.neighborhood_y.len()
+    }
+
+    /// Checks the witness against `g`: `N(S)` must be exactly the union
+    /// of the neighborhoods of `S`, and strictly smaller than `S`.
+    pub fn validate(&self, g: &BipartiteCsr) -> Result<(), String> {
+        let mut in_n = vec![false; g.num_y()];
+        for &y in &self.neighborhood_y {
+            in_n[y as usize] = true;
+        }
+        let mut seen = vec![false; g.num_y()];
+        let mut count = 0usize;
+        for &x in &self.set_x {
+            for &y in g.x_neighbors(x) {
+                if !in_n[y as usize] {
+                    return Err(format!("edge ({x},{y}) leaves the claimed neighborhood"));
+                }
+                if !seen[y as usize] {
+                    seen[y as usize] = true;
+                    count += 1;
+                }
+            }
+        }
+        if count != self.neighborhood_y.len() {
+            return Err("claimed neighborhood contains non-neighbors".into());
+        }
+        if self.set_x.len() <= self.neighborhood_y.len() {
+            return Err("not a violator: |S| ≤ |N(S)|".into());
+        }
+        Ok(())
+    }
+}
+
+/// Extracts a Hall violator from a **maximum** matching that leaves some
+/// `X` vertex unmatched, or `None` when `X` is fully matched.
+///
+/// The construction is the standard one: `S` = the `X` vertices reachable
+/// by alternating paths from unmatched `X` vertices; every neighbor of
+/// `S` is reached and matched (else the matching would not be maximum),
+/// and the matched partners of `N(S)` lie inside `S`, so
+/// `|N(S)| = |S| − #unmatched`.
+///
+/// Panics if `m` is not a maximum matching of `g`.
+pub fn hall_violator(g: &BipartiteCsr, m: &Matching) -> Option<HallViolator> {
+    assert!(
+        is_maximum(g, m),
+        "hall_violator requires a maximum matching"
+    );
+    m.unmatched_x().next()?;
+    let (rx, ry) = alternating_reachability(g, m);
+    let set_x: Vec<VertexId> = (0..g.num_x() as VertexId)
+        .filter(|&x| rx[x as usize])
+        .collect();
+    let neighborhood_y: Vec<VertexId> = (0..g.num_y() as VertexId)
+        .filter(|&y| ry[y as usize])
+        .collect();
+    Some(HallViolator {
+        set_x,
+        neighborhood_y,
+    })
+}
+
+/// Finds one augmenting path if any exists (used by tests to explain
+/// non-maximum matchings). Returns the interleaved vertex sequence accepted
+/// by [`Matching::augment`], or `None` if `m` is maximum.
+pub fn find_augmenting_path(g: &BipartiteCsr, m: &Matching) -> Option<Vec<VertexId>> {
+    let mut parent_y: Vec<VertexId> = vec![NONE; g.num_y()];
+    let mut visited_y = vec![false; g.num_y()];
+    let mut queue: std::collections::VecDeque<VertexId> = m.unmatched_x().collect();
+    let mut root_of: Vec<VertexId> = vec![NONE; g.num_x()];
+    for &x in &queue {
+        root_of[x as usize] = x;
+    }
+    while let Some(x) = queue.pop_front() {
+        for &y in g.x_neighbors(x) {
+            if visited_y[y as usize] {
+                continue;
+            }
+            visited_y[y as usize] = true;
+            parent_y[y as usize] = x;
+            let mate = m.mate_of_y(y);
+            if mate == NONE {
+                // Reconstruct: walk y → parent x → its mate y' → ...
+                let mut path_rev = vec![y];
+                let mut cx = x;
+                loop {
+                    path_rev.push(cx);
+                    let py = m.mate_of_x(cx);
+                    if py == NONE {
+                        break; // cx is the unmatched root
+                    }
+                    path_rev.push(py);
+                    cx = parent_y[py as usize];
+                }
+                path_rev.reverse();
+                return Some(path_rev);
+            }
+            root_of[mate as usize] = root_of[x as usize];
+            queue.push_back(mate);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// P4 path: x0-y0-x1-y1 with extra edge; maximum matching = 2.
+    fn path_graph() -> BipartiteCsr {
+        BipartiteCsr::from_edges(2, 2, &[(0, 0), (1, 0), (1, 1)])
+    }
+
+    #[test]
+    fn certify_accepts_maximum() {
+        let g = path_graph();
+        let mut m = Matching::for_graph(&g);
+        m.match_pair(0, 0);
+        m.match_pair(1, 1);
+        let cover = certify_maximum(&g, &m).expect("maximum matching must certify");
+        assert_eq!(cover.size(), 2);
+        assert!(cover.covers(&g));
+    }
+
+    #[test]
+    fn certify_rejects_non_maximum() {
+        let g = path_graph();
+        let mut m = Matching::for_graph(&g);
+        m.match_pair(1, 0); // blocks x0; matching of size 1, not maximum
+        assert!(certify_maximum(&g, &m).is_err());
+        assert!(!is_maximum(&g, &m));
+    }
+
+    #[test]
+    fn empty_graph_certifies() {
+        let g = BipartiteCsr::from_edges(3, 3, &[]);
+        let m = Matching::for_graph(&g);
+        let cover = certify_maximum(&g, &m).unwrap();
+        assert_eq!(cover.size(), 0);
+    }
+
+    #[test]
+    fn augmenting_path_found_and_applied() {
+        let g = path_graph();
+        let mut m = Matching::for_graph(&g);
+        m.match_pair(1, 0);
+        let p = find_augmenting_path(&g, &m).expect("augmenting path exists");
+        assert_eq!(p.len() % 2, 0);
+        assert_eq!(p[0], 0); // starts at the unmatched x0
+        m.augment(&p);
+        assert_eq!(m.cardinality(), 2);
+        assert!(is_maximum(&g, &m));
+        assert!(find_augmenting_path(&g, &m).is_none());
+    }
+
+    #[test]
+    fn star_graph_cover_is_center() {
+        // x0 adjacent to all y; maximum matching 1, cover {x0}.
+        let g = BipartiteCsr::from_edges(1, 5, &[(0, 0), (0, 1), (0, 2), (0, 3), (0, 4)]);
+        let mut m = Matching::for_graph(&g);
+        m.match_pair(0, 3);
+        let cover = certify_maximum(&g, &m).unwrap();
+        assert_eq!(cover.size(), 1);
+        assert!(cover.in_cover_x[0]);
+    }
+
+    #[test]
+    fn reachability_from_unmatched() {
+        let g = path_graph();
+        let mut m = Matching::for_graph(&g);
+        m.match_pair(1, 0);
+        let (rx, ry) = alternating_reachability(&g, &m);
+        assert!(rx[0]); // unmatched root
+        assert!(ry[0]); // neighbor of x0
+        assert!(rx[1]); // mate of y0
+        assert!(ry[1]); // neighbor of x1 — unmatched, so augmenting path exists
+    }
+
+    #[test]
+    fn hall_violator_on_deficient_graph() {
+        // 3 X vertices sharing one Y vertex: deficiency 2.
+        let g = BipartiteCsr::from_edges(3, 2, &[(0, 0), (1, 0), (2, 0)]);
+        let mut m = Matching::for_graph(&g);
+        m.match_pair(0, 0);
+        let w = hall_violator(&g, &m).expect("deficient graph has a violator");
+        assert!(w.validate(&g).is_ok());
+        assert_eq!(w.deficiency(), 2);
+        assert_eq!(w.set_x.len(), 3);
+        assert_eq!(w.neighborhood_y, vec![0]);
+    }
+
+    #[test]
+    fn hall_violator_none_when_x_saturated() {
+        let g = BipartiteCsr::from_edges(2, 3, &[(0, 0), (1, 1), (1, 2)]);
+        let mut m = Matching::for_graph(&g);
+        m.match_pair(0, 0);
+        m.match_pair(1, 1);
+        assert!(hall_violator(&g, &m).is_none());
+    }
+
+    #[test]
+    fn hall_violator_deficiency_matches_unmatched_count() {
+        // Two disjoint scarce groups.
+        let g = BipartiteCsr::from_edges(
+            6,
+            3,
+            &[(0, 0), (1, 0), (2, 0), (3, 1), (4, 1), (4, 2), (5, 2)],
+        );
+        let m = crate::hopcroft_karp(&g, Matching::for_graph(&g)).matching;
+        let unmatched = g.num_x() - m.cardinality();
+        let w = hall_violator(&g, &m).unwrap();
+        assert!(w.validate(&g).is_ok());
+        assert_eq!(w.deficiency(), unmatched);
+    }
+
+    #[test]
+    fn hall_violator_rejects_bad_witness() {
+        let g = BipartiteCsr::from_edges(2, 2, &[(0, 0), (1, 1)]);
+        let w = HallViolator {
+            set_x: vec![0, 1],
+            neighborhood_y: vec![0],
+        };
+        assert!(w.validate(&g).is_err()); // edge (1,1) leaves neighborhood
+        let w2 = HallViolator {
+            set_x: vec![0],
+            neighborhood_y: vec![0],
+        };
+        assert!(w2.validate(&g).is_err()); // not a violator
+    }
+
+    #[test]
+    fn invalid_matching_rejected() {
+        let g = path_graph();
+        let mut m = Matching::for_graph(&g);
+        m.match_pair(0, 1); // (0,1) is not an edge
+        assert!(certify_maximum(&g, &m).is_err());
+    }
+}

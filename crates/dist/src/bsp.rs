@@ -1,0 +1,171 @@
+//! A minimal bulk-synchronous-parallel message substrate.
+//!
+//! Ranks compute independently (in parallel via rayon) and communicate by
+//! filling per-destination outboxes; [`exchange`] transposes the outboxes
+//! into inboxes at the superstep boundary, concatenating by **sender rank
+//! order** so delivery is deterministic regardless of the compute
+//! schedule. This is the communication model of a level-synchronous MPI
+//! code (`MPI_Alltoallv` per superstep).
+
+use rayon::prelude::*;
+
+/// Per-destination message buffers filled by one rank during a superstep.
+#[derive(Clone, Debug)]
+pub struct Outbox<M> {
+    boxes: Vec<Vec<M>>,
+}
+
+impl<M> Outbox<M> {
+    /// An empty outbox addressing `ranks` destinations.
+    pub fn new(ranks: usize) -> Self {
+        Self {
+            boxes: (0..ranks).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Queues `msg` for delivery to `rank` at the next exchange.
+    #[inline]
+    pub fn send(&mut self, rank: usize, msg: M) {
+        self.boxes[rank].push(msg);
+    }
+
+    /// Queues `msg` for every rank (replication broadcasts).
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for b in &mut self.boxes {
+            b.push(msg.clone());
+        }
+    }
+
+    /// Total queued messages.
+    pub fn len(&self) -> usize {
+        self.boxes.iter().map(Vec::len).sum()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.iter().all(Vec::is_empty)
+    }
+}
+
+/// Transposes one outbox per rank into one inbox per rank.
+///
+/// Inbox `r` receives, in order, the messages addressed to `r` by rank 0,
+/// then rank 1, … — deterministic delivery independent of scheduling.
+pub fn exchange<M: Send>(outboxes: Vec<Outbox<M>>) -> Vec<Vec<M>> {
+    let ranks = outboxes.len();
+    let mut inboxes: Vec<Vec<M>> = (0..ranks).map(|_| Vec::new()).collect();
+    // Collect column-wise: sender-major order per destination.
+    let mut columns: Vec<Vec<Vec<M>>> = (0..ranks).map(|_| Vec::new()).collect();
+    for outbox in outboxes {
+        for (dest, msgs) in outbox.boxes.into_iter().enumerate() {
+            columns[dest].push(msgs);
+        }
+    }
+    for (dest, col) in columns.into_iter().enumerate() {
+        let total: usize = col.iter().map(Vec::len).sum();
+        inboxes[dest].reserve(total);
+        for msgs in col {
+            inboxes[dest].extend(msgs);
+        }
+    }
+    inboxes
+}
+
+/// Runs one compute superstep over all ranks in parallel.
+///
+/// `step(rank, inbox, outbox)` receives the rank id, the rank's inbox
+/// from the previous exchange, and a fresh outbox; per-rank state should
+/// be captured in `states`. Returns the outboxes ready for [`exchange`].
+pub fn compute_step<S: Send, M: Send, F>(
+    states: &mut [S],
+    inboxes: Vec<Vec<M>>,
+    step: F,
+) -> Vec<Outbox<M>>
+where
+    F: Fn(usize, &mut S, Vec<M>) -> Outbox<M> + Sync,
+{
+    let ranks = states.len();
+    debug_assert_eq!(inboxes.len(), ranks);
+    states
+        .par_iter_mut()
+        .zip(inboxes.into_par_iter())
+        .enumerate()
+        .map(|(rank, (state, inbox))| step(rank, state, inbox))
+        .collect()
+}
+
+/// Empty inboxes for `ranks` ranks (superstep 0 of a stage).
+pub fn empty_inboxes<M>(ranks: usize) -> Vec<Vec<M>> {
+    (0..ranks).map(|_| Vec::new()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_transposes_deterministically() {
+        // 3 ranks; rank r sends (r, i) to rank i.
+        let outboxes: Vec<Outbox<(usize, usize)>> = (0..3)
+            .map(|r| {
+                let mut o = Outbox::new(3);
+                for dest in 0..3 {
+                    o.send(dest, (r, dest));
+                }
+                o
+            })
+            .collect();
+        let inboxes = exchange(outboxes);
+        for (dest, inbox) in inboxes.iter().enumerate() {
+            assert_eq!(inbox, &[(0, dest), (1, dest), (2, dest)]);
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let mut o: Outbox<u32> = Outbox::new(4);
+        o.broadcast(7);
+        assert_eq!(o.len(), 4);
+        let inboxes = exchange(vec![o, Outbox::new(4), Outbox::new(4), Outbox::new(4)]);
+        assert!(inboxes.iter().all(|i| i == &[7]));
+    }
+
+    #[test]
+    fn compute_step_runs_all_ranks() {
+        let mut states = vec![0u32; 4];
+        let out = compute_step(&mut states, empty_inboxes::<u32>(4), |rank, s, _in| {
+            *s = rank as u32 + 1;
+            let mut o = Outbox::new(4);
+            o.send((rank + 1) % 4, rank as u32);
+            o
+        });
+        assert_eq!(states, vec![1, 2, 3, 4]);
+        let inboxes = exchange(out);
+        assert_eq!(inboxes[0], vec![3]);
+        assert_eq!(inboxes[1], vec![0]);
+    }
+
+    #[test]
+    fn messages_roundtrip_through_two_steps() {
+        // Rank 0 sends a counter around the ring twice.
+        let mut states = vec![0u64; 3];
+        let mut inboxes = empty_inboxes::<u64>(3);
+        // Seed.
+        inboxes[0].push(1);
+        for _ in 0..6 {
+            let out = compute_step(&mut states, inboxes, |rank, s, inbox| {
+                let mut o = Outbox::new(3);
+                for v in inbox {
+                    *s += v;
+                    o.send((rank + 1) % 3, v);
+                }
+                o
+            });
+            inboxes = exchange(out);
+        }
+        assert_eq!(states, vec![2, 2, 2]);
+    }
+}

@@ -1,0 +1,650 @@
+//! The distributed MS-BFS-Graft engine.
+//!
+//! Control flow follows Algorithm 3 of the paper, restructured into BSP
+//! stages (superstep counts in parentheses):
+//!
+//! 1. **BFS level** (3): frontier owners send `Visit` for every neighbor
+//!    of every active frontier vertex; `Y` owners resolve visit conflicts
+//!    locally (first deterministic message wins — the distributed
+//!    equivalent of the shared-memory `compare_exchange` claim), reply
+//!    with `AddFrontier` to the mates' owners and broadcast `Renewable`
+//!    when a free vertex ends an augmenting path.
+//! 2. **Augmentation** (path length / 2): token-passing walks — `AugAtY`
+//!    flips the `Y`-side mate and forwards to the parent's owner,
+//!    `AugAtX` flips the `X` side and forwards along the old matched
+//!    edge, until the unmatched root absorbs the token.
+//! 3. **Grafting** (4): renewable `Y` vertices are reset and probe their
+//!    neighbors with `AdoptQuery`; owners of active-tree vertices answer
+//!    with `AdoptOffer`; each probed vertex joins the offering tree whose
+//!    vertex comes first in its adjacency (matching the serial engine's
+//!    scan order) and enqueues its mate via `AddFrontier`. When grafting
+//!    is not profitable (`|activeX| ≤ |renewableY|/α`) every rank resets
+//!    locally and restarts from its unmatched vertices, no messages
+//!    needed.
+//!
+//! Tree renewability is replicated: `Renewable` broadcasts accumulate in
+//! a per-rank set that is never cleared while grafting keeps trees alive
+//! (renewable roots are matched and can never root a tree again), so
+//! stale `root` pointers into dead trees read correctly as inactive —
+//! the same invariant the shared-memory engine maintains through stale
+//! `leaf` entries.
+
+use crate::bsp::{compute_step, empty_inboxes, exchange, Outbox};
+use crate::partition::BlockPartition;
+use graft_core::Matching;
+use graft_graph::{BipartiteCsr, VertexId, NONE};
+use std::collections::{HashMap, HashSet};
+
+const ALPHA: f64 = 5.0;
+
+/// Messages exchanged between ranks.
+#[derive(Clone, Debug)]
+enum Msg {
+    /// `from_x` (in tree `root`) discovered `y` — to `y`'s owner.
+    Visit {
+        y: VertexId,
+        from_x: VertexId,
+        root: VertexId,
+    },
+    /// `x` joins tree `root` and enters the next frontier — to `x`'s owner.
+    AddFrontier { x: VertexId, root: VertexId },
+    /// Tree `root` found an augmenting path ending at `leaf_y` — broadcast.
+    Renewable { root: VertexId, leaf_y: VertexId },
+    /// Augmentation token at `y`: flip and walk to the parent.
+    AugAtY { y: VertexId },
+    /// Augmentation token at `x`: flip and walk along the old matched edge.
+    AugAtX { x: VertexId, y: VertexId },
+    /// Is `x` in an active tree? Asked on behalf of grafted vertex `y`.
+    AdoptQuery { y: VertexId, x: VertexId },
+    /// Yes: `x` is active in `root` — back to `y`'s owner.
+    AdoptOffer {
+        y: VertexId,
+        x: VertexId,
+        root: VertexId,
+    },
+}
+
+/// Per-rank state: a slab of both vertex sides and the replicated
+/// renewable-root set. All vertex ids stored here are **global**.
+struct Rank {
+    id: usize,
+    /// First global X id of this rank's slab.
+    x_start: usize,
+    /// First global Y id of this rank's slab.
+    y_start: usize,
+    mate_x: Vec<VertexId>,
+    mate_y: Vec<VertexId>,
+    visited: Vec<bool>,
+    parent_y: Vec<VertexId>,
+    root_y: Vec<VertexId>,
+    root_x: Vec<VertexId>,
+    /// Augmenting-path leaves of renewable trees rooted at owned vertices.
+    leaf: HashMap<VertexId, VertexId>,
+    /// Replicated set of renewable roots (accumulates across grafted
+    /// phases; cleared only by a destroy rebuild).
+    renewable: HashSet<VertexId>,
+    /// Owned X vertices to expand at the next BFS level.
+    frontier: Vec<VertexId>,
+    /// Augmenting paths completed this phase (counted at the root owner).
+    aug_done: u64,
+    /// Edges traversed by this rank.
+    edges: u64,
+}
+
+/// Counters reported by a distributed run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DistStats {
+    /// Number of phases (Algorithm 3 repeat-until iterations).
+    pub phases: u32,
+    /// Total BSP supersteps executed (communication rounds).
+    pub supersteps: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Edges traversed across all ranks.
+    pub edges_traversed: u64,
+    /// Augmenting paths applied.
+    pub augmenting_paths: u64,
+}
+
+/// Result of a distributed run.
+#[derive(Clone, Debug)]
+pub struct DistOutcome {
+    /// The maximum matching.
+    pub matching: Matching,
+    /// Communication and traversal counters.
+    pub stats: DistStats,
+}
+
+/// Runs distributed MS-BFS-Graft over `ranks` simulated ranks, starting
+/// from `m0`. Deterministic for fixed `(g, m0, ranks)` regardless of the
+/// executing thread count.
+pub fn distributed_ms_bfs_graft(g: &BipartiteCsr, m0: Matching, ranks: usize) -> DistOutcome {
+    assert!(ranks > 0, "at least one rank required");
+    let px = BlockPartition::new(g.num_x(), ranks);
+    let py = BlockPartition::new(g.num_y(), ranks);
+    let (gmx, gmy) = m0.into_mates();
+
+    let mut states: Vec<Rank> = (0..ranks)
+        .map(|r| {
+            let xr = px.range(r);
+            let yr = py.range(r);
+            let mate_x: Vec<VertexId> = gmx[xr.clone()].to_vec();
+            let mate_y: Vec<VertexId> = gmy[yr.clone()].to_vec();
+            let mut root_x = vec![NONE; xr.len()];
+            let mut frontier = Vec::new();
+            for (local, &m) in mate_x.iter().enumerate() {
+                if m == NONE {
+                    let global = px.to_global(r, local);
+                    root_x[local] = global;
+                    frontier.push(global);
+                }
+            }
+            Rank {
+                id: r,
+                x_start: xr.start,
+                y_start: yr.start,
+                mate_x,
+                mate_y,
+                visited: vec![false; yr.len()],
+                parent_y: vec![NONE; yr.len()],
+                root_y: vec![NONE; yr.len()],
+                root_x,
+                leaf: HashMap::new(),
+                renewable: HashSet::new(),
+                frontier,
+                aug_done: 0,
+                edges: 0,
+            }
+        })
+        .collect();
+
+    let mut stats = DistStats::default();
+
+    loop {
+        stats.phases += 1;
+
+        // ---- Stage 1: level-synchronous top-down BFS. ----
+        loop {
+            // A: expand the frontier into Visit messages.
+            let out = compute_step(&mut states, empty_inboxes::<Msg>(ranks), |_, s, _| {
+                expand_frontier(g, &py, s)
+            });
+            let visits: u64 = out.iter().map(|o| o.len() as u64).sum();
+            let inboxes = exchange(out);
+            stats.supersteps += 1;
+            stats.messages += visits;
+
+            // B: resolve visits, emit AddFrontier + Renewable.
+            let out = compute_step(&mut states, inboxes, |_, s, inbox| {
+                process_visits(&px, ranks, s, inbox)
+            });
+            stats.messages += out.iter().map(|o| o.len() as u64).sum::<u64>();
+            let inboxes = exchange(out);
+            stats.supersteps += 1;
+
+            // C: absorb AddFrontier / Renewable.
+            let out = compute_step(&mut states, inboxes, |_, s, inbox| {
+                process_adds(&px, s, inbox);
+                Outbox::new(ranks)
+            });
+            debug_assert!(out.iter().all(Outbox::is_empty));
+            stats.supersteps += 1;
+
+            if visits == 0 && states.iter().all(|s| s.frontier.is_empty()) {
+                break;
+            }
+        }
+
+        // ---- Stage 2: token-passing augmentation. ----
+        let out = compute_step(&mut states, empty_inboxes::<Msg>(ranks), |_, s, _| {
+            let mut o = Outbox::new(ranks);
+            let mut roots: Vec<(VertexId, VertexId)> = s.leaf.drain().collect();
+            roots.sort_unstable(); // deterministic start order
+            for (_root, leaf_y) in roots {
+                o.send(py.owner(leaf_y), Msg::AugAtY { y: leaf_y });
+            }
+            o
+        });
+        stats.messages += out.iter().map(|o| o.len() as u64).sum::<u64>();
+        let mut inboxes = exchange(out);
+        stats.supersteps += 1;
+        while inboxes.iter().any(|i| !i.is_empty()) {
+            let out = compute_step(&mut states, inboxes, |_, s, inbox| {
+                process_augment(&px, &py, ranks, s, inbox)
+            });
+            stats.messages += out.iter().map(|o| o.len() as u64).sum::<u64>();
+            inboxes = exchange(out);
+            stats.supersteps += 1;
+        }
+        let augmented: u64 = states
+            .iter_mut()
+            .map(|s| std::mem::take(&mut s.aug_done))
+            .sum();
+        stats.augmenting_paths += augmented;
+        if augmented == 0 {
+            break;
+        }
+
+        // ---- Stage 3: rebuild the frontier (graft or destroy). ----
+        let active_x: usize = states
+            .iter()
+            .map(|s| {
+                s.root_x
+                    .iter()
+                    .filter(|&&r| r != NONE && !s.renewable.contains(&r))
+                    .count()
+            })
+            .sum();
+        let renewable_y: usize = states
+            .iter()
+            .map(|s| {
+                s.visited
+                    .iter()
+                    .zip(&s.root_y)
+                    .filter(|(&v, r)| v && s.renewable.contains(r))
+                    .count()
+            })
+            .sum();
+
+        if active_x as f64 > renewable_y as f64 / ALPHA {
+            // Graft: reset renewable Y vertices and probe their neighbors.
+            let out = compute_step(&mut states, empty_inboxes::<Msg>(ranks), |_, s, _| {
+                graft_reset_and_query(g, &py, &px, s, ranks)
+            });
+            stats.messages += out.iter().map(|o| o.len() as u64).sum::<u64>();
+            let inboxes = exchange(out);
+            stats.supersteps += 1;
+
+            let out = compute_step(&mut states, inboxes, |_, s, inbox| {
+                answer_adopt_queries(&px, &py, ranks, s, inbox)
+            });
+            stats.messages += out.iter().map(|o| o.len() as u64).sum::<u64>();
+            let inboxes = exchange(out);
+            stats.supersteps += 1;
+
+            let out = compute_step(&mut states, inboxes, |_, s, inbox| {
+                process_adopt_offers(g, &px, &py, ranks, s, inbox)
+            });
+            stats.messages += out.iter().map(|o| o.len() as u64).sum::<u64>();
+            let inboxes = exchange(out);
+            stats.supersteps += 1;
+
+            let out = compute_step(&mut states, inboxes, |_, s, inbox| {
+                process_adds(&px, s, inbox);
+                Outbox::new(ranks)
+            });
+            debug_assert!(out.iter().all(Outbox::is_empty));
+            stats.supersteps += 1;
+        } else {
+            // Destroy: local resets, restart from unmatched X vertices.
+            let out = compute_step(&mut states, empty_inboxes::<Msg>(ranks), |_, s, _| {
+                for v in s.visited.iter_mut() {
+                    *v = false;
+                }
+                for p in s.parent_y.iter_mut() {
+                    *p = NONE;
+                }
+                for r in s.root_y.iter_mut() {
+                    *r = NONE;
+                }
+                s.renewable.clear();
+                s.leaf.clear();
+                s.frontier.clear();
+                for local in 0..s.mate_x.len() {
+                    if s.mate_x[local] == NONE {
+                        let global = px.to_global(s.id, local);
+                        s.root_x[local] = global;
+                        s.frontier.push(global);
+                    } else {
+                        s.root_x[local] = NONE;
+                    }
+                }
+                Outbox::new(ranks)
+            });
+            debug_assert!(out.iter().all(Outbox::is_empty));
+            stats.supersteps += 1;
+        }
+    }
+
+    // Assemble the global matching from the slabs.
+    let mut gmx = Vec::with_capacity(g.num_x());
+    let mut gmy = Vec::with_capacity(g.num_y());
+    for s in &states {
+        gmx.extend_from_slice(&s.mate_x);
+        gmy.extend_from_slice(&s.mate_y);
+        stats.edges_traversed += s.edges;
+    }
+    DistOutcome {
+        matching: Matching::from_mates(gmx, gmy),
+        stats,
+    }
+}
+
+/// Stage A: scan the adjacency of every active frontier vertex.
+fn expand_frontier(g: &BipartiteCsr, py: &BlockPartition, s: &mut Rank) -> Outbox<Msg> {
+    let mut o = Outbox::new(py.ranks());
+    let frontier = std::mem::take(&mut s.frontier);
+    for x in frontier {
+        let local = x as usize - s.x_start;
+        let root = s.root_x[local];
+        if root == NONE || s.renewable.contains(&root) {
+            continue; // tree went renewable since x was enqueued
+        }
+        for &y in g.x_neighbors(x) {
+            s.edges += 1;
+            o.send(py.owner(y), Msg::Visit { y, from_x: x, root });
+        }
+    }
+    o
+}
+
+/// Stage B: `Y` owners resolve visit conflicts.
+fn process_visits(px: &BlockPartition, ranks: usize, s: &mut Rank, inbox: Vec<Msg>) -> Outbox<Msg> {
+    let mut o = Outbox::new(ranks);
+    let y_start = s.y_start;
+    for msg in inbox {
+        let Msg::Visit { y, from_x, root } = msg else {
+            unreachable!("stage B inbox carries only Visit messages");
+        };
+        if s.renewable.contains(&root) {
+            continue; // tree went renewable before delivery
+        }
+        let local = y as usize - y_start;
+        if s.visited[local] {
+            continue; // first deterministic visit won
+        }
+        s.visited[local] = true;
+        s.parent_y[local] = from_x;
+        s.root_y[local] = root;
+        let mate = s.mate_y[local];
+        if mate != NONE {
+            o.send(px.owner(mate), Msg::AddFrontier { x: mate, root });
+        } else {
+            o.broadcast(Msg::Renewable { root, leaf_y: y });
+        }
+    }
+    o
+}
+
+/// Stage C / G4: absorb AddFrontier and Renewable messages.
+fn process_adds(px: &BlockPartition, s: &mut Rank, inbox: Vec<Msg>) {
+    let x_start = s.x_start;
+    for msg in inbox {
+        match msg {
+            Msg::AddFrontier { x, root } => {
+                let local = x as usize - x_start;
+                s.root_x[local] = root;
+                s.frontier.push(x);
+            }
+            Msg::Renewable { root, leaf_y } => {
+                s.renewable.insert(root);
+                // Record the path end at the root's owner; last write wins
+                // (deterministic delivery order), one path per tree.
+                if px.range(s.id).contains(&(root as usize)) {
+                    s.leaf.insert(root, leaf_y);
+                }
+            }
+            _ => unreachable!("stage C inbox carries only AddFrontier/Renewable"),
+        }
+    }
+}
+
+/// Stage 2 worker: advance augmentation tokens one hop.
+fn process_augment(
+    px: &BlockPartition,
+    py: &BlockPartition,
+    ranks: usize,
+    s: &mut Rank,
+    inbox: Vec<Msg>,
+) -> Outbox<Msg> {
+    let mut o = Outbox::new(ranks);
+    let x_start = s.x_start;
+    let y_start = s.y_start;
+    for msg in inbox {
+        match msg {
+            Msg::AugAtY { y } => {
+                let local = y as usize - y_start;
+                let x = s.parent_y[local];
+                debug_assert_ne!(x, NONE, "augmenting path parent missing");
+                s.mate_y[local] = x;
+                o.send(px.owner(x), Msg::AugAtX { x, y });
+            }
+            Msg::AugAtX { x, y } => {
+                let local = x as usize - x_start;
+                let old = s.mate_x[local];
+                s.mate_x[local] = y;
+                if old == NONE {
+                    s.aug_done += 1; // token absorbed at the unmatched root
+                } else {
+                    o.send(py.owner(old), Msg::AugAtY { y: old });
+                }
+            }
+            _ => unreachable!("augment inbox carries only Aug* messages"),
+        }
+    }
+    o
+}
+
+/// Stage G1: reset renewable Y vertices and probe their neighbors.
+fn graft_reset_and_query(
+    g: &BipartiteCsr,
+    py: &BlockPartition,
+    px: &BlockPartition,
+    s: &mut Rank,
+    ranks: usize,
+) -> Outbox<Msg> {
+    let _ = py;
+    let mut o = Outbox::new(ranks);
+    let y_start = s.y_start;
+    for local in 0..s.visited.len() {
+        if !s.visited[local] || !s.renewable.contains(&s.root_y[local]) {
+            continue;
+        }
+        s.visited[local] = false;
+        s.parent_y[local] = NONE;
+        s.root_y[local] = NONE;
+        let y = (y_start + local) as VertexId;
+        for &x in g.y_neighbors(y) {
+            s.edges += 1;
+            o.send(px.owner(x), Msg::AdoptQuery { y, x });
+        }
+    }
+    o
+}
+
+/// Stage G2: owners of X vertices answer adoption queries for members of
+/// active trees.
+fn answer_adopt_queries(
+    px: &BlockPartition,
+    py: &BlockPartition,
+    ranks: usize,
+    s: &mut Rank,
+    inbox: Vec<Msg>,
+) -> Outbox<Msg> {
+    let _ = px;
+    let mut o = Outbox::new(ranks);
+    let x_start = s.x_start;
+    for msg in inbox {
+        let Msg::AdoptQuery { y, x } = msg else {
+            unreachable!("stage G2 inbox carries only AdoptQuery");
+        };
+        let local = x as usize - x_start;
+        let root = s.root_x[local];
+        if root != NONE && !s.renewable.contains(&root) {
+            o.send(py.owner(y), Msg::AdoptOffer { y, x, root });
+        }
+    }
+    o
+}
+
+/// Stage G3: grafted vertices pick the offer matching the serial scan
+/// order (smallest adjacency position) and enqueue their mates.
+fn process_adopt_offers(
+    g: &BipartiteCsr,
+    px: &BlockPartition,
+    py: &BlockPartition,
+    ranks: usize,
+    s: &mut Rank,
+    inbox: Vec<Msg>,
+) -> Outbox<Msg> {
+    let _ = py;
+    let mut o = Outbox::new(ranks);
+    let y_start = s.y_start;
+    // Collect the best offer per local y.
+    let mut best: HashMap<VertexId, (usize, VertexId, VertexId)> = HashMap::new();
+    for msg in inbox {
+        let Msg::AdoptOffer { y, x, root } = msg else {
+            unreachable!("stage G3 inbox carries only AdoptOffer");
+        };
+        let pos = g
+            .y_neighbors(y)
+            .binary_search(&x)
+            .expect("offer must come from a neighbor");
+        let entry = best.entry(y).or_insert((usize::MAX, NONE, NONE));
+        if pos < entry.0 {
+            *entry = (pos, x, root);
+        }
+    }
+    let mut chosen: Vec<(VertexId, VertexId, VertexId)> = best
+        .into_iter()
+        .map(|(y, (_, x, root))| (y, x, root))
+        .collect();
+    chosen.sort_unstable(); // deterministic processing order
+    for (y, x, root) in chosen {
+        let local = y as usize - y_start;
+        debug_assert!(!s.visited[local]);
+        s.visited[local] = true;
+        s.parent_y[local] = x;
+        s.root_y[local] = root;
+        let mate = s.mate_y[local];
+        if mate != NONE {
+            o.send(px.owner(mate), Msg::AddFrontier { x: mate, root });
+        } else {
+            // A free vertex can survive a renewable tree when several
+            // augmenting-path ends raced for the same tree (the benign
+            // `leaf` race of §III-B): adopting it discovers a new
+            // augmenting path immediately.
+            o.broadcast(Msg::Renewable { root, leaf_y: y });
+        }
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graft_core::verify::is_maximum;
+
+    fn chain(k: u32) -> BipartiteCsr {
+        let mut edges = Vec::new();
+        for i in 0..k {
+            edges.push((i, i));
+            if i > 0 {
+                edges.push((i, i - 1));
+            }
+        }
+        BipartiteCsr::from_edges(k as usize, k as usize, &edges)
+    }
+
+    #[test]
+    fn single_rank_simple() {
+        let g = BipartiteCsr::from_edges(2, 2, &[(0, 0), (1, 0), (1, 1)]);
+        let out = distributed_ms_bfs_graft(&g, Matching::for_graph(&g), 1);
+        assert_eq!(out.matching.cardinality(), 2);
+        assert!(is_maximum(&g, &out.matching));
+        assert!(out.stats.supersteps > 0);
+    }
+
+    #[test]
+    fn multi_rank_chain() {
+        let g = chain(60);
+        for ranks in [1, 2, 3, 7] {
+            let out = distributed_ms_bfs_graft(&g, Matching::for_graph(&g), ranks);
+            assert_eq!(out.matching.cardinality(), 60, "ranks={ranks}");
+            assert!(is_maximum(&g, &out.matching));
+        }
+    }
+
+    #[test]
+    fn adversarial_initial_matching() {
+        let g = chain(40);
+        let mut m0 = Matching::for_graph(&g);
+        for i in 1..40u32 {
+            m0.match_pair(i, i - 1);
+        }
+        let out = distributed_ms_bfs_graft(&g, m0, 4);
+        assert_eq!(out.matching.cardinality(), 40);
+        assert!(is_maximum(&g, &out.matching));
+        // A single path of length 79 walks root-ward one X-hop per
+        // superstep: supersteps must reflect the token passing.
+        assert!(out.stats.supersteps as usize >= 40);
+    }
+
+    #[test]
+    fn deficient_graph() {
+        let mut edges = Vec::new();
+        for x in 0..50u32 {
+            edges.push((x, x % 4));
+            edges.push((x, 4 + (x % 3)));
+        }
+        let g = BipartiteCsr::from_edges(50, 7, &edges);
+        let oracle = graft_core::hopcroft_karp(&g, Matching::for_graph(&g))
+            .matching
+            .cardinality();
+        let out = distributed_ms_bfs_graft(&g, Matching::for_graph(&g), 3);
+        assert_eq!(out.matching.cardinality(), oracle);
+        assert!(is_maximum(&g, &out.matching));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = chain(32);
+        let a = distributed_ms_bfs_graft(&g, Matching::for_graph(&g), 3);
+        let b = distributed_ms_bfs_graft(&g, Matching::for_graph(&g), 3);
+        assert_eq!(a.matching, b.matching);
+        assert_eq!(a.stats.messages, b.stats.messages);
+        assert_eq!(a.stats.supersteps, b.stats.supersteps);
+    }
+
+    #[test]
+    fn rank_count_does_not_change_cardinality() {
+        let mut edges = Vec::new();
+        for x in 0..45u32 {
+            edges.push((x, (x * 7) % 30));
+            edges.push((x, (x * 11 + 3) % 30));
+        }
+        let g = BipartiteCsr::from_edges(45, 30, &edges);
+        let base = distributed_ms_bfs_graft(&g, Matching::for_graph(&g), 1)
+            .matching
+            .cardinality();
+        for ranks in [2, 4, 5, 9] {
+            let c = distributed_ms_bfs_graft(&g, Matching::for_graph(&g), ranks)
+                .matching
+                .cardinality();
+            assert_eq!(c, base, "ranks={ranks}");
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let g = BipartiteCsr::from_edges(0, 0, &[]);
+        let out = distributed_ms_bfs_graft(&g, Matching::for_graph(&g), 2);
+        assert_eq!(out.matching.cardinality(), 0);
+        let g = BipartiteCsr::from_edges(5, 5, &[]);
+        let out = distributed_ms_bfs_graft(&g, Matching::for_graph(&g), 2);
+        assert_eq!(out.matching.cardinality(), 0);
+    }
+
+    #[test]
+    fn starts_from_perfect_matching() {
+        let g = BipartiteCsr::from_edges(3, 3, &[(0, 0), (1, 1), (2, 2)]);
+        let mut m0 = Matching::for_graph(&g);
+        m0.match_pair(0, 0);
+        m0.match_pair(1, 1);
+        m0.match_pair(2, 2);
+        let out = distributed_ms_bfs_graft(&g, m0, 2);
+        assert_eq!(out.matching.cardinality(), 3);
+        assert_eq!(out.stats.augmenting_paths, 0);
+        assert_eq!(out.stats.phases, 1);
+    }
+}

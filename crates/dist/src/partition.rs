@@ -1,0 +1,140 @@
+//! 1D block partitioning of vertex id spaces across ranks.
+
+use graft_graph::VertexId;
+
+/// A contiguous block partition of `0..n` into `ranks` slabs whose sizes
+/// differ by at most one (the standard `n/p` distribution of distributed
+/// BFS codes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockPartition {
+    n: usize,
+    ranks: usize,
+    /// `starts[r]..starts[r+1]` is rank r's slab.
+    starts: Vec<usize>,
+}
+
+impl BlockPartition {
+    /// Partitions `0..n` over `ranks` ranks. Panics if `ranks == 0`.
+    pub fn new(n: usize, ranks: usize) -> Self {
+        assert!(ranks > 0, "at least one rank required");
+        let base = n / ranks;
+        let extra = n % ranks;
+        let mut starts = Vec::with_capacity(ranks + 1);
+        let mut acc = 0usize;
+        starts.push(0);
+        for r in 0..ranks {
+            acc += base + usize::from(r < extra);
+            starts.push(acc);
+        }
+        Self { n, ranks, starts }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the partition covers no elements.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// The owner rank of global id `v`.
+    #[inline]
+    pub fn owner(&self, v: VertexId) -> usize {
+        debug_assert!((v as usize) < self.n);
+        // Slab sizes differ by at most one, so the owner is found by
+        // direct arithmetic on the two slab sizes.
+        let v = v as usize;
+        let base = self.n / self.ranks;
+        let extra = self.n % self.ranks;
+        let big = (base + 1) * extra; // elements covered by the big slabs
+        if base == 0 {
+            // Every element sits in one of the first `extra` slabs.
+            return v;
+        }
+        if v < big {
+            v / (base + 1)
+        } else {
+            extra + (v - big) / base
+        }
+    }
+
+    /// Rank r's slab as a global-id range.
+    #[inline]
+    pub fn range(&self, rank: usize) -> std::ops::Range<usize> {
+        self.starts[rank]..self.starts[rank + 1]
+    }
+
+    /// Converts a global id to rank-local offset (caller must own it).
+    #[inline]
+    pub fn to_local(&self, rank: usize, v: VertexId) -> usize {
+        debug_assert_eq!(self.owner(v), rank, "vertex {v} not owned by rank {rank}");
+        v as usize - self.starts[rank]
+    }
+
+    /// Converts a rank-local offset back to the global id.
+    #[inline]
+    pub fn to_global(&self, rank: usize, local: usize) -> VertexId {
+        (self.starts[rank] + local) as VertexId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_partition() {
+        let p = BlockPartition::new(12, 4);
+        assert_eq!(p.range(0), 0..3);
+        assert_eq!(p.range(3), 9..12);
+        assert_eq!(p.owner(0), 0);
+        assert_eq!(p.owner(11), 3);
+    }
+
+    #[test]
+    fn uneven_partition() {
+        let p = BlockPartition::new(10, 4);
+        // 3,3,2,2
+        assert_eq!(p.range(0), 0..3);
+        assert_eq!(p.range(1), 3..6);
+        assert_eq!(p.range(2), 6..8);
+        assert_eq!(p.range(3), 8..10);
+        for v in 0..10u32 {
+            let o = p.owner(v);
+            assert!(p.range(o).contains(&(v as usize)), "owner of {v} wrong");
+        }
+    }
+
+    #[test]
+    fn more_ranks_than_elements() {
+        let p = BlockPartition::new(2, 5);
+        assert_eq!(p.range(0), 0..1);
+        assert_eq!(p.range(1), 1..2);
+        assert_eq!(p.range(4), 2..2);
+        assert_eq!(p.owner(0), 0);
+        assert_eq!(p.owner(1), 1);
+    }
+
+    #[test]
+    fn local_global_roundtrip() {
+        let p = BlockPartition::new(17, 3);
+        for v in 0..17u32 {
+            let r = p.owner(v);
+            assert_eq!(p.to_global(r, p.to_local(r, v)), v);
+        }
+    }
+
+    #[test]
+    fn empty_partition() {
+        let p = BlockPartition::new(0, 3);
+        assert!(p.is_empty());
+        assert_eq!(p.range(0), 0..0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Iterative Tarjan strongly-connected components on a CSR digraph.
+
+/// Computes the strongly connected components of a digraph given as CSR
+/// (`ptr.len() == n + 1`, `adj` holds successor ids).
+///
+/// Returns the components as vertex lists in **reverse topological order**
+/// (Tarjan's emission order: a component is finished only after everything
+/// it reaches), so callers wanting sources-first iterate in reverse.
+///
+/// Fully iterative — the square blocks of real BTF problems can be deep —
+/// and `O(n + m)`.
+pub fn strongly_connected_components(n: usize, ptr: &[usize], adj: &[u32]) -> Vec<Vec<u32>> {
+    assert_eq!(ptr.len(), n + 1, "ptr must have n+1 entries");
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n]; // discovery index
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new(); // Tarjan's component stack
+    let mut components = Vec::new();
+    let mut counter: u32 = 0;
+
+    // DFS frames: (vertex, next successor offset).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    for start in 0..n as u32 {
+        if index[start as usize] != UNSET {
+            continue;
+        }
+        frames.push((start, ptr[start as usize]));
+        index[start as usize] = counter;
+        lowlink[start as usize] = counter;
+        counter += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(frame) = frames.last_mut() {
+            let v = frame.0;
+            if frame.1 < ptr[v as usize + 1] {
+                let w = adj[frame.1];
+                frame.1 += 1;
+                if index[w as usize] == UNSET {
+                    // Tree edge: descend.
+                    frames.push((w, ptr[w as usize]));
+                    index[w as usize] = counter;
+                    lowlink[w as usize] = counter;
+                    counter += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                // v finished: pop frame, propagate lowlink, maybe emit SCC.
+                frames.pop();
+                if let Some(parent) = frames.last() {
+                    let p = parent.0 as usize;
+                    lowlink[p] = lowlink[p].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("component stack underflow");
+                        on_stack[w as usize] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(comp);
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csr(n: usize, edges: &[(u32, u32)]) -> (Vec<usize>, Vec<u32>) {
+        let mut ptr = vec![0usize; n + 1];
+        for &(u, _) in edges {
+            ptr[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            ptr[i + 1] += ptr[i];
+        }
+        let mut adj = vec![0u32; edges.len()];
+        let mut cur = ptr.clone();
+        for &(u, v) in edges {
+            adj[cur[u as usize]] = v;
+            cur[u as usize] += 1;
+        }
+        (ptr, adj)
+    }
+
+    fn normalize(mut comps: Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+        for c in &mut comps {
+            c.sort_unstable();
+        }
+        comps.sort();
+        comps
+    }
+
+    #[test]
+    fn single_cycle() {
+        let (ptr, adj) = csr(3, &[(0, 1), (1, 2), (2, 0)]);
+        let c = strongly_connected_components(3, &ptr, &adj);
+        assert_eq!(c.len(), 1);
+        assert_eq!(normalize(c), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn dag_gives_singletons_in_reverse_topo() {
+        let (ptr, adj) = csr(4, &[(0, 1), (1, 2), (2, 3)]);
+        let c = strongly_connected_components(4, &ptr, &adj);
+        assert_eq!(c.len(), 4);
+        // Reverse topological: sinks first.
+        assert_eq!(c[0], vec![3]);
+        assert_eq!(c[3], vec![0]);
+    }
+
+    #[test]
+    fn two_cycles_with_bridge() {
+        let (ptr, adj) = csr(6, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 2), (4, 5)]);
+        let c = strongly_connected_components(6, &ptr, &adj);
+        assert_eq!(c.len(), 3);
+        let n = normalize(c.clone());
+        assert!(n.contains(&vec![0, 1]));
+        assert!(n.contains(&vec![2, 3, 4]));
+        assert!(n.contains(&vec![5]));
+        // Reverse topo: {5} must be emitted before {2,3,4}, which precedes {0,1}.
+        let pos = |needle: &[u32]| {
+            c.iter().position(|comp| {
+                let mut s = comp.clone();
+                s.sort_unstable();
+                s == needle
+            })
+        };
+        assert!(pos(&[5]) < pos(&[2, 3, 4]));
+        assert!(pos(&[2, 3, 4]) < pos(&[0, 1]));
+    }
+
+    #[test]
+    fn self_loop_and_isolated() {
+        let (ptr, adj) = csr(3, &[(1, 1)]);
+        let c = strongly_connected_components(3, &ptr, &adj);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let (ptr, adj) = csr(0, &[]);
+        assert!(strongly_connected_components(0, &ptr, &adj).is_empty());
+    }
+
+    #[test]
+    fn deep_chain_no_stack_overflow() {
+        let n = 200_000;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let (ptr, adj) = csr(n, &edges);
+        let c = strongly_connected_components(n, &ptr, &adj);
+        assert_eq!(c.len(), n);
+    }
+
+    #[test]
+    fn every_vertex_in_exactly_one_component() {
+        let (ptr, adj) = csr(
+            8,
+            &[
+                (0, 1),
+                (1, 0),
+                (2, 3),
+                (3, 2),
+                (1, 2),
+                (4, 5),
+                (5, 6),
+                (6, 4),
+                (7, 7),
+            ],
+        );
+        let c = strongly_connected_components(8, &ptr, &adj);
+        let mut seen = [0u32; 8];
+        for comp in &c {
+            for &v in comp {
+                seen[v as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&s| s == 1));
+    }
+}

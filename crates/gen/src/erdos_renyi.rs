@@ -1,0 +1,59 @@
+//! Uniform random bipartite graphs.
+
+use graft_graph::{BipartiteCsr, GraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `G(nx, ny, m)`: `m` edges sampled uniformly at random (with rejection
+/// of duplicates left to CSR normalization — the generator oversamples by
+/// the expected collision count so the edge total lands near `m`).
+///
+/// Random bipartite graphs with mean degree above the `e` threshold have
+/// near-perfect matchings (Erdős–Rényi theory), making this a good
+/// smoke-test workload; it is also the base noise model mixed into the
+/// suite's analogs.
+pub fn erdos_renyi(nx: usize, ny: usize, m: usize, seed: u64) -> BipartiteCsr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(nx, ny, m);
+    if nx == 0 || ny == 0 {
+        return b.build();
+    }
+    for _ in 0..m {
+        let x = rng.gen_range(0..nx) as VertexId;
+        let y = rng.gen_range(0..ny) as VertexId;
+        b.add_edge(x, y);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_validity() {
+        let g = erdos_renyi(100, 120, 500, 7);
+        assert_eq!(g.num_x(), 100);
+        assert_eq!(g.num_y(), 120);
+        assert!(g.num_edges() <= 500);
+        assert!(
+            g.num_edges() > 450,
+            "few duplicates expected at this density"
+        );
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(erdos_renyi(50, 50, 200, 3), erdos_renyi(50, 50, 200, 3));
+        assert_ne!(erdos_renyi(50, 50, 200, 3), erdos_renyi(50, 50, 200, 4));
+    }
+
+    #[test]
+    fn empty_sides() {
+        let g = erdos_renyi(0, 10, 100, 1);
+        assert_eq!(g.num_edges(), 0);
+        let g = erdos_renyi(10, 0, 100, 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Adversarial instances: graphs engineered to stress specific parts of
+//! the matching algorithms, used by the edge-case tests and ablation
+//! benches.
+//!
+//! * [`long_chain`] — forces a single augmenting path of length `2k−1`
+//!   (the worst case for Fig. 1c's path-length metric and for the
+//!   token-passing augmentation of the distributed engine);
+//! * [`crown`] — the classic greedy trap: first-fit matches the crown
+//!   edges and every repair needs a length-3 augmenting path;
+//! * [`hub_contention`] — many sources racing for a few targets,
+//!   maximizing visited-flag contention in the parallel engines;
+//! * [`comb`] — a comb of long teeth: many simultaneous long disjoint
+//!   augmenting paths (stress for the parallel augmentation step);
+//! * [`grid_ladder`] — long even cycles that force Hopcroft-Karp into
+//!   many increasing-length phases.
+
+use graft_graph::{BipartiteCsr, GraphBuilder, VertexId};
+
+/// A chain `x₀-y₀-x₁-y₁-…` of `k` diagonal plus `k−1` sub-diagonal edges.
+/// With the adversarial matching `{(xᵢ, yᵢ₋₁)}` (see
+/// [`long_chain_adversarial_matching`]) exactly one augmenting path
+/// exists and it has length `2k−1`.
+pub fn long_chain(k: usize) -> BipartiteCsr {
+    let mut b = GraphBuilder::with_capacity(k, k, 2 * k);
+    for i in 0..k as VertexId {
+        b.add_edge(i, i);
+        if i > 0 {
+            b.add_edge(i, i - 1);
+        }
+    }
+    b.build()
+}
+
+/// The sub-diagonal matching that maximizes the augmenting-path length of
+/// [`long_chain`]: `(xᵢ, yᵢ₋₁)` for `i ≥ 1`, leaving `x₀` and `y_{k−1}`
+/// free at opposite ends.
+pub fn long_chain_adversarial_matching(k: usize) -> Vec<(VertexId, VertexId)> {
+    (1..k as VertexId).map(|i| (i, i - 1)).collect()
+}
+
+/// A crown graph-ish trap with `2k` vertices per side: pairs
+/// `(x_{2i}, x_{2i+1})` share `y_{2i}`, and only `x_{2i}` can reach the
+/// private `y_{2i+1}`. First-fit greedy (scanning neighbors in sorted
+/// order) matches `x_{2i}` to the shared vertex, forcing a repair path
+/// for every pair — the maximum matching is perfect.
+pub fn crown(k: usize) -> BipartiteCsr {
+    let n = 2 * k;
+    let mut b = GraphBuilder::with_capacity(n, n, 3 * k);
+    for i in 0..k as VertexId {
+        let shared = 2 * i;
+        let private = 2 * i + 1;
+        b.add_edge(2 * i, shared);
+        b.add_edge(2 * i, private);
+        b.add_edge(2 * i + 1, shared);
+    }
+    b.build()
+}
+
+/// `nx` sources all adjacent to the same `hubs` targets: maximum matching
+/// is `hubs`, and every parallel algorithm funnels its claims through the
+/// same cache lines.
+pub fn hub_contention(nx: usize, hubs: usize) -> BipartiteCsr {
+    let mut b = GraphBuilder::with_capacity(nx, hubs, nx * hubs);
+    for x in 0..nx as VertexId {
+        for y in 0..hubs as VertexId {
+            b.add_edge(x, y);
+        }
+    }
+    b.build()
+}
+
+/// `teeth` vertex-disjoint chains of length `2·tooth_len − 1` sharing
+/// nothing: with the adversarial initial matching (every chain shifted),
+/// one phase must discover and augment `teeth` long paths concurrently.
+pub fn comb(teeth: usize, tooth_len: usize) -> BipartiteCsr {
+    let n = teeth * tooth_len;
+    let mut b = GraphBuilder::with_capacity(n, n, 2 * n);
+    for t in 0..teeth {
+        let base = (t * tooth_len) as VertexId;
+        for i in 0..tooth_len as VertexId {
+            b.add_edge(base + i, base + i);
+            if i > 0 {
+                b.add_edge(base + i, base + i - 1);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The shifted matching leaving one free vertex at each end of every
+/// tooth of [`comb`].
+pub fn comb_adversarial_matching(teeth: usize, tooth_len: usize) -> Vec<(VertexId, VertexId)> {
+    let mut m = Vec::new();
+    for t in 0..teeth {
+        let base = (t * tooth_len) as VertexId;
+        for i in 1..tooth_len as VertexId {
+            m.push((base + i, base + i - 1));
+        }
+    }
+    m
+}
+
+/// A `rows × 2` ladder of 4-cycles chained together: even cycles
+/// everywhere, so augmenting paths grow by at least 2 per Hopcroft-Karp
+/// phase when started from the "rung" matching.
+pub fn grid_ladder(rows: usize) -> BipartiteCsr {
+    // x_i adjacent to y_i and y_{i+1} (mod rows): a single even cycle of
+    // length 2·rows.
+    let mut b = GraphBuilder::with_capacity(rows, rows, 2 * rows);
+    for i in 0..rows as VertexId {
+        b.add_edge(i, i);
+        b.add_edge(i, (i + 1) % rows as VertexId);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_chain_structure() {
+        let g = long_chain(10);
+        assert_eq!(g.num_edges(), 19);
+        let m = long_chain_adversarial_matching(10);
+        assert_eq!(m.len(), 9);
+        for &(x, y) in &m {
+            assert!(g.has_edge(x, y));
+        }
+    }
+
+    #[test]
+    fn crown_has_perfect_matching_structure() {
+        let g = crown(5);
+        assert_eq!(g.num_x(), 10);
+        assert_eq!(g.num_edges(), 15);
+        // Every even x has degree 2, every odd x degree 1.
+        for i in 0..5u32 {
+            assert_eq!(g.x_degree(2 * i), 2);
+            assert_eq!(g.x_degree(2 * i + 1), 1);
+        }
+    }
+
+    #[test]
+    fn hub_contention_dimensions() {
+        let g = hub_contention(50, 3);
+        assert_eq!(g.num_edges(), 150);
+        assert_eq!(g.y_degree(0), 50);
+    }
+
+    #[test]
+    fn comb_teeth_are_disjoint() {
+        let g = comb(4, 5);
+        assert_eq!(g.num_x(), 20);
+        // No edges cross tooth boundaries.
+        for (x, y) in g.edges() {
+            assert_eq!(x / 5, y / 5, "edge ({x},{y}) crosses teeth");
+        }
+        let m = comb_adversarial_matching(4, 5);
+        assert_eq!(m.len(), 16);
+    }
+
+    #[test]
+    fn grid_ladder_is_single_cycle() {
+        let g = grid_ladder(8);
+        assert_eq!(g.num_edges(), 16);
+        for x in 0..8u32 {
+            assert_eq!(g.x_degree(x), 2);
+            assert_eq!(g.y_degree(x), 2);
+        }
+    }
+}

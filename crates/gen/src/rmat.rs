@@ -1,0 +1,139 @@
+//! RMAT (recursive matrix) generator, the Graph500 workload the paper's
+//! Table II lists as its synthetic skewed-degree instance.
+
+use graft_graph::{BipartiteCsr, GraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Quadrant probabilities of the recursive descent.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability (`1 - a - b - c`).
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// The Graph500 reference parameters (0.57, 0.19, 0.19, 0.05), which
+    /// produce the skewed degree distribution the paper mentions (§IV-B).
+    pub fn graph500() -> Self {
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
+    }
+
+    /// Uniform quadrants: degenerates to an Erdős–Rényi-like graph.
+    pub fn uniform() -> Self {
+        Self {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            d: 0.25,
+        }
+    }
+}
+
+/// Generates a `2^scale_x × 2^scale_y` RMAT bipartite graph with `m`
+/// sampled edges (duplicates merged by CSR normalization, as in the
+/// Graph500 reference code).
+pub fn rmat(scale_x: u32, scale_y: u32, m: usize, params: RmatParams, seed: u64) -> BipartiteCsr {
+    assert!(
+        scale_x < 31 && scale_y < 31,
+        "scale too large for u32 vertex ids"
+    );
+    let nx = 1usize << scale_x;
+    let ny = 1usize << scale_y;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(nx, ny, m);
+    let RmatParams { a, b, c, .. } = params;
+    for _ in 0..m {
+        let mut x = 0usize;
+        let mut y = 0usize;
+        let depth = scale_x.max(scale_y);
+        for lvl in 0..depth {
+            // When one dimension is exhausted, collapse the choice onto
+            // the other axis (rectangular RMAT).
+            let split_x = lvl < scale_x;
+            let split_y = lvl < scale_y;
+            let r: f64 = rng.gen();
+            let (right, down) = if r < a {
+                (false, false)
+            } else if r < a + b {
+                (true, false)
+            } else if r < a + b + c {
+                (false, true)
+            } else {
+                (true, true)
+            };
+            if split_x {
+                x = (x << 1) | usize::from(down);
+            }
+            if split_y {
+                y = (y << 1) | usize::from(right);
+            }
+        }
+        builder.add_edge(x as VertexId, y as VertexId);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graft_graph::DegreeStats;
+
+    #[test]
+    fn dimensions() {
+        let g = rmat(6, 6, 500, RmatParams::graph500(), 1);
+        assert_eq!(g.num_x(), 64);
+        assert_eq!(g.num_y(), 64);
+        assert!(g.num_edges() <= 500);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn rectangular_dimensions() {
+        let g = rmat(5, 7, 400, RmatParams::graph500(), 2);
+        assert_eq!(g.num_x(), 32);
+        assert_eq!(g.num_y(), 128);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn graph500_params_are_skewed() {
+        // Graph500 quadrant weights concentrate edges on low ids: the
+        // degree distribution must be visibly more skewed than uniform.
+        let skewed = rmat(9, 9, 4000, RmatParams::graph500(), 3);
+        let uniform = rmat(9, 9, 4000, RmatParams::uniform(), 3);
+        let s_skew = DegreeStats::x_side(&skewed).skew();
+        let s_uni = DegreeStats::x_side(&uniform).skew();
+        assert!(
+            s_skew > 1.5 * s_uni,
+            "expected heavier tail: skewed cv={s_skew:.3} uniform cv={s_uni:.3}"
+        );
+        // Skewed RMAT leaves many vertices isolated — the low-matching
+        // property class 3 relies on.
+        assert!(DegreeStats::x_side(&skewed).isolated > DegreeStats::x_side(&uniform).isolated);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rmat(7, 7, 1000, RmatParams::graph500(), 42);
+        let b = rmat(7, 7, 1000, RmatParams::graph500(), 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn params_sum_check() {
+        let p = RmatParams::graph500();
+        assert!((p.a + p.b + p.c + p.d - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,310 @@
+//! The experiment suite: one seeded synthetic analog per input graph of
+//! the paper's Table II, organized in the paper's three classes.
+//!
+//! | paper graph | class | analog here |
+//! |---|---|---|
+//! | kkt_power | scientific | banded KKT-style matrix |
+//! | delaunay | scientific | 5-point stencil grid |
+//! | hugetrace | scientific | 7-point 3D stencil |
+//! | road_usa | scientific/road | degraded 2D mesh |
+//! | cit-Patents | scale-free | preferential attachment (sparse) |
+//! | amazon0312 | scale-free | preferential attachment (medium) |
+//! | coPapersDBLP | scale-free | preferential attachment (dense) |
+//! | RMAT | scale-free | Graph500 RMAT |
+//! | wikipedia | web / low matching | web-crawl analog |
+//! | web-Google | web / low matching | web-crawl analog (milder) |
+//! | wb-edu | web / low matching | web-crawl analog (extreme hubs) |
+//!
+//! The analogs are sized by a [`Scale`] factor so tests stay fast while
+//! the benchmark harness can approach paper-scale instances. Each entry's
+//! *measured* matching number is reported by the `table2` experiment,
+//! which is how we check the analog lands in the intended class.
+
+use crate::{
+    banded, grid2d, grid3d, preferential_attachment, rmat, road_network, web_crawl, RmatParams,
+    Scale, WebCrawlParams,
+};
+use graft_graph::BipartiteCsr;
+
+/// The paper's three input classes (§IV-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GraphClass {
+    /// Scientific computing & road networks: bounded degree, matching
+    /// number ≈ 1.
+    Scientific,
+    /// Scale-free graphs: heavy-tailed degrees.
+    ScaleFree,
+    /// Web crawls and other graphs with low matching number.
+    Web,
+}
+
+impl GraphClass {
+    /// Display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphClass::Scientific => "scientific",
+            GraphClass::ScaleFree => "scale-free",
+            GraphClass::Web => "web/low-matching",
+        }
+    }
+}
+
+/// A named suite instance.
+#[derive(Clone, Copy, Debug)]
+pub struct SuiteEntry {
+    /// Name of the paper input this instance stands in for.
+    pub name: &'static str,
+    /// Structural class.
+    pub class: GraphClass,
+    /// Short description of the generator configuration.
+    pub analog: &'static str,
+    seed: u64,
+    kind: Kind,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Kind {
+    KktPower,
+    Delaunay,
+    HugeTrace,
+    RoadUsa,
+    CitPatents,
+    Amazon,
+    CoPapersDblp,
+    Rmat,
+    Wikipedia,
+    WebGoogle,
+    WbEdu,
+}
+
+/// Integer square root scaling for 2D grids.
+fn sqrt_factor(f: usize) -> usize {
+    (f as f64).sqrt().round().max(1.0) as usize
+}
+
+/// Integer cube root scaling for 3D grids.
+fn cbrt_factor(f: usize) -> usize {
+    (f as f64).cbrt().round().max(1.0) as usize
+}
+
+impl SuiteEntry {
+    /// Builds the instance at the given scale.
+    pub fn build(&self, scale: Scale) -> BipartiteCsr {
+        let f = scale.factor();
+        match self.kind {
+            Kind::KktPower => banded(1500 * f, 20, 6, self.seed),
+            Kind::Delaunay => {
+                let s = 40 * sqrt_factor(f);
+                grid2d(s, s)
+            }
+            Kind::HugeTrace => {
+                let s = 12 * cbrt_factor(f);
+                grid3d(s, s, s)
+            }
+            Kind::RoadUsa => {
+                let s = 45 * sqrt_factor(f);
+                road_network(s, s, 0.88, self.seed)
+            }
+            Kind::CitPatents => preferential_attachment(2000 * f, 2000 * f, 5, 0.55, self.seed),
+            Kind::Amazon => preferential_attachment(1800 * f, 1800 * f, 4, 0.65, self.seed),
+            Kind::CoPapersDblp => preferential_attachment(1200 * f, 1200 * f, 12, 0.7, self.seed),
+            Kind::Rmat => {
+                // 2^scale with ~8 edges per vertex, Graph500 parameters.
+                let log_f = (f as f64).log2().round() as u32;
+                let sc = 11 + log_f;
+                rmat(sc, sc, 8 << sc, RmatParams::graph500(), self.seed)
+            }
+            Kind::Wikipedia => web_crawl(
+                WebCrawlParams {
+                    nx: 2500 * f,
+                    ny: 2500 * f,
+                    degree_exponent: 1.7,
+                    max_degree: 96,
+                    hub_bias: 0.8,
+                    hub_fraction: 0.03,
+                },
+                self.seed,
+            ),
+            Kind::WebGoogle => web_crawl(
+                WebCrawlParams {
+                    nx: 2200 * f,
+                    ny: 2200 * f,
+                    degree_exponent: 1.9,
+                    max_degree: 64,
+                    hub_bias: 0.7,
+                    hub_fraction: 0.05,
+                },
+                self.seed,
+            ),
+            Kind::WbEdu => web_crawl(
+                WebCrawlParams {
+                    nx: 2600 * f,
+                    ny: 2600 * f,
+                    degree_exponent: 1.6,
+                    max_degree: 128,
+                    hub_bias: 0.92,
+                    hub_fraction: 0.01,
+                },
+                self.seed,
+            ),
+        }
+    }
+}
+
+/// The full suite in Table II order: scientific, scale-free, web.
+pub fn suite() -> Vec<SuiteEntry> {
+    vec![
+        SuiteEntry {
+            name: "kkt_power",
+            class: GraphClass::Scientific,
+            analog: "banded matrix, bandwidth 20, 7 nnz/row",
+            seed: 101,
+            kind: Kind::KktPower,
+        },
+        SuiteEntry {
+            name: "delaunay",
+            class: GraphClass::Scientific,
+            analog: "5-point stencil grid",
+            seed: 102,
+            kind: Kind::Delaunay,
+        },
+        SuiteEntry {
+            name: "hugetrace",
+            class: GraphClass::Scientific,
+            analog: "7-point 3D stencil",
+            seed: 103,
+            kind: Kind::HugeTrace,
+        },
+        SuiteEntry {
+            name: "road_usa",
+            class: GraphClass::Scientific,
+            analog: "2D mesh, 12% edges removed, no diagonal",
+            seed: 104,
+            kind: Kind::RoadUsa,
+        },
+        SuiteEntry {
+            name: "cit-Patents",
+            class: GraphClass::ScaleFree,
+            analog: "preferential attachment, 5 edges/vertex, pref 0.55",
+            seed: 201,
+            kind: Kind::CitPatents,
+        },
+        SuiteEntry {
+            name: "amazon0312",
+            class: GraphClass::ScaleFree,
+            analog: "preferential attachment, 4 edges/vertex, pref 0.65",
+            seed: 202,
+            kind: Kind::Amazon,
+        },
+        SuiteEntry {
+            name: "coPapersDBLP",
+            class: GraphClass::ScaleFree,
+            analog: "preferential attachment, 12 edges/vertex, pref 0.70",
+            seed: 203,
+            kind: Kind::CoPapersDblp,
+        },
+        SuiteEntry {
+            name: "RMAT",
+            class: GraphClass::ScaleFree,
+            analog: "Graph500 RMAT (0.57,0.19,0.19,0.05), 8 edges/vertex",
+            seed: 204,
+            kind: Kind::Rmat,
+        },
+        SuiteEntry {
+            name: "wikipedia",
+            class: GraphClass::Web,
+            analog: "web crawl, exponent 1.7, 3% hubs @ 80% bias",
+            seed: 301,
+            kind: Kind::Wikipedia,
+        },
+        SuiteEntry {
+            name: "web-Google",
+            class: GraphClass::Web,
+            analog: "web crawl, exponent 1.9, 5% hubs @ 70% bias",
+            seed: 302,
+            kind: Kind::WebGoogle,
+        },
+        SuiteEntry {
+            name: "wb-edu",
+            class: GraphClass::Web,
+            analog: "web crawl, exponent 1.6, 1% hubs @ 92% bias",
+            seed: 303,
+            kind: Kind::WbEdu,
+        },
+    ]
+}
+
+/// Looks up a suite entry by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<SuiteEntry> {
+    suite()
+        .into_iter()
+        .find(|e| e.name.eq_ignore_ascii_case(name))
+}
+
+/// The three representative graphs of Fig. 1 (one per class): kkt_power,
+/// cit-Patents, wikipedia.
+pub fn fig1_graphs() -> Vec<SuiteEntry> {
+    ["kkt_power", "cit-Patents", "wikipedia"]
+        .iter()
+        .map(|n| by_name(n).expect("fig1 graph registered"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_eleven_entries_in_three_classes() {
+        let s = suite();
+        assert_eq!(s.len(), 11);
+        for class in [
+            GraphClass::Scientific,
+            GraphClass::ScaleFree,
+            GraphClass::Web,
+        ] {
+            assert!(
+                s.iter().filter(|e| e.class == class).count() >= 3,
+                "{class:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let s = suite();
+        let mut names: Vec<_> = s.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), s.len());
+    }
+
+    #[test]
+    fn all_entries_build_at_tiny_scale() {
+        for e in suite() {
+            let g = e.build(Scale::Tiny);
+            assert!(g.num_x() > 0, "{} empty", e.name);
+            assert!(g.num_edges() > 0, "{} has no edges", e.name);
+            assert!(g.validate().is_ok(), "{} invalid", e.name);
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let e = by_name("wikipedia").unwrap();
+        assert_eq!(e.build(Scale::Tiny), e.build(Scale::Tiny));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("KKT_POWER").is_some());
+        assert!(by_name("nonexistent").is_none());
+        assert_eq!(fig1_graphs().len(), 3);
+    }
+
+    #[test]
+    fn small_scale_is_larger() {
+        let e = by_name("delaunay").unwrap();
+        assert!(e.build(Scale::Small).num_x() > e.build(Scale::Tiny).num_x());
+    }
+}

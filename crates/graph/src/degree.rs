@@ -1,0 +1,183 @@
+//! Degree statistics and histograms.
+//!
+//! The paper's Table II characterizes each input by size and class
+//! (scientific / scale-free / web). The generators in `graft-gen` use these
+//! statistics in tests to confirm that each synthetic analog lands in the
+//! intended structural class (e.g. bounded-degree grids vs. heavy-tailed
+//! scale-free graphs).
+
+use crate::{BipartiteCsr, VertexId};
+
+/// Summary statistics of one side's degree sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Number of vertices on this side.
+    pub n: usize,
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Sample standard deviation of the degrees.
+    pub std_dev: f64,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: usize,
+}
+
+impl DegreeStats {
+    fn from_degrees(degrees: impl Iterator<Item = usize> + Clone) -> Self {
+        let n = degrees.clone().count();
+        if n == 0 {
+            return Self {
+                n: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                isolated: 0,
+            };
+        }
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut sum = 0usize;
+        let mut isolated = 0usize;
+        for d in degrees.clone() {
+            min = min.min(d);
+            max = max.max(d);
+            sum += d;
+            if d == 0 {
+                isolated += 1;
+            }
+        }
+        let mean = sum as f64 / n as f64;
+        let var = degrees.map(|d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        Self {
+            n,
+            min,
+            max,
+            mean,
+            std_dev: var.sqrt(),
+            isolated,
+        }
+    }
+
+    /// Statistics of the `X` side of `g`.
+    pub fn x_side(g: &BipartiteCsr) -> Self {
+        Self::from_degrees((0..g.num_x()).map(|x| g.x_degree(x as VertexId)))
+    }
+
+    /// Statistics of the `Y` side of `g`.
+    pub fn y_side(g: &BipartiteCsr) -> Self {
+        Self::from_degrees((0..g.num_y()).map(|y| g.y_degree(y as VertexId)))
+    }
+
+    /// Coefficient of variation (σ/μ); large values indicate skew.
+    pub fn skew(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+/// Log₂-bucketed degree histogram: bucket `i` counts vertices with degree
+/// in `[2^(i-1)+1, 2^i]`, bucket 0 counts isolated vertices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegreeHistogram {
+    buckets: Vec<usize>,
+}
+
+impl DegreeHistogram {
+    /// Histogram of the `X` side of `g`.
+    pub fn x_side(g: &BipartiteCsr) -> Self {
+        Self::from_degrees((0..g.num_x()).map(|x| g.x_degree(x as VertexId)))
+    }
+
+    /// Histogram of the `Y` side of `g`.
+    pub fn y_side(g: &BipartiteCsr) -> Self {
+        Self::from_degrees((0..g.num_y()).map(|y| g.y_degree(y as VertexId)))
+    }
+
+    fn from_degrees(degrees: impl Iterator<Item = usize>) -> Self {
+        let mut buckets = Vec::new();
+        for d in degrees {
+            let b = if d == 0 {
+                0
+            } else {
+                (usize::BITS - (d - 1).leading_zeros()) as usize + 1
+            };
+            if b >= buckets.len() {
+                buckets.resize(b + 1, 0);
+            }
+            buckets[b] += 1;
+        }
+        Self { buckets }
+    }
+
+    /// The bucket counts; index 0 is degree-0, index `i ≥ 1` covers degrees
+    /// `(2^(i-2), 2^(i-1)]`.
+    pub fn buckets(&self) -> &[usize] {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_star() {
+        // One hub x0 connected to 4 leaves.
+        let g = BipartiteCsr::from_edges(2, 4, &[(0, 0), (0, 1), (0, 2), (0, 3)]);
+        let sx = DegreeStats::x_side(&g);
+        assert_eq!(sx.max, 4);
+        assert_eq!(sx.min, 0);
+        assert_eq!(sx.isolated, 1);
+        assert!((sx.mean - 2.0).abs() < 1e-12);
+        let sy = DegreeStats::y_side(&g);
+        assert_eq!(sy.max, 1);
+        assert_eq!(sy.isolated, 0);
+        assert!((sy.std_dev - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_empty_graph() {
+        let g = BipartiteCsr::from_edges(0, 0, &[]);
+        let s = DegreeStats::x_side(&g);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.skew(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        // degrees: 0, 1, 2, 3, 4
+        let mut edges = Vec::new();
+        for (x, d) in [(1u32, 1usize), (2, 2), (3, 3), (4, 4)] {
+            for y in 0..d as u32 {
+                edges.push((x, y));
+            }
+        }
+        let g = BipartiteCsr::from_edges(5, 4, &edges);
+        let h = DegreeHistogram::x_side(&g);
+        // bucket 0: degree 0 (x0); bucket 1: degree 1; bucket 2: degree 2;
+        // bucket 3: degrees 3..4 (two vertices).
+        assert_eq!(h.buckets(), &[1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn skew_detects_heavy_tail() {
+        // Uniform side vs. hub-dominated side.
+        let mut edges = Vec::new();
+        for y in 0..50u32 {
+            edges.push((0, y)); // hub
+        }
+        for x in 1..50u32 {
+            edges.push((x, x % 50));
+        }
+        let g = BipartiteCsr::from_edges(50, 50, &edges);
+        assert!(DegreeStats::x_side(&g).skew() > 1.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Fallible construction errors.
+
+use std::fmt;
+
+/// Errors from the fallible graph-construction APIs.
+///
+/// The panicking constructors ([`crate::BipartiteCsr::from_edges`],
+/// [`crate::GraphBuilder::add_edge`]) are the right tool inside this
+/// workspace where inputs are produced by trusted generators; library
+/// consumers ingesting untrusted edge lists should prefer
+/// [`crate::BipartiteCsr::try_from_edges`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// An `X` endpoint was out of range.
+    XOutOfRange {
+        /// The offending vertex id.
+        x: u32,
+        /// The graph's `X` dimension.
+        nx: usize,
+    },
+    /// A `Y` endpoint was out of range.
+    YOutOfRange {
+        /// The offending vertex id.
+        y: u32,
+        /// The graph's `Y` dimension.
+        ny: usize,
+    },
+    /// A side exceeds the `u32` vertex-id space.
+    TooManyVertices {
+        /// The requested dimension.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::XOutOfRange { x, nx } => {
+                write!(f, "x vertex {x} out of range (nx = {nx})")
+            }
+            GraphError::YOutOfRange { y, ny } => {
+                write!(f, "y vertex {y} out of range (ny = {ny})")
+            }
+            GraphError::TooManyVertices { requested } => {
+                write!(f, "side of {requested} vertices exceeds the u32 id space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            GraphError::XOutOfRange { x: 5, nx: 3 }.to_string(),
+            "x vertex 5 out of range (nx = 3)"
+        );
+        assert_eq!(
+            GraphError::YOutOfRange { y: 9, ny: 2 }.to_string(),
+            "y vertex 9 out of range (ny = 2)"
+        );
+        assert!(GraphError::TooManyVertices {
+            requested: usize::MAX
+        }
+        .to_string()
+        .contains("u32 id space"));
+    }
+}

@@ -1,0 +1,358 @@
+//! Matrix Market (`.mtx`) coordinate-format I/O.
+//!
+//! The paper's inputs come from the University of Florida sparse matrix
+//! collection, distributed in Matrix Market format. This module reads the
+//! coordinate variants (`pattern`, `real`, `integer`, `complex` — values
+//! are ignored, only the sparsity pattern matters for matching) and writes
+//! `pattern general` files, so synthetic suites can be exported and real
+//! UF matrices imported when available.
+//!
+//! An `n₁ × n₂` matrix becomes the bipartite graph with `nx = n₁` row
+//! vertices and `ny = n₂` column vertices, one edge per structurally
+//! nonzero entry (§IV-B of the paper). `symmetric` and `skew-symmetric`
+//! headers mirror the lower triangle into the upper triangle first, like
+//! the UF collection's readers do.
+
+use crate::{BipartiteCsr, GraphBuilder, VertexId};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors produced while parsing a Matrix Market stream.
+#[derive(Debug)]
+pub enum MtxError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file, with a human-readable reason.
+    Parse(String),
+}
+
+impl std::fmt::Display for MtxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MtxError::Io(e) => write!(f, "I/O error: {e}"),
+            MtxError::Parse(msg) => write!(f, "Matrix Market parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MtxError {}
+
+impl From<std::io::Error> for MtxError {
+    fn from(e: std::io::Error) -> Self {
+        MtxError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MtxError {
+    MtxError::Parse(msg.into())
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+    Hermitian,
+}
+
+/// Reads a bipartite graph from Matrix Market coordinate data.
+pub fn read_mtx<R: Read>(reader: R) -> Result<BipartiteCsr, MtxError> {
+    let mut lines = BufReader::new(reader).lines();
+
+    // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let header = lines.next().ok_or_else(|| parse_err("empty file"))??;
+    let tokens: Vec<String> = header.split_whitespace().map(str::to_lowercase).collect();
+    if tokens.len() < 5 || !tokens[0].starts_with("%%matrixmarket") {
+        return Err(parse_err("missing %%MatrixMarket header"));
+    }
+    if tokens[1] != "matrix" || tokens[2] != "coordinate" {
+        return Err(parse_err(format!(
+            "only `matrix coordinate` is supported, got `{} {}`",
+            tokens[1], tokens[2]
+        )));
+    }
+    let field_values = match tokens[3].as_str() {
+        "pattern" => 0usize,
+        "real" | "integer" => 1,
+        "complex" => 2,
+        other => return Err(parse_err(format!("unknown field `{other}`"))),
+    };
+    let symmetry = match tokens[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        "hermitian" => Symmetry::Hermitian,
+        other => return Err(parse_err(format!("unknown symmetry `{other}`"))),
+    };
+
+    // Size line (first non-comment, non-blank line).
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(line);
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|_| parse_err(format!("bad size token `{t}`")))
+        })
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(parse_err("size line must be `rows cols nnz`"));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+    if symmetry != Symmetry::General && nrows != ncols {
+        return Err(parse_err("symmetric matrices must be square"));
+    }
+
+    let mut b = GraphBuilder::with_capacity(
+        nrows,
+        ncols,
+        if symmetry == Symmetry::General {
+            nnz
+        } else {
+            2 * nnz
+        },
+    );
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| parse_err("entry missing row"))?
+            .parse()
+            .map_err(|_| parse_err("bad row index"))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| parse_err("entry missing column"))?
+            .parse()
+            .map_err(|_| parse_err("bad column index"))?;
+        let extra = it.count();
+        if extra < field_values {
+            return Err(parse_err("entry missing value field"));
+        }
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(parse_err(format!(
+                "entry ({i},{j}) out of range {nrows}×{ncols}"
+            )));
+        }
+        // Matrix Market is 1-indexed.
+        let (x, y) = ((i - 1) as VertexId, (j - 1) as VertexId);
+        b.add_edge(x, y);
+        if symmetry != Symmetry::General && i != j {
+            b.add_edge(y, x);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(format!(
+            "header promised {nnz} entries, found {seen}"
+        )));
+    }
+    Ok(b.build())
+}
+
+/// Reads a bipartite graph from a `.mtx` file on disk.
+pub fn read_mtx_file(path: impl AsRef<Path>) -> Result<BipartiteCsr, MtxError> {
+    read_mtx(std::fs::File::open(path)?)
+}
+
+/// Writes the sparsity pattern of `g` as `matrix coordinate pattern general`.
+pub fn write_mtx<W: Write>(g: &BipartiteCsr, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate pattern general")?;
+    writeln!(writer, "% exported by graft-graph")?;
+    writeln!(writer, "{} {} {}", g.num_x(), g.num_y(), g.num_edges())?;
+    for (x, y) in g.edges() {
+        writeln!(writer, "{} {}", x + 1, y + 1)?;
+    }
+    Ok(())
+}
+
+/// Writes the graph to a `.mtx` file on disk.
+pub fn write_mtx_file(g: &BipartiteCsr, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_mtx(g, std::io::BufWriter::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_pattern_general() {
+        let g = BipartiteCsr::from_edges(3, 4, &[(0, 0), (0, 3), (2, 1), (1, 2)]);
+        let mut buf = Vec::new();
+        write_mtx(&g, &mut buf).unwrap();
+        let h = read_mtx(buf.as_slice()).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn parses_real_values_and_comments() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    \n\
+                    2 3 3\n\
+                    1 1 3.5\n\
+                    2 3 -1.0e2\n\
+                    1 2 0.0\n";
+        let g = read_mtx(text.as_bytes()).unwrap();
+        assert_eq!(g.num_x(), 2);
+        assert_eq!(g.num_y(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn symmetric_mirrors_off_diagonal() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    3 3 3\n\
+                    2 1\n\
+                    3 1\n\
+                    2 2\n";
+        let g = read_mtx(text.as_bytes()).unwrap();
+        // (2,1) and (3,1) mirrored, diagonal (2,2) not duplicated.
+        assert_eq!(g.num_edges(), 5);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_mtx("hello world\n".as_bytes()).is_err());
+        assert!(read_mtx("%%MatrixMarket matrix array real general\n1 1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_entry() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        assert!(read_mtx(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n";
+        assert!(read_mtx(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_index() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n";
+        assert!(read_mtx(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_inputs_table() {
+        let cases: &[(&str, &str)] = &[
+            ("empty file", ""),
+            (
+                "missing size line",
+                "%%MatrixMarket matrix coordinate pattern general\n",
+            ),
+            (
+                "short size line",
+                "%%MatrixMarket matrix coordinate pattern general\n2 2\n",
+            ),
+            (
+                "negative index",
+                "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n-1 1\n",
+            ),
+            (
+                "float index",
+                "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1.5 1\n",
+            ),
+            (
+                "missing column",
+                "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1\n",
+            ),
+            (
+                "value field missing for real",
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+            ),
+            (
+                "complex needs two values",
+                "%%MatrixMarket matrix coordinate complex general\n2 2 1\n1 1 3.0\n",
+            ),
+            (
+                "non-square symmetric",
+                "%%MatrixMarket matrix coordinate pattern symmetric\n2 3 1\n1 1\n",
+            ),
+            (
+                "unknown symmetry",
+                "%%MatrixMarket matrix coordinate pattern diagonal\n2 2 1\n1 1\n",
+            ),
+            (
+                "unknown field",
+                "%%MatrixMarket matrix coordinate boolean general\n2 2 1\n1 1\n",
+            ),
+            (
+                "too many entries",
+                "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1\n2 2\n",
+            ),
+        ];
+        for (label, text) in cases {
+            assert!(
+                read_mtx(text.as_bytes()).is_err(),
+                "accepted malformed input: {label}"
+            );
+        }
+    }
+
+    #[test]
+    fn accepts_integer_and_complex_fields() {
+        let int = "%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 2 7\n";
+        assert_eq!(read_mtx(int.as_bytes()).unwrap().num_edges(), 1);
+        let cpx = "%%MatrixMarket matrix coordinate complex general\n2 2 1\n2 1 1.0 -3.5\n";
+        let g = read_mtx(cpx.as_bytes()).unwrap();
+        assert!(g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn symmetric_duplicate_off_diagonal_merges() {
+        // Both triangles present: mirroring must not double-count after
+        // CSR dedup.
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 2\n2 1\n2 2\n";
+        let g = read_mtx(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 3); // (1,0), (0,1), (1,1)
+    }
+
+    #[test]
+    fn skew_symmetric_mirrors() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n3 3 1\n2 1 -4.0\n";
+        let g = read_mtx(text.as_bytes()).unwrap();
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn crlf_and_whitespace_tolerated() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\r\n  2 2 1 \r\n  1   2 \r\n";
+        let g = read_mtx(text.as_bytes()).unwrap();
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = BipartiteCsr::from_edges(2, 2, &[(0, 1), (1, 0)]);
+        let dir = std::env::temp_dir().join("graft_graph_mtx_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.mtx");
+        write_mtx_file(&g, &path).unwrap();
+        let h = read_mtx_file(&path).unwrap();
+        assert_eq!(g, h);
+    }
+}

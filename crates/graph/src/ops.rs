@@ -1,0 +1,225 @@
+//! Structural graph operations: union, embedding, induced subgraphs and
+//! connected components.
+//!
+//! These are the assembly tools the generators and experiments use to
+//! compose instances (e.g. overlaying a hard "core" onto a power-law
+//! background) and to analyze them (component structure bounds the
+//! work each BFS phase can touch).
+
+use crate::{BipartiteCsr, GraphBuilder, VertexId};
+
+/// Union of two graphs over the same vertex sets (duplicate edges merge).
+///
+/// Panics if the dimensions disagree.
+///
+/// ```
+/// use graft_graph::{ops::union, BipartiteCsr};
+///
+/// let a = BipartiteCsr::from_edges(2, 2, &[(0, 0)]);
+/// let b = BipartiteCsr::from_edges(2, 2, &[(1, 1), (0, 0)]);
+/// assert_eq!(union(&a, &b).num_edges(), 2);
+/// ```
+pub fn union(a: &BipartiteCsr, b: &BipartiteCsr) -> BipartiteCsr {
+    assert_eq!(a.num_x(), b.num_x(), "union requires equal nx");
+    assert_eq!(a.num_y(), b.num_y(), "union requires equal ny");
+    let mut builder =
+        GraphBuilder::with_capacity(a.num_x(), a.num_y(), a.num_edges() + b.num_edges());
+    for (x, y) in a.edges().chain(b.edges()) {
+        builder.add_edge(x, y);
+    }
+    builder.build()
+}
+
+/// Embeds `g` into a larger `nx × ny` graph at the given offsets: vertex
+/// `x` of `g` becomes `x + x_offset`, `y` becomes `y + y_offset`.
+///
+/// Panics if the embedded graph does not fit.
+pub fn embed(
+    g: &BipartiteCsr,
+    nx: usize,
+    ny: usize,
+    x_offset: usize,
+    y_offset: usize,
+) -> BipartiteCsr {
+    assert!(x_offset + g.num_x() <= nx, "embedding exceeds nx");
+    assert!(y_offset + g.num_y() <= ny, "embedding exceeds ny");
+    let mut builder = GraphBuilder::with_capacity(nx, ny, g.num_edges());
+    for (x, y) in g.edges() {
+        builder.add_edge(x + x_offset as VertexId, y + y_offset as VertexId);
+    }
+    builder.build()
+}
+
+/// The subgraph induced by the given vertex subsets (kept vertices are
+/// relabeled consecutively in the order given). Returns the subgraph and
+/// the `(old_x, old_y)` id maps.
+pub fn induced_subgraph(
+    g: &BipartiteCsr,
+    keep_x: &[VertexId],
+    keep_y: &[VertexId],
+) -> (BipartiteCsr, Vec<VertexId>, Vec<VertexId>) {
+    let mut x_new = vec![VertexId::MAX; g.num_x()];
+    for (new, &old) in keep_x.iter().enumerate() {
+        assert!(
+            x_new[old as usize] == VertexId::MAX,
+            "duplicate x in keep_x"
+        );
+        x_new[old as usize] = new as VertexId;
+    }
+    let mut y_new = vec![VertexId::MAX; g.num_y()];
+    for (new, &old) in keep_y.iter().enumerate() {
+        assert!(
+            y_new[old as usize] == VertexId::MAX,
+            "duplicate y in keep_y"
+        );
+        y_new[old as usize] = new as VertexId;
+    }
+    let mut b = GraphBuilder::new(keep_x.len(), keep_y.len());
+    for &old_x in keep_x {
+        for &old_y in g.x_neighbors(old_x) {
+            if y_new[old_y as usize] != VertexId::MAX {
+                b.add_edge(x_new[old_x as usize], y_new[old_y as usize]);
+            }
+        }
+    }
+    (b.build(), keep_x.to_vec(), keep_y.to_vec())
+}
+
+/// Connected components of the bipartite graph.
+///
+/// Returns `(component_of_x, component_of_y, component_count)`; isolated
+/// vertices get their own components.
+pub fn connected_components(g: &BipartiteCsr) -> (Vec<u32>, Vec<u32>, usize) {
+    const UNSET: u32 = u32::MAX;
+    let mut comp_x = vec![UNSET; g.num_x()];
+    let mut comp_y = vec![UNSET; g.num_y()];
+    let mut count = 0u32;
+    // Work stack of (is_y, vertex).
+    let mut stack: Vec<(bool, VertexId)> = Vec::new();
+    for start in 0..g.num_x() {
+        if comp_x[start] != UNSET {
+            continue;
+        }
+        comp_x[start] = count;
+        stack.push((false, start as VertexId));
+        while let Some((is_y, v)) = stack.pop() {
+            if is_y {
+                for &x in g.y_neighbors(v) {
+                    if comp_x[x as usize] == UNSET {
+                        comp_x[x as usize] = count;
+                        stack.push((false, x));
+                    }
+                }
+            } else {
+                for &y in g.x_neighbors(v) {
+                    if comp_y[y as usize] == UNSET {
+                        comp_y[y as usize] = count;
+                        stack.push((true, y));
+                    }
+                }
+            }
+        }
+        count += 1;
+    }
+    for c in comp_y.iter_mut() {
+        if *c == UNSET {
+            *c = count;
+            count += 1;
+        }
+    }
+    (comp_x, comp_y, count as usize)
+}
+
+/// Sizes (|X| + |Y| members) of each connected component, largest first.
+pub fn component_sizes(g: &BipartiteCsr) -> Vec<usize> {
+    let (cx, cy, count) = connected_components(g);
+    let mut sizes = vec![0usize; count];
+    for &c in cx.iter().chain(cy.iter()) {
+        sizes[c as usize] += 1;
+    }
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_merges_edges() {
+        let a = BipartiteCsr::from_edges(2, 2, &[(0, 0)]);
+        let b = BipartiteCsr::from_edges(2, 2, &[(0, 0), (1, 1)]);
+        let u = union(&a, &b);
+        assert_eq!(u.num_edges(), 2);
+        assert!(u.has_edge(0, 0));
+        assert!(u.has_edge(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal nx")]
+    fn union_checks_dimensions() {
+        let a = BipartiteCsr::from_edges(1, 2, &[]);
+        let b = BipartiteCsr::from_edges(2, 2, &[]);
+        union(&a, &b);
+    }
+
+    #[test]
+    fn embed_offsets_vertices() {
+        let g = BipartiteCsr::from_edges(2, 2, &[(0, 1), (1, 0)]);
+        let e = embed(&g, 5, 6, 2, 3);
+        assert_eq!(e.num_x(), 5);
+        assert_eq!(e.num_y(), 6);
+        assert!(e.has_edge(2, 4));
+        assert!(e.has_edge(3, 3));
+        assert_eq!(e.num_edges(), 2);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let g = BipartiteCsr::from_edges(3, 3, &[(0, 0), (1, 1), (2, 2), (0, 2)]);
+        let (sub, ox, oy) = induced_subgraph(&g, &[0, 2], &[0, 2]);
+        assert_eq!(sub.num_x(), 2);
+        assert_eq!(sub.num_edges(), 3); // (0,0), (2,2)→(1,1), (0,2)→(0,1)
+        assert!(sub.has_edge(0, 0));
+        assert!(sub.has_edge(1, 1));
+        assert!(sub.has_edge(0, 1));
+        assert_eq!(ox, vec![0, 2]);
+        assert_eq!(oy, vec![0, 2]);
+    }
+
+    #[test]
+    fn components_of_disjoint_paths() {
+        let g = BipartiteCsr::from_edges(4, 4, &[(0, 0), (1, 0), (2, 2), (3, 3)]);
+        let (cx, cy, count) = connected_components(&g);
+        // Components: {x0,x1,y0}, {x2,y2}, {x3,y3}, plus isolated y1.
+        assert_eq!(count, 4);
+        assert_eq!(cx[0], cx[1]);
+        assert_eq!(cx[0], cy[0]);
+        assert_ne!(cx[2], cx[3]);
+        assert_ne!(cy[1], cx[0]);
+    }
+
+    #[test]
+    fn component_sizes_sorted() {
+        let g = BipartiteCsr::from_edges(4, 4, &[(0, 0), (1, 0), (2, 2), (3, 3)]);
+        assert_eq!(component_sizes(&g), vec![3, 2, 2, 1]);
+    }
+
+    #[test]
+    fn components_empty_graph() {
+        let g = BipartiteCsr::from_edges(0, 0, &[]);
+        let (_, _, count) = connected_components(&g);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn components_all_isolated() {
+        let g = BipartiteCsr::from_edges(2, 3, &[]);
+        let (cx, cy, count) = connected_components(&g);
+        assert_eq!(count, 5);
+        let mut all: Vec<u32> = cx.into_iter().chain(cy).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 5);
+    }
+}

@@ -1,0 +1,170 @@
+//! Vertex relabelings (permutations) of bipartite graphs.
+//!
+//! §V-B of the paper measures *parallel sensitivity*: different executions
+//! process vertices in different orders, changing runtimes. To reproduce
+//! that experiment deterministically we relabel the vertices of a graph
+//! with seeded random permutations between runs, which perturbs traversal
+//! order the same way scheduling nondeterminism does, while keeping the
+//! graph isomorphic (so the matching number is unchanged — an invariant the
+//! integration tests check).
+
+use crate::{BipartiteCsr, GraphBuilder, VertexId};
+
+/// A pair of permutations relabeling the `X` and `Y` sides.
+///
+/// `x_perm[old] = new`: vertex `old` becomes vertex `new` in the relabeled
+/// graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relabeling {
+    /// New label of each old `X` vertex.
+    pub x_perm: Vec<VertexId>,
+    /// New label of each old `Y` vertex.
+    pub y_perm: Vec<VertexId>,
+}
+
+impl Relabeling {
+    /// The identity relabeling for a graph of the given dimensions.
+    pub fn identity(nx: usize, ny: usize) -> Self {
+        Self {
+            x_perm: identity_permutation(nx),
+            y_perm: identity_permutation(ny),
+        }
+    }
+
+    /// A seeded uniformly random relabeling (Fisher-Yates over both sides).
+    pub fn random(nx: usize, ny: usize, seed: u64) -> Self {
+        Self {
+            x_perm: random_permutation_with(nx, seed),
+            y_perm: random_permutation_with(ny, seed.wrapping_add(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Applies the relabeling, producing an isomorphic graph.
+    ///
+    /// Panics if the permutation lengths do not match the graph dimensions
+    /// or a permutation is not a bijection.
+    pub fn apply(&self, g: &BipartiteCsr) -> BipartiteCsr {
+        assert_eq!(self.x_perm.len(), g.num_x(), "x_perm length mismatch");
+        assert_eq!(self.y_perm.len(), g.num_y(), "y_perm length mismatch");
+        debug_assert!(is_permutation(&self.x_perm));
+        debug_assert!(is_permutation(&self.y_perm));
+        let mut b = GraphBuilder::with_capacity(g.num_x(), g.num_y(), g.num_edges());
+        for (x, y) in g.edges() {
+            b.add_edge(self.x_perm[x as usize], self.y_perm[y as usize]);
+        }
+        b.build()
+    }
+
+    /// The inverse relabeling (maps new labels back to old labels).
+    pub fn inverse(&self) -> Self {
+        Self {
+            x_perm: invert(&self.x_perm),
+            y_perm: invert(&self.y_perm),
+        }
+    }
+}
+
+/// `[0, 1, ..., n-1]` as vertex ids.
+pub fn identity_permutation(n: usize) -> Vec<VertexId> {
+    (0..n as VertexId).collect()
+}
+
+/// A seeded uniformly random permutation of `0..n` via Fisher-Yates.
+///
+/// Uses an internal splitmix64 stream so this crate stays dependency-free;
+/// the same `(n, seed)` always yields the same permutation.
+pub fn random_permutation_with(n: usize, seed: u64) -> Vec<VertexId> {
+    let mut p = identity_permutation(n);
+    let mut state = seed;
+    let mut next = move || -> u64 {
+        // splitmix64 (public-domain constants).
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        p.swap(i, j);
+    }
+    p
+}
+
+fn invert(p: &[VertexId]) -> Vec<VertexId> {
+    let mut inv = vec![0 as VertexId; p.len()];
+    for (old, &new) in p.iter().enumerate() {
+        inv[new as usize] = old as VertexId;
+    }
+    inv
+}
+
+fn is_permutation(p: &[VertexId]) -> bool {
+    let mut seen = vec![false; p.len()];
+    for &v in p {
+        if v as usize >= p.len() || seen[v as usize] {
+            return false;
+        }
+        seen[v as usize] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_noop() {
+        let g = BipartiteCsr::from_edges(3, 3, &[(0, 1), (1, 2), (2, 0)]);
+        let r = Relabeling::identity(3, 3);
+        assert_eq!(r.apply(&g), g);
+    }
+
+    #[test]
+    fn random_is_permutation() {
+        for seed in 0..10 {
+            let p = random_permutation_with(97, seed);
+            assert!(is_permutation(&p), "seed {seed} produced a non-permutation");
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        assert_eq!(
+            random_permutation_with(50, 7),
+            random_permutation_with(50, 7)
+        );
+        assert_ne!(
+            random_permutation_with(50, 7),
+            random_permutation_with(50, 8)
+        );
+    }
+
+    #[test]
+    fn relabeled_graph_is_isomorphic() {
+        let g = BipartiteCsr::from_edges(4, 4, &[(0, 0), (0, 1), (1, 1), (2, 3), (3, 2)]);
+        let r = Relabeling::random(4, 4, 42);
+        let h = r.apply(&g);
+        assert_eq!(h.num_edges(), g.num_edges());
+        assert!(h.validate().is_ok());
+        // Every original edge exists under the new labels.
+        for (x, y) in g.edges() {
+            assert!(h.has_edge(r.x_perm[x as usize], r.y_perm[y as usize]));
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let g = BipartiteCsr::from_edges(5, 6, &[(0, 5), (4, 0), (2, 3), (1, 1)]);
+        let r = Relabeling::random(5, 6, 9);
+        let back = r.inverse().apply(&r.apply(&g));
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(random_permutation_with(0, 1), Vec::<VertexId>::new());
+        assert_eq!(random_permutation_with(1, 1), vec![0]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Validated serde support (behind the `serde` feature).
+//!
+//! Serialization writes the edge list plus dimensions — a stable,
+//! implementation-independent format. Deserialization rebuilds the CSR
+//! through the normal constructor, so the structural invariants
+//! ([`BipartiteCsr::validate`]) hold for *any* input, including hostile
+//! ones; a plain field-level derive would let malformed pointer arrays
+//! through.
+
+use crate::{BipartiteCsr, VertexId};
+use serde::de::Error as DeError;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+#[derive(Serialize, Deserialize)]
+struct Repr {
+    nx: usize,
+    ny: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl Serialize for BipartiteCsr {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        Repr {
+            nx: self.num_x(),
+            ny: self.num_y(),
+            edges: self.edges().collect(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for BipartiteCsr {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = Repr::deserialize(deserializer)?;
+        BipartiteCsr::try_from_edges(repr.nx, repr.ny, &repr.edges)
+            .map_err(|e| D::Error::custom(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let g = BipartiteCsr::from_edges(3, 4, &[(0, 0), (1, 3), (2, 1)]);
+        let json = serde_json::to_string(&g).unwrap();
+        let back: BipartiteCsr = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn hostile_input_rejected() {
+        let json = r#"{"nx":2,"ny":2,"edges":[[0,7]]}"#;
+        let err = serde_json::from_str::<BipartiteCsr>(json).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_edges_normalize_on_load() {
+        let json = r#"{"nx":2,"ny":2,"edges":[[1,0],[1,0],[0,1]]}"#;
+        let g: BipartiteCsr = serde_json::from_str(json).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+}

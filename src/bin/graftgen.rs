@@ -1,0 +1,120 @@
+//! `graftgen` — export synthetic instances as Matrix Market files.
+//!
+//! Generates the Table II analog suite (or any single named instance) so
+//! the experiments can be rerun by other matching codes, closing the loop
+//! with the paper's UF-collection workflow.
+//!
+//! ```text
+//! graftgen --all --scale small --out data/
+//! graftgen --graph wikipedia --scale medium --out data/
+//! graftgen --rmat 16 --edges-per-vertex 8 --seed 7 --out data/
+//! ```
+
+use ms_bfs_graft::prelude::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: graftgen (--all | --graph NAME | --rmat SCALE) [options]\n\
+         options:\n\
+           --scale S             tiny|small|medium|large (default small)\n\
+           --edges-per-vertex K  RMAT edge factor (default 8)\n\
+           --seed S              RMAT seed (default 1)\n\
+           --out DIR             output directory (default data/)\n\
+           --stats               also print per-instance statistics"
+    );
+    std::process::exit(2);
+}
+
+fn export(g: &BipartiteCsr, name: &str, dir: &std::path::Path, stats: bool) {
+    std::fs::create_dir_all(dir).expect("cannot create output directory");
+    let path = dir.join(format!("{name}.mtx"));
+    graph::mtx::write_mtx_file(g, &path).expect("write failed");
+    println!(
+        "{}: {}×{} with {} nonzeros → {}",
+        name,
+        g.num_x(),
+        g.num_y(),
+        g.num_edges(),
+        path.display()
+    );
+    if stats {
+        let sx = graph::DegreeStats::x_side(g);
+        let sy = graph::DegreeStats::y_side(g);
+        let comps = graph::ops::component_sizes(g);
+        println!(
+            "  X degrees: min {} max {} mean {:.2} cv {:.2} isolated {}",
+            sx.min,
+            sx.max,
+            sx.mean,
+            sx.skew(),
+            sx.isolated
+        );
+        println!(
+            "  Y degrees: min {} max {} mean {:.2} cv {:.2} isolated {}",
+            sy.min,
+            sy.max,
+            sy.mean,
+            sy.skew(),
+            sy.isolated
+        );
+        println!(
+            "  components: {} (largest {})",
+            comps.len(),
+            comps.first().copied().unwrap_or(0)
+        );
+        let m = matching::hopcroft_karp(g, Matching::for_graph(g)).matching;
+        println!(
+            "  maximum matching: {} (fraction {:.3})",
+            m.cardinality(),
+            m.matching_fraction(g)
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut all = false;
+    let mut name: Option<String> = None;
+    let mut rmat_scale: Option<u32> = None;
+    let mut scale = gen::Scale::Small;
+    let mut edge_factor = 8usize;
+    let mut seed = 1u64;
+    let mut out = std::path::PathBuf::from("data");
+    let mut stats = false;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut next = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--all" => all = true,
+            "--graph" => name = Some(next()),
+            "--rmat" => rmat_scale = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--scale" => scale = gen::Scale::parse(&next()).unwrap_or_else(|| usage()),
+            "--edges-per-vertex" => edge_factor = next().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = next().parse().unwrap_or_else(|_| usage()),
+            "--out" => out = next().into(),
+            "--stats" => stats = true,
+            _ => usage(),
+        }
+    }
+
+    if all {
+        for entry in gen::suite::suite() {
+            let g = entry.build(scale);
+            export(&g, entry.name, &out, stats);
+        }
+    } else if let Some(n) = name {
+        match gen::suite::by_name(&n) {
+            Some(entry) => export(&entry.build(scale), entry.name, &out, stats),
+            None => {
+                eprintln!("unknown suite graph `{n}`");
+                usage();
+            }
+        }
+    } else if let Some(sc) = rmat_scale {
+        let g = gen::rmat(sc, sc, edge_factor << sc, gen::RmatParams::graph500(), seed);
+        export(&g, &format!("rmat{sc}"), &out, stats);
+    } else {
+        usage();
+    }
+}

@@ -1,0 +1,112 @@
+//! Cross-crate integration: every algorithm, on every suite analog, from
+//! every initializer, must produce a certified maximum matching of the
+//! same cardinality.
+
+use ms_bfs_graft::prelude::*;
+
+#[test]
+fn suite_graphs_all_algorithms_certified() {
+    for entry in gen::suite::suite() {
+        let g = entry.build(gen::Scale::Tiny);
+        let opts = SolveOptions {
+            threads: 2,
+            ..SolveOptions::default()
+        };
+        let oracle = solve(&g, Algorithm::HopcroftKarp, &opts)
+            .matching
+            .cardinality();
+        for alg in Algorithm::ALL {
+            let out = solve(&g, alg, &opts);
+            assert_eq!(
+                out.matching.cardinality(),
+                oracle,
+                "{} on {} disagrees with HK",
+                alg.name(),
+                entry.name
+            );
+            matching::verify::certify_maximum(&g, &out.matching).unwrap_or_else(|e| {
+                panic!("{} on {}: certificate failed: {e}", alg.name(), entry.name)
+            });
+        }
+    }
+}
+
+#[test]
+fn initializers_do_not_change_the_answer() {
+    let entry = gen::suite::by_name("cit-Patents").unwrap();
+    let g = entry.build(gen::Scale::Tiny);
+    let mut cards = Vec::new();
+    for init in [
+        matching::init::Initializer::None,
+        matching::init::Initializer::Greedy,
+        matching::init::Initializer::KarpSipser,
+    ] {
+        let opts = SolveOptions {
+            initializer: init,
+            threads: 2,
+            ..SolveOptions::default()
+        };
+        let out = solve(&g, Algorithm::MsBfsGraftParallel, &opts);
+        matching::verify::certify_maximum(&g, &out.matching).unwrap();
+        cards.push(out.matching.cardinality());
+    }
+    assert!(cards.windows(2).all(|w| w[0] == w[1]), "{cards:?}");
+}
+
+#[test]
+fn relabeling_preserves_matching_number() {
+    let entry = gen::suite::by_name("wikipedia").unwrap();
+    let g = entry.build(gen::Scale::Tiny);
+    let base = solve(&g, Algorithm::MsBfsGraft, &SolveOptions::default())
+        .matching
+        .cardinality();
+    for seed in 0..3 {
+        let rel = graph::Relabeling::random(g.num_x(), g.num_y(), seed);
+        let h = rel.apply(&g);
+        let c = solve(&h, Algorithm::MsBfsGraft, &SolveOptions::default())
+            .matching
+            .cardinality();
+        assert_eq!(
+            c, base,
+            "isomorphic graph must have the same matching number"
+        );
+    }
+}
+
+#[test]
+fn stats_are_consistent_across_suite() {
+    for entry in gen::suite::suite().into_iter().take(4) {
+        let g = entry.build(gen::Scale::Tiny);
+        let out = solve(&g, Algorithm::MsBfsGraft, &SolveOptions::default());
+        let s = &out.stats;
+        assert_eq!(
+            s.final_cardinality - s.initial_cardinality,
+            s.augmenting_paths as usize,
+            "{}: every augmenting path adds exactly one edge",
+            entry.name
+        );
+        assert!(s.phases >= 1);
+        if s.augmenting_paths > 0 {
+            // Augmenting paths have odd length ≥ 1.
+            assert!(s.total_augmenting_path_edges >= s.augmenting_paths);
+            assert!(s.avg_augmenting_path_len() >= 1.0);
+        }
+    }
+}
+
+#[test]
+fn mtx_roundtrip_preserves_matching_number() {
+    let entry = gen::suite::by_name("amazon0312").unwrap();
+    let g = entry.build(gen::Scale::Tiny);
+    let mut buf = Vec::new();
+    graph::mtx::write_mtx(&g, &mut buf).unwrap();
+    let h = graph::mtx::read_mtx(buf.as_slice()).unwrap();
+    assert_eq!(g, h);
+    let a = solve(&g, Algorithm::HopcroftKarp, &SolveOptions::default())
+        .matching
+        .cardinality();
+    let b = solve(&h, Algorithm::HopcroftKarp, &SolveOptions::default())
+        .matching
+        .cardinality();
+    assert_eq!(a, b);
+}

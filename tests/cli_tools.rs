@@ -1,0 +1,142 @@
+//! End-to-end tests of the `graftmatch` and `graftgen` binaries: generate
+//! an instance, export it, solve it from the file, and check the output
+//! contract (exit codes, certification line, matching file format).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("graft_cli_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn graftgen_exports_and_graftmatch_solves() {
+    let dir = tmp_dir("roundtrip");
+    let gen_out = Command::new(env!("CARGO_BIN_EXE_graftgen"))
+        .args(["--graph", "delaunay", "--scale", "tiny", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("graftgen runs");
+    assert!(
+        gen_out.status.success(),
+        "graftgen failed: {}",
+        String::from_utf8_lossy(&gen_out.stderr)
+    );
+    let mtx = dir.join("delaunay.mtx");
+    assert!(mtx.exists());
+
+    let matching_file = dir.join("matching.txt");
+    let match_out = Command::new(env!("CARGO_BIN_EXE_graftmatch"))
+        .arg("--mtx")
+        .arg(&mtx)
+        .args(["--algorithm", "ms-bfs-graft", "--dm", "--out"])
+        .arg(&matching_file)
+        .output()
+        .expect("graftmatch runs");
+    assert!(
+        match_out.status.success(),
+        "graftmatch failed: {}",
+        String::from_utf8_lossy(&match_out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&match_out.stderr);
+    assert!(
+        stderr.contains("certified maximum"),
+        "missing certification: {stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&match_out.stdout);
+    assert!(
+        stdout.contains("Dulmage-Mendelsohn"),
+        "missing DM summary: {stdout}"
+    );
+
+    // The matching file has one "x y" pair per line, all distinct.
+    let body = std::fs::read_to_string(&matching_file).unwrap();
+    let mut xs = Vec::new();
+    for line in body.lines() {
+        let mut it = line.split_whitespace();
+        let x: u32 = it.next().unwrap().parse().unwrap();
+        let y: u32 = it.next().unwrap().parse().unwrap();
+        assert!(it.next().is_none());
+        xs.push((x, y));
+    }
+    let n = xs.len();
+    assert!(n > 0);
+    xs.sort_unstable();
+    xs.dedup_by_key(|p| p.0);
+    assert_eq!(xs.len(), n, "duplicate x in matching output");
+}
+
+#[test]
+fn graftmatch_solves_suite_instance_directly() {
+    let out = Command::new(env!("CARGO_BIN_EXE_graftmatch"))
+        .args([
+            "--suite",
+            "wikipedia",
+            "--scale",
+            "tiny",
+            "--algorithm",
+            "dist",
+            "--ranks",
+            "3",
+        ])
+        .output()
+        .expect("graftmatch runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("distributed:"),
+        "missing dist stats: {stderr}"
+    );
+    assert!(stderr.contains("certified maximum"));
+}
+
+#[test]
+fn graftmatch_rejects_unknown_arguments() {
+    let out = Command::new(env!("CARGO_BIN_EXE_graftmatch"))
+        .args(["--bogus"])
+        .output()
+        .expect("graftmatch runs");
+    assert!(!out.status.success());
+    let out = Command::new(env!("CARGO_BIN_EXE_graftmatch"))
+        .args(["--suite", "not-a-graph"])
+        .output()
+        .expect("graftmatch runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn graftgen_rmat_with_stats() {
+    let dir = tmp_dir("rmat");
+    let out = Command::new(env!("CARGO_BIN_EXE_graftgen"))
+        .args([
+            "--rmat",
+            "8",
+            "--edges-per-vertex",
+            "4",
+            "--seed",
+            "3",
+            "--stats",
+            "--out",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("graftgen runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(dir.join("rmat8.mtx").exists());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("maximum matching"),
+        "missing stats: {stdout}"
+    );
+}

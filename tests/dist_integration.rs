@@ -1,0 +1,74 @@
+//! Integration tests for the distributed MS-BFS-Graft engine: it must
+//! agree with the shared-memory solvers on every suite analog and on
+//! random graphs, for any rank count.
+
+use ms_bfs_graft::prelude::*;
+use proptest::prelude::*;
+
+#[test]
+fn distributed_agrees_on_suite() {
+    for entry in gen::suite::suite() {
+        let g = entry.build(gen::Scale::Tiny);
+        let m0 = matching::init::Initializer::RandomGreedy.run(&g, 5);
+        let oracle = matching::hopcroft_karp(&g, m0.clone())
+            .matching
+            .cardinality();
+        for ranks in [1, 3, 8] {
+            let out = distributed_ms_bfs_graft(&g, m0.clone(), ranks);
+            assert_eq!(
+                out.matching.cardinality(),
+                oracle,
+                "{} with {ranks} ranks",
+                entry.name
+            );
+            matching::verify::certify_maximum(&g, &out.matching)
+                .unwrap_or_else(|e| panic!("{} ranks={ranks}: {e}", entry.name));
+        }
+    }
+}
+
+#[test]
+fn distributed_superstep_accounting_sane() {
+    let g = gen::suite::by_name("cit-Patents")
+        .unwrap()
+        .build(gen::Scale::Tiny);
+    let m0 = matching::init::Initializer::RandomGreedy.run(&g, 5);
+    let out = distributed_ms_bfs_graft(&g, m0, 4);
+    let s = out.stats;
+    assert!(s.phases >= 1);
+    // Every phase costs at least the 3 BFS supersteps plus the augment
+    // kickoff.
+    assert!(s.supersteps >= 4 * s.phases as u64);
+    assert!(s.messages > 0);
+    assert!(s.edges_traversed > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn distributed_matches_oracle_on_random_graphs(
+        (nx, ny) in (1usize..30, 1usize..30),
+        seed in 0u64..500,
+        ranks in 1usize..6,
+    ) {
+        let m = (nx * ny).min(120);
+        let g = gen::erdos_renyi(nx, ny, m, seed);
+        let oracle = matching::hopcroft_karp(&g, Matching::for_graph(&g))
+            .matching
+            .cardinality();
+        let out = distributed_ms_bfs_graft(&g, Matching::for_graph(&g), ranks);
+        prop_assert_eq!(out.matching.cardinality(), oracle);
+        prop_assert!(out.matching.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn distributed_deterministic(seed in 0u64..100, ranks in 1usize..5) {
+        let g = gen::preferential_attachment(40, 40, 3, 0.5, seed);
+        let m0 = matching::init::Initializer::RandomGreedy.run(&g, seed);
+        let a = distributed_ms_bfs_graft(&g, m0.clone(), ranks);
+        let b = distributed_ms_bfs_graft(&g, m0, ranks);
+        prop_assert_eq!(a.matching, b.matching);
+        prop_assert_eq!(a.stats.messages, b.stats.messages);
+    }
+}

@@ -1,0 +1,139 @@
+//! Differential testing of the [`Matching`] state machine: random
+//! operation sequences are executed both on the real type and on a naive
+//! `HashMap`-based reference model; the observable state must agree after
+//! every step.
+
+use ms_bfs_graft::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// The reference model: two hash maps kept trivially consistent.
+#[derive(Default, Clone)]
+struct Model {
+    xy: HashMap<u32, u32>,
+    yx: HashMap<u32, u32>,
+}
+
+impl Model {
+    fn match_pair(&mut self, x: u32, y: u32) {
+        assert!(!self.xy.contains_key(&x));
+        assert!(!self.yx.contains_key(&y));
+        self.xy.insert(x, y);
+        self.yx.insert(y, x);
+    }
+
+    fn rematch(&mut self, x: u32, y: u32) {
+        if self.yx.get(&y) == Some(&x) {
+            return;
+        }
+        if let Some(old_x) = self.yx.remove(&y) {
+            self.xy.remove(&old_x);
+        }
+        if let Some(old_y) = self.xy.remove(&x) {
+            self.yx.remove(&old_y);
+        }
+        self.xy.insert(x, y);
+        self.yx.insert(y, x);
+    }
+
+    fn unmatch_x(&mut self, x: u32) {
+        let y = self.xy.remove(&x).expect("model unmatch of unmatched x");
+        self.yx.remove(&y);
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    MatchPair(u32, u32),
+    Rematch(u32, u32),
+    UnmatchX(u32),
+}
+
+fn arb_ops(n: u32, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..n, 0..n).prop_map(|(x, y)| Op::MatchPair(x, y)),
+            (0..n, 0..n).prop_map(|(x, y)| Op::Rematch(x, y)),
+            (0..n).prop_map(Op::UnmatchX),
+        ],
+        0..len,
+    )
+}
+
+fn agree(m: &Matching, model: &Model, n: u32) -> Result<(), TestCaseError> {
+    prop_assert_eq!(m.cardinality(), model.xy.len());
+    for x in 0..n {
+        let expect = model.xy.get(&x).copied().unwrap_or(NONE);
+        prop_assert_eq!(m.mate_of_x(x), expect, "mate_of_x({})", x);
+    }
+    for y in 0..n {
+        let expect = model.yx.get(&y).copied().unwrap_or(NONE);
+        prop_assert_eq!(m.mate_of_y(y), expect, "mate_of_y({})", y);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matching_agrees_with_model(ops in arb_ops(12, 60)) {
+        let n = 12u32;
+        let mut m = Matching::empty(n as usize, n as usize);
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::MatchPair(x, y) => {
+                    // Only legal when both endpoints are free.
+                    if m.is_x_matched(x) || m.is_y_matched(y) {
+                        continue;
+                    }
+                    m.match_pair(x, y);
+                    model.match_pair(x, y);
+                }
+                Op::Rematch(x, y) => {
+                    m.rematch(x, y);
+                    model.rematch(x, y);
+                }
+                Op::UnmatchX(x) => {
+                    if !m.is_x_matched(x) {
+                        continue;
+                    }
+                    m.unmatch_x(x);
+                    model.unmatch_x(x);
+                }
+            }
+            agree(&m, &model, n)?;
+        }
+        // Round-trip through the raw arrays keeps everything intact.
+        let rebuilt = Matching::from_mates(m.mates_x().to_vec(), m.mates_y().to_vec());
+        prop_assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn unmatched_iterators_complement_edges(ops in arb_ops(10, 40)) {
+        let n = 10u32;
+        let mut m = Matching::empty(n as usize, n as usize);
+        for op in ops {
+            match op {
+                Op::MatchPair(x, y) if !m.is_x_matched(x) && !m.is_y_matched(y) => {
+                    m.match_pair(x, y)
+                }
+                Op::Rematch(x, y) => {
+                    m.rematch(x, y);
+                }
+                Op::UnmatchX(x) if m.is_x_matched(x) => m.unmatch_x(x),
+                _ => {}
+            }
+        }
+        let matched_x: Vec<u32> = m.edges().map(|(x, _)| x).collect();
+        let unmatched_x: Vec<u32> = m.unmatched_x().collect();
+        prop_assert_eq!(matched_x.len() + unmatched_x.len(), n as usize);
+        for x in unmatched_x {
+            prop_assert!(!matched_x.contains(&x));
+        }
+        let matched_y: Vec<u32> = m.edges().map(|(_, y)| y).collect();
+        let unmatched_y: Vec<u32> = m.unmatched_y().collect();
+        prop_assert_eq!(matched_y.len() + unmatched_y.len(), n as usize);
+    }
+}
