@@ -42,8 +42,6 @@ mod par;
 mod pothen_fan;
 mod pothen_fan_par;
 mod push_relabel;
-#[cfg(feature = "serde")]
-pub mod serde_impl;
 mod ss;
 pub mod stats;
 pub mod verify;
@@ -170,6 +168,43 @@ impl Algorithm {
                 | Algorithm::PushRelabelParallel
         )
     }
+
+    /// Stable lowercase identifier used by the CLI and the service
+    /// protocol (`graftmatch --algorithm`, `SOLVE <graph> <algorithm>`).
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            Algorithm::SsDfs => "ss-dfs",
+            Algorithm::SsBfs => "ss-bfs",
+            Algorithm::PothenFan => "pf",
+            Algorithm::PothenFanParallel => "pf-par",
+            Algorithm::HopcroftKarp => "hk",
+            Algorithm::MsBfs => "ms-bfs",
+            Algorithm::MsBfsDirOpt => "ms-bfs-do",
+            Algorithm::MsBfsGraft => "ms-bfs-graft",
+            Algorithm::MsBfsGraftParallel => "ms-bfs-graft-par",
+            Algorithm::PushRelabel => "pr",
+            Algorithm::PushRelabelParallel => "pr-par",
+        }
+    }
+
+    /// Parses a [`cli_name`](Self::cli_name) identifier (case-insensitive).
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        let s = s.to_ascii_lowercase();
+        Algorithm::ALL.into_iter().find(|a| a.cli_name() == s)
+    }
+
+    /// Whether the algorithm honors [`MsBfsOptions::deadline`]
+    /// cooperatively at phase boundaries. Other algorithms only get a
+    /// deadline check before the solve starts (service layer).
+    pub fn supports_deadline(self) -> bool {
+        matches!(
+            self,
+            Algorithm::MsBfs
+                | Algorithm::MsBfsDirOpt
+                | Algorithm::MsBfsGraft
+                | Algorithm::MsBfsGraftParallel
+        )
+    }
 }
 
 /// Options for the [`solve`] dispatcher.
@@ -242,6 +277,7 @@ pub fn solve_from(
             m0,
             &MsBfsOptions {
                 record_frontier: opts.ms_bfs.record_frontier,
+                deadline: opts.ms_bfs.deadline,
                 ..MsBfsOptions::plain()
             },
         ),
@@ -251,6 +287,7 @@ pub fn solve_from(
             &MsBfsOptions {
                 record_frontier: opts.ms_bfs.record_frontier,
                 alpha: opts.ms_bfs.alpha,
+                deadline: opts.ms_bfs.deadline,
                 ..MsBfsOptions::dir_opt_only()
             },
         ),

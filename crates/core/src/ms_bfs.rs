@@ -55,6 +55,12 @@ pub struct MsBfsOptions {
     pub record_frontier: bool,
     /// Record per-phase summaries ([`crate::stats::PhaseTrace`]).
     pub record_phases: bool,
+    /// Cooperative cancellation: when set, the engine checks the clock at
+    /// every phase boundary and stops early once the deadline has passed,
+    /// returning the (valid, maximal-so-far) matching with
+    /// [`SearchStats::timed_out`](crate::stats::SearchStats::timed_out)
+    /// set. The matching is *not* guaranteed maximum in that case.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for MsBfsOptions {
@@ -65,6 +71,7 @@ impl Default for MsBfsOptions {
             grafting: true,
             record_frontier: false,
             record_phases: false,
+            deadline: None,
         }
     }
 }
@@ -158,6 +165,12 @@ impl Engine<'_> {
         }
 
         loop {
+            if let Some(deadline) = self.opts.deadline {
+                if Instant::now() >= deadline {
+                    self.stats.timed_out = true;
+                    break;
+                }
+            }
             self.stats.phases += 1;
             let phase = self.stats.phases;
             let mut trace = crate::stats::PhaseTrace {
@@ -568,6 +581,31 @@ mod tests {
             out.stats.augmenting_paths as usize
         );
         assert!(out.stats.phases >= 1);
+    }
+
+    #[test]
+    fn expired_deadline_stops_before_first_phase() {
+        let g = fig2_graph();
+        let opts = MsBfsOptions {
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            ..MsBfsOptions::graft()
+        };
+        let out = ms_bfs_serial(&g, Matching::for_graph(&g), &opts);
+        assert!(out.stats.timed_out);
+        assert_eq!(out.stats.phases, 0);
+        assert_eq!(out.matching.cardinality(), 0); // initial matching returned
+    }
+
+    #[test]
+    fn generous_deadline_does_not_time_out() {
+        let g = fig2_graph();
+        let opts = MsBfsOptions {
+            deadline: Some(Instant::now() + std::time::Duration::from_secs(3600)),
+            ..MsBfsOptions::graft()
+        };
+        let out = ms_bfs_serial(&g, Matching::for_graph(&g), &opts);
+        assert!(!out.stats.timed_out);
+        assert_eq!(out.matching.cardinality(), 6);
     }
 
     #[test]

@@ -201,6 +201,12 @@ fn run(g: &BipartiteCsr, m: Matching, opts: &MsBfsOptions) -> RunOutcome {
     let mut unvisited_cache: Option<Vec<VertexId>> = None;
 
     loop {
+        if let Some(deadline) = opts.deadline {
+            if Instant::now() >= deadline {
+                stats.timed_out = true;
+                break;
+            }
+        }
         stats.phases += 1;
         let phase = stats.phases;
         let mut trace = crate::stats::PhaseTrace {
@@ -492,6 +498,19 @@ mod tests {
     fn parallel_empty_graph() {
         let g = BipartiteCsr::from_edges(0, 5, &[]);
         let out = ms_bfs_graft_parallel(&g, Matching::for_graph(&g), &MsBfsOptions::graft(), 2);
+        assert_eq!(out.matching.cardinality(), 0);
+    }
+
+    #[test]
+    fn parallel_expired_deadline_stops_before_first_phase() {
+        let g = chain(30);
+        let opts = MsBfsOptions {
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            ..MsBfsOptions::graft()
+        };
+        let out = ms_bfs_graft_parallel(&g, Matching::for_graph(&g), &opts, 2);
+        assert!(out.stats.timed_out);
+        assert_eq!(out.stats.phases, 0);
         assert_eq!(out.matching.cardinality(), 0);
     }
 

@@ -455,6 +455,7 @@ fn merge_stats(a: SearchStats, b: SearchStats) -> SearchStats {
         breakdown: a.breakdown,
         frontier_history: a.frontier_history,
         phase_traces: a.phase_traces,
+        timed_out: a.timed_out || b.timed_out,
     }
 }
 

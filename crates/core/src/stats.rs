@@ -35,7 +35,6 @@ pub enum Step {
 }
 
 /// Wall-clock time attributed to each step (Fig. 6).
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Breakdown {
     /// Time in top-down BFS traversal.
@@ -97,7 +96,6 @@ impl Breakdown {
 
 /// One frontier-size sample: level `level` of phase `phase` contained
 /// `size` `X` vertices (Fig. 8).
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FrontierSample {
     /// Phase number, starting at 1.
@@ -114,7 +112,6 @@ pub struct FrontierSample {
 /// `record_phases` is enabled): the anatomy behind Figs. 7 and 8 —
 /// which phases grafted, how much forest each rebuilt, and what each
 /// phase paid and gained.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct PhaseTrace {
     /// Phase number, starting at 1.
@@ -141,7 +138,6 @@ pub struct PhaseTrace {
 }
 
 /// Counters and timings collected during one solver run.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Debug, Default)]
 pub struct SearchStats {
     /// Directed edges inspected during searches (each scan of an adjacency
@@ -168,6 +164,12 @@ pub struct SearchStats {
     /// Per-phase summaries, recorded when the engine is configured with
     /// `record_phases = true`.
     pub phase_traces: Vec<PhaseTrace>,
+    /// Set when the solver stopped at a phase boundary because the
+    /// configured deadline ([`MsBfsOptions::deadline`]) passed. The
+    /// returned matching is valid but not certified maximum.
+    ///
+    /// [`MsBfsOptions::deadline`]: crate::MsBfsOptions#structfield.deadline
+    pub timed_out: bool,
 }
 
 impl SearchStats {

@@ -44,8 +44,6 @@ mod error;
 pub mod mtx;
 pub mod ops;
 mod permute;
-#[cfg(feature = "serde")]
-mod serde_impl;
 
 pub use builder::GraphBuilder;
 pub use csr::BipartiteCsr;

@@ -22,20 +22,45 @@ use std::path::Path;
 pub enum MtxError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// Structural problem with the file, with a human-readable reason.
-    Parse(String),
+    /// Structural problem with the file, located by 1-based line number.
+    Parse {
+        /// 1-based line where the problem was detected (for end-of-input
+        /// problems such as a truncated entry list, the last line read).
+        line: usize,
+        /// Human-readable reason.
+        msg: String,
+    },
+}
+
+impl MtxError {
+    /// The 1-based line number for parse errors, `None` for I/O errors.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            MtxError::Io(_) => None,
+            MtxError::Parse { line, .. } => Some(*line),
+        }
+    }
 }
 
 impl std::fmt::Display for MtxError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MtxError::Io(e) => write!(f, "I/O error: {e}"),
-            MtxError::Parse(msg) => write!(f, "Matrix Market parse error: {msg}"),
+            MtxError::Parse { line, msg } => {
+                write!(f, "Matrix Market parse error at line {line}: {msg}")
+            }
         }
     }
 }
 
-impl std::error::Error for MtxError {}
+impl std::error::Error for MtxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MtxError::Io(e) => Some(e),
+            MtxError::Parse { .. } => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for MtxError {
     fn from(e: std::io::Error) -> Self {
@@ -43,8 +68,11 @@ impl From<std::io::Error> for MtxError {
     }
 }
 
-fn parse_err(msg: impl Into<String>) -> MtxError {
-    MtxError::Parse(msg.into())
+fn parse_err(line: usize, msg: impl Into<String>) -> MtxError {
+    MtxError::Parse {
+        line,
+        msg: msg.into(),
+    }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -56,39 +84,48 @@ enum Symmetry {
 }
 
 /// Reads a bipartite graph from Matrix Market coordinate data.
+///
+/// Malformed input yields [`MtxError::Parse`] carrying the 1-based line
+/// number where the problem was detected — never a panic.
 pub fn read_mtx<R: Read>(reader: R) -> Result<BipartiteCsr, MtxError> {
     let mut lines = BufReader::new(reader).lines();
+    let mut lineno = 0usize; // 1-based once the first line is read
 
     // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
-    let header = lines.next().ok_or_else(|| parse_err("empty file"))??;
+    let header = lines.next().ok_or_else(|| parse_err(1, "empty file"))??;
+    lineno += 1;
     let tokens: Vec<String> = header.split_whitespace().map(str::to_lowercase).collect();
     if tokens.len() < 5 || !tokens[0].starts_with("%%matrixmarket") {
-        return Err(parse_err("missing %%MatrixMarket header"));
+        return Err(parse_err(lineno, "missing %%MatrixMarket header"));
     }
     if tokens[1] != "matrix" || tokens[2] != "coordinate" {
-        return Err(parse_err(format!(
-            "only `matrix coordinate` is supported, got `{} {}`",
-            tokens[1], tokens[2]
-        )));
+        return Err(parse_err(
+            lineno,
+            format!(
+                "only `matrix coordinate` is supported, got `{} {}`",
+                tokens[1], tokens[2]
+            ),
+        ));
     }
     let field_values = match tokens[3].as_str() {
         "pattern" => 0usize,
         "real" | "integer" => 1,
         "complex" => 2,
-        other => return Err(parse_err(format!("unknown field `{other}`"))),
+        other => return Err(parse_err(lineno, format!("unknown field `{other}`"))),
     };
     let symmetry = match tokens[4].as_str() {
         "general" => Symmetry::General,
         "symmetric" => Symmetry::Symmetric,
         "skew-symmetric" => Symmetry::SkewSymmetric,
         "hermitian" => Symmetry::Hermitian,
-        other => return Err(parse_err(format!("unknown symmetry `{other}`"))),
+        other => return Err(parse_err(lineno, format!("unknown symmetry `{other}`"))),
     };
 
     // Size line (first non-comment, non-blank line).
     let mut size_line = None;
     for line in lines.by_ref() {
         let line = line?;
+        lineno += 1;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
@@ -96,20 +133,20 @@ pub fn read_mtx<R: Read>(reader: R) -> Result<BipartiteCsr, MtxError> {
         size_line = Some(line);
         break;
     }
-    let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
+    let size_line = size_line.ok_or_else(|| parse_err(lineno, "missing size line"))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
         .map(|t| {
             t.parse::<usize>()
-                .map_err(|_| parse_err(format!("bad size token `{t}`")))
+                .map_err(|_| parse_err(lineno, format!("bad size token `{t}`")))
         })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
-        return Err(parse_err("size line must be `rows cols nnz`"));
+        return Err(parse_err(lineno, "size line must be `rows cols nnz`"));
     }
     let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
     if symmetry != Symmetry::General && nrows != ncols {
-        return Err(parse_err("symmetric matrices must be square"));
+        return Err(parse_err(lineno, "symmetric matrices must be square"));
     }
 
     let mut b = GraphBuilder::with_capacity(
@@ -124,6 +161,7 @@ pub fn read_mtx<R: Read>(reader: R) -> Result<BipartiteCsr, MtxError> {
     let mut seen = 0usize;
     for line in lines {
         let line = line?;
+        lineno += 1;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
@@ -131,22 +169,23 @@ pub fn read_mtx<R: Read>(reader: R) -> Result<BipartiteCsr, MtxError> {
         let mut it = t.split_whitespace();
         let i: usize = it
             .next()
-            .ok_or_else(|| parse_err("entry missing row"))?
+            .ok_or_else(|| parse_err(lineno, "entry missing row"))?
             .parse()
-            .map_err(|_| parse_err("bad row index"))?;
+            .map_err(|_| parse_err(lineno, "bad row index"))?;
         let j: usize = it
             .next()
-            .ok_or_else(|| parse_err("entry missing column"))?
+            .ok_or_else(|| parse_err(lineno, "entry missing column"))?
             .parse()
-            .map_err(|_| parse_err("bad column index"))?;
+            .map_err(|_| parse_err(lineno, "bad column index"))?;
         let extra = it.count();
         if extra < field_values {
-            return Err(parse_err("entry missing value field"));
+            return Err(parse_err(lineno, "entry missing value field"));
         }
         if i == 0 || j == 0 || i > nrows || j > ncols {
-            return Err(parse_err(format!(
-                "entry ({i},{j}) out of range {nrows}×{ncols}"
-            )));
+            return Err(parse_err(
+                lineno,
+                format!("entry ({i},{j}) out of range {nrows}×{ncols}"),
+            ));
         }
         // Matrix Market is 1-indexed.
         let (x, y) = ((i - 1) as VertexId, (j - 1) as VertexId);
@@ -157,9 +196,10 @@ pub fn read_mtx<R: Read>(reader: R) -> Result<BipartiteCsr, MtxError> {
         seen += 1;
     }
     if seen != nnz {
-        return Err(parse_err(format!(
-            "header promised {nnz} entries, found {seen}"
-        )));
+        return Err(parse_err(
+            lineno.max(1),
+            format!("header promised {nnz} entries, found {seen}"),
+        ));
     }
     Ok(b.build())
 }
@@ -310,6 +350,59 @@ mod tests {
                 "accepted malformed input: {label}"
             );
         }
+    }
+
+    fn parse_line(text: &str) -> usize {
+        match read_mtx(text.as_bytes()) {
+            Err(e @ MtxError::Parse { .. }) => e.line().unwrap(),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_lines_are_one_based() {
+        // Empty file: reported at line 1.
+        assert_eq!(parse_line(""), 1);
+        // Bad banner: line 1.
+        assert_eq!(parse_line("hello world\n"), 1);
+        // Bad size line: line 2.
+        assert_eq!(
+            parse_line("%%MatrixMarket matrix coordinate pattern general\n2 2\n"),
+            2
+        );
+        // Out-of-range entry after a comment line: line 4.
+        assert_eq!(
+            parse_line("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n% note\n3 1\n"),
+            4
+        );
+        // Truncated entry list: reported at the last line read.
+        assert_eq!(
+            parse_line("%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n"),
+            3
+        );
+    }
+
+    #[test]
+    fn error_display_includes_line() {
+        let err =
+            read_mtx("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n".as_bytes())
+                .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "message was: {msg}");
+        assert!(err.line().is_some());
+    }
+
+    #[test]
+    fn io_error_has_no_line() {
+        struct FailReader;
+        impl std::io::Read for FailReader {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("boom"))
+            }
+        }
+        let err = read_mtx(FailReader).unwrap_err();
+        assert!(matches!(err, MtxError::Io(_)));
+        assert_eq!(err.line(), None);
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! The service's typed error vocabulary.
+//!
+//! Every failure a client can observe maps to one variant, and every
+//! variant maps to a stable wire code (the first token after `ERR`), so
+//! clients can dispatch on kind without parsing prose.
+
+use std::time::Duration;
+
+/// Errors surfaced by the registry, scheduler, and protocol layers.
+#[derive(Debug)]
+pub enum SvcError {
+    /// The job queue is full; the client should back off and retry.
+    Overloaded {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The server is shutting down and accepts no new jobs.
+    ShuttingDown,
+    /// The job's deadline passed before the solve completed (or before it
+    /// started).
+    DeadlineExceeded {
+        /// How long the job had been in the system when it was cut off.
+        elapsed: Duration,
+    },
+    /// No graph with this name is registered.
+    UnknownGraph(String),
+    /// Loading or generating a graph failed (bad file, unknown spec, …).
+    Load(String),
+    /// The request line could not be parsed.
+    BadRequest(String),
+}
+
+impl SvcError {
+    /// Stable machine-readable code, the first token of an `ERR` reply.
+    pub fn code(&self) -> &'static str {
+        match self {
+            SvcError::Overloaded { .. } => "overloaded",
+            SvcError::ShuttingDown => "shutting-down",
+            SvcError::DeadlineExceeded { .. } => "deadline",
+            SvcError::UnknownGraph(_) => "unknown-graph",
+            SvcError::Load(_) => "load",
+            SvcError::BadRequest(_) => "bad-request",
+        }
+    }
+}
+
+impl std::fmt::Display for SvcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SvcError::Overloaded { capacity } => {
+                write!(f, "job queue full (capacity {capacity}), retry later")
+            }
+            SvcError::ShuttingDown => write!(f, "server is shutting down"),
+            SvcError::DeadlineExceeded { elapsed } => {
+                write!(f, "deadline exceeded after {:?}", elapsed)
+            }
+            SvcError::UnknownGraph(name) => write!(f, "no graph named `{name}`"),
+            SvcError::Load(msg) => write!(f, "{msg}"),
+            SvcError::BadRequest(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SvcError {}

@@ -1,0 +1,67 @@
+//! # graft-svc — a long-lived matching service
+//!
+//! Everything below the workspace's solvers is a batch CLI: parse a
+//! graph, solve, exit. This crate keeps the expensive state **resident**
+//! instead, which is how a matching engine would actually be deployed
+//! behind other systems (task-assignment, sparse-matrix pivoting,
+//! scheduling): parse a graph once, answer many solve requests against
+//! it, reuse previous matchings as warm starts.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`lru`] — a byte-budgeted least-recently-used cache with
+//!   hit/miss/eviction counters;
+//! * [`registry`] — named graphs loaded from Matrix Market files or
+//!   graft-gen suite specs; evicted graphs transparently re-materialize
+//!   from their remembered source; the last matching per graph is kept
+//!   for **warm starts**;
+//! * [`scheduler`] — a bounded job queue in front of a fixed worker
+//!   pool; a full queue rejects immediately with the typed
+//!   [`SvcError::Overloaded`] instead of building unbounded backlog, and
+//!   per-job **deadlines** cancel solves cooperatively at phase
+//!   boundaries (via [`MsBfsOptions::deadline`]);
+//! * [`metrics`] — atomic counters and latency histograms behind the
+//!   `STATS` command;
+//! * [`protocol`] / [`server`] — a newline-delimited TCP protocol
+//!   (`LOAD`, `GEN`, `SOLVE`, `STATS`, `EVICT`, `SHUTDOWN`) on
+//!   `std::net`, one reader thread per connection. No async runtime:
+//!   plain blocking I/O and threads are plenty for a solver service
+//!   whose unit of work is milliseconds to seconds.
+//!
+//! ## A session
+//!
+//! ```text
+//! $ graftmatch serve --addr 127.0.0.1:7421 &
+//! graft-svc listening on 127.0.0.1:7421
+//! $ nc 127.0.0.1 7421
+//! GEN g kkt_power:tiny
+//! OK name=g nx=1500 ny=1500 edges=10434 bytes=107496
+//! SOLVE g ms-bfs-graft
+//! OK graph=g algorithm=ms-bfs-graft cardinality=1500 phases=4 augmentations=209 warm=false elapsed_us=612
+//! SOLVE g ms-bfs-graft
+//! OK graph=g algorithm=ms-bfs-graft cardinality=1500 phases=1 augmentations=0 warm=true elapsed_us=95
+//! SHUTDOWN
+//! OK bye
+//! ```
+//!
+//! [`MsBfsOptions::deadline`]: graft_core::MsBfsOptions#structfield.deadline
+//! [`SvcError::Overloaded`]: error::SvcError::Overloaded
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod lru;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod scheduler;
+pub mod server;
+
+pub use error::SvcError;
+pub use lru::{LruCache, LruStats};
+pub use metrics::Metrics;
+pub use protocol::{parse_request, Request};
+pub use registry::{GraphRegistry, GraphSource, RegistryStats};
+pub use scheduler::Scheduler;
+pub use server::{serve, ServeConfig, Server};

@@ -1,0 +1,249 @@
+//! A byte-budgeted least-recently-used cache.
+//!
+//! The registry keeps parsed graphs in one of these so a resident server
+//! bounds its memory: every entry carries a byte cost, and inserting past
+//! the budget evicts the least-recently-touched entries until the new
+//! entry fits. Recency is tracked with a monotonic touch counter rather
+//! than an intrusive list — the registry holds tens of graphs, not
+//! millions, so the `O(n)` eviction scan is noise next to a single parse.
+//!
+//! A single entry larger than the whole budget is still admitted (the
+//! cache holds just that entry); rejecting it would make big graphs
+//! unusable rather than merely uncached.
+
+use std::collections::HashMap;
+
+/// Hit/miss/eviction counters, readable while the cache lives behind a
+/// lock (the service copies them out for `STATS`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LruStats {
+    /// `get` calls that found the key.
+    pub hits: u64,
+    /// `get` calls that missed.
+    pub misses: u64,
+    /// Entries pushed out by the byte budget (explicit `remove`s are not
+    /// counted).
+    pub evictions: u64,
+    /// Entries inserted (including replacements).
+    pub insertions: u64,
+}
+
+struct Entry<V> {
+    value: V,
+    bytes: usize,
+    last_use: u64,
+}
+
+/// The cache. Not internally synchronized; wrap it in a `Mutex`.
+pub struct LruCache<V> {
+    entries: HashMap<String, Entry<V>>,
+    budget_bytes: usize,
+    used_bytes: usize,
+    tick: u64,
+    stats: LruStats,
+}
+
+impl<V> LruCache<V> {
+    /// An empty cache that evicts past `budget_bytes`.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            budget_bytes,
+            used_bytes: 0,
+            tick: 0,
+            stats: LruStats::default(),
+        }
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up `name`, refreshing its recency. Counts a hit or a miss.
+    pub fn get(&mut self, name: &str) -> Option<&V> {
+        let tick = self.next_tick();
+        match self.entries.get_mut(name) {
+            Some(e) => {
+                e.last_use = tick;
+                self.stats.hits += 1;
+                Some(&e.value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Mutable lookup with the same recency/counter behavior as [`get`].
+    ///
+    /// [`get`]: Self::get
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut V> {
+        let tick = self.next_tick();
+        match self.entries.get_mut(name) {
+            Some(e) => {
+                e.last_use = tick;
+                self.stats.hits += 1;
+                Some(&mut e.value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether `name` is cached, without touching recency or counters.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Inserts (or replaces) `name`, then evicts least-recently-used
+    /// entries until the budget holds again. Returns the names evicted.
+    pub fn insert(&mut self, name: String, value: V, bytes: usize) -> Vec<String> {
+        let tick = self.next_tick();
+        if let Some(old) = self.entries.insert(
+            name.clone(),
+            Entry {
+                value,
+                bytes,
+                last_use: tick,
+            },
+        ) {
+            self.used_bytes -= old.bytes;
+        }
+        self.used_bytes += bytes;
+        self.stats.insertions += 1;
+
+        let mut evicted = Vec::new();
+        while self.used_bytes > self.budget_bytes && self.entries.len() > 1 {
+            // Oldest entry that is not the one just inserted.
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != name)
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    let e = self.entries.remove(&k).expect("victim vanished");
+                    self.used_bytes -= e.bytes;
+                    self.stats.evictions += 1;
+                    evicted.push(k);
+                }
+                None => break,
+            }
+        }
+        evicted
+    }
+
+    /// Removes `name` (not counted as an eviction). Returns the value.
+    pub fn remove(&mut self, name: &str) -> Option<V> {
+        self.entries.remove(name).map(|e| {
+            self.used_bytes -= e.bytes;
+            e.value
+        })
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes currently accounted to cached entries.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// A copy of the counters.
+    pub fn stats(&self) -> LruStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let mut c: LruCache<u32> = LruCache::new(1000);
+        assert!(c.get("a").is_none());
+        c.insert("a".into(), 1, 10);
+        assert_eq!(c.get("a"), Some(&1));
+        assert_eq!(c.get("a"), Some(&1));
+        assert!(c.get("b").is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (2, 2, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut c: LruCache<u32> = LruCache::new(30);
+        c.insert("a".into(), 1, 10);
+        c.insert("b".into(), 2, 10);
+        c.insert("c".into(), 3, 10);
+        // Touch `a` so `b` is now the oldest.
+        assert!(c.get("a").is_some());
+        let evicted = c.insert("d".into(), 4, 10);
+        assert_eq!(evicted, vec!["b".to_string()]);
+        assert!(c.contains("a") && c.contains("c") && c.contains("d"));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.used_bytes(), 30);
+    }
+
+    #[test]
+    fn eviction_cascades_until_budget_holds() {
+        let mut c: LruCache<u32> = LruCache::new(25);
+        c.insert("a".into(), 1, 10);
+        c.insert("b".into(), 2, 10);
+        let evicted = c.insert("big".into(), 3, 20);
+        // 40 bytes > 25: both old entries must go.
+        assert_eq!(evicted.len(), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), 20);
+    }
+
+    #[test]
+    fn oversized_entry_is_admitted_alone() {
+        let mut c: LruCache<u32> = LruCache::new(10);
+        c.insert("a".into(), 1, 5);
+        let evicted = c.insert("huge".into(), 2, 100);
+        assert_eq!(evicted, vec!["a".to_string()]);
+        assert!(c.contains("huge"));
+        assert_eq!(c.used_bytes(), 100); // over budget, by design
+        let evicted = c.insert("next".into(), 3, 5);
+        assert_eq!(evicted, vec!["huge".to_string()]);
+    }
+
+    #[test]
+    fn replacement_updates_byte_accounting() {
+        let mut c: LruCache<u32> = LruCache::new(100);
+        c.insert("a".into(), 1, 40);
+        c.insert("a".into(), 2, 15);
+        assert_eq!(c.used_bytes(), 15);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("a"), Some(&2));
+    }
+
+    #[test]
+    fn remove_is_not_an_eviction() {
+        let mut c: LruCache<u32> = LruCache::new(100);
+        c.insert("a".into(), 1, 40);
+        assert_eq!(c.remove("a"), Some(1));
+        assert_eq!(c.remove("a"), None);
+        assert_eq!(c.used_bytes(), 0);
+        assert_eq!(c.stats().evictions, 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Service-wide instrumentation: lock-free counters and latency
+//! histograms, rendered as the flat `key=value` line `STATS` returns.
+//!
+//! Everything is atomics so the hot path (workers, connection threads)
+//! never takes a lock to count; `STATS` reads are relaxed snapshots,
+//! which is fine for monitoring.
+
+use graft_core::Algorithm;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Number of log2 latency buckets: bucket `i` counts values in
+/// `[2^i, 2^(i+1))` microseconds, the last bucket is open-ended.
+pub const HIST_BUCKETS: usize = 20;
+
+/// A log2-bucketed latency histogram over microseconds.
+#[derive(Default)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Histogram {
+    /// Records one observation of `us` microseconds.
+    pub fn record(&self, us: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        let bucket = (64 - us.leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(count, sum_us, buckets)` snapshot.
+    pub fn snapshot(&self) -> (u64, u64, [u64; HIST_BUCKETS]) {
+        let mut b = [0u64; HIST_BUCKETS];
+        for (out, a) in b.iter_mut().zip(&self.buckets) {
+            *out = a.load(Ordering::Relaxed);
+        }
+        (
+            self.count.load(Ordering::Relaxed),
+            self.sum_us.load(Ordering::Relaxed),
+            b,
+        )
+    }
+}
+
+/// All counters the service exposes through `STATS`.
+pub struct Metrics {
+    started: Instant,
+    /// Jobs accepted into the queue.
+    pub jobs_submitted: AtomicU64,
+    /// Jobs that ran to completion (including ones that returned errors).
+    pub jobs_completed: AtomicU64,
+    /// Jobs rejected with `Overloaded`.
+    pub jobs_rejected: AtomicU64,
+    /// Jobs cut off by their deadline.
+    pub jobs_timed_out: AtomicU64,
+    /// Jobs currently queued (not yet picked up by a worker).
+    pub queue_depth: AtomicUsize,
+    /// Time from submit to worker pickup.
+    pub wait: Histogram,
+    /// Time a worker spent solving.
+    pub solve: Histogram,
+    solves_per_algorithm: [AtomicU64; Algorithm::ALL.len()],
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics; `uptime_us` counts from here.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            jobs_submitted: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_rejected: AtomicU64::new(0),
+            jobs_timed_out: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            wait: Histogram::default(),
+            solve: Histogram::default(),
+            solves_per_algorithm: Default::default(),
+        }
+    }
+
+    /// Counts one completed solve of `alg`.
+    pub fn record_solve(&self, alg: Algorithm) {
+        let idx = Algorithm::ALL
+            .iter()
+            .position(|a| *a == alg)
+            .expect("algorithm not in ALL");
+        self.solves_per_algorithm[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completed solves of `alg` so far.
+    pub fn solves_of(&self, alg: Algorithm) -> u64 {
+        let idx = Algorithm::ALL
+            .iter()
+            .position(|a| *a == alg)
+            .expect("algorithm not in ALL");
+        self.solves_per_algorithm[idx].load(Ordering::Relaxed)
+    }
+
+    /// Appends `key=value` pairs (space-separated, no leading space) to
+    /// `out` — the body of the `STATS` reply.
+    pub fn render(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "uptime_us={} queue_depth={} submitted={} completed={} rejected={} timed_out={}",
+            self.started.elapsed().as_micros(),
+            self.queue_depth.load(Ordering::Relaxed),
+            self.jobs_submitted.load(Ordering::Relaxed),
+            self.jobs_completed.load(Ordering::Relaxed),
+            self.jobs_rejected.load(Ordering::Relaxed),
+            self.jobs_timed_out.load(Ordering::Relaxed),
+        );
+        let (wc, ws, _) = self.wait.snapshot();
+        let (sc, ss, _) = self.solve.snapshot();
+        let _ = write!(
+            out,
+            " wait_count={wc} wait_us_sum={ws} solve_count={sc} solve_us_sum={ss}"
+        );
+        for (i, alg) in Algorithm::ALL.iter().enumerate() {
+            let n = self.solves_per_algorithm[i].load(Ordering::Relaxed);
+            if n > 0 {
+                let _ = write!(out, " solves[{}]={n}", alg.cli_name());
+            }
+        }
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let h = Histogram::default();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(1000); // 2^9..2^10 -> bucket 10
+        let (count, sum, buckets) = h.snapshot();
+        assert_eq!(count, 3);
+        assert_eq!(sum, 1001);
+        assert_eq!(buckets[0], 1);
+        assert_eq!(buckets[1], 1);
+        assert_eq!(buckets[10], 1);
+    }
+
+    #[test]
+    fn huge_latency_lands_in_last_bucket() {
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        let (_, _, buckets) = h.snapshot();
+        assert_eq!(buckets[HIST_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn per_algorithm_counts_and_render() {
+        let m = Metrics::new();
+        m.record_solve(Algorithm::MsBfsGraft);
+        m.record_solve(Algorithm::MsBfsGraft);
+        m.record_solve(Algorithm::HopcroftKarp);
+        assert_eq!(m.solves_of(Algorithm::MsBfsGraft), 2);
+        assert_eq!(m.solves_of(Algorithm::SsDfs), 0);
+        let mut s = String::new();
+        m.render(&mut s);
+        assert!(s.contains("solves[ms-bfs-graft]=2"), "{s}");
+        assert!(s.contains("solves[hk]=1"), "{s}");
+        assert!(!s.contains("solves[ss-dfs]"), "{s}");
+        assert!(s.contains("queue_depth=0"), "{s}");
+    }
+}

@@ -1,0 +1,276 @@
+//! The newline-delimited wire protocol.
+//!
+//! One request per line, one reply line per request, UTF-8, no framing
+//! beyond `\n` — scriptable with `nc`. Grammar (tokens split on
+//! whitespace, `[]` optional):
+//!
+//! ```text
+//! LOAD <name> <path.mtx>
+//! GEN <name> <suite>[:<scale>]
+//! SOLVE <name> [algorithm] [timeout_ms=N] [threads=N] [cold]
+//! STATS
+//! EVICT <name>
+//! SLEEP <ms>
+//! SHUTDOWN
+//! ```
+//!
+//! Replies are `OK key=value ...` or `ERR <code> <message>`, where
+//! `<code>` is [`SvcError::code`]. Keywords are case-insensitive;
+//! names are case-sensitive.
+
+use crate::error::SvcError;
+use graft_core::Algorithm;
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Register a graph from a Matrix Market file.
+    Load {
+        /// Registry name.
+        name: String,
+        /// Path on the server's filesystem.
+        path: String,
+    },
+    /// Register a graph from a graft-gen suite spec.
+    Gen {
+        /// Registry name.
+        name: String,
+        /// `<suite>[:<scale>]`, e.g. `kkt_power:tiny`.
+        spec: String,
+    },
+    /// Solve for a maximum matching.
+    Solve {
+        /// Registry name of the graph.
+        name: String,
+        /// Algorithm to run.
+        algorithm: Algorithm,
+        /// Per-job deadline, from now.
+        timeout_ms: Option<u64>,
+        /// Thread count for parallel algorithms (0 = default pool).
+        threads: usize,
+        /// Ignore any cached warm-start matching.
+        cold: bool,
+    },
+    /// One-line counter dump.
+    Stats,
+    /// Forget a graph (cache entry, warm matching, and source).
+    Evict {
+        /// Registry name.
+        name: String,
+    },
+    /// Occupy a worker for the given duration (operational testing aid,
+    /// in the spirit of Redis `DEBUG SLEEP`).
+    Sleep {
+        /// Sleep duration in milliseconds.
+        ms: u64,
+    },
+    /// Stop accepting connections and exit once drained.
+    Shutdown,
+}
+
+fn bad(msg: impl Into<String>) -> SvcError {
+    SvcError::BadRequest(msg.into())
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, SvcError> {
+    let mut tokens = line.split_whitespace();
+    let verb = tokens.next().ok_or_else(|| bad("empty request"))?;
+    let req = match verb.to_ascii_uppercase().as_str() {
+        "LOAD" => {
+            let name = tokens
+                .next()
+                .ok_or_else(|| bad("LOAD needs <name> <path>"))?;
+            let path = tokens
+                .next()
+                .ok_or_else(|| bad("LOAD needs <name> <path>"))?;
+            Request::Load {
+                name: name.to_string(),
+                path: path.to_string(),
+            }
+        }
+        "GEN" => {
+            let name = tokens
+                .next()
+                .ok_or_else(|| bad("GEN needs <name> <spec>"))?;
+            let spec = tokens
+                .next()
+                .ok_or_else(|| bad("GEN needs <name> <spec>"))?;
+            Request::Gen {
+                name: name.to_string(),
+                spec: spec.to_string(),
+            }
+        }
+        "SOLVE" => {
+            let name = tokens
+                .next()
+                .ok_or_else(|| bad("SOLVE needs <name> [algorithm] [options]"))?;
+            let mut algorithm = Algorithm::MsBfsGraftParallel;
+            let mut timeout_ms = None;
+            let mut threads = 0usize;
+            let mut cold = false;
+            for (i, tok) in tokens.by_ref().enumerate() {
+                if let Some(v) = tok.strip_prefix("timeout_ms=") {
+                    timeout_ms = Some(
+                        v.parse()
+                            .map_err(|_| bad(format!("bad timeout_ms `{v}`")))?,
+                    );
+                } else if let Some(v) = tok.strip_prefix("threads=") {
+                    threads = v.parse().map_err(|_| bad(format!("bad threads `{v}`")))?;
+                } else if tok.eq_ignore_ascii_case("cold") {
+                    cold = true;
+                } else if i == 0 {
+                    algorithm = Algorithm::parse(tok)
+                        .ok_or_else(|| bad(format!("unknown algorithm `{tok}`")))?;
+                } else {
+                    return Err(bad(format!("unknown SOLVE option `{tok}`")));
+                }
+            }
+            Request::Solve {
+                name: name.to_string(),
+                algorithm,
+                timeout_ms,
+                threads,
+                cold,
+            }
+        }
+        "STATS" => Request::Stats,
+        "EVICT" => {
+            let name = tokens.next().ok_or_else(|| bad("EVICT needs <name>"))?;
+            Request::Evict {
+                name: name.to_string(),
+            }
+        }
+        "SLEEP" => {
+            let ms = tokens.next().ok_or_else(|| bad("SLEEP needs <ms>"))?;
+            Request::Sleep {
+                ms: ms.parse().map_err(|_| bad(format!("bad ms `{ms}`")))?,
+            }
+        }
+        "SHUTDOWN" => Request::Shutdown,
+        other => return Err(bad(format!("unknown command `{other}`"))),
+    };
+    // Commands with a fixed shape reject trailing garbage.
+    if matches!(
+        req,
+        Request::Stats | Request::Shutdown | Request::Load { .. } | Request::Gen { .. }
+    ) && tokens.next().is_some()
+    {
+        return Err(bad("unexpected trailing tokens"));
+    }
+    Ok(req)
+}
+
+/// Formats an error reply line (no trailing newline).
+pub fn err_line(e: &SvcError) -> String {
+    format!("ERR {} {e}", e.code())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_solve_with_options() {
+        let req = parse_request("SOLVE g ms-bfs-graft timeout_ms=250 threads=2 cold").unwrap();
+        assert_eq!(
+            req,
+            Request::Solve {
+                name: "g".into(),
+                algorithm: Algorithm::MsBfsGraft,
+                timeout_ms: Some(250),
+                threads: 2,
+                cold: true,
+            }
+        );
+    }
+
+    #[test]
+    fn solve_defaults() {
+        let req = parse_request("solve g").unwrap();
+        assert_eq!(
+            req,
+            Request::Solve {
+                name: "g".into(),
+                algorithm: Algorithm::MsBfsGraftParallel,
+                timeout_ms: None,
+                threads: 0,
+                cold: false,
+            }
+        );
+    }
+
+    #[test]
+    fn options_without_algorithm() {
+        let req = parse_request("SOLVE g timeout_ms=5").unwrap();
+        match req {
+            Request::Solve {
+                algorithm,
+                timeout_ms,
+                ..
+            } => {
+                assert_eq!(algorithm, Algorithm::MsBfsGraftParallel);
+                assert_eq!(timeout_ms, Some(5));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_simple_commands() {
+        assert_eq!(
+            parse_request("LOAD g /tmp/a.mtx").unwrap(),
+            Request::Load {
+                name: "g".into(),
+                path: "/tmp/a.mtx".into()
+            }
+        );
+        assert_eq!(
+            parse_request("GEN g kkt_power:tiny").unwrap(),
+            Request::Gen {
+                name: "g".into(),
+                spec: "kkt_power:tiny".into()
+            }
+        );
+        assert_eq!(parse_request("stats").unwrap(), Request::Stats);
+        assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
+        assert_eq!(
+            parse_request("EVICT g").unwrap(),
+            Request::Evict { name: "g".into() }
+        );
+        assert_eq!(
+            parse_request("SLEEP 40").unwrap(),
+            Request::Sleep { ms: 40 }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for line in [
+            "",
+            "   ",
+            "FROBNICATE",
+            "LOAD onlyname",
+            "GEN g",
+            "SOLVE",
+            "SOLVE g not-an-algorithm",
+            "SOLVE g timeout_ms=abc",
+            "SOLVE g ms-bfs-graft hk", // algorithm twice
+            "SLEEP abc",
+            "STATS now",
+            "SHUTDOWN please",
+        ] {
+            let r = parse_request(line);
+            assert!(
+                matches!(r, Err(SvcError::BadRequest(_))),
+                "line `{line}` gave {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn err_line_has_stable_code() {
+        let e = SvcError::UnknownGraph("g".into());
+        assert_eq!(err_line(&e), "ERR unknown-graph no graph named `g`");
+    }
+}

@@ -1,0 +1,332 @@
+//! The graph registry: named graphs behind the byte-budgeted LRU cache.
+//!
+//! Clients register graphs by name, either from a Matrix Market file
+//! (`LOAD`) or from a graft-gen suite spec (`GEN`). The parsed
+//! [`BipartiteCsr`] lives in the [`LruCache`]; the *source* of every name
+//! is remembered separately (a few bytes per graph), so a graph evicted
+//! under memory pressure is transparently re-materialized on its next
+//! use — eviction costs a reload, never an error.
+//!
+//! The registry also keeps the **warm-start matching** per graph: the
+//! matching produced by the last completed solve. A later solve of the
+//! same graph starts from it instead of from scratch, so repeat solves
+//! converge in fewer phases (one certification phase, zero augmentations,
+//! once the cached matching is maximum).
+
+use crate::error::SvcError;
+use crate::lru::{LruCache, LruStats};
+use graft_core::Matching;
+use graft_gen::{suite, Scale};
+use graft_graph::BipartiteCsr;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Where a named graph comes from; enough to re-materialize it after an
+/// eviction.
+#[derive(Clone, Debug)]
+pub enum GraphSource {
+    /// A Matrix Market file on disk.
+    MtxFile(PathBuf),
+    /// A graft-gen suite instance, e.g. `kkt_power` at `Scale::Tiny`.
+    Suite {
+        /// Suite entry name (see `graft_gen::suite`).
+        name: String,
+        /// Problem scale.
+        scale: Scale,
+    },
+}
+
+struct CacheEntry {
+    graph: Arc<BipartiteCsr>,
+    warm: Option<Arc<Matching>>,
+}
+
+/// Basic shape of a registered graph, echoed in `LOAD`/`GEN` replies.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphInfo {
+    /// `|X|`.
+    pub nx: usize,
+    /// `|Y|`.
+    pub ny: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Bytes accounted to the cache for this graph.
+    pub bytes: usize,
+}
+
+/// Cache + per-name counters copied out for `STATS`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RegistryStats {
+    /// The LRU cache counters.
+    pub cache: LruStats,
+    /// Graphs re-parsed/re-generated after an eviction.
+    pub reloads: u64,
+    /// Cached entries right now.
+    pub entries: usize,
+    /// Bytes accounted right now.
+    pub used_bytes: usize,
+    /// The configured budget.
+    pub budget_bytes: usize,
+    /// Names with a remembered source (cached or not).
+    pub registered: usize,
+}
+
+struct Inner {
+    cache: LruCache<CacheEntry>,
+    sources: HashMap<String, GraphSource>,
+    reloads: u64,
+}
+
+/// Thread-safe named-graph store. Cheap to share: clone the `Arc`.
+pub struct GraphRegistry {
+    inner: Mutex<Inner>,
+}
+
+/// Approximate resident size of a parsed graph: two CSR copies (a
+/// `usize` offset array per side plus a `u32` adjacency entry per edge
+/// per direction).
+pub fn approx_graph_bytes(g: &BipartiteCsr) -> usize {
+    (g.num_x() + 1 + g.num_y() + 1) * std::mem::size_of::<usize>()
+        + 2 * g.num_edges() * std::mem::size_of::<u32>()
+}
+
+fn materialize(source: &GraphSource) -> Result<BipartiteCsr, SvcError> {
+    match source {
+        GraphSource::MtxFile(path) => graft_graph::mtx::read_mtx_file(path)
+            .map_err(|e| SvcError::Load(format!("{}: {e}", path.display()))),
+        GraphSource::Suite { name, scale } => match suite::by_name(name) {
+            Some(entry) => Ok(entry.build(*scale)),
+            None => Err(SvcError::Load(format!("unknown suite graph `{name}`"))),
+        },
+    }
+}
+
+/// Parses a `GEN` spec: `<suite-name>` or `<suite-name>:<scale>`
+/// (default scale `tiny`).
+pub fn parse_gen_spec(spec: &str) -> Result<GraphSource, SvcError> {
+    let (name, scale) = match spec.split_once(':') {
+        Some((n, s)) => {
+            let scale = Scale::parse(s)
+                .ok_or_else(|| SvcError::BadRequest(format!("unknown scale `{s}`")))?;
+            (n, scale)
+        }
+        None => (spec, Scale::Tiny),
+    };
+    if suite::by_name(name).is_none() {
+        let known: Vec<&str> = suite::suite().iter().map(|e| e.name).collect();
+        return Err(SvcError::BadRequest(format!(
+            "unknown suite graph `{name}` (known: {})",
+            known.join(", ")
+        )));
+    }
+    Ok(GraphSource::Suite {
+        name: name.to_string(),
+        scale,
+    })
+}
+
+impl GraphRegistry {
+    /// A registry whose cache evicts past `budget_bytes`.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                cache: LruCache::new(budget_bytes),
+                sources: HashMap::new(),
+                reloads: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers `name` from `source`, materializing it immediately.
+    /// Replaces any previous graph of the same name (and drops its
+    /// warm-start matching).
+    pub fn register(&self, name: &str, source: GraphSource) -> Result<GraphInfo, SvcError> {
+        // Parse outside the lock: loads can be slow and must not stall
+        // concurrent SOLVEs of other graphs.
+        let graph = materialize(&source)?;
+        let bytes = approx_graph_bytes(&graph);
+        let info = GraphInfo {
+            nx: graph.num_x(),
+            ny: graph.num_y(),
+            edges: graph.num_edges(),
+            bytes,
+        };
+        let mut inner = self.lock();
+        inner.sources.insert(name.to_string(), source);
+        inner.cache.insert(
+            name.to_string(),
+            CacheEntry {
+                graph: Arc::new(graph),
+                warm: None,
+            },
+            bytes,
+        );
+        Ok(info)
+    }
+
+    /// The graph and its warm-start matching (if any), re-materializing
+    /// from the remembered source after an eviction.
+    pub fn get(&self, name: &str) -> Result<(Arc<BipartiteCsr>, Option<Arc<Matching>>), SvcError> {
+        let source = {
+            let mut inner = self.lock();
+            if let Some(e) = inner.cache.get(name) {
+                return Ok((Arc::clone(&e.graph), e.warm.clone()));
+            }
+            match inner.sources.get(name) {
+                Some(s) => s.clone(),
+                None => return Err(SvcError::UnknownGraph(name.to_string())),
+            }
+        };
+        // Cache miss with a known source: reload outside the lock.
+        let graph = Arc::new(materialize(&source)?);
+        let bytes = approx_graph_bytes(&graph);
+        let mut inner = self.lock();
+        inner.reloads += 1;
+        inner.cache.insert(
+            name.to_string(),
+            CacheEntry {
+                graph: Arc::clone(&graph),
+                warm: None,
+            },
+            bytes,
+        );
+        Ok((graph, None))
+    }
+
+    /// Saves `matching` as the warm start for `name`. A no-op if the
+    /// graph has been evicted or replaced meanwhile.
+    pub fn store_warm(&self, name: &str, matching: Matching) {
+        let mut inner = self.lock();
+        if let Some(e) = inner.cache.get_mut(name) {
+            e.warm = Some(Arc::new(matching));
+        }
+    }
+
+    /// Forgets `name` entirely: cache entry, warm matching, and source.
+    /// Returns whether the name was known.
+    pub fn evict(&self, name: &str) -> bool {
+        let mut inner = self.lock();
+        let had_source = inner.sources.remove(name).is_some();
+        let had_entry = inner.cache.remove(name).is_some();
+        had_source || had_entry
+    }
+
+    /// Counter snapshot for `STATS`.
+    pub fn stats(&self) -> RegistryStats {
+        let inner = self.lock();
+        RegistryStats {
+            cache: inner.cache.stats(),
+            reloads: inner.reloads,
+            entries: inner.cache.len(),
+            used_bytes: inner.cache.used_bytes(),
+            budget_bytes: inner.cache.budget_bytes(),
+            registered: inner.sources.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_suite_source() -> GraphSource {
+        GraphSource::Suite {
+            name: "kkt_power".into(),
+            scale: Scale::Tiny,
+        }
+    }
+
+    #[test]
+    fn register_and_get_suite_graph() {
+        let r = GraphRegistry::new(usize::MAX);
+        let info = r.register("g", tiny_suite_source()).unwrap();
+        assert!(info.nx > 0 && info.edges > 0);
+        let (g, warm) = r.get("g").unwrap();
+        assert_eq!(g.num_x(), info.nx);
+        assert!(warm.is_none());
+        assert_eq!(r.stats().cache.hits, 1);
+    }
+
+    #[test]
+    fn unknown_graph_is_typed() {
+        let r = GraphRegistry::new(usize::MAX);
+        match r.get("nope") {
+            Err(SvcError::UnknownGraph(n)) => assert_eq!(n, "nope"),
+            other => panic!("expected UnknownGraph, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eviction_reloads_from_source() {
+        // Budget below one graph: each register/get round-trips through
+        // materialize, but names stay usable.
+        let r = GraphRegistry::new(1);
+        r.register("a", tiny_suite_source()).unwrap();
+        r.register("b", tiny_suite_source()).unwrap(); // evicts a
+        let (_g, _) = r.get("a").unwrap(); // miss -> reload
+        let s = r.stats();
+        assert!(s.reloads >= 1, "stats: {s:?}");
+        assert_eq!(s.registered, 2);
+    }
+
+    #[test]
+    fn warm_matching_round_trip() {
+        let r = GraphRegistry::new(usize::MAX);
+        r.register("g", tiny_suite_source()).unwrap();
+        let (g, _) = r.get("g").unwrap();
+        let m = graft_core::maximum_matching(&g);
+        let card = m.cardinality();
+        r.store_warm("g", m);
+        let (_, warm) = r.get("g").unwrap();
+        assert_eq!(warm.unwrap().cardinality(), card);
+    }
+
+    #[test]
+    fn evict_forgets_the_name() {
+        let r = GraphRegistry::new(usize::MAX);
+        r.register("g", tiny_suite_source()).unwrap();
+        assert!(r.evict("g"));
+        assert!(!r.evict("g"));
+        assert!(matches!(r.get("g"), Err(SvcError::UnknownGraph(_))));
+    }
+
+    #[test]
+    fn gen_spec_parsing() {
+        assert!(matches!(
+            parse_gen_spec("kkt_power"),
+            Ok(GraphSource::Suite {
+                scale: Scale::Tiny,
+                ..
+            })
+        ));
+        assert!(matches!(
+            parse_gen_spec("RMAT:small"),
+            Ok(GraphSource::Suite {
+                scale: Scale::Small,
+                ..
+            })
+        ));
+        assert!(matches!(
+            parse_gen_spec("kkt_power:galactic"),
+            Err(SvcError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_gen_spec("not-a-graph"),
+            Err(SvcError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn load_missing_file_is_typed() {
+        let r = GraphRegistry::new(usize::MAX);
+        let err = r
+            .register("f", GraphSource::MtxFile("/no/such/file.mtx".into()))
+            .unwrap_err();
+        assert!(matches!(err, SvcError::Load(_)));
+    }
+}

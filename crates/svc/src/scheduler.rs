@@ -1,0 +1,271 @@
+//! Bounded job queue + fixed worker pool.
+//!
+//! The scheduler is deliberately generic over the job and result types:
+//! the server instantiates it with solve jobs, and the unit tests
+//! instantiate it with jobs whose execution the test controls, which
+//! makes backpressure deterministic to exercise.
+//!
+//! Semantics:
+//!
+//! * `submit` never blocks. A full queue returns the typed
+//!   [`SvcError::Overloaded`] immediately — callers (i.e. clients) own
+//!   the retry policy, the server never builds an unbounded backlog.
+//! * The capacity bounds *queued* jobs; jobs being executed by a worker
+//!   no longer count against it.
+//! * Shutdown is graceful: already-queued jobs are drained, new submits
+//!   are refused with [`SvcError::ShuttingDown`].
+//!
+//! Each submitted job gets a private [`mpsc::Receiver`] for its result,
+//! so the connection thread that submitted it blocks only on its own
+//! job.
+
+use crate::error::SvcError;
+use crate::metrics::Metrics;
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+struct Item<J, R> {
+    job: J,
+    enqueued: Instant,
+    tx: mpsc::Sender<R>,
+}
+
+struct Shared<J, R> {
+    queue: Mutex<SchedState<J, R>>,
+    cv: Condvar,
+    capacity: usize,
+    metrics: Arc<Metrics>,
+}
+
+struct SchedState<J, R> {
+    items: VecDeque<Item<J, R>>,
+    shutdown: bool,
+}
+
+/// Fixed pool of worker threads consuming a bounded queue.
+pub struct Scheduler<J: Send + 'static, R: Send + 'static> {
+    shared: Arc<Shared<J, R>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<J: Send + 'static, R: Send + 'static> Scheduler<J, R> {
+    /// Spawns `workers` threads that run `handler` on each job. `capacity`
+    /// bounds the number of *queued* (not yet running) jobs.
+    pub fn new<F>(workers: usize, capacity: usize, metrics: Arc<Metrics>, handler: F) -> Self
+    where
+        F: Fn(J) -> R + Send + Sync + 'static,
+    {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(SchedState {
+                items: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            capacity,
+            metrics,
+        });
+        let handler = Arc::new(handler);
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let handler = Arc::clone(&handler);
+                std::thread::Builder::new()
+                    .name(format!("graft-svc-worker-{i}"))
+                    .spawn(move || worker_loop(shared, handler))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Enqueues `job`; the result arrives on the returned receiver.
+    /// Fails fast with [`SvcError::Overloaded`] when the queue is full.
+    pub fn submit(&self, job: J) -> Result<mpsc::Receiver<R>, SvcError> {
+        let (tx, rx) = mpsc::channel();
+        let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.shutdown {
+            return Err(SvcError::ShuttingDown);
+        }
+        if q.items.len() >= self.shared.capacity {
+            self.shared
+                .metrics
+                .jobs_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(SvcError::Overloaded {
+                capacity: self.shared.capacity,
+            });
+        }
+        q.items.push_back(Item {
+            job,
+            enqueued: Instant::now(),
+            tx,
+        });
+        self.shared
+            .metrics
+            .jobs_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .metrics
+            .queue_depth
+            .store(q.items.len(), Ordering::Relaxed);
+        drop(q);
+        self.shared.cv.notify_one();
+        Ok(rx)
+    }
+
+    /// Refuses new jobs; queued jobs still drain.
+    pub fn shutdown(&self) {
+        let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.shutdown = true;
+        drop(q);
+        self.shared.cv.notify_all();
+    }
+
+    /// Shuts down and joins every worker (drains the queue first).
+    pub fn join(mut self) {
+        self.shutdown();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop<J, R, F>(shared: Arc<Shared<J, R>>, handler: Arc<F>)
+where
+    F: Fn(J) -> R,
+{
+    loop {
+        let item = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(item) = q.items.pop_front() {
+                    shared
+                        .metrics
+                        .queue_depth
+                        .store(q.items.len(), Ordering::Relaxed);
+                    break item;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        shared
+            .metrics
+            .wait
+            .record(item.enqueued.elapsed().as_micros() as u64);
+        let result = handler(item.job);
+        shared
+            .metrics
+            .jobs_completed
+            .fetch_add(1, Ordering::Relaxed);
+        // The submitter may have hung up (connection dropped): fine.
+        let _ = item.tx.send(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// Jobs block until the test releases them: backpressure becomes
+    /// deterministic instead of a race against worker speed.
+    fn gated_scheduler(
+        workers: usize,
+        capacity: usize,
+    ) -> (Scheduler<u32, u32>, mpsc::Sender<()>, Arc<Metrics>) {
+        let metrics = Arc::new(Metrics::new());
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let gate_rx = Mutex::new(gate_rx);
+        let sched = Scheduler::new(workers, capacity, Arc::clone(&metrics), move |job: u32| {
+            gate_rx.lock().unwrap().recv().ok();
+            job * 2
+        });
+        (sched, gate_tx, metrics)
+    }
+
+    fn wait_until(mut cond: impl FnMut() -> bool) {
+        for _ in 0..2000 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        panic!("condition not reached within 2s");
+    }
+
+    #[test]
+    fn executes_jobs_and_returns_results() {
+        let metrics = Arc::new(Metrics::new());
+        let sched = Scheduler::new(2, 16, Arc::clone(&metrics), |job: u32| job + 1);
+        let rxs: Vec<_> = (0..8).map(|i| sched.submit(i).unwrap()).collect();
+        for (i, rx) in rxs.into_iter().enumerate() {
+            assert_eq!(rx.recv().unwrap(), i as u32 + 1);
+        }
+        assert_eq!(metrics.jobs_completed.load(Ordering::Relaxed), 8);
+        assert_eq!(metrics.jobs_rejected.load(Ordering::Relaxed), 0);
+        sched.join();
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded() {
+        let (sched, gate, metrics) = gated_scheduler(1, 2);
+        // First job: picked up by the (single) worker, which then blocks.
+        let rx0 = sched.submit(10).unwrap();
+        wait_until(|| metrics.queue_depth.load(Ordering::Relaxed) == 0);
+        // Fill the queue behind the busy worker.
+        let rx1 = sched.submit(11).unwrap();
+        let rx2 = sched.submit(12).unwrap();
+        // Queue full now: typed rejection, and the counter moves.
+        match sched.submit(13) {
+            Err(SvcError::Overloaded { capacity }) => assert_eq!(capacity, 2),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(metrics.jobs_rejected.load(Ordering::Relaxed), 1);
+        // Release everything: the queued jobs still complete.
+        for _ in 0..3 {
+            gate.send(()).unwrap();
+        }
+        assert_eq!(rx0.recv().unwrap(), 20);
+        assert_eq!(rx1.recv().unwrap(), 22);
+        assert_eq!(rx2.recv().unwrap(), 24);
+        // Capacity freed again.
+        let rx3 = sched.submit(13).unwrap();
+        gate.send(()).unwrap();
+        assert_eq!(rx3.recv().unwrap(), 26);
+        sched.join();
+    }
+
+    #[test]
+    fn shutdown_refuses_new_jobs_but_drains_queued_ones() {
+        let (sched, gate, _metrics) = gated_scheduler(1, 8);
+        let rx0 = sched.submit(1).unwrap();
+        let rx1 = sched.submit(2).unwrap();
+        sched.shutdown();
+        assert!(matches!(sched.submit(3), Err(SvcError::ShuttingDown)));
+        gate.send(()).unwrap();
+        gate.send(()).unwrap();
+        assert_eq!(rx0.recv().unwrap(), 2);
+        assert_eq!(rx1.recv().unwrap(), 4);
+        sched.join();
+    }
+
+    #[test]
+    fn wait_time_is_recorded() {
+        let metrics = Arc::new(Metrics::new());
+        let sched = Scheduler::new(1, 8, Arc::clone(&metrics), |job: u32| job);
+        sched.submit(1).unwrap().recv().unwrap();
+        let (count, _sum, _) = metrics.wait.snapshot();
+        assert_eq!(count, 1);
+        sched.join();
+    }
+}

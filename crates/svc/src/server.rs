@@ -1,0 +1,327 @@
+//! TCP front-end: accept loop, per-connection reader threads, dispatch.
+//!
+//! Concurrency model (all `std`, no async runtime):
+//!
+//! * one **accept loop** thread (the caller of [`Server::run`]);
+//! * one **reader thread per connection**, which parses request lines and
+//!   writes reply lines — registry commands (`LOAD`, `GEN`, `EVICT`,
+//!   `STATS`) execute inline on this thread, so a saturated worker pool
+//!   never blocks monitoring;
+//! * the fixed **worker pool** (the [`Scheduler`]) executes `SOLVE` and
+//!   `SLEEP` jobs; the submitting connection thread blocks on its own
+//!   job's result channel, clients interleave naturally.
+//!
+//! `SHUTDOWN` acknowledges, stops the scheduler (draining queued jobs),
+//! and wakes the accept loop with a loopback connection so [`Server::run`]
+//! returns.
+
+use crate::error::SvcError;
+use crate::metrics::Metrics;
+use crate::protocol::{err_line, parse_request, Request};
+use crate::registry::{parse_gen_spec, GraphInfo, GraphRegistry, GraphSource};
+use crate::scheduler::Scheduler;
+use graft_core::{solve, solve_from, Algorithm, MsBfsOptions, SolveOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Server tunables.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing solve jobs.
+    pub workers: usize,
+    /// Bound on queued (not yet running) jobs; beyond it `SOLVE` replies
+    /// `ERR overloaded`.
+    pub queue_capacity: usize,
+    /// Byte budget of the graph cache.
+    pub cache_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            cache_bytes: 256 << 20,
+        }
+    }
+}
+
+enum Job {
+    Solve {
+        name: String,
+        algorithm: Algorithm,
+        deadline: Option<Instant>,
+        threads: usize,
+        cold: bool,
+        submitted: Instant,
+    },
+    Sleep(u64),
+}
+
+type JobReply = Result<String, SvcError>;
+
+/// A bound, not-yet-running service instance.
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<GraphRegistry>,
+    metrics: Arc<Metrics>,
+    sched: Arc<Scheduler<Job, JobReply>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+fn run_job(job: Job, registry: &GraphRegistry, metrics: &Metrics) -> JobReply {
+    match job {
+        Job::Sleep(ms) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Ok(format!("OK slept_ms={ms}"))
+        }
+        Job::Solve {
+            name,
+            algorithm,
+            deadline,
+            threads,
+            cold,
+            submitted,
+        } => {
+            let (graph, warm) = registry.get(&name)?;
+            if let Some(dl) = deadline {
+                // The job may have aged out while queued.
+                if Instant::now() >= dl {
+                    metrics.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
+                    return Err(SvcError::DeadlineExceeded {
+                        elapsed: submitted.elapsed(),
+                    });
+                }
+            }
+            let opts = SolveOptions {
+                threads,
+                ms_bfs: MsBfsOptions {
+                    deadline,
+                    ..MsBfsOptions::default()
+                },
+                ..SolveOptions::default()
+            };
+            let warm_used = warm.is_some() && !cold;
+            let t0 = Instant::now();
+            let out = match warm.filter(|_| !cold) {
+                Some(m0) => solve_from(&graph, (*m0).clone(), algorithm, &opts),
+                None => solve(&graph, algorithm, &opts),
+            };
+            metrics.solve.record(t0.elapsed().as_micros() as u64);
+            if out.stats.timed_out {
+                metrics.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
+                return Err(SvcError::DeadlineExceeded {
+                    elapsed: submitted.elapsed(),
+                });
+            }
+            let s = &out.stats;
+            let line = format!(
+                "OK graph={name} algorithm={} cardinality={} phases={} augmentations={} warm={} elapsed_us={}",
+                algorithm.cli_name(),
+                s.final_cardinality,
+                s.phases,
+                s.augmenting_paths,
+                warm_used,
+                s.elapsed.as_micros(),
+            );
+            registry.store_warm(&name, out.matching);
+            metrics.record_solve(algorithm);
+            Ok(line)
+        }
+    }
+}
+
+impl Server {
+    /// Binds the listener and spawns the worker pool. The service is not
+    /// reachable until [`run`](Self::run) starts accepting.
+    pub fn bind(cfg: &ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let registry = Arc::new(GraphRegistry::new(cfg.cache_bytes));
+        let metrics = Arc::new(Metrics::new());
+        let sched = {
+            let registry = Arc::clone(&registry);
+            let metrics = Arc::clone(&metrics);
+            Arc::new(Scheduler::new(
+                cfg.workers,
+                cfg.queue_capacity,
+                Arc::clone(&metrics),
+                move |job| run_job(job, &registry, &metrics),
+            ))
+        };
+        Ok(Server {
+            listener,
+            registry,
+            metrics,
+            sched,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept loop. Returns after a client issues `SHUTDOWN`.
+    pub fn run(self) -> std::io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let registry = Arc::clone(&self.registry);
+            let metrics = Arc::clone(&self.metrics);
+            let sched = Arc::clone(&self.sched);
+            let shutdown = Arc::clone(&self.shutdown);
+            std::thread::spawn(move || {
+                let _ = handle_connection(stream, &registry, &metrics, &sched, &shutdown, addr);
+            });
+        }
+        // Drain queued jobs before returning so the process exits clean.
+        self.sched.shutdown();
+        Ok(())
+    }
+}
+
+fn info_line(name: &str, info: GraphInfo) -> String {
+    format!(
+        "OK name={name} nx={} ny={} edges={} bytes={}",
+        info.nx, info.ny, info.edges, info.bytes
+    )
+}
+
+fn dispatch(
+    req: Request,
+    registry: &GraphRegistry,
+    metrics: &Metrics,
+    sched: &Scheduler<Job, JobReply>,
+) -> String {
+    match req {
+        Request::Load { name, path } => {
+            match registry.register(&name, GraphSource::MtxFile(path.into())) {
+                Ok(info) => info_line(&name, info),
+                Err(e) => err_line(&e),
+            }
+        }
+        Request::Gen { name, spec } => {
+            let r = parse_gen_spec(&spec).and_then(|src| registry.register(&name, src));
+            match r {
+                Ok(info) => info_line(&name, info),
+                Err(e) => err_line(&e),
+            }
+        }
+        Request::Solve {
+            name,
+            algorithm,
+            timeout_ms,
+            threads,
+            cold,
+        } => {
+            let now = Instant::now();
+            let job = Job::Solve {
+                name,
+                algorithm,
+                deadline: timeout_ms.map(|ms| now + std::time::Duration::from_millis(ms)),
+                threads,
+                cold,
+                submitted: now,
+            };
+            submit_and_wait(sched, job)
+        }
+        Request::Sleep { ms } => submit_and_wait(sched, Job::Sleep(ms)),
+        Request::Stats => {
+            let mut line = String::from("OK ");
+            metrics.render(&mut line);
+            let r = registry.stats();
+            use std::fmt::Write;
+            let _ = write!(
+                line,
+                " cache_hits={} cache_misses={} cache_evictions={} cache_reloads={} \
+                 cache_entries={} cache_bytes={} cache_budget={} registered={}",
+                r.cache.hits,
+                r.cache.misses,
+                r.cache.evictions,
+                r.reloads,
+                r.entries,
+                r.used_bytes,
+                r.budget_bytes,
+                r.registered,
+            );
+            line
+        }
+        Request::Evict { name } => {
+            let evicted = registry.evict(&name);
+            format!("OK name={name} evicted={evicted}")
+        }
+        Request::Shutdown => "OK bye".to_string(),
+    }
+}
+
+fn submit_and_wait(sched: &Scheduler<Job, JobReply>, job: Job) -> String {
+    match sched.submit(job) {
+        Err(e) => err_line(&e),
+        Ok(rx) => match rx.recv() {
+            Ok(Ok(line)) => line,
+            Ok(Err(e)) => err_line(&e),
+            // Worker pool went away mid-job (shutdown race).
+            Err(_) => err_line(&SvcError::ShuttingDown),
+        },
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    registry: &GraphRegistry,
+    metrics: &Metrics,
+    sched: &Scheduler<Job, JobReply>,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = match parse_request(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                writeln!(writer, "{}", err_line(&e))?;
+                continue;
+            }
+        };
+        let is_shutdown = matches!(req, Request::Shutdown);
+        let reply = dispatch(req, registry, metrics, sched);
+        writeln!(writer, "{reply}")?;
+        writer.flush()?;
+        if is_shutdown {
+            shutdown.store(true, Ordering::SeqCst);
+            sched.shutdown();
+            // Wake the accept loop so `Server::run` observes the flag.
+            let _ = TcpStream::connect(addr);
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Binds and runs a server in one call (the `graftmatch serve` entry
+/// point). Blocks until a client issues `SHUTDOWN`. `on_bind` receives
+/// the bound address before accepting starts — print it, stash it for a
+/// test client, etc.
+pub fn serve(cfg: &ServeConfig, on_bind: impl FnOnce(SocketAddr)) -> std::io::Result<()> {
+    let server = Server::bind(cfg)?;
+    on_bind(server.local_addr()?);
+    server.run()
+}

@@ -1,0 +1,11 @@
+//! Glob-import surface mirroring `proptest::prelude`.
+
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+/// Namespaced re-export so `proptest::collection::vec` resolves through
+/// the prelude as well.
+pub mod collection {
+    pub use crate::collection::*;
+}

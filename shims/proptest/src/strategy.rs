@@ -1,0 +1,195 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating random values (stand-in for
+/// `proptest::strategy::Strategy`, without shrinking).
+pub trait Strategy {
+    /// The type of value generated.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// out of it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A heap-allocated, type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+    fn generate(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (built by `prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// An empty union; generate panics until an arm is pushed.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self { arms: Vec::new() }
+    }
+
+    /// Adds an arm.
+    pub fn push(&mut self, arm: BoxedStrategy<V>) {
+        self.arms.push(arm);
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as u128 - self.start as u128) as u64;
+                self.start + rng.below(width) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi as u128 - lo as u128 + 1) as u64;
+                lo + rng.below(width) as $t
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_tuples_and_maps() {
+        let mut rng = TestRng::deterministic("shim-test");
+        let s = (1usize..5, 10u32..=12).prop_map(|(a, b)| a as u32 + b);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((11..=16).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn flat_map_feeds_dependent_strategy() {
+        let mut rng = TestRng::deterministic("shim-flat");
+        let s = (2usize..6).prop_flat_map(|n| (0usize..n).prop_map(move |i| (n, i)));
+        for _ in 0..200 {
+            let (n, i) = s.generate(&mut rng);
+            assert!(i < n);
+        }
+    }
+
+    #[test]
+    fn union_picks_every_arm() {
+        let mut rng = TestRng::deterministic("shim-union");
+        let mut u = Union::new();
+        u.push((0u32..1).boxed());
+        u.push((10u32..11).boxed());
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            match u.generate(&mut rng) {
+                0 => seen[0] = true,
+                10 => seen[1] = true,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert_eq!(seen, [true, true]);
+    }
+}

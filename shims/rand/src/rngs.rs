@@ -1,0 +1,75 @@
+//! Generator implementations: xoshiro256** behind both named types.
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256** state, seeded via splitmix64.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_u64(seed: u64) -> Self {
+        // splitmix64 expansion, as recommended by the xoshiro authors.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Stand-in for `rand::rngs::SmallRng`.
+#[derive(Clone, Debug)]
+pub struct SmallRng(Xoshiro256);
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        SmallRng(Xoshiro256::from_u64(seed))
+    }
+}
+
+/// Stand-in for `rand::rngs::StdRng`. Same engine as [`SmallRng`] but a
+/// distinct stream (the seed is tweaked), so the two types do not shadow
+/// each other's sequences.
+#[derive(Clone, Debug)]
+pub struct StdRng(Xoshiro256);
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng(Xoshiro256::from_u64(seed ^ 0xA076_1D64_78BD_642F))
+    }
+}

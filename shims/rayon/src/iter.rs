@@ -1,0 +1,252 @@
+//! The parallel-iterator surface, executed sequentially.
+//!
+//! [`Par`] wraps an ordinary [`Iterator`] and exposes the rayon adaptor
+//! and consumer names the workspace uses. Order-sensitive consumers
+//! (`collect`, `zip`, `enumerate`) behave exactly like their `std`
+//! counterparts, which matches rayon's guarantees for indexed parallel
+//! iterators.
+
+/// A "parallel" iterator: a thin wrapper over a sequential one.
+#[derive(Debug, Clone)]
+pub struct Par<I>(I);
+
+/// Conversion into a [`Par`] iterator (mirrors
+/// `rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The type of item this iterator yields.
+    type Item;
+    /// The underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Converts `self` into a [`Par`] iterator.
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    type Iter = std::ops::Range<T>;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self)
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+impl<I: Iterator> IntoParallelIterator for Par<I> {
+    type Item = I::Item;
+    type Iter = I;
+    fn into_par_iter(self) -> Par<I> {
+        self
+    }
+}
+
+/// `par_iter` on slices (mirrors `rayon::iter::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The type of shared reference yielded.
+    type Item: 'a;
+    /// The underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterates `&self` "in parallel".
+    fn par_iter(&'a self) -> Par<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        Par(self.iter())
+    }
+}
+
+/// `par_iter_mut` on slices (mirrors
+/// `rayon::iter::IntoParallelRefMutIterator`).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The type of exclusive reference yielded.
+    type Item: 'a;
+    /// The underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterates `&mut self` "in parallel".
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
+        Par(self.iter_mut())
+    }
+}
+
+/// `par_chunks` on slices (mirrors `rayon::slice::ParallelSlice`).
+pub trait ParallelSlice<T> {
+    /// Iterates over `chunk_size`-sized chunks "in parallel".
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(chunk_size))
+    }
+}
+
+impl<I: Iterator> Par<I> {
+    /// Maps each item through `f`.
+    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    /// Keeps items satisfying `pred`.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, pred: F) -> Par<std::iter::Filter<I, F>> {
+        Par(self.0.filter(pred))
+    }
+
+    /// Maps and filters in one pass.
+    pub fn filter_map<R, F: FnMut(I::Item) -> Option<R>>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FilterMap<I, F>> {
+        Par(self.0.filter_map(f))
+    }
+
+    /// Pairs items with those of another parallel iterator, in order.
+    pub fn zip<Other: IntoParallelIterator>(
+        self,
+        other: Other,
+    ) -> Par<std::iter::Zip<I, Other::Iter>> {
+        Par(self.0.zip(other.into_par_iter().0))
+    }
+
+    /// Attaches the item index.
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    /// Folds items into per-task accumulators. Rayon yields one
+    /// accumulator per task; the sequential shim yields exactly one, which
+    /// `reduce` then merges the same way.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Par<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        Par(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// Reduces all items with `op`, starting from `identity()`.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Calls `f` on every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Calls `f` on every item with a per-task state created by `init`
+    /// (one state total in the sequential shim).
+    pub fn for_each_init<T, INIT, F>(self, init: INIT, mut f: F)
+    where
+        INIT: Fn() -> T,
+        F: FnMut(&mut T, I::Item),
+    {
+        let mut state = init();
+        self.0.for_each(|item| f(&mut state, item));
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Sum of all items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Collects into `C`, preserving order (as rayon does for indexed
+    /// iterators).
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_reduce_matches_rayon_semantics() {
+        let v: Vec<u32> = (0..100u32)
+            .into_par_iter()
+            .fold(Vec::new, |mut acc, x| {
+                acc.push(x);
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        assert_eq!(v, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0..50usize)
+            .into_par_iter()
+            .filter(|x| x % 2 == 0)
+            .collect();
+        assert_eq!(v, (0..50).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_enumerate() {
+        let mut a = vec![0u32; 4];
+        let b = vec![10u32, 20, 30, 40];
+        a.par_iter_mut()
+            .zip(b.into_par_iter())
+            .enumerate()
+            .for_each(|(i, (slot, val))| *slot = val + i as u32);
+        assert_eq!(a, vec![10, 21, 32, 43]);
+    }
+
+    #[test]
+    fn chunks_and_for_each_init() {
+        let data: Vec<u32> = (0..10).collect();
+        let sums: Vec<u64> = data
+            .par_chunks(3)
+            .map(|c| c.iter().map(|&x| x as u64).sum())
+            .collect();
+        assert_eq!(sums, vec![3, 12, 21, 9]);
+
+        let total = std::sync::atomic::AtomicU64::new(0);
+        (0..10u64).into_par_iter().for_each_init(
+            || &total,
+            |t, x| {
+                t.fetch_add(x, std::sync::atomic::Ordering::Relaxed);
+            },
+        );
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn pool_install_runs() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+        assert_eq!(pool.current_num_threads(), 4);
+    }
+}

@@ -1,0 +1,95 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate provides the subset of rayon's API that the workspace uses,
+//! executed **sequentially** on the calling thread. Every combinator keeps
+//! rayon's semantics (fold produces task-local accumulators merged by
+//! `reduce`, `collect` preserves order, atomics written inside `for_each`
+//! are visible afterwards), so the solver code is written exactly as it
+//! would be against real rayon and switches back to the real crate by
+//! flipping one `[workspace.dependencies]` entry when a registry is
+//! available.
+//!
+//! Concurrency in the service layer (`graft-svc`) does not route through
+//! this shim — it uses `std::thread` directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod iter;
+pub mod prelude;
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+///
+/// The requested thread count is recorded but execution stays on the
+/// calling thread.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]; never actually
+/// produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a new builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the requested number of threads.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the (degenerate) pool. Infallible in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.max(1),
+        })
+    }
+}
+
+/// Degenerate stand-in for `rayon::ThreadPool`: `install` runs the closure
+/// on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` "inside" the pool (i.e. on the calling thread).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    /// The thread count this pool was built with.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Number of threads in the ambient pool; `1` in this sequential shim.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Runs two closures and returns both results (sequentially here).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}

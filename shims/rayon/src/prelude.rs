@@ -1,0 +1,5 @@
+//! Glob-import surface mirroring `rayon::prelude`.
+
+pub use crate::iter::{
+    IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, Par, ParallelSlice,
+};

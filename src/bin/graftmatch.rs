@@ -8,6 +8,7 @@
 //! graftmatch --mtx matrix.mtx [--algorithm ms-bfs-graft-par] [--threads N]
 //!            [--init karp-sipser] [--seed S] [--dm] [--out matching.txt]
 //! graftmatch --suite wikipedia --scale small --dm
+//! graftmatch serve [--addr 127.0.0.1:0] [--workers N] [--queue N] [--cache-mb N]
 //! ```
 
 use ms_bfs_graft::prelude::*;
@@ -16,6 +17,7 @@ use std::io::Write;
 fn usage() -> ! {
     eprintln!(
         "usage: graftmatch (--mtx FILE | --suite NAME) [options]\n\
+         \x20      graftmatch serve [serve options]\n\
          options:\n\
            --algorithm A   ss-dfs|ss-bfs|pf|pf-par|hk|ms-bfs|ms-bfs-do|\n\
                            ms-bfs-graft|ms-bfs-graft-par|pr|pr-par|dist\n\
@@ -26,30 +28,51 @@ fn usage() -> ! {
            --seed S        initializer seed (default 1)\n\
            --scale S       tiny|small|medium|large for --suite (default small)\n\
            --dm            print the Dulmage-Mendelsohn summary\n\
-           --out FILE      write the matched pairs (x y per line)"
+           --out FILE      write the matched pairs (x y per line)\n\
+         serve options:\n\
+           --addr A        bind address (default 127.0.0.1:0 = ephemeral port)\n\
+           --workers N     solver worker threads (default 2)\n\
+           --queue N       queued-job bound before ERR overloaded (default 64)\n\
+           --cache-mb N    graph cache budget in MiB (default 256)"
     );
     std::process::exit(2);
 }
 
-fn parse_algorithm(s: &str) -> Option<Algorithm> {
-    Some(match s {
-        "ss-dfs" => Algorithm::SsDfs,
-        "ss-bfs" => Algorithm::SsBfs,
-        "pf" => Algorithm::PothenFan,
-        "pf-par" => Algorithm::PothenFanParallel,
-        "hk" => Algorithm::HopcroftKarp,
-        "ms-bfs" => Algorithm::MsBfs,
-        "ms-bfs-do" => Algorithm::MsBfsDirOpt,
-        "ms-bfs-graft" => Algorithm::MsBfsGraft,
-        "ms-bfs-graft-par" => Algorithm::MsBfsGraftParallel,
-        "pr" => Algorithm::PushRelabel,
-        "pr-par" => Algorithm::PushRelabelParallel,
-        _ => return None,
-    })
+fn serve_main(args: Vec<String>) -> ! {
+    let mut cfg = svc::ServeConfig::default();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut next = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--addr" => cfg.addr = next(),
+            "--workers" => cfg.workers = next().parse().unwrap_or_else(|_| usage()),
+            "--queue" => cfg.queue_capacity = next().parse().unwrap_or_else(|_| usage()),
+            "--cache-mb" => {
+                cfg.cache_bytes = next().parse::<usize>().unwrap_or_else(|_| usage()) << 20
+            }
+            _ => usage(),
+        }
+    }
+    let result = svc::serve(&cfg, |addr| {
+        // Printed line is load-bearing: clients scrape the bound address
+        // (the default port is ephemeral).
+        println!("graft-svc listening on {addr}");
+        let _ = std::io::stdout().flush();
+    });
+    match result {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        serve_main(args.split_off(1));
+    }
     let mut mtx: Option<String> = None;
     let mut suite: Option<String> = None;
     let mut algorithm = "ms-bfs-graft-par".to_string();
@@ -121,7 +144,7 @@ fn main() {
         );
         (out.matching, "dist".to_string())
     } else {
-        let alg = parse_algorithm(&algorithm).unwrap_or_else(|| usage());
+        let alg = Algorithm::parse(&algorithm).unwrap_or_else(|| usage());
         let opts = SolveOptions {
             initializer: matching::init::Initializer::None, // already applied
             threads,

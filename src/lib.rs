@@ -8,7 +8,10 @@
 //! * [`gen`] — seeded synthetic generators and the paper-suite analogs;
 //! * [`matching`] — every matching algorithm the paper evaluates,
 //!   including the MS-BFS-Graft contribution (serial and parallel);
-//! * [`dm`] — the Dulmage-Mendelsohn / block-triangular-form application.
+//! * [`dm`] — the Dulmage-Mendelsohn / block-triangular-form application;
+//! * [`svc`] — the resident matching service behind `graftmatch serve`
+//!   (graph registry + LRU cache, worker pool with deadlines and warm
+//!   starts, newline-delimited TCP protocol).
 //!
 //! ## Quickstart
 //!
@@ -32,6 +35,7 @@ pub use graft_dist as dist;
 pub use graft_dm as dm;
 pub use graft_gen as gen;
 pub use graft_graph as graph;
+pub use graft_svc as svc;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -43,4 +47,5 @@ pub mod prelude {
     pub use graft_dm::{self as dm, DmDecomposition};
     pub use graft_gen as gen;
     pub use graft_graph::{self as graph, BipartiteCsr, GraphBuilder, VertexId, NONE};
+    pub use graft_svc as svc;
 }

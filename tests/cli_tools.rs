@@ -112,6 +112,46 @@ fn graftmatch_rejects_unknown_arguments() {
 }
 
 #[test]
+fn graftmatch_missing_input_file_fails_cleanly() {
+    let out = Command::new(env!("CARGO_BIN_EXE_graftmatch"))
+        .args(["--mtx", "/no/such/dir/missing.mtx"])
+        .output()
+        .expect("graftmatch runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("failed to read") && stderr.contains("missing.mtx"),
+        "stderr: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "missing file must not panic: {stderr}"
+    );
+}
+
+#[test]
+fn graftmatch_unparseable_input_file_fails_cleanly() {
+    let dir = tmp_dir("badmtx");
+    let path = dir.join("garbage.mtx");
+    std::fs::write(&path, "this is not a matrix market file\n1 2 3\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_graftmatch"))
+        .arg("--mtx")
+        .arg(&path)
+        .output()
+        .expect("graftmatch runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("failed to read") && stderr.contains("line 1"),
+        "stderr should carry the parse location: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "parse error must not panic: {stderr}"
+    );
+}
+
+#[test]
 fn graftgen_rmat_with_stats() {
     let dir = tmp_dir("rmat");
     let out = Command::new(env!("CARGO_BIN_EXE_graftgen"))
