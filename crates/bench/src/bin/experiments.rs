@@ -5,6 +5,7 @@
 //! ```text
 //! experiments <all|table1|table2|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|variability>...
 //!             [--scale tiny|small|medium|large] [--threads N] [--reps N] [--out DIR]
+//! experiments trace-report <file.jsonl>
 //! ```
 
 use graft_bench::{experiments, Config};
@@ -13,13 +14,25 @@ use graft_gen::Scale;
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <experiment>... [--scale tiny|small|medium|large] [--threads N] [--reps N] [--out DIR] [--init none|greedy|random-greedy|karp-sipser]\n\
+         \x20      experiments trace-report <file.jsonl>\n\
          experiments: all table1 table2 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 variability ablation_alpha ablation_init ablation_pr_order dist anatomy"
     );
     std::process::exit(2);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace-report") {
+        let rest = args.split_off(1);
+        let [file] = rest.as_slice() else { usage() };
+        match graft_bench::trace_report::run(std::path::Path::new(file)) {
+            Ok(()) => std::process::exit(0),
+            Err(e) => {
+                eprintln!("trace-report failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let mut cfg = Config::default();
     let mut names: Vec<String> = Vec::new();
     let mut it = args.into_iter();

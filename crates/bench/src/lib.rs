@@ -19,6 +19,7 @@ pub mod experiments;
 pub mod report;
 pub mod runner;
 pub mod sysinfo;
+pub mod trace_report;
 
 use graft_core::init::Initializer;
 use graft_gen::Scale;

@@ -44,6 +44,7 @@ mod pothen_fan_par;
 mod push_relabel;
 mod ss;
 pub mod stats;
+pub mod trace;
 pub mod verify;
 
 mod hopcroft_karp;
@@ -70,15 +71,19 @@ pub(crate) mod tests_support {
 
 pub use hopcroft_karp::hopcroft_karp;
 pub use matching::Matching;
-pub use ms_bfs::{ms_bfs_serial, MsBfsOptions};
-pub use par::ms_bfs_graft_parallel;
-pub use pothen_fan::pothen_fan;
+pub use ms_bfs::{ms_bfs_serial, ms_bfs_serial_traced, MsBfsOptions};
+pub use par::{ms_bfs_graft_parallel, ms_bfs_graft_parallel_traced};
+pub use pothen_fan::{pothen_fan, pothen_fan_traced};
 pub use pothen_fan_par::pothen_fan_parallel;
-pub use push_relabel::{push_relabel, push_relabel_parallel, PrOrder, PushRelabelOptions};
+pub use push_relabel::{
+    push_relabel, push_relabel_parallel, push_relabel_traced, PrOrder, PushRelabelOptions,
+};
 pub use ss::{ss_bfs, ss_dfs};
+pub use trace::Tracer;
 
 use graft_graph::BipartiteCsr;
 use stats::SearchStats;
+use trace::TraceEvent;
 
 /// The result of one solver run: the matching plus instrumentation.
 #[derive(Clone, Debug)]
@@ -240,6 +245,17 @@ pub fn solve(g: &BipartiteCsr, algorithm: Algorithm, opts: &SolveOptions) -> Run
     solve_from(g, m0, algorithm, opts)
 }
 
+/// [`solve`] with a [`Tracer`] observing the run (see [`solve_from_traced`]).
+pub fn solve_traced(
+    g: &BipartiteCsr,
+    algorithm: Algorithm,
+    opts: &SolveOptions,
+    tracer: &Tracer,
+) -> RunOutcome {
+    let m0 = opts.initializer.run(g, opts.seed);
+    solve_from_traced(g, m0, algorithm, opts, tracer)
+}
+
 /// One-call maximum cardinality matching with the paper's default stack
 /// (Karp-Sipser initialization + parallel MS-BFS-Graft).
 ///
@@ -266,34 +282,71 @@ pub fn solve_from(
     algorithm: Algorithm,
     opts: &SolveOptions,
 ) -> RunOutcome {
+    solve_from_traced(g, m0, algorithm, opts, &Tracer::disabled())
+}
+
+/// The effective MS-BFS engine configuration for `algorithm` (None for
+/// non-MS algorithms). This is the single source of truth for the
+/// Fig. 7 ablation axis: which toggles each CLI algorithm actually runs
+/// with, and what the trace layer reports in its `run_start` events.
+fn effective_ms_opts(algorithm: Algorithm, opts: &SolveOptions) -> Option<MsBfsOptions> {
     match algorithm {
+        Algorithm::MsBfs => Some(MsBfsOptions {
+            record_frontier: opts.ms_bfs.record_frontier,
+            deadline: opts.ms_bfs.deadline,
+            ..MsBfsOptions::plain()
+        }),
+        Algorithm::MsBfsDirOpt => Some(MsBfsOptions {
+            record_frontier: opts.ms_bfs.record_frontier,
+            alpha: opts.ms_bfs.alpha,
+            deadline: opts.ms_bfs.deadline,
+            ..MsBfsOptions::dir_opt_only()
+        }),
+        Algorithm::MsBfsGraft | Algorithm::MsBfsGraftParallel => Some(opts.ms_bfs),
+        _ => None,
+    }
+}
+
+/// [`solve_from`] with a [`Tracer`] observing the run: a `run_start` /
+/// `run_end` pair around the solve, plus whatever inner events the
+/// algorithm's engine emits (levels and phases for the MS-BFS engines,
+/// phases for Pothen-Fan and serial push-relabel). With a disabled tracer
+/// this *is* `solve_from` — no event is built, no clock is read.
+pub fn solve_from_traced(
+    g: &BipartiteCsr,
+    m0: Matching,
+    algorithm: Algorithm,
+    opts: &SolveOptions,
+    tracer: &Tracer,
+) -> RunOutcome {
+    let ms_opts = effective_ms_opts(algorithm, opts);
+    tracer.emit(|| TraceEvent::RunStart {
+        algorithm: algorithm.cli_name().to_string(),
+        nx: g.num_x() as u64,
+        ny: g.num_y() as u64,
+        edges: g.num_edges() as u64,
+        initial_cardinality: m0.cardinality() as u64,
+        alpha: ms_opts.map_or(0.0, |o| o.alpha),
+        direction_optimizing: ms_opts.is_some_and(|o| o.direction_optimizing),
+        grafting: ms_opts.is_some_and(|o| o.grafting),
+    });
+    let out = match algorithm {
         Algorithm::SsDfs => ss_dfs(g, m0),
         Algorithm::SsBfs => ss_bfs(g, m0),
-        Algorithm::PothenFan => pothen_fan(g, m0),
+        Algorithm::PothenFan => pothen_fan_traced(g, m0, tracer),
         Algorithm::PothenFanParallel => pothen_fan_parallel(g, m0, opts.threads),
         Algorithm::HopcroftKarp => hopcroft_karp(g, m0),
-        Algorithm::MsBfs => ms_bfs_serial(
+        Algorithm::MsBfs | Algorithm::MsBfsDirOpt | Algorithm::MsBfsGraft => {
+            ms_bfs_serial_traced(g, m0, &ms_opts.expect("MS algorithm"), tracer)
+        }
+        Algorithm::MsBfsGraftParallel => ms_bfs_graft_parallel_traced(
             g,
             m0,
-            &MsBfsOptions {
-                record_frontier: opts.ms_bfs.record_frontier,
-                deadline: opts.ms_bfs.deadline,
-                ..MsBfsOptions::plain()
-            },
+            &ms_opts.expect("MS algorithm"),
+            opts.threads,
+            tracer,
         ),
-        Algorithm::MsBfsDirOpt => ms_bfs_serial(
-            g,
-            m0,
-            &MsBfsOptions {
-                record_frontier: opts.ms_bfs.record_frontier,
-                alpha: opts.ms_bfs.alpha,
-                deadline: opts.ms_bfs.deadline,
-                ..MsBfsOptions::dir_opt_only()
-            },
-        ),
-        Algorithm::MsBfsGraft => ms_bfs_serial(g, m0, &opts.ms_bfs),
-        Algorithm::MsBfsGraftParallel => ms_bfs_graft_parallel(g, m0, &opts.ms_bfs, opts.threads),
-        Algorithm::PushRelabel => push_relabel(g, m0, &opts.push_relabel),
+        Algorithm::PushRelabel => push_relabel_traced(g, m0, &opts.push_relabel, tracer),
         Algorithm::PushRelabelParallel => push_relabel_parallel(
             g,
             m0,
@@ -302,7 +355,16 @@ pub fn solve_from(
                 ..opts.push_relabel
             },
         ),
-    }
+    };
+    tracer.emit(|| TraceEvent::RunEnd {
+        final_cardinality: out.stats.final_cardinality as u64,
+        phases: u64::from(out.stats.phases),
+        augmenting_paths: out.stats.augmenting_paths,
+        edges_traversed: out.stats.edges_traversed,
+        elapsed_us: out.stats.elapsed.as_micros() as u64,
+        timed_out: out.stats.timed_out,
+    });
+    out
 }
 
 #[cfg(test)]

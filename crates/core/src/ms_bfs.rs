@@ -36,6 +36,7 @@
 
 use crate::ss::reconstruct;
 use crate::stats::{SearchStats, Step};
+use crate::trace::{TraceEvent, Tracer};
 use crate::{Matching, RunOutcome};
 use graft_graph::{BipartiteCsr, VertexId, NONE};
 use std::time::Instant;
@@ -118,6 +119,7 @@ struct Engine<'a> {
     /// repeated levels do not rescan all of `Y`.
     unvisited_cache: Option<Vec<VertexId>>,
     stats: SearchStats,
+    tracer: Tracer,
 }
 
 /// Maximum matching by the serial MS-BFS engine configured by `opts`.
@@ -132,6 +134,19 @@ struct Engine<'a> {
 /// assert!(out.stats.phases >= 1);
 /// ```
 pub fn ms_bfs_serial(g: &BipartiteCsr, m: Matching, opts: &MsBfsOptions) -> RunOutcome {
+    ms_bfs_serial_traced(g, m, opts, &Tracer::disabled())
+}
+
+/// [`ms_bfs_serial`] with a [`Tracer`] observing every level, phase, and
+/// graft decision. Event closures only read engine state; a disabled
+/// tracer makes this identical to `ms_bfs_serial` (pinned by
+/// `tests/trace_noninterference.rs`).
+pub fn ms_bfs_serial_traced(
+    g: &BipartiteCsr,
+    m: Matching,
+    opts: &MsBfsOptions,
+    tracer: &Tracer,
+) -> RunOutcome {
     let start = Instant::now();
     let mut e = Engine {
         g,
@@ -148,6 +163,7 @@ pub fn ms_bfs_serial(g: &BipartiteCsr, m: Matching, opts: &MsBfsOptions) -> RunO
         leaf: vec![NONE; g.num_x()],
         num_unvisited_y: g.num_y(),
         unvisited_cache: None,
+        tracer: tracer.clone(),
     };
     e.run();
     let Engine { m, mut stats, .. } = e;
@@ -179,6 +195,9 @@ impl Engine<'_> {
             };
             let edges_at_start = self.stats.edges_traversed;
             let path_edges_at_start = self.stats.total_augmenting_path_edges;
+            // Phase stopwatch exists only while tracing: the untraced hot
+            // path must not pay for a clock read per phase.
+            let phase_t0 = self.tracer.is_enabled().then(Instant::now);
 
             // ---- Step 1: grow the alternating BFS forest. ----
             let mut level: u32 = 0;
@@ -189,6 +208,13 @@ impl Engine<'_> {
                     self.stats
                         .record_frontier(phase, level, frontier.len(), bottom_up);
                 }
+                self.tracer.emit(|| TraceEvent::Level {
+                    phase: u64::from(phase),
+                    level: u64::from(level),
+                    frontier: frontier.len() as u64,
+                    unvisited_y: self.num_unvisited_y as u64,
+                    bottom_up,
+                });
                 trace.frontier_peak = trace.frontier_peak.max(frontier.len());
                 trace.bottom_up_levels += u32::from(bottom_up);
                 let t0 = Instant::now();
@@ -211,6 +237,7 @@ impl Engine<'_> {
             trace.path_edges = self.stats.total_augmenting_path_edges - path_edges_at_start;
             if augmented == 0 {
                 trace.edges_traversed = self.stats.edges_traversed - edges_at_start;
+                self.emit_phase_end(&trace, phase_t0);
                 if self.opts.record_phases {
                     self.stats.phase_traces.push(trace);
                 }
@@ -224,10 +251,30 @@ impl Engine<'_> {
             trace.renewable_y = renewable_y;
             trace.grafted = grafted;
             trace.edges_traversed = self.stats.edges_traversed - edges_at_start;
+            self.emit_phase_end(&trace, phase_t0);
+            self.tracer.emit(|| TraceEvent::Graft {
+                phase: u64::from(phase),
+                active_x: active_x as u64,
+                renewable_y: renewable_y as u64,
+                grafted,
+            });
             if self.opts.record_phases {
                 self.stats.phase_traces.push(trace);
             }
         }
+    }
+
+    fn emit_phase_end(&self, trace: &crate::stats::PhaseTrace, phase_t0: Option<Instant>) {
+        self.tracer.emit(|| TraceEvent::PhaseEnd {
+            phase: u64::from(trace.phase),
+            levels: u64::from(trace.levels),
+            bottom_up_levels: u64::from(trace.bottom_up_levels),
+            frontier_peak: trace.frontier_peak as u64,
+            augmentations: trace.augmenting_paths,
+            path_edges: trace.path_edges,
+            edges_traversed: trace.edges_traversed,
+            elapsed_us: phase_t0.map_or(0, |t| t.elapsed().as_micros() as u64),
+        });
     }
 
     /// Algorithm 4: expand the frontier top-down. Returns the next frontier.

@@ -32,6 +32,7 @@
 
 use crate::ms_bfs::MsBfsOptions;
 use crate::stats::{SearchStats, Step, Stopwatch};
+use crate::trace::{TraceEvent, Tracer};
 use crate::{Matching, RunOutcome};
 use graft_graph::{BipartiteCsr, VertexId, NONE};
 use rayon::prelude::*;
@@ -49,14 +50,28 @@ pub fn ms_bfs_graft_parallel(
     opts: &MsBfsOptions,
     threads: usize,
 ) -> RunOutcome {
+    ms_bfs_graft_parallel_traced(g, m, opts, threads, &Tracer::disabled())
+}
+
+/// [`ms_bfs_graft_parallel`] with a [`Tracer`] observing every level,
+/// phase, and graft decision. All events are emitted from the driving
+/// thread at level/phase boundaries — the parallel regions are untouched —
+/// so enabling tracing cannot change scheduling-visible behavior.
+pub fn ms_bfs_graft_parallel_traced(
+    g: &BipartiteCsr,
+    m: Matching,
+    opts: &MsBfsOptions,
+    threads: usize,
+    tracer: &Tracer,
+) -> RunOutcome {
     if threads == 0 {
-        return run(g, m, opts);
+        return run(g, m, opts, tracer);
     }
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
         .expect("failed to build rayon pool");
-    pool.install(|| run(g, m, opts))
+    pool.install(|| run(g, m, opts, tracer))
 }
 
 struct Shared<'a> {
@@ -168,7 +183,7 @@ impl Shared<'_> {
     }
 }
 
-fn run(g: &BipartiteCsr, m: Matching, opts: &MsBfsOptions) -> RunOutcome {
+fn run(g: &BipartiteCsr, m: Matching, opts: &MsBfsOptions, tracer: &Tracer) -> RunOutcome {
     let start = Instant::now();
     let mut stats = SearchStats {
         initial_cardinality: m.cardinality(),
@@ -215,6 +230,9 @@ fn run(g: &BipartiteCsr, m: Matching, opts: &MsBfsOptions) -> RunOutcome {
         };
         let edges_at_start = stats.edges_traversed;
         let path_edges_at_start = stats.total_augmenting_path_edges;
+        // Phase stopwatch exists only while tracing: the untraced hot
+        // path must not pay for a clock read per phase.
+        let phase_t0 = tracer.is_enabled().then(Instant::now);
 
         // ---- Step 1: grow the alternating BFS forest. ----
         let mut level: u32 = 0;
@@ -224,6 +242,13 @@ fn run(g: &BipartiteCsr, m: Matching, opts: &MsBfsOptions) -> RunOutcome {
             if opts.record_frontier {
                 stats.record_frontier(phase, level, frontier.len(), bottom_up);
             }
+            tracer.emit(|| TraceEvent::Level {
+                phase: u64::from(phase),
+                level: u64::from(level),
+                frontier: frontier.len() as u64,
+                unvisited_y: num_unvisited_y as u64,
+                bottom_up,
+            });
             trace.frontier_peak = trace.frontier_peak.max(frontier.len());
             trace.bottom_up_levels += u32::from(bottom_up);
             let (next, newly_visited, edges) = if bottom_up {
@@ -276,6 +301,7 @@ fn run(g: &BipartiteCsr, m: Matching, opts: &MsBfsOptions) -> RunOutcome {
         trace.path_edges = stats.total_augmenting_path_edges - path_edges_at_start;
         if augmented == 0 {
             trace.edges_traversed = stats.edges_traversed - edges_at_start;
+            emit_phase_end(tracer, &trace, phase_t0);
             if opts.record_phases {
                 stats.phase_traces.push(trace);
             }
@@ -346,6 +372,13 @@ fn run(g: &BipartiteCsr, m: Matching, opts: &MsBfsOptions) -> RunOutcome {
             f
         };
         trace.edges_traversed = stats.edges_traversed - edges_at_start;
+        emit_phase_end(tracer, &trace, phase_t0);
+        tracer.emit(|| TraceEvent::Graft {
+            phase: u64::from(phase),
+            active_x: trace.active_x as u64,
+            renewable_y: trace.renewable_y as u64,
+            grafted: trace.grafted,
+        });
         if opts.record_phases {
             stats.phase_traces.push(trace);
         }
@@ -365,6 +398,19 @@ fn run(g: &BipartiteCsr, m: Matching, opts: &MsBfsOptions) -> RunOutcome {
     stats.final_cardinality = matching.cardinality();
     stats.elapsed = start.elapsed();
     RunOutcome { matching, stats }
+}
+
+fn emit_phase_end(tracer: &Tracer, trace: &crate::stats::PhaseTrace, phase_t0: Option<Instant>) {
+    tracer.emit(|| TraceEvent::PhaseEnd {
+        phase: u64::from(trace.phase),
+        levels: u64::from(trace.levels),
+        bottom_up_levels: u64::from(trace.bottom_up_levels),
+        frontier_peak: trace.frontier_peak as u64,
+        augmentations: trace.augmenting_paths,
+        path_edges: trace.path_edges,
+        edges_traversed: trace.edges_traversed,
+        elapsed_us: phase_t0.map_or(0, |t| t.elapsed().as_micros() as u64),
+    });
 }
 
 /// Flips the unique augmenting path of the renewable tree rooted at `x0`.

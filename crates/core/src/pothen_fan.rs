@@ -17,12 +17,19 @@
 //! The parallel variant lives in [`crate::pothen_fan_parallel`].
 
 use crate::stats::SearchStats;
+use crate::trace::{TraceEvent, Tracer};
 use crate::{Matching, RunOutcome};
 use graft_graph::{BipartiteCsr, VertexId, NONE};
 use std::time::Instant;
 
 /// Maximum matching by serial Pothen-Fan with fairness and lookahead.
-pub fn pothen_fan(g: &BipartiteCsr, mut m: Matching) -> RunOutcome {
+pub fn pothen_fan(g: &BipartiteCsr, m: Matching) -> RunOutcome {
+    pothen_fan_traced(g, m, &Tracer::disabled())
+}
+
+/// [`pothen_fan`] with a [`Tracer`] observing each phase (PF has no BFS
+/// levels, so phases are the only inner structure it reports).
+pub fn pothen_fan_traced(g: &BipartiteCsr, mut m: Matching, tracer: &Tracer) -> RunOutcome {
     let start = Instant::now();
     let mut stats = SearchStats {
         initial_cardinality: m.cardinality(),
@@ -43,6 +50,9 @@ pub fn pothen_fan(g: &BipartiteCsr, mut m: Matching) -> RunOutcome {
         if roots.is_empty() {
             break;
         }
+        let phase_t0 = tracer.is_enabled().then(Instant::now);
+        let edges_at_start = stats.edges_traversed;
+        let path_edges_at_start = stats.total_augmenting_path_edges;
         let fair_reverse = phase.is_multiple_of(2);
         for x0 in roots {
             if dfs_lookahead(
@@ -60,6 +70,16 @@ pub fn pothen_fan(g: &BipartiteCsr, mut m: Matching) -> RunOutcome {
         }
         stats.phases += 1;
         stats.augmenting_paths += augmented_this_phase;
+        tracer.emit(|| TraceEvent::PhaseEnd {
+            phase: u64::from(stats.phases),
+            levels: 0,
+            bottom_up_levels: 0,
+            frontier_peak: 0,
+            augmentations: augmented_this_phase,
+            path_edges: stats.total_augmenting_path_edges - path_edges_at_start,
+            edges_traversed: stats.edges_traversed - edges_at_start,
+            elapsed_us: phase_t0.map_or(0, |t| t.elapsed().as_micros() as u64),
+        });
         if augmented_this_phase == 0 {
             break;
         }

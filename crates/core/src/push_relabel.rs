@@ -21,6 +21,7 @@
 //! per-thread work batch bound is the paper's queue limit of 500.
 
 use crate::stats::SearchStats;
+use crate::trace::{TraceEvent, Tracer};
 use crate::{Matching, RunOutcome};
 use graft_graph::{BipartiteCsr, VertexId, NONE};
 use rayon::prelude::*;
@@ -157,7 +158,20 @@ fn global_relabel(g: &BipartiteCsr, mate_x: &[VertexId], d_y: &mut [u32], limit:
 
 /// Maximum matching by serial FIFO push-relabel with double pushes,
 /// second-minimum relabeling and periodic global relabeling.
-pub fn push_relabel(g: &BipartiteCsr, mut m: Matching, opts: &PushRelabelOptions) -> RunOutcome {
+pub fn push_relabel(g: &BipartiteCsr, m: Matching, opts: &PushRelabelOptions) -> RunOutcome {
+    push_relabel_traced(g, m, opts, &Tracer::disabled())
+}
+
+/// [`push_relabel`] with a [`Tracer`] observing each phase. A PR "phase"
+/// is the span opened by one global relabel: its event reports the pushes
+/// that landed on a free `Y` vertex (the cardinality gains) and the edges
+/// scanned — relabel sweep included — before the next relabel.
+pub fn push_relabel_traced(
+    g: &BipartiteCsr,
+    mut m: Matching,
+    opts: &PushRelabelOptions,
+    tracer: &Tracer,
+) -> RunOutcome {
     let start = Instant::now();
     let mut stats = SearchStats {
         initial_cardinality: m.cardinality(),
@@ -168,6 +182,9 @@ pub fn push_relabel(g: &BipartiteCsr, mut m: Matching, opts: &PushRelabelOptions
     let relabel_threshold = ((n as f64 / opts.global_relabel_frequency.max(0.01)) as u64).max(1);
 
     let mut d_y: Vec<u32> = vec![limit; g.num_y()];
+    let mut phase_t0 = tracer.is_enabled().then(Instant::now);
+    let mut phase_edges_start = stats.edges_traversed;
+    let mut phase_augs_start = stats.augmenting_paths;
     stats.edges_traversed += global_relabel(g, m.mates_x(), &mut d_y, limit);
     stats.phases += 1;
 
@@ -210,15 +227,40 @@ pub fn push_relabel(g: &BipartiteCsr, mut m: Matching, opts: &PushRelabelOptions
         }
         pushes_since_relabel += 1;
         if pushes_since_relabel >= relabel_threshold {
+            tracer.emit(|| pr_phase_event(&stats, phase_edges_start, phase_augs_start, phase_t0));
+            phase_t0 = tracer.is_enabled().then(Instant::now);
+            phase_edges_start = stats.edges_traversed;
+            phase_augs_start = stats.augmenting_paths;
             stats.edges_traversed += global_relabel(g, m.mates_x(), &mut d_y, limit);
             stats.phases += 1;
             pushes_since_relabel = 0;
         }
     }
+    tracer.emit(|| pr_phase_event(&stats, phase_edges_start, phase_augs_start, phase_t0));
 
     stats.final_cardinality = m.cardinality();
     stats.elapsed = start.elapsed();
     RunOutcome { matching: m, stats }
+}
+
+/// The per-phase event of the serial PR solver: everything since the
+/// phase-opening global relabel, attributed to phase `stats.phases`.
+fn pr_phase_event(
+    stats: &SearchStats,
+    phase_edges_start: u64,
+    phase_augs_start: u64,
+    phase_t0: Option<Instant>,
+) -> TraceEvent {
+    TraceEvent::PhaseEnd {
+        phase: u64::from(stats.phases),
+        levels: 0,
+        bottom_up_levels: 0,
+        frontier_peak: 0,
+        augmentations: stats.augmenting_paths - phase_augs_start,
+        path_edges: 0,
+        edges_traversed: stats.edges_traversed - phase_edges_start,
+        elapsed_us: phase_t0.map_or(0, |t| t.elapsed().as_micros() as u64),
+    }
 }
 
 /// Maximum matching by multithreaded push-relabel.

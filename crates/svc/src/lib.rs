@@ -20,13 +20,15 @@
 //!   [`SvcError::Overloaded`] instead of building unbounded backlog, and
 //!   per-job **deadlines** cancel solves cooperatively at phase
 //!   boundaries (via [`MsBfsOptions::deadline`]);
-//! * [`metrics`] — atomic counters and latency histograms behind the
-//!   `STATS` command;
+//! * [`metrics`] — atomic counters and latency histograms (global,
+//!   per-algorithm, and per-graph) behind the `STATS` command;
 //! * [`protocol`] / [`server`] — a newline-delimited TCP protocol
-//!   (`LOAD`, `GEN`, `SOLVE`, `STATS`, `EVICT`, `SHUTDOWN`) on
+//!   (`LOAD`, `GEN`, `SOLVE`, `STATS`, `TRACE`, `EVICT`, `SHUTDOWN`) on
 //!   `std::net`, one reader thread per connection. No async runtime:
 //!   plain blocking I/O and threads are plenty for a solver service
-//!   whose unit of work is milliseconds to seconds.
+//!   whose unit of work is milliseconds to seconds. Solves run under a
+//!   [`graft_core::Tracer`] feeding a bounded in-memory ring; `TRACE`
+//!   streams the most recent events back as JSONL.
 //!
 //! ## A session
 //!
@@ -61,7 +63,7 @@ pub mod server;
 pub use error::SvcError;
 pub use lru::{LruCache, LruStats};
 pub use metrics::Metrics;
-pub use protocol::{parse_request, Request};
+pub use protocol::{parse_request, Reply, Request, MAX_LINE_BYTES};
 pub use registry::{GraphRegistry, GraphSource, RegistryStats};
 pub use scheduler::Scheduler;
 pub use server::{serve, ServeConfig, Server};

@@ -17,6 +17,9 @@ use std::collections::HashMap;
 /// lock (the service copies them out for `STATS`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LruStats {
+    /// Total `get`/`get_mut` calls; always equals `hits + misses`, which
+    /// makes reconciliation checks against `STATS` output trivial.
+    pub lookups: u64,
     /// `get` calls that found the key.
     pub hits: u64,
     /// `get` calls that missed.
@@ -63,6 +66,7 @@ impl<V> LruCache<V> {
     /// Looks up `name`, refreshing its recency. Counts a hit or a miss.
     pub fn get(&mut self, name: &str) -> Option<&V> {
         let tick = self.next_tick();
+        self.stats.lookups += 1;
         match self.entries.get_mut(name) {
             Some(e) => {
                 e.last_use = tick;
@@ -81,6 +85,7 @@ impl<V> LruCache<V> {
     /// [`get`]: Self::get
     pub fn get_mut(&mut self, name: &str) -> Option<&mut V> {
         let tick = self.next_tick();
+        self.stats.lookups += 1;
         match self.entries.get_mut(name) {
             Some(e) => {
                 e.last_use = tick;
@@ -186,6 +191,25 @@ mod tests {
         assert!(c.get("b").is_none());
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.insertions), (2, 2, 1));
+        assert_eq!(s.lookups, s.hits + s.misses);
+    }
+
+    #[test]
+    fn lookups_always_reconcile_with_hits_plus_misses() {
+        let mut c: LruCache<u32> = LruCache::new(25);
+        for i in 0..50u32 {
+            let name = format!("g{}", i % 7);
+            if i % 3 == 0 {
+                c.insert(name, i, 10);
+            } else if i % 5 == 0 {
+                c.remove(&name);
+            } else {
+                let _ = c.get(&name);
+                let _ = c.get_mut(&name);
+            }
+            let s = c.stats();
+            assert_eq!(s.lookups, s.hits + s.misses, "after step {i}");
+        }
     }
 
     #[test]

@@ -1,12 +1,17 @@
 //! Service-wide instrumentation: lock-free counters and latency
 //! histograms, rendered as the flat `key=value` line `STATS` returns.
 //!
-//! Everything is atomics so the hot path (workers, connection threads)
-//! never takes a lock to count; `STATS` reads are relaxed snapshots,
-//! which is fine for monitoring.
+//! Everything on the hot path (workers, connection threads) is atomics so
+//! counting never takes a lock; `STATS` reads are relaxed snapshots,
+//! which is fine for monitoring. The one exception is the per-graph solve
+//! map, which is a short-critical-section `Mutex<HashMap>` touched once
+//! per completed solve — graphs are named dynamically, so a fixed atomic
+//! array cannot hold them.
 
 use graft_core::Algorithm;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Number of log2 latency buckets: bucket `i` counts values in
@@ -62,6 +67,11 @@ pub struct Metrics {
     /// Time a worker spent solving.
     pub solve: Histogram,
     solves_per_algorithm: [AtomicU64; Algorithm::ALL.len()],
+    /// Solve latency broken down by algorithm (same index space as
+    /// `Algorithm::ALL`).
+    latency_per_algorithm: [Histogram; Algorithm::ALL.len()],
+    /// Completed solves per graph name.
+    graph_solves: Mutex<HashMap<String, u64>>,
 }
 
 impl Metrics {
@@ -77,25 +87,46 @@ impl Metrics {
             wait: Histogram::default(),
             solve: Histogram::default(),
             solves_per_algorithm: Default::default(),
+            latency_per_algorithm: std::array::from_fn(|_| Histogram::default()),
+            graph_solves: Mutex::new(HashMap::new()),
         }
     }
 
-    /// Counts one completed solve of `alg`.
-    pub fn record_solve(&self, alg: Algorithm) {
-        let idx = Algorithm::ALL
+    fn alg_index(alg: Algorithm) -> usize {
+        Algorithm::ALL
             .iter()
             .position(|a| *a == alg)
-            .expect("algorithm not in ALL");
+            .expect("algorithm not in ALL")
+    }
+
+    /// Counts one completed solve of `alg` on graph `graph` that took
+    /// `us` microseconds.
+    pub fn record_solve(&self, alg: Algorithm, graph: &str, us: u64) {
+        let idx = Self::alg_index(alg);
         self.solves_per_algorithm[idx].fetch_add(1, Ordering::Relaxed);
+        self.latency_per_algorithm[idx].record(us);
+        let mut graphs = self.graph_solves.lock().expect("graph_solves poisoned");
+        *graphs.entry(graph.to_string()).or_insert(0) += 1;
     }
 
     /// Completed solves of `alg` so far.
     pub fn solves_of(&self, alg: Algorithm) -> u64 {
-        let idx = Algorithm::ALL
-            .iter()
-            .position(|a| *a == alg)
-            .expect("algorithm not in ALL");
-        self.solves_per_algorithm[idx].load(Ordering::Relaxed)
+        self.solves_per_algorithm[Self::alg_index(alg)].load(Ordering::Relaxed)
+    }
+
+    /// The per-algorithm latency histogram for `alg`.
+    pub fn latency_of(&self, alg: Algorithm) -> &Histogram {
+        &self.latency_per_algorithm[Self::alg_index(alg)]
+    }
+
+    /// Completed solves of graph `graph` so far.
+    pub fn solves_of_graph(&self, graph: &str) -> u64 {
+        self.graph_solves
+            .lock()
+            .expect("graph_solves poisoned")
+            .get(graph)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Appends `key=value` pairs (space-separated, no leading space) to
@@ -118,11 +149,27 @@ impl Metrics {
             out,
             " wait_count={wc} wait_us_sum={ws} solve_count={sc} solve_us_sum={ss}"
         );
+        let mut solves_ok = 0u64;
+        for i in 0..Algorithm::ALL.len() {
+            solves_ok += self.solves_per_algorithm[i].load(Ordering::Relaxed);
+        }
+        let _ = write!(out, " solves_ok={solves_ok}");
         for (i, alg) in Algorithm::ALL.iter().enumerate() {
             let n = self.solves_per_algorithm[i].load(Ordering::Relaxed);
             if n > 0 {
-                let _ = write!(out, " solves[{}]={n}", alg.cli_name());
+                let (lc, ls, _) = self.latency_per_algorithm[i].snapshot();
+                let _ = write!(
+                    out,
+                    " solves[{name}]={n} solve_count[{name}]={lc} solve_us_sum[{name}]={ls}",
+                    name = alg.cli_name()
+                );
             }
+        }
+        let graphs = self.graph_solves.lock().expect("graph_solves poisoned");
+        let mut names: Vec<&String> = graphs.keys().collect();
+        names.sort();
+        for name in names {
+            let _ = write!(out, " graph_solves[{name}]={}", graphs[name]);
         }
     }
 }
@@ -162,9 +209,9 @@ mod tests {
     #[test]
     fn per_algorithm_counts_and_render() {
         let m = Metrics::new();
-        m.record_solve(Algorithm::MsBfsGraft);
-        m.record_solve(Algorithm::MsBfsGraft);
-        m.record_solve(Algorithm::HopcroftKarp);
+        m.record_solve(Algorithm::MsBfsGraft, "a", 100);
+        m.record_solve(Algorithm::MsBfsGraft, "b", 200);
+        m.record_solve(Algorithm::HopcroftKarp, "a", 50);
         assert_eq!(m.solves_of(Algorithm::MsBfsGraft), 2);
         assert_eq!(m.solves_of(Algorithm::SsDfs), 0);
         let mut s = String::new();
@@ -173,5 +220,28 @@ mod tests {
         assert!(s.contains("solves[hk]=1"), "{s}");
         assert!(!s.contains("solves[ss-dfs]"), "{s}");
         assert!(s.contains("queue_depth=0"), "{s}");
+        assert!(s.contains("solves_ok=3"), "{s}");
+        assert!(s.contains("solve_us_sum[ms-bfs-graft]=300"), "{s}");
+        assert!(s.contains("graph_solves[a]=2"), "{s}");
+        assert!(s.contains("graph_solves[b]=1"), "{s}");
+    }
+
+    #[test]
+    fn per_graph_counts_sum_to_global() {
+        let m = Metrics::new();
+        for (alg, g) in [
+            (Algorithm::MsBfsGraft, "x"),
+            (Algorithm::MsBfsGraft, "x"),
+            (Algorithm::PothenFan, "y"),
+            (Algorithm::HopcroftKarp, "z"),
+        ] {
+            m.record_solve(alg, g, 1);
+        }
+        let per_graph: u64 = ["x", "y", "z"].iter().map(|g| m.solves_of_graph(g)).sum();
+        let per_alg: u64 = Algorithm::ALL.iter().map(|a| m.solves_of(*a)).sum();
+        assert_eq!(per_graph, 4);
+        assert_eq!(per_alg, 4);
+        let (count, sum, _) = m.latency_of(Algorithm::MsBfsGraft).snapshot();
+        assert_eq!((count, sum), (2, 2));
     }
 }

@@ -9,6 +9,7 @@
 //! GEN <name> <suite>[:<scale>]
 //! SOLVE <name> [algorithm] [timeout_ms=N] [threads=N] [cold]
 //! STATS
+//! TRACE [n]
 //! EVICT <name>
 //! SLEEP <ms>
 //! SHUTDOWN
@@ -16,10 +17,23 @@
 //!
 //! Replies are `OK key=value ...` or `ERR <code> <message>`, where
 //! `<code>` is [`SvcError::code`]. Keywords are case-insensitive;
-//! names are case-sensitive.
+//! names are case-sensitive. `TRACE` is the one multi-line reply: its
+//! `OK events=N` line is followed by exactly `N` JSON trace-event lines
+//! (the [`graft_core::trace`] schema, newest last).
+//!
+//! Hardening: a request line longer than [`MAX_LINE_BYTES`], containing a
+//! NUL byte, or holding invalid UTF-8 is answered with a typed
+//! `ERR bad-request` — never a panic, a hang, or a dropped connection.
+//! Lines may end in `\r\n` (the `\r` is stripped).
 
 use crate::error::SvcError;
 use graft_core::Algorithm;
+use std::fmt::Write as _;
+
+/// Upper bound on one request line in bytes (newline excluded). Longer
+/// lines are rejected with `ERR bad-request` and discarded up to the next
+/// newline, keeping the connection usable.
+pub const MAX_LINE_BYTES: usize = 8192;
 
 /// A parsed request line.
 #[derive(Clone, Debug, PartialEq)]
@@ -53,6 +67,11 @@ pub enum Request {
     },
     /// One-line counter dump.
     Stats,
+    /// Stream the most recent trace events (all buffered when no limit).
+    Trace {
+        /// Maximum number of events to return.
+        limit: Option<u64>,
+    },
     /// Forget a graph (cache entry, warm matching, and source).
     Evict {
         /// Registry name.
@@ -68,12 +87,103 @@ pub enum Request {
     Shutdown,
 }
 
+impl Request {
+    /// The canonical wire encoding of this request — `parse_request`
+    /// inverts it exactly (pinned by the protocol round-trip proptests).
+    /// Only meaningful when names/paths/specs contain no whitespace or
+    /// NUL, which the parser cannot produce anyway.
+    pub fn wire(&self) -> String {
+        match self {
+            Request::Load { name, path } => format!("LOAD {name} {path}"),
+            Request::Gen { name, spec } => format!("GEN {name} {spec}"),
+            Request::Solve {
+                name,
+                algorithm,
+                timeout_ms,
+                threads,
+                cold,
+            } => {
+                let mut s = format!("SOLVE {name} {}", algorithm.cli_name());
+                if let Some(ms) = timeout_ms {
+                    let _ = write!(s, " timeout_ms={ms}");
+                }
+                if *threads != 0 {
+                    let _ = write!(s, " threads={threads}");
+                }
+                if *cold {
+                    s.push_str(" cold");
+                }
+                s
+            }
+            Request::Stats => "STATS".to_string(),
+            Request::Trace { limit: None } => "TRACE".to_string(),
+            Request::Trace { limit: Some(n) } => format!("TRACE {n}"),
+            Request::Evict { name } => format!("EVICT {name}"),
+            Request::Sleep { ms } => format!("SLEEP {ms}"),
+            Request::Shutdown => "SHUTDOWN".to_string(),
+        }
+    }
+}
+
+/// A parsed reply line (the client side of the protocol).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// `OK [payload]` — `payload` is the `key=value ...` body.
+    Ok(String),
+    /// `ERR <code> <message>`.
+    Err {
+        /// Stable machine-readable code ([`SvcError::code`]).
+        code: String,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Reply {
+    /// The wire encoding (no trailing newline).
+    pub fn wire(&self) -> String {
+        match self {
+            Reply::Ok(payload) if payload.is_empty() => "OK".to_string(),
+            Reply::Ok(payload) => format!("OK {payload}"),
+            Reply::Err { code, message } => format!("ERR {code} {message}"),
+        }
+    }
+
+    /// Parses a reply line; `None` when it is neither `OK ...` nor
+    /// `ERR <code> ...`.
+    pub fn parse(line: &str) -> Option<Reply> {
+        if line == "OK" {
+            return Some(Reply::Ok(String::new()));
+        }
+        if let Some(payload) = line.strip_prefix("OK ") {
+            return Some(Reply::Ok(payload.to_string()));
+        }
+        let rest = line.strip_prefix("ERR ")?;
+        let (code, message) = rest.split_once(' ').unwrap_or((rest, ""));
+        if code.is_empty() {
+            return None;
+        }
+        Some(Reply::Err {
+            code: code.to_string(),
+            message: message.to_string(),
+        })
+    }
+}
+
 fn bad(msg: impl Into<String>) -> SvcError {
     SvcError::BadRequest(msg.into())
 }
 
 /// Parses one request line.
 pub fn parse_request(line: &str) -> Result<Request, SvcError> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(bad(format!("request line exceeds {MAX_LINE_BYTES} bytes")));
+    }
+    if line.contains('\0') {
+        return Err(bad("NUL byte in request"));
+    }
+    // Tolerate CRLF line endings from telnet-style clients.
+    let line = line.strip_suffix('\r').unwrap_or(line);
     let mut tokens = line.split_whitespace();
     let verb = tokens.next().ok_or_else(|| bad("empty request"))?;
     let req = match verb.to_ascii_uppercase().as_str() {
@@ -135,6 +245,16 @@ pub fn parse_request(line: &str) -> Result<Request, SvcError> {
             }
         }
         "STATS" => Request::Stats,
+        "TRACE" => {
+            let limit = match tokens.next() {
+                None => None,
+                Some(n) => Some(
+                    n.parse()
+                        .map_err(|_| bad(format!("bad trace limit `{n}`")))?,
+                ),
+            };
+            Request::Trace { limit }
+        }
         "EVICT" => {
             let name = tokens.next().ok_or_else(|| bad("EVICT needs <name>"))?;
             Request::Evict {
@@ -153,7 +273,11 @@ pub fn parse_request(line: &str) -> Result<Request, SvcError> {
     // Commands with a fixed shape reject trailing garbage.
     if matches!(
         req,
-        Request::Stats | Request::Shutdown | Request::Load { .. } | Request::Gen { .. }
+        Request::Stats
+            | Request::Shutdown
+            | Request::Load { .. }
+            | Request::Gen { .. }
+            | Request::Trace { .. }
     ) && tokens.next().is_some()
     {
         return Err(bad("unexpected trailing tokens"));
@@ -272,5 +396,96 @@ mod tests {
     fn err_line_has_stable_code() {
         let e = SvcError::UnknownGraph("g".into());
         assert_eq!(err_line(&e), "ERR unknown-graph no graph named `g`");
+    }
+
+    #[test]
+    fn parses_trace_with_and_without_limit() {
+        assert_eq!(
+            parse_request("TRACE").unwrap(),
+            Request::Trace { limit: None }
+        );
+        assert_eq!(
+            parse_request("trace 16").unwrap(),
+            Request::Trace { limit: Some(16) }
+        );
+        for line in ["TRACE x", "TRACE 3 4", "TRACE -1"] {
+            assert!(
+                matches!(parse_request(line), Err(SvcError::BadRequest(_))),
+                "line `{line}` should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_nul_and_oversized_lines() {
+        assert!(matches!(
+            parse_request("STATS\0"),
+            Err(SvcError::BadRequest(_))
+        ));
+        let long = format!("LOAD g /{}", "a".repeat(MAX_LINE_BYTES));
+        assert!(matches!(parse_request(&long), Err(SvcError::BadRequest(_))));
+    }
+
+    #[test]
+    fn strips_carriage_return() {
+        assert_eq!(parse_request("STATS\r").unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request("EVICT g\r").unwrap(),
+            Request::Evict { name: "g".into() }
+        );
+    }
+
+    #[test]
+    fn wire_round_trips_each_variant() {
+        let reqs = [
+            Request::Load {
+                name: "g".into(),
+                path: "/tmp/a.mtx".into(),
+            },
+            Request::Gen {
+                name: "g".into(),
+                spec: "kkt_power:tiny".into(),
+            },
+            Request::Solve {
+                name: "g".into(),
+                algorithm: Algorithm::MsBfsGraft,
+                timeout_ms: Some(250),
+                threads: 2,
+                cold: true,
+            },
+            Request::Solve {
+                name: "g".into(),
+                algorithm: Algorithm::MsBfsGraftParallel,
+                timeout_ms: None,
+                threads: 0,
+                cold: false,
+            },
+            Request::Stats,
+            Request::Trace { limit: None },
+            Request::Trace { limit: Some(9) },
+            Request::Evict { name: "g".into() },
+            Request::Sleep { ms: 40 },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let wire = req.wire();
+            assert_eq!(parse_request(&wire).unwrap(), req, "wire `{wire}`");
+        }
+    }
+
+    #[test]
+    fn reply_parse_inverts_wire() {
+        for reply in [
+            Reply::Ok(String::new()),
+            Reply::Ok("cardinality=5 warm=false".into()),
+            Reply::Err {
+                code: "bad-request".into(),
+                message: "empty request".into(),
+            },
+        ] {
+            assert_eq!(Reply::parse(&reply.wire()), Some(reply));
+        }
+        assert_eq!(Reply::parse("nonsense"), None);
+        assert_eq!(Reply::parse("ERR "), None);
     }
 }

@@ -5,8 +5,8 @@
 //! * one **accept loop** thread (the caller of [`Server::run`]);
 //! * one **reader thread per connection**, which parses request lines and
 //!   writes reply lines — registry commands (`LOAD`, `GEN`, `EVICT`,
-//!   `STATS`) execute inline on this thread, so a saturated worker pool
-//!   never blocks monitoring;
+//!   `STATS`, `TRACE`) execute inline on this thread, so a saturated
+//!   worker pool never blocks monitoring;
 //! * the fixed **worker pool** (the [`Scheduler`]) executes `SOLVE` and
 //!   `SLEEP` jobs; the submitting connection thread blocks on its own
 //!   job's result channel, clients interleave naturally.
@@ -17,10 +17,11 @@
 
 use crate::error::SvcError;
 use crate::metrics::Metrics;
-use crate::protocol::{err_line, parse_request, Request};
+use crate::protocol::{err_line, parse_request, Request, MAX_LINE_BYTES};
 use crate::registry::{parse_gen_spec, GraphInfo, GraphRegistry, GraphSource};
 use crate::scheduler::Scheduler;
-use graft_core::{solve, solve_from, Algorithm, MsBfsOptions, SolveOptions};
+use graft_core::trace::RingSink;
+use graft_core::{solve_from_traced, solve_traced, Algorithm, MsBfsOptions, SolveOptions, Tracer};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -39,6 +40,9 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Byte budget of the graph cache.
     pub cache_bytes: usize,
+    /// Capacity of the trace-event ring served by `TRACE`; 0 disables
+    /// solve tracing entirely (the engines see a disabled [`Tracer`]).
+    pub trace_events: usize,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +52,7 @@ impl Default for ServeConfig {
             workers: 2,
             queue_capacity: 64,
             cache_bytes: 256 << 20,
+            trace_events: 1024,
         }
     }
 }
@@ -73,9 +78,10 @@ pub struct Server {
     metrics: Arc<Metrics>,
     sched: Arc<Scheduler<Job, JobReply>>,
     shutdown: Arc<AtomicBool>,
+    trace: Arc<RingSink>,
 }
 
-fn run_job(job: Job, registry: &GraphRegistry, metrics: &Metrics) -> JobReply {
+fn run_job(job: Job, registry: &GraphRegistry, metrics: &Metrics, tracer: &Tracer) -> JobReply {
     match job {
         Job::Sleep(ms) => {
             std::thread::sleep(std::time::Duration::from_millis(ms));
@@ -110,10 +116,11 @@ fn run_job(job: Job, registry: &GraphRegistry, metrics: &Metrics) -> JobReply {
             let warm_used = warm.is_some() && !cold;
             let t0 = Instant::now();
             let out = match warm.filter(|_| !cold) {
-                Some(m0) => solve_from(&graph, (*m0).clone(), algorithm, &opts),
-                None => solve(&graph, algorithm, &opts),
+                Some(m0) => solve_from_traced(&graph, (*m0).clone(), algorithm, &opts, tracer),
+                None => solve_traced(&graph, algorithm, &opts, tracer),
             };
-            metrics.solve.record(t0.elapsed().as_micros() as u64);
+            let solve_us = t0.elapsed().as_micros() as u64;
+            metrics.solve.record(solve_us);
             if out.stats.timed_out {
                 metrics.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
                 return Err(SvcError::DeadlineExceeded {
@@ -131,7 +138,7 @@ fn run_job(job: Job, registry: &GraphRegistry, metrics: &Metrics) -> JobReply {
                 s.elapsed.as_micros(),
             );
             registry.store_warm(&name, out.matching);
-            metrics.record_solve(algorithm);
+            metrics.record_solve(algorithm, &name, solve_us);
             Ok(line)
         }
     }
@@ -144,6 +151,12 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let registry = Arc::new(GraphRegistry::new(cfg.cache_bytes));
         let metrics = Arc::new(Metrics::new());
+        let trace = Arc::new(RingSink::new(cfg.trace_events));
+        let tracer = if cfg.trace_events > 0 {
+            Tracer::to_sink(Arc::clone(&trace) as _)
+        } else {
+            Tracer::disabled()
+        };
         let sched = {
             let registry = Arc::clone(&registry);
             let metrics = Arc::clone(&metrics);
@@ -151,7 +164,7 @@ impl Server {
                 cfg.workers,
                 cfg.queue_capacity,
                 Arc::clone(&metrics),
-                move |job| run_job(job, &registry, &metrics),
+                move |job| run_job(job, &registry, &metrics, &tracer),
             ))
         };
         Ok(Server {
@@ -160,6 +173,7 @@ impl Server {
             metrics,
             sched,
             shutdown: Arc::new(AtomicBool::new(false)),
+            trace,
         })
     }
 
@@ -183,8 +197,10 @@ impl Server {
             let metrics = Arc::clone(&self.metrics);
             let sched = Arc::clone(&self.sched);
             let shutdown = Arc::clone(&self.shutdown);
+            let trace = Arc::clone(&self.trace);
             std::thread::spawn(move || {
-                let _ = handle_connection(stream, &registry, &metrics, &sched, &shutdown, addr);
+                let _ =
+                    handle_connection(stream, &registry, &metrics, &sched, &trace, &shutdown, addr);
             });
         }
         // Drain queued jobs before returning so the process exits clean.
@@ -205,6 +221,7 @@ fn dispatch(
     registry: &GraphRegistry,
     metrics: &Metrics,
     sched: &Scheduler<Job, JobReply>,
+    trace: &RingSink,
 ) -> String {
     match req {
         Request::Load { name, path } => {
@@ -247,7 +264,7 @@ fn dispatch(
             let _ = write!(
                 line,
                 " cache_hits={} cache_misses={} cache_evictions={} cache_reloads={} \
-                 cache_entries={} cache_bytes={} cache_budget={} registered={}",
+                 cache_entries={} cache_bytes={} cache_budget={} registered={} cache_lookups={}",
                 r.cache.hits,
                 r.cache.misses,
                 r.cache.evictions,
@@ -256,8 +273,19 @@ fn dispatch(
                 r.used_bytes,
                 r.budget_bytes,
                 r.registered,
+                r.cache.lookups,
             );
             line
+        }
+        Request::Trace { limit } => {
+            let n = limit.map_or(usize::MAX, |n| usize::try_from(n).unwrap_or(usize::MAX));
+            let events = trace.recent(n);
+            let mut reply = format!("OK events={}", events.len());
+            for ev in &events {
+                reply.push('\n');
+                reply.push_str(&ev.to_json());
+            }
+            reply
         }
         Request::Evict { name } => {
             let evicted = registry.evict(&name);
@@ -279,30 +307,121 @@ fn submit_and_wait(sched: &Scheduler<Job, JobReply>, job: Job) -> String {
     }
 }
 
+/// One line read from the bounded reader.
+enum LineRead {
+    /// A complete line (newline stripped, may hold arbitrary bytes).
+    Line(Vec<u8>),
+    /// The line exceeded [`MAX_LINE_BYTES`]; the excess has already been
+    /// drained up to (and including) the next newline.
+    TooLong,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line without ever buffering more than
+/// [`MAX_LINE_BYTES`] of it — `BufRead::read_line` would happily grow
+/// an unbounded `String` on a hostile peer (and error out the whole
+/// connection on invalid UTF-8).
+fn read_bounded_line(reader: &mut impl BufRead) -> std::io::Result<LineRead> {
+    let mut line = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(if line.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(line)
+            });
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                line.extend_from_slice(&buf[..pos]);
+                reader.consume(pos + 1);
+                if line.len() > MAX_LINE_BYTES {
+                    return Ok(LineRead::TooLong);
+                }
+                return Ok(LineRead::Line(line));
+            }
+            None => {
+                let take = buf.len();
+                line.extend_from_slice(buf);
+                reader.consume(take);
+                if line.len() > MAX_LINE_BYTES {
+                    drain_to_newline(reader)?;
+                    return Ok(LineRead::TooLong);
+                }
+            }
+        }
+    }
+}
+
+/// Discards input up to and including the next newline (or EOF), so an
+/// oversized request leaves the stream positioned at the next request.
+fn drain_to_newline(reader: &mut impl BufRead) -> std::io::Result<()> {
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                return Ok(());
+            }
+            None => {
+                let take = buf.len();
+                reader.consume(take);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     stream: TcpStream,
     registry: &GraphRegistry,
     metrics: &Metrics,
     sched: &Scheduler<Job, JobReply>,
+    trace: &RingSink,
     shutdown: &AtomicBool,
     addr: SocketAddr,
 ) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
-    for line in reader.lines() {
-        let line = line?;
+    loop {
+        let raw = match read_bounded_line(&mut reader)? {
+            LineRead::Eof => break,
+            LineRead::TooLong => {
+                let e =
+                    SvcError::BadRequest(format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+                writeln!(writer, "{}", err_line(&e))?;
+                writer.flush()?;
+                continue;
+            }
+            LineRead::Line(raw) => raw,
+        };
+        let line = match std::str::from_utf8(&raw) {
+            Ok(s) => s,
+            Err(_) => {
+                let e = SvcError::BadRequest("request is not valid UTF-8".to_string());
+                writeln!(writer, "{}", err_line(&e))?;
+                writer.flush()?;
+                continue;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
-        let req = match parse_request(&line) {
+        let req = match parse_request(line) {
             Ok(r) => r,
             Err(e) => {
                 writeln!(writer, "{}", err_line(&e))?;
+                writer.flush()?;
                 continue;
             }
         };
         let is_shutdown = matches!(req, Request::Shutdown);
-        let reply = dispatch(req, registry, metrics, sched);
+        let reply = dispatch(req, registry, metrics, sched, trace);
         writeln!(writer, "{reply}")?;
         writer.flush()?;
         if is_shutdown {

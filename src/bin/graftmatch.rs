@@ -7,8 +7,9 @@
 //! ```text
 //! graftmatch --mtx matrix.mtx [--algorithm ms-bfs-graft-par] [--threads N]
 //!            [--init karp-sipser] [--seed S] [--dm] [--out matching.txt]
-//! graftmatch --suite wikipedia --scale small --dm
+//! graftmatch --suite wikipedia --scale small --dm --trace run.jsonl
 //! graftmatch serve [--addr 127.0.0.1:0] [--workers N] [--queue N] [--cache-mb N]
+//!                  [--trace-events N]
 //! ```
 
 use ms_bfs_graft::prelude::*;
@@ -29,11 +30,14 @@ fn usage() -> ! {
            --scale S       tiny|small|medium|large for --suite (default small)\n\
            --dm            print the Dulmage-Mendelsohn summary\n\
            --out FILE      write the matched pairs (x y per line)\n\
+           --trace FILE    write a JSONL event trace of the solve\n\
+                           (see `experiments trace-report`; not for dist)\n\
          serve options:\n\
            --addr A        bind address (default 127.0.0.1:0 = ephemeral port)\n\
            --workers N     solver worker threads (default 2)\n\
            --queue N       queued-job bound before ERR overloaded (default 64)\n\
-           --cache-mb N    graph cache budget in MiB (default 256)"
+           --cache-mb N    graph cache budget in MiB (default 256)\n\
+           --trace-events N  trace ring capacity for TRACE (default 1024, 0 off)"
     );
     std::process::exit(2);
 }
@@ -50,6 +54,7 @@ fn serve_main(args: Vec<String>) -> ! {
             "--cache-mb" => {
                 cfg.cache_bytes = next().parse::<usize>().unwrap_or_else(|_| usage()) << 20
             }
+            "--trace-events" => cfg.trace_events = next().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -83,6 +88,7 @@ fn main() {
     let mut scale = gen::Scale::Small;
     let mut want_dm = false;
     let mut out_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -100,6 +106,7 @@ fn main() {
             "--scale" => scale = gen::Scale::parse(&next()).unwrap_or_else(|| usage()),
             "--dm" => want_dm = true,
             "--out" => out_path = Some(next()),
+            "--trace" => trace_path = Some(next()),
             _ => usage(),
         }
     }
@@ -136,6 +143,21 @@ fn main() {
         m0.cardinality()
     );
 
+    let tracer = match &trace_path {
+        Some(path) if algorithm == "dist" => {
+            eprintln!("--trace is not supported with --algorithm dist; ignoring {path}");
+            Tracer::disabled()
+        }
+        Some(path) => match matching::trace::JsonlSink::create(std::path::Path::new(path)) {
+            Ok(sink) => Tracer::to_sink(std::sync::Arc::new(sink)),
+            Err(e) => {
+                eprintln!("cannot create trace file {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Tracer::disabled(),
+    };
+
     let (matching_result, label) = if algorithm == "dist" {
         let out = distributed_ms_bfs_graft(&g, m0, ranks);
         eprintln!(
@@ -150,7 +172,7 @@ fn main() {
             threads,
             ..SolveOptions::default()
         };
-        let out = solve_from(&g, m0, alg, &opts);
+        let out = solve_from_traced(&g, m0, alg, &opts, &tracer);
         eprintln!(
             "{}: {} phases, {} augmenting paths, {} edges traversed",
             alg.name(),
@@ -161,6 +183,15 @@ fn main() {
         (out.matching, alg.name().to_string())
     };
     let elapsed = started.elapsed();
+    if let Err(e) = tracer.flush() {
+        eprintln!("trace write failed: {e}");
+        std::process::exit(1);
+    }
+    if let Some(path) = &trace_path {
+        if algorithm != "dist" {
+            eprintln!("trace written to {path}");
+        }
+    }
 
     match matching::verify::certify_maximum(&g, &matching_result) {
         Ok(cover) => eprintln!(

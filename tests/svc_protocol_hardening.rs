@@ -1,0 +1,378 @@
+//! Adversarial protocol tests over real TCP: malformed, truncated,
+//! oversized, and non-UTF-8 request lines must yield typed `ERR` replies
+//! on a connection that stays usable — never a panic, a hang, or a
+//! silent drop. Plus the `TRACE` verb end-to-end (its JSONL payload must
+//! parse and replay with the core trace machinery) and an LRU/metrics
+//! accounting reconciliation over a seeded command interleaving.
+
+use ms_bfs_graft::prelude::*;
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+struct ChildGuard(Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to service");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).expect("send raw bytes");
+        self.writer.flush().unwrap();
+    }
+
+    fn recv(&mut self) -> String {
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        assert!(!reply.is_empty(), "server closed the connection");
+        reply.trim_end().to_string()
+    }
+
+    fn req(&mut self, line: &str) -> String {
+        self.send_raw(format!("{line}\n").as_bytes());
+        self.recv()
+    }
+}
+
+fn field_u64(line: &str, key: &str) -> u64 {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no field `{key}` in `{line}`"))
+        .parse()
+        .unwrap_or_else(|_| panic!("field `{key}` in `{line}` is not a number"))
+}
+
+fn spawn_server(extra_args: &[&str]) -> (ChildGuard, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_graftmatch"))
+        .arg("serve")
+        .args(extra_args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn graftmatch serve");
+    let stdout = child.stdout.take().unwrap();
+    let mut first_line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut first_line)
+        .expect("read listen line");
+    let addr = first_line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address in listen line")
+        .to_string();
+    assert!(
+        first_line.contains("listening on"),
+        "unexpected banner: {first_line}"
+    );
+    (ChildGuard(child), addr)
+}
+
+#[test]
+fn hostile_lines_get_typed_errors_and_the_connection_survives() {
+    let (mut guard, addr) = spawn_server(&[]);
+    let mut c = Client::connect(&addr);
+
+    // Interior NUL.
+    let reply = c.req("STATS\0extra");
+    assert!(reply.starts_with("ERR bad-request"), "{reply}");
+
+    // Invalid UTF-8 (lone continuation bytes).
+    c.send_raw(b"\xff\xfe STATS\n");
+    let reply = c.recv();
+    assert!(reply.starts_with("ERR bad-request"), "{reply}");
+
+    // Oversized line (~10 KiB, over the 8 KiB bound).
+    let mut big = Vec::from(&b"SOLVE "[..]);
+    big.resize(10 * 1024, b'a');
+    big.push(b'\n');
+    c.send_raw(&big);
+    let reply = c.recv();
+    assert!(reply.starts_with("ERR bad-request"), "{reply}");
+
+    // CRLF is tolerated, and after every rejection above the very same
+    // connection still serves well-formed requests.
+    let reply = c.req("STATS\r");
+    assert!(reply.starts_with("OK "), "{reply}");
+    assert_eq!(field_u64(&reply, "rejected"), 0);
+
+    let bye = c.req("SHUTDOWN");
+    assert_eq!(bye, "OK bye");
+    assert!(guard.0.wait().unwrap().success());
+}
+
+#[test]
+fn truncated_request_never_hangs_the_reader() {
+    let (_guard, addr) = spawn_server(&[]);
+    let stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    // A request with no terminating newline, then a half-closed socket:
+    // the server must still parse what arrived and reply before EOF.
+    writer.write_all(b"FROBNICATE").unwrap();
+    writer.flush().unwrap();
+    writer.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut reply = String::new();
+    BufReader::new(stream).read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("ERR bad-request"), "{reply}");
+}
+
+#[test]
+fn oversized_line_without_newline_then_eof_is_rejected() {
+    let (_guard, addr) = spawn_server(&[]);
+    let stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    writer.write_all(&vec![b'x'; 64 * 1024]).unwrap();
+    writer.flush().unwrap();
+    writer.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut reply = String::new();
+    BufReader::new(stream).read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("ERR bad-request"), "{reply}");
+}
+
+#[test]
+fn trace_verb_streams_replayable_jsonl() {
+    let (mut guard, addr) = spawn_server(&[]);
+    let mut c = Client::connect(&addr);
+
+    assert!(c.req("GEN g kkt_power:tiny").starts_with("OK "));
+    assert!(c.req("SOLVE g ms-bfs-graft").starts_with("OK "));
+
+    // Full stream: header then exactly `events` JSON lines that the core
+    // parser accepts and the replay validator certifies.
+    let head = c.req("TRACE");
+    let events = field_u64(&head, "events");
+    assert!(events >= 2, "expected run events, got {head}");
+    let mut parsed = Vec::new();
+    for _ in 0..events {
+        let line = c.recv();
+        parsed.push(
+            matching::trace::TraceEvent::from_json(&line)
+                .unwrap_or_else(|e| panic!("bad TRACE line `{line}`: {e}")),
+        );
+    }
+    let runs = matching::trace::replay(&parsed).expect("TRACE stream replays");
+    assert_eq!(runs.len(), 1);
+    assert_eq!(runs[0].algorithm, "ms-bfs-graft");
+
+    // Limited stream returns exactly the requested tail.
+    let head = c.req("TRACE 3");
+    assert_eq!(field_u64(&head, "events"), 3);
+    for _ in 0..3 {
+        let line = c.recv();
+        matching::trace::TraceEvent::from_json(&line).expect("limited TRACE line parses");
+    }
+
+    // Malformed TRACE arguments are typed errors.
+    for bad in ["TRACE nope", "TRACE 1 2"] {
+        let reply = c.req(bad);
+        assert!(reply.starts_with("ERR bad-request"), "`{bad}` → {reply}");
+    }
+
+    assert_eq!(c.req("SHUTDOWN"), "OK bye");
+    assert!(guard.0.wait().unwrap().success());
+}
+
+#[test]
+fn trace_ring_disabled_returns_zero_events() {
+    let (mut guard, addr) = spawn_server(&["--trace-events", "0"]);
+    let mut c = Client::connect(&addr);
+    assert!(c.req("GEN g kkt_power:tiny").starts_with("OK "));
+    assert!(c.req("SOLVE g pf").starts_with("OK "));
+    assert_eq!(field_u64(&c.req("TRACE"), "events"), 0);
+    assert_eq!(c.req("SHUTDOWN"), "OK bye");
+    assert!(guard.0.wait().unwrap().success());
+}
+
+#[test]
+fn stats_counters_reconcile_after_seeded_interleaving() {
+    // A 1 MiB cache holds ~9 tiny suite graphs, so churning 12 names
+    // through LOAD-less GEN/SOLVE/EVICT forces real evictions + reloads.
+    let (mut guard, addr) = spawn_server(&["--cache-mb", "1", "--workers", "2"]);
+    let mut c = Client::connect(&addr);
+
+    let names: Vec<String> = (0..12).map(|i| format!("g{i}")).collect();
+    let mut registered = std::collections::HashSet::new();
+    for n in &names {
+        assert!(c.req(&format!("GEN {n} kkt_power:tiny")).starts_with("OK "));
+        registered.insert(n.clone());
+    }
+
+    // Deterministic LCG drives the op mix.
+    let mut state = 0x2545F491_u64;
+    let mut rng = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let algs = ["ms-bfs-graft", "pf", "hk", "pr"];
+    let mut expected_solves = 0u64;
+    for _ in 0..60 {
+        let name = &names[rng() % names.len()];
+        match rng() % 4 {
+            0 => {
+                // EVICT forgets the registration: later SOLVEs on the
+                // name must fail typed, not count as solves.
+                let r = c.req(&format!("EVICT {name}"));
+                assert!(r.starts_with("OK "), "{r}");
+                registered.remove(name);
+            }
+            1 => {
+                let r = c.req(&format!("GEN {name} kkt_power:tiny"));
+                assert!(r.starts_with("OK "), "{r}");
+                registered.insert(name.clone());
+            }
+            _ => {
+                let alg = algs[rng() % algs.len()];
+                let r = c.req(&format!("SOLVE {name} {alg}"));
+                if registered.contains(name) {
+                    assert!(r.starts_with("OK "), "{r}");
+                    expected_solves += 1;
+                } else {
+                    assert!(r.starts_with("ERR unknown-graph"), "{r}");
+                }
+            }
+        }
+    }
+
+    let stats = c.req("STATS");
+    assert!(stats.starts_with("OK "), "{stats}");
+
+    // Cache lookups reconcile exactly.
+    let hits = field_u64(&stats, "cache_hits");
+    let misses = field_u64(&stats, "cache_misses");
+    assert_eq!(hits + misses, field_u64(&stats, "cache_lookups"), "{stats}");
+    assert!(field_u64(&stats, "cache_evictions") > 0, "{stats}");
+
+    // Byte accounting stays within budget.
+    assert!(
+        field_u64(&stats, "cache_bytes") <= field_u64(&stats, "cache_budget"),
+        "{stats}"
+    );
+
+    // Per-graph solve counts sum to the global success count, which in
+    // turn equals what this client submitted (every solve succeeded).
+    let per_graph: u64 = stats
+        .split_whitespace()
+        .filter(|tok| tok.starts_with("graph_solves["))
+        .map(|tok| tok.rsplit('=').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    let solves_ok = field_u64(&stats, "solves_ok");
+    assert_eq!(per_graph, solves_ok, "{stats}");
+    assert_eq!(solves_ok, expected_solves, "{stats}");
+
+    // Per-algorithm latency sums never exceed the global solve histogram.
+    let per_alg: u64 = stats
+        .split_whitespace()
+        .filter(|tok| tok.starts_with("solve_count["))
+        .map(|tok| tok.rsplit('=').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(per_alg, solves_ok, "{stats}");
+    assert_eq!(field_u64(&stats, "solve_count"), solves_ok, "{stats}");
+
+    assert_eq!(c.req("SHUTDOWN"), "OK bye");
+    assert!(guard.0.wait().unwrap().success());
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: the wire encoding round-trips through the parser for
+// every request and reply variant.
+// ---------------------------------------------------------------------------
+
+fn arb_name() -> impl Strategy<Value = String> {
+    (1usize..12, 0usize..1000).prop_map(|(len, salt)| {
+        let alphabet = b"abcdefghijklmnopqrstuvwxyz0123456789_-.";
+        (0..len)
+            .map(|i| alphabet[(salt * 31 + i * 7) % alphabet.len()] as char)
+            .collect()
+    })
+}
+
+fn arb_algorithm() -> impl Strategy<Value = Algorithm> {
+    (0usize..Algorithm::ALL.len()).prop_map(|i| Algorithm::ALL[i])
+}
+
+fn arb_request() -> impl Strategy<Value = svc::Request> {
+    prop_oneof![
+        (arb_name(), arb_name()).prop_map(|(name, p)| svc::Request::Load {
+            name,
+            path: format!("/tmp/{p}.mtx")
+        }),
+        (arb_name(), arb_name()).prop_map(|(name, spec)| svc::Request::Gen { name, spec }),
+        (
+            arb_name(),
+            arb_algorithm(),
+            0u64..100_000,
+            0usize..16,
+            0usize..2
+        )
+            .prop_map(|(name, algorithm, t, threads, cold)| svc::Request::Solve {
+                name,
+                algorithm,
+                timeout_ms: if t == 0 { None } else { Some(t) },
+                threads,
+                cold: cold == 1,
+            }),
+        Just(svc::Request::Stats),
+        (0u64..2, 0u64..10_000).prop_map(|(some, n)| svc::Request::Trace {
+            limit: if some == 1 { Some(n) } else { None },
+        }),
+        arb_name().prop_map(|name| svc::Request::Evict { name }),
+        (0u64..100_000).prop_map(|ms| svc::Request::Sleep { ms }),
+        Just(svc::Request::Shutdown),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_wire_round_trips(req in arb_request()) {
+        let wire = req.wire();
+        let parsed = svc::parse_request(&wire)
+            .map_err(|e| TestCaseError::fail(format!("`{wire}`: {e}")))?;
+        prop_assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn reply_wire_round_trips(
+        ok in 0u64..2,
+        payload in arb_name(),
+        code in arb_name(),
+    ) {
+        let reply = if ok == 1 {
+            svc::Reply::Ok(format!("cardinality={payload}"))
+        } else {
+            svc::Reply::Err { code, message: format!("details {payload}") }
+        };
+        prop_assert_eq!(svc::Reply::parse(&reply.wire()), Some(reply));
+    }
+}
