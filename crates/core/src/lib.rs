@@ -71,7 +71,7 @@ pub(crate) mod tests_support {
 
 pub use hopcroft_karp::hopcroft_karp;
 pub use matching::Matching;
-pub use ms_bfs::{ms_bfs_serial, ms_bfs_serial_traced, MsBfsOptions};
+pub use ms_bfs::{ms_bfs_serial, ms_bfs_serial_traced, MsBfsOptions, PhaseHook};
 pub use par::{ms_bfs_graft_parallel, ms_bfs_graft_parallel_traced};
 pub use pothen_fan::{pothen_fan, pothen_fan_traced};
 pub use pothen_fan_par::pothen_fan_parallel;
@@ -294,12 +294,14 @@ fn effective_ms_opts(algorithm: Algorithm, opts: &SolveOptions) -> Option<MsBfsO
         Algorithm::MsBfs => Some(MsBfsOptions {
             record_frontier: opts.ms_bfs.record_frontier,
             deadline: opts.ms_bfs.deadline,
+            phase_hook: opts.ms_bfs.phase_hook,
             ..MsBfsOptions::plain()
         }),
         Algorithm::MsBfsDirOpt => Some(MsBfsOptions {
             record_frontier: opts.ms_bfs.record_frontier,
             alpha: opts.ms_bfs.alpha,
             deadline: opts.ms_bfs.deadline,
+            phase_hook: opts.ms_bfs.phase_hook,
             ..MsBfsOptions::dir_opt_only()
         }),
         Algorithm::MsBfsGraft | Algorithm::MsBfsGraftParallel => Some(opts.ms_bfs),

@@ -41,6 +41,32 @@ use crate::{Matching, RunOutcome};
 use graft_graph::{BipartiteCsr, VertexId, NONE};
 use std::time::Instant;
 
+/// A cooperative phase-boundary observer, invoked at the same point the
+/// engines check [`MsBfsOptions::deadline`]: once before every phase,
+/// with the number of completed phases as argument.
+///
+/// The `&'static` borrow keeps [`MsBfsOptions`] `Copy`; long-lived
+/// callers (the service's fault-injection plan) leak one allocation per
+/// process to obtain it. The hook may sleep (delay injection) or panic
+/// (fault injection) — the engines make no attempt to catch unwinds,
+/// that is the caller's job.
+#[derive(Clone, Copy)]
+pub struct PhaseHook(pub &'static (dyn Fn(u32) + Sync));
+
+impl PhaseHook {
+    /// Invokes the hook for the phase about to start.
+    #[inline]
+    pub fn call(&self, phases_done: u32) {
+        (self.0)(phases_done)
+    }
+}
+
+impl std::fmt::Debug for PhaseHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PhaseHook(..)")
+    }
+}
+
 /// Configuration of the MS-BFS engine (serial and parallel).
 #[derive(Clone, Copy, Debug)]
 pub struct MsBfsOptions {
@@ -62,6 +88,11 @@ pub struct MsBfsOptions {
     /// [`SearchStats::timed_out`](crate::stats::SearchStats::timed_out)
     /// set. The matching is *not* guaranteed maximum in that case.
     pub deadline: Option<Instant>,
+    /// Observer called at every phase boundary, immediately after the
+    /// deadline check (the same cooperative cancellation point). `None`
+    /// costs one branch per phase; the service's fault-injection harness
+    /// uses it to panic or stall a solve mid-run.
+    pub phase_hook: Option<PhaseHook>,
 }
 
 impl Default for MsBfsOptions {
@@ -73,6 +104,7 @@ impl Default for MsBfsOptions {
             record_frontier: false,
             record_phases: false,
             deadline: None,
+            phase_hook: None,
         }
     }
 }
@@ -186,6 +218,9 @@ impl Engine<'_> {
                     self.stats.timed_out = true;
                     break;
                 }
+            }
+            if let Some(hook) = self.opts.phase_hook {
+                hook.call(self.stats.phases);
             }
             self.stats.phases += 1;
             let phase = self.stats.phases;
@@ -653,6 +688,38 @@ mod tests {
         let out = ms_bfs_serial(&g, Matching::for_graph(&g), &opts);
         assert!(!out.stats.timed_out);
         assert_eq!(out.matching.cardinality(), 6);
+    }
+
+    #[test]
+    fn phase_hook_fires_once_per_phase() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static CALLS: AtomicU32 = AtomicU32::new(0);
+        static LAST: AtomicU32 = AtomicU32::new(u32::MAX);
+        let opts = MsBfsOptions {
+            phase_hook: Some(PhaseHook(&|done| {
+                CALLS.fetch_add(1, Ordering::Relaxed);
+                LAST.store(done, Ordering::Relaxed);
+            })),
+            ..MsBfsOptions::graft()
+        };
+        let g = fig2_graph();
+        let out = ms_bfs_serial(&g, Matching::for_graph(&g), &opts);
+        assert_eq!(out.matching.cardinality(), 6);
+        assert_eq!(CALLS.load(Ordering::Relaxed), out.stats.phases);
+        assert_eq!(LAST.load(Ordering::Relaxed), out.stats.phases - 1);
+    }
+
+    #[test]
+    fn panicking_phase_hook_unwinds_out_of_the_engine() {
+        let opts = MsBfsOptions {
+            phase_hook: Some(PhaseHook(&|_| panic!("injected"))),
+            ..MsBfsOptions::graft()
+        };
+        let g = fig2_graph();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ms_bfs_serial(&g, Matching::for_graph(&g), &opts)
+        }));
+        assert!(r.is_err());
     }
 
     #[test]

@@ -222,6 +222,9 @@ fn run(g: &BipartiteCsr, m: Matching, opts: &MsBfsOptions, tracer: &Tracer) -> R
                 break;
             }
         }
+        if let Some(hook) = opts.phase_hook {
+            hook.call(stats.phases);
+        }
         stats.phases += 1;
         let phase = stats.phases;
         let mut trace = crate::stats::PhaseTrace {

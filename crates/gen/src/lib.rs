@@ -58,6 +58,17 @@ impl Scale {
         }
     }
 
+    /// The canonical lower-case name, inverse of [`Scale::parse`] (used
+    /// by the service's snapshot format).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Large => "large",
+        }
+    }
+
     /// Parses the names used by the harness `--scale` flag.
     pub fn parse(s: &str) -> Option<Scale> {
         match s.to_ascii_lowercase().as_str() {

@@ -149,6 +149,19 @@ impl SuiteEntry {
             ),
         }
     }
+
+    /// Estimates `(nx, ny, edges)` at `scale` **without materializing**
+    /// the graph. Every suite generator scales linearly in
+    /// [`Scale::factor`] by construction, so the instance's shape is
+    /// (approximately) the tiny instance's shape times the factor; the
+    /// tiny build itself costs well under a millisecond. Admission
+    /// control in the service uses this to shed oversized `GEN` requests
+    /// before allocating anything large.
+    pub fn estimated_shape(&self, scale: Scale) -> (usize, usize, usize) {
+        let tiny = self.build(Scale::Tiny);
+        let f = scale.factor();
+        (tiny.num_x() * f, tiny.num_y() * f, tiny.num_edges() * f)
+    }
 }
 
 /// The full suite in Table II order: scientific, scale-free, web.
@@ -306,5 +319,27 @@ mod tests {
     fn small_scale_is_larger() {
         let e = by_name("delaunay").unwrap();
         assert!(e.build(Scale::Small).num_x() > e.build(Scale::Tiny).num_x());
+    }
+
+    #[test]
+    fn estimated_shape_tracks_real_builds_within_2x() {
+        // The estimate is used for admission control, so it must stay in
+        // the right ballpark — within a factor of two of the real build.
+        for e in suite() {
+            let (enx, _eny, eedges) = e.estimated_shape(Scale::Small);
+            let g = e.build(Scale::Small);
+            assert!(
+                enx <= 2 * g.num_x() && g.num_x() <= 2 * enx,
+                "{}: nx estimate {enx} vs actual {}",
+                e.name,
+                g.num_x()
+            );
+            assert!(
+                eedges <= 2 * g.num_edges() && g.num_edges() <= 2 * eedges,
+                "{}: edge estimate {eedges} vs actual {}",
+                e.name,
+                g.num_edges()
+            );
+        }
     }
 }

@@ -83,24 +83,31 @@ enum Symmetry {
     Hermitian,
 }
 
-/// Reads a bipartite graph from Matrix Market coordinate data.
-///
-/// Malformed input yields [`MtxError::Parse`] carrying the 1-based line
-/// number where the problem was detected — never a panic.
-pub fn read_mtx<R: Read>(reader: R) -> Result<BipartiteCsr, MtxError> {
-    let mut lines = BufReader::new(reader).lines();
-    let mut lineno = 0usize; // 1-based once the first line is read
+/// Parsed banner + size line: everything known before the entry list.
+struct Header {
+    field_values: usize,
+    symmetry: Symmetry,
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+}
 
+/// Reads the `%%MatrixMarket` banner and the size line, advancing
+/// `lineno` past them.
+fn read_header<B: BufRead>(
+    lines: &mut std::io::Lines<B>,
+    lineno: &mut usize,
+) -> Result<Header, MtxError> {
     // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
     let header = lines.next().ok_or_else(|| parse_err(1, "empty file"))??;
-    lineno += 1;
+    *lineno += 1;
     let tokens: Vec<String> = header.split_whitespace().map(str::to_lowercase).collect();
     if tokens.len() < 5 || !tokens[0].starts_with("%%matrixmarket") {
-        return Err(parse_err(lineno, "missing %%MatrixMarket header"));
+        return Err(parse_err(*lineno, "missing %%MatrixMarket header"));
     }
     if tokens[1] != "matrix" || tokens[2] != "coordinate" {
         return Err(parse_err(
-            lineno,
+            *lineno,
             format!(
                 "only `matrix coordinate` is supported, got `{} {}`",
                 tokens[1], tokens[2]
@@ -111,21 +118,21 @@ pub fn read_mtx<R: Read>(reader: R) -> Result<BipartiteCsr, MtxError> {
         "pattern" => 0usize,
         "real" | "integer" => 1,
         "complex" => 2,
-        other => return Err(parse_err(lineno, format!("unknown field `{other}`"))),
+        other => return Err(parse_err(*lineno, format!("unknown field `{other}`"))),
     };
     let symmetry = match tokens[4].as_str() {
         "general" => Symmetry::General,
         "symmetric" => Symmetry::Symmetric,
         "skew-symmetric" => Symmetry::SkewSymmetric,
         "hermitian" => Symmetry::Hermitian,
-        other => return Err(parse_err(lineno, format!("unknown symmetry `{other}`"))),
+        other => return Err(parse_err(*lineno, format!("unknown symmetry `{other}`"))),
     };
 
     // Size line (first non-comment, non-blank line).
     let mut size_line = None;
     for line in lines.by_ref() {
         let line = line?;
-        lineno += 1;
+        *lineno += 1;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
@@ -133,21 +140,92 @@ pub fn read_mtx<R: Read>(reader: R) -> Result<BipartiteCsr, MtxError> {
         size_line = Some(line);
         break;
     }
-    let size_line = size_line.ok_or_else(|| parse_err(lineno, "missing size line"))?;
+    let size_line = size_line.ok_or_else(|| parse_err(*lineno, "missing size line"))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
         .map(|t| {
             t.parse::<usize>()
-                .map_err(|_| parse_err(lineno, format!("bad size token `{t}`")))
+                .map_err(|_| parse_err(*lineno, format!("bad size token `{t}`")))
         })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
-        return Err(parse_err(lineno, "size line must be `rows cols nnz`"));
+        return Err(parse_err(*lineno, "size line must be `rows cols nnz`"));
     }
     let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
     if symmetry != Symmetry::General && nrows != ncols {
-        return Err(parse_err(lineno, "symmetric matrices must be square"));
+        return Err(parse_err(*lineno, "symmetric matrices must be square"));
     }
+    Ok(Header {
+        field_values,
+        symmetry,
+        nrows,
+        ncols,
+        nnz,
+    })
+}
+
+/// The declared shape of a Matrix Market file — what the header promises
+/// before any entry is parsed. Lets a service estimate the parsed CSR
+/// footprint (and shed oversized loads) without materializing anything.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MtxShape {
+    /// Declared row count.
+    pub rows: usize,
+    /// Declared column count.
+    pub cols: usize,
+    /// Declared entry count (the size line's `nnz`).
+    pub entries: usize,
+    /// Whether a symmetry header may mirror entries (doubling edges).
+    pub symmetric: bool,
+}
+
+impl MtxShape {
+    /// Upper bound on the edges the parsed graph can hold: `entries`,
+    /// doubled when a symmetry header mirrors the lower triangle.
+    pub fn max_edges(&self) -> usize {
+        if self.symmetric {
+            2 * self.entries
+        } else {
+            self.entries
+        }
+    }
+}
+
+/// Reads only the banner and size line of Matrix Market coordinate data.
+///
+/// Malformed headers yield the same typed [`MtxError::Parse`] (with
+/// 1-based line number) that [`read_mtx`] would produce.
+pub fn read_mtx_shape<R: Read>(reader: R) -> Result<MtxShape, MtxError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut lineno = 0usize;
+    let h = read_header(&mut lines, &mut lineno)?;
+    Ok(MtxShape {
+        rows: h.nrows,
+        cols: h.ncols,
+        entries: h.nnz,
+        symmetric: h.symmetry != Symmetry::General,
+    })
+}
+
+/// [`read_mtx_shape`] for a file on disk.
+pub fn read_mtx_shape_file(path: impl AsRef<Path>) -> Result<MtxShape, MtxError> {
+    read_mtx_shape(std::fs::File::open(path)?)
+}
+
+/// Reads a bipartite graph from Matrix Market coordinate data.
+///
+/// Malformed input yields [`MtxError::Parse`] carrying the 1-based line
+/// number where the problem was detected — never a panic.
+pub fn read_mtx<R: Read>(reader: R) -> Result<BipartiteCsr, MtxError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut lineno = 0usize; // 1-based once the first line is read
+    let Header {
+        field_values,
+        symmetry,
+        nrows,
+        ncols,
+        nnz,
+    } = read_header(&mut lines, &mut lineno)?;
 
     let mut b = GraphBuilder::with_capacity(
         nrows,
@@ -436,6 +514,36 @@ mod tests {
         let text = "%%MatrixMarket matrix coordinate pattern general\r\n  2 2 1 \r\n  1   2 \r\n";
         let g = read_mtx(text.as_bytes()).unwrap();
         assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn shape_reads_header_only() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% c\n40 30 7\ngarbage entries never reached\n";
+        let s = read_mtx_shape(text.as_bytes()).unwrap();
+        assert_eq!(
+            s,
+            MtxShape {
+                rows: 40,
+                cols: 30,
+                entries: 7,
+                symmetric: false
+            }
+        );
+        assert_eq!(s.max_edges(), 7);
+        let sym = "%%MatrixMarket matrix coordinate pattern symmetric\n5 5 3\n";
+        let s = read_mtx_shape(sym.as_bytes()).unwrap();
+        assert!(s.symmetric);
+        assert_eq!(s.max_edges(), 6);
+        // Same typed errors as the full reader.
+        assert_eq!(
+            match read_mtx_shape(
+                "%%MatrixMarket matrix coordinate pattern general\n2 2\n".as_bytes()
+            ) {
+                Err(e @ MtxError::Parse { .. }) => e.line().unwrap(),
+                other => panic!("expected parse error, got {other:?}"),
+            },
+            2
+        );
     }
 
     #[test]

@@ -1,0 +1,368 @@
+//! A retrying protocol client: timeouts, reconnects, and jittered
+//! exponential backoff that honors the server's `retry_after_ms` hint.
+//!
+//! The server deliberately pushes retry policy to clients — `submit`
+//! never blocks and a full queue is a typed `ERR overloaded` — so a
+//! well-behaved client needs three things the raw socket does not give
+//! it:
+//!
+//! 1. **I/O timeouts**: a wedged server must not hang the caller forever;
+//! 2. **reconnection**: a dropped connection (server drain, network
+//!    blip) is retried against a fresh socket;
+//! 3. **backoff**: transient `ERR overloaded` / `ERR internal` replies
+//!    are retried after `max(server hint, exponential backoff)`, with
+//!    deterministic jitter so a thundering herd of clients decorrelates
+//!    (the jitter RNG seeds from the policy, keeping tests reproducible).
+//!
+//! Non-retryable errors (`bad-request`, `unknown-graph`, …) and `OK`
+//! replies return immediately.
+
+use crate::protocol::Reply;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Knobs for [`RetryClient`].
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try included).
+    pub max_attempts: u32,
+    /// Backoff after the first failed attempt; doubles each retry.
+    pub base_backoff: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Read/write timeout on the socket.
+    pub io_timeout: Duration,
+    /// Seed for the jitter RNG (same seed → same backoff schedule).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(30),
+            seed: 0x9e3779b97f4a7c15,
+        }
+    }
+}
+
+/// What a request ultimately produced, after retries.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Every attempt failed on I/O; the last error is carried.
+    Io(std::io::Error),
+    /// The server kept answering with a retryable error until the
+    /// attempt budget ran out; the last reply line is carried.
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The final `ERR ...` line.
+        last_reply: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::RetriesExhausted {
+                attempts,
+                last_reply,
+            } => write!(
+                f,
+                "gave up after {attempts} attempts; last reply: {last_reply}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Extracts the server's `retry_after_ms=N` hint from an `ERR overloaded`
+/// message, if present.
+pub fn retry_after_hint(message: &str) -> Option<u64> {
+    message
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("retry_after_ms="))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Whether an `ERR` code is worth retrying (mirrors
+/// [`crate::error::SvcError::is_retryable`] on the client side of the
+/// wire).
+fn code_is_retryable(code: &str) -> bool {
+    matches!(code, "overloaded" | "internal")
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A reconnecting, retrying, newline-protocol client.
+pub struct RetryClient {
+    addr: String,
+    policy: RetryPolicy,
+    conn: Option<Conn>,
+    rng: u64,
+    /// Retries performed over the client's lifetime (observability for
+    /// tests and the CLI's `-v` output).
+    pub retries: u64,
+}
+
+impl RetryClient {
+    /// A client for `addr` (host:port). Connects lazily on first use.
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> Self {
+        let rng = policy.seed | 1;
+        Self {
+            addr: addr.into(),
+            policy,
+            conn: None,
+            rng,
+            retries: 0,
+        }
+    }
+
+    /// xorshift64* step for jitter; good enough for decorrelation and
+    /// fully deterministic per seed.
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Exponential backoff for the given retry ordinal with ±50% jitter,
+    /// at least the server hint, capped by the policy.
+    fn backoff(&mut self, retry: u32, server_hint_ms: Option<u64>) -> Duration {
+        let base = self.policy.base_backoff.as_millis() as u64;
+        let exp = base.saturating_mul(1u64 << retry.min(16));
+        // Jitter in [50%, 150%].
+        let jittered = exp / 2 + self.next_rand() % exp.max(1);
+        let floor = server_hint_ms.unwrap_or(0);
+        let ms = jittered
+            .max(floor)
+            .min(self.policy.max_backoff.as_millis() as u64);
+        Duration::from_millis(ms)
+    }
+
+    fn connect(&mut self) -> std::io::Result<&mut Conn> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(Some(self.policy.io_timeout))?;
+            stream.set_write_timeout(Some(self.policy.io_timeout))?;
+            let reader = BufReader::new(stream.try_clone()?);
+            self.conn = Some(Conn {
+                reader,
+                writer: stream,
+            });
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// One raw request/reply exchange; any failure invalidates the
+    /// connection so the next attempt reconnects.
+    fn exchange(&mut self, line: &str) -> std::io::Result<String> {
+        let result = (|| {
+            let conn = self.connect()?;
+            conn.writer.write_all(line.as_bytes())?;
+            conn.writer.write_all(b"\n")?;
+            conn.writer.flush()?;
+            let mut reply = String::new();
+            let n = conn.reader.read_line(&mut reply)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            Ok(reply.trim_end_matches(['\n', '\r']).to_string())
+        })();
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+
+    /// Sends `line` and returns the reply line, retrying transient
+    /// failures (I/O errors, `ERR overloaded`, `ERR internal`) with
+    /// jittered exponential backoff. Multi-line replies (`TRACE`) return
+    /// only the status line; callers needing the body should use a plain
+    /// connection.
+    pub fn request(&mut self, line: &str) -> Result<String, ClientError> {
+        let mut last_io: Option<std::io::Error> = None;
+        let mut last_reply: Option<String> = None;
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                let hint = last_reply.as_deref().and_then(retry_after_hint);
+                std::thread::sleep(self.backoff(attempt - 1, hint));
+                self.retries += 1;
+            }
+            match self.exchange(line) {
+                Err(e) => {
+                    last_io = Some(e);
+                    last_reply = None;
+                }
+                Ok(reply) => {
+                    let retryable = matches!(
+                        Reply::parse(&reply),
+                        Some(Reply::Err { ref code, .. }) if code_is_retryable(code)
+                    );
+                    if !retryable {
+                        return Ok(reply);
+                    }
+                    last_io = None;
+                    last_reply = Some(reply);
+                }
+            }
+        }
+        match (last_reply, last_io) {
+            (Some(reply), _) => Err(ClientError::RetriesExhausted {
+                attempts: self.policy.max_attempts,
+                last_reply: reply,
+            }),
+            (None, Some(e)) => Err(ClientError::Io(e)),
+            (None, None) => unreachable!("at least one attempt ran"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpListener;
+
+    /// A scripted one-connection-at-a-time server: each accepted
+    /// connection serves replies from `script` (one per request line)
+    /// until the script runs dry, then closes.
+    fn scripted_server(scripts: Vec<Vec<&'static str>>) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            for script in scripts {
+                let (stream, _) = match listener.accept() {
+                    Ok(s) => s,
+                    Err(_) => return,
+                };
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                for reply in script {
+                    let mut line = String::new();
+                    if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                        break;
+                    }
+                    if writeln!(writer, "{reply}").is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        addr
+    }
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+            io_timeout: Duration::from_secs(5),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn ok_reply_returns_immediately() {
+        let addr = scripted_server(vec![vec!["OK cardinality=5"]]);
+        let mut c = RetryClient::new(addr, fast_policy());
+        assert_eq!(c.request("SOLVE g").unwrap(), "OK cardinality=5");
+        assert_eq!(c.retries, 0);
+    }
+
+    #[test]
+    fn overloaded_is_retried_until_ok() {
+        let addr = scripted_server(vec![vec![
+            "ERR overloaded job queue full (capacity 2) retry_after_ms=1",
+            "ERR overloaded job queue full (capacity 2) retry_after_ms=1",
+            "OK cardinality=7",
+        ]]);
+        let mut c = RetryClient::new(addr, fast_policy());
+        assert_eq!(c.request("SOLVE g").unwrap(), "OK cardinality=7");
+        assert_eq!(c.retries, 2);
+    }
+
+    #[test]
+    fn non_retryable_error_returns_immediately() {
+        let addr = scripted_server(vec![vec!["ERR unknown-graph no graph named `g`"]]);
+        let mut c = RetryClient::new(addr, fast_policy());
+        let reply = c.request("SOLVE g").unwrap();
+        assert!(reply.starts_with("ERR unknown-graph"), "{reply}");
+        assert_eq!(c.retries, 0);
+    }
+
+    #[test]
+    fn reconnects_after_server_closes_connection() {
+        // First connection dies after one reply; the client must finish
+        // the second request on a fresh connection.
+        let addr = scripted_server(vec![vec!["OK first"], vec!["OK second"]]);
+        let mut c = RetryClient::new(addr, fast_policy());
+        assert_eq!(c.request("STATS").unwrap(), "OK first");
+        assert_eq!(c.request("STATS").unwrap(), "OK second");
+        assert!(c.retries <= 1, "at most the reconnect retry");
+    }
+
+    #[test]
+    fn retries_exhausted_carries_last_reply() {
+        let addr = scripted_server(vec![vec![
+            "ERR internal job=3 panicked in a worker; the worker survived",
+            "ERR internal job=4 panicked in a worker; the worker survived",
+            "ERR internal job=5 panicked in a worker; the worker survived",
+            "ERR internal job=6 panicked in a worker; the worker survived",
+        ]]);
+        let mut c = RetryClient::new(addr, fast_policy());
+        match c.request("SOLVE g") {
+            Err(ClientError::RetriesExhausted {
+                attempts,
+                last_reply,
+            }) => {
+                assert_eq!(attempts, 4);
+                assert!(last_reply.contains("job=6"), "{last_reply}");
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hint_parsing() {
+        assert_eq!(
+            retry_after_hint("job queue full (capacity 4) retry_after_ms=120"),
+            Some(120)
+        );
+        assert_eq!(retry_after_hint("no hint here"), None);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_honors_hint() {
+        let mut a = RetryClient::new("127.0.0.1:1", fast_policy());
+        let mut b = RetryClient::new("127.0.0.1:1", fast_policy());
+        for retry in 0..4 {
+            assert_eq!(a.backoff(retry, None), b.backoff(retry, None));
+        }
+        // The server hint is a floor (modulo the max_backoff cap).
+        let mut c = RetryClient::new("127.0.0.1:1", fast_policy());
+        assert_eq!(c.backoff(0, Some(1000)), Duration::from_millis(5));
+        let mut d = RetryClient::new(
+            "127.0.0.1:1",
+            RetryPolicy {
+                max_backoff: Duration::from_secs(10),
+                ..fast_policy()
+            },
+        );
+        assert!(d.backoff(0, Some(1000)) >= Duration::from_millis(1000));
+    }
+}

@@ -2,7 +2,11 @@
 //!
 //! Every failure a client can observe maps to one variant, and every
 //! variant maps to a stable wire code (the first token after `ERR`), so
-//! clients can dispatch on kind without parsing prose.
+//! clients can dispatch on kind without parsing prose. Two variants carry
+//! machine-readable tokens in their prose as well: `Overloaded` embeds
+//! `retry_after_ms=N` (clients back off that long before retrying) and
+//! `Internal` embeds `job=<id>` (operators can grep the id in server
+//! traces).
 
 use std::time::Duration;
 
@@ -13,8 +17,11 @@ pub enum SvcError {
     Overloaded {
         /// The configured queue capacity that was exhausted.
         capacity: usize,
+        /// Server-suggested backoff before retrying, scaled to the
+        /// current queue depth.
+        retry_after_ms: u64,
     },
-    /// The server is shutting down and accepts no new jobs.
+    /// The server is shutting down (or draining) and accepts no new jobs.
     ShuttingDown,
     /// The job's deadline passed before the solve completed (or before it
     /// started).
@@ -28,6 +35,20 @@ pub enum SvcError {
     Load(String),
     /// The request line could not be parsed.
     BadRequest(String),
+    /// The request was refused by admission control: materializing the
+    /// graph would exceed the per-graph byte budget.
+    TooLarge {
+        /// Estimated CSR bytes the graph would occupy.
+        estimated: usize,
+        /// The configured admission limit.
+        limit: usize,
+    },
+    /// The job panicked inside a worker. The panic was contained: the
+    /// worker survived and only this job failed.
+    Internal {
+        /// Scheduler-assigned job id, for correlating with server traces.
+        job: u64,
+    },
 }
 
 impl SvcError {
@@ -40,15 +61,33 @@ impl SvcError {
             SvcError::UnknownGraph(_) => "unknown-graph",
             SvcError::Load(_) => "load",
             SvcError::BadRequest(_) => "bad-request",
+            SvcError::TooLarge { .. } => "too-large",
+            SvcError::Internal { .. } => "internal",
         }
+    }
+
+    /// Whether a client can expect the same request to succeed later
+    /// without changing it (the retrying client uses this to decide
+    /// between backing off and giving up).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            SvcError::Overloaded { .. } | SvcError::Internal { .. }
+        )
     }
 }
 
 impl std::fmt::Display for SvcError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SvcError::Overloaded { capacity } => {
-                write!(f, "job queue full (capacity {capacity}), retry later")
+            SvcError::Overloaded {
+                capacity,
+                retry_after_ms,
+            } => {
+                write!(
+                    f,
+                    "job queue full (capacity {capacity}) retry_after_ms={retry_after_ms}"
+                )
             }
             SvcError::ShuttingDown => write!(f, "server is shutting down"),
             SvcError::DeadlineExceeded { elapsed } => {
@@ -57,8 +96,51 @@ impl std::fmt::Display for SvcError {
             SvcError::UnknownGraph(name) => write!(f, "no graph named `{name}`"),
             SvcError::Load(msg) => write!(f, "{msg}"),
             SvcError::BadRequest(msg) => write!(f, "{msg}"),
+            SvcError::TooLarge { estimated, limit } => {
+                write!(
+                    f,
+                    "graph would need ~{estimated} bytes, over the {limit}-byte admission limit"
+                )
+            }
+            SvcError::Internal { job } => {
+                write!(f, "job={job} panicked in a worker; the worker survived")
+            }
         }
     }
 }
 
 impl std::error::Error for SvcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overloaded_display_carries_retry_after_token() {
+        let e = SvcError::Overloaded {
+            capacity: 4,
+            retry_after_ms: 25,
+        };
+        assert!(e.to_string().contains("retry_after_ms=25"), "{e}");
+        assert!(e.is_retryable());
+    }
+
+    #[test]
+    fn internal_display_carries_job_token() {
+        let e = SvcError::Internal { job: 17 };
+        assert_eq!(e.code(), "internal");
+        assert!(e.to_string().contains("job=17"), "{e}");
+        assert!(e.is_retryable());
+    }
+
+    #[test]
+    fn non_transient_errors_are_not_retryable() {
+        assert!(!SvcError::ShuttingDown.is_retryable());
+        assert!(!SvcError::UnknownGraph("g".into()).is_retryable());
+        assert!(!SvcError::TooLarge {
+            estimated: 10,
+            limit: 5
+        }
+        .is_retryable());
+    }
+}

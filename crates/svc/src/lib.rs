@@ -23,12 +23,37 @@
 //! * [`metrics`] — atomic counters and latency histograms (global,
 //!   per-algorithm, and per-graph) behind the `STATS` command;
 //! * [`protocol`] / [`server`] — a newline-delimited TCP protocol
-//!   (`LOAD`, `GEN`, `SOLVE`, `STATS`, `TRACE`, `EVICT`, `SHUTDOWN`) on
-//!   `std::net`, one reader thread per connection. No async runtime:
-//!   plain blocking I/O and threads are plenty for a solver service
-//!   whose unit of work is milliseconds to seconds. Solves run under a
-//!   [`graft_core::Tracer`] feeding a bounded in-memory ring; `TRACE`
-//!   streams the most recent events back as JSONL.
+//!   (`LOAD`, `GEN`, `SOLVE`, `STATS`, `HEALTH`, `TRACE`, `EVICT`,
+//!   `SHUTDOWN`) on `std::net`, one reader thread per connection. No
+//!   async runtime: plain blocking I/O and threads are plenty for a
+//!   solver service whose unit of work is milliseconds to seconds.
+//!   Solves run under a [`graft_core::Tracer`] feeding a bounded
+//!   in-memory ring; `TRACE` streams the most recent events back as
+//!   JSONL.
+//!
+//! The resilience core on top:
+//!
+//! * **panic isolation** — every scheduled job runs under
+//!   `catch_unwind`; a panicking solve answers `ERR internal job=<id>`,
+//!   bumps the `panics` metric, and the worker thread keeps serving;
+//! * **admission control** — `LOAD`/`GEN` estimate the CSR footprint
+//!   *before* materializing and refuse oversized graphs with
+//!   `ERR too-large`; a full job queue answers `ERR overloaded` with a
+//!   backlog-derived `retry_after_ms` hint; connections past the cap are
+//!   shed at accept;
+//! * **graceful drain** — `SHUTDOWN`/SIGTERM flip `HEALTH` to
+//!   `draining`, refuse new `SOLVE`s, and give in-flight jobs a bounded
+//!   grace period;
+//! * [`snapshot`] — crash-safe JSONL persistence of the registry
+//!   (sources + warm matchings) via atomic tmp+fsync+rename, restored on
+//!   boot for warm restarts;
+//! * [`faults`] — a deterministic, seed-driven fault-injection plan
+//!   (panics, delays, I/O errors at named sites) that the chaos tests
+//!   drive end-to-end; without a plan the hooks compile to nothing on
+//!   the hot path;
+//! * [`client`] — a retrying client with jittered exponential backoff
+//!   that honors the server's `retry_after_ms` hints (also exposed as
+//!   `graftmatch solve-remote`).
 //!
 //! ## A session
 //!
@@ -52,18 +77,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod error;
+pub mod faults;
 pub mod lru;
 pub mod metrics;
 pub mod protocol;
 pub mod registry;
 pub mod scheduler;
 pub mod server;
+pub mod snapshot;
 
+pub use client::{ClientError, RetryClient, RetryPolicy};
 pub use error::SvcError;
+pub use faults::{Fault, FaultPlan, FaultSite};
 pub use lru::{LruCache, LruStats};
 pub use metrics::Metrics;
 pub use protocol::{parse_request, Reply, Request, MAX_LINE_BYTES};
 pub use registry::{GraphRegistry, GraphSource, RegistryStats};
 pub use scheduler::Scheduler;
-pub use server::{serve, ServeConfig, Server};
+pub use server::{serve, ServeConfig, Server, ShutdownHandle};
+pub use snapshot::{SnapshotEntry, SnapshotError, WarmStart};

@@ -104,6 +104,13 @@ impl<V> LruCache<V> {
         self.entries.contains_key(name)
     }
 
+    /// Looks up `name` without touching recency or counters. Observers
+    /// (snapshots, diagnostics) use this so reading the cache does not
+    /// distort the eviction order they are reading.
+    pub fn peek(&self, name: &str) -> Option<&V> {
+        self.entries.get(name).map(|e| &e.value)
+    }
+
     /// Inserts (or replaces) `name`, then evicts least-recently-used
     /// entries until the budget holds again. Returns the names evicted.
     pub fn insert(&mut self, name: String, value: V, bytes: usize) -> Vec<String> {

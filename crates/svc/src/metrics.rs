@@ -60,8 +60,25 @@ pub struct Metrics {
     pub jobs_rejected: AtomicU64,
     /// Jobs cut off by their deadline.
     pub jobs_timed_out: AtomicU64,
+    /// Jobs whose handler panicked inside a worker (the panic was caught
+    /// and turned into `ERR internal`; the worker survived).
+    pub panics: AtomicU64,
+    /// Jobs that completed with a typed error other than a panic.
+    pub solves_err: AtomicU64,
     /// Jobs currently queued (not yet picked up by a worker).
     pub queue_depth: AtomicUsize,
+    /// Connections currently being served.
+    pub connections_open: AtomicUsize,
+    /// Connections refused at accept because the connection cap was hit.
+    pub connections_shed: AtomicU64,
+    /// Requests refused by byte-budget admission control (`ERR too-large`).
+    pub admission_rejected: AtomicU64,
+    /// Snapshots written successfully.
+    pub snapshots_saved: AtomicU64,
+    /// Snapshot save attempts that failed (I/O or injected faults).
+    pub snapshot_errors: AtomicU64,
+    /// Reply writes that failed because the client hung up mid-reply.
+    pub write_errors: AtomicU64,
     /// Time from submit to worker pickup.
     pub wait: Histogram,
     /// Time a worker spent solving.
@@ -83,7 +100,15 @@ impl Metrics {
             jobs_completed: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
             jobs_timed_out: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            solves_err: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
+            connections_open: AtomicUsize::new(0),
+            connections_shed: AtomicU64::new(0),
+            admission_rejected: AtomicU64::new(0),
+            snapshots_saved: AtomicU64::new(0),
+            snapshot_errors: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
             wait: Histogram::default(),
             solve: Histogram::default(),
             solves_per_algorithm: Default::default(),
@@ -153,7 +178,26 @@ impl Metrics {
         for i in 0..Algorithm::ALL.len() {
             solves_ok += self.solves_per_algorithm[i].load(Ordering::Relaxed);
         }
-        let _ = write!(out, " solves_ok={solves_ok}");
+        let _ = write!(
+            out,
+            " solves_ok={solves_ok} solves_err={} panics={}",
+            self.solves_err.load(Ordering::Relaxed),
+            self.panics.load(Ordering::Relaxed),
+        );
+        let _ = write!(
+            out,
+            " connections_open={} connections_shed={} admission_rejected={}",
+            self.connections_open.load(Ordering::Relaxed),
+            self.connections_shed.load(Ordering::Relaxed),
+            self.admission_rejected.load(Ordering::Relaxed),
+        );
+        let _ = write!(
+            out,
+            " snapshots_saved={} snapshot_errors={} write_errors={}",
+            self.snapshots_saved.load(Ordering::Relaxed),
+            self.snapshot_errors.load(Ordering::Relaxed),
+            self.write_errors.load(Ordering::Relaxed),
+        );
         for (i, alg) in Algorithm::ALL.iter().enumerate() {
             let n = self.solves_per_algorithm[i].load(Ordering::Relaxed);
             if n > 0 {
@@ -221,6 +265,9 @@ mod tests {
         assert!(!s.contains("solves[ss-dfs]"), "{s}");
         assert!(s.contains("queue_depth=0"), "{s}");
         assert!(s.contains("solves_ok=3"), "{s}");
+        assert!(s.contains("solves_err=0"), "{s}");
+        assert!(s.contains("panics=0"), "{s}");
+        assert!(s.contains("snapshots_saved=0"), "{s}");
         assert!(s.contains("solve_us_sum[ms-bfs-graft]=300"), "{s}");
         assert!(s.contains("graph_solves[a]=2"), "{s}");
         assert!(s.contains("graph_solves[b]=1"), "{s}");

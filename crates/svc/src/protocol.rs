@@ -9,6 +9,7 @@
 //! GEN <name> <suite>[:<scale>]
 //! SOLVE <name> [algorithm] [timeout_ms=N] [threads=N] [cold]
 //! STATS
+//! HEALTH
 //! TRACE [n]
 //! EVICT <name>
 //! SLEEP <ms>
@@ -67,6 +68,10 @@ pub enum Request {
     },
     /// One-line counter dump.
     Stats,
+    /// Liveness/readiness probe: replies `OK state=<live|ready|draining>`
+    /// and never touches the worker pool, so it stays responsive while
+    /// the service is saturated or draining.
+    Health,
     /// Stream the most recent trace events (all buffered when no limit).
     Trace {
         /// Maximum number of events to return.
@@ -116,6 +121,7 @@ impl Request {
                 s
             }
             Request::Stats => "STATS".to_string(),
+            Request::Health => "HEALTH".to_string(),
             Request::Trace { limit: None } => "TRACE".to_string(),
             Request::Trace { limit: Some(n) } => format!("TRACE {n}"),
             Request::Evict { name } => format!("EVICT {name}"),
@@ -245,6 +251,7 @@ pub fn parse_request(line: &str) -> Result<Request, SvcError> {
             }
         }
         "STATS" => Request::Stats,
+        "HEALTH" => Request::Health,
         "TRACE" => {
             let limit = match tokens.next() {
                 None => None,
@@ -274,6 +281,7 @@ pub fn parse_request(line: &str) -> Result<Request, SvcError> {
     if matches!(
         req,
         Request::Stats
+            | Request::Health
             | Request::Shutdown
             | Request::Load { .. }
             | Request::Gen { .. }
@@ -357,6 +365,7 @@ mod tests {
             }
         );
         assert_eq!(parse_request("stats").unwrap(), Request::Stats);
+        assert_eq!(parse_request("health").unwrap(), Request::Health);
         assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
         assert_eq!(
             parse_request("EVICT g").unwrap(),
@@ -382,6 +391,7 @@ mod tests {
             "SOLVE g ms-bfs-graft hk", // algorithm twice
             "SLEEP abc",
             "STATS now",
+            "HEALTH check",
             "SHUTDOWN please",
         ] {
             let r = parse_request(line);
@@ -461,6 +471,7 @@ mod tests {
                 cold: false,
             },
             Request::Stats,
+            Request::Health,
             Request::Trace { limit: None },
             Request::Trace { limit: Some(9) },
             Request::Evict { name: "g".into() },

@@ -12,9 +12,16 @@
 //! same graph starts from it instead of from scratch, so repeat solves
 //! converge in fewer phases (one certification phase, zero augmentations,
 //! once the cached matching is maximum).
+//!
+//! Snapshot restore goes through [`GraphRegistry::restore`], which
+//! remembers sources and warm matchings **without materializing** any
+//! graph — boot stays fast, and the first `SOLVE` of a restored name
+//! lazily materializes and reports `warm=true`.
 
 use crate::error::SvcError;
+use crate::faults::{FaultPlan, FaultSite};
 use crate::lru::{LruCache, LruStats};
+use crate::snapshot::{SnapshotEntry, WarmStart};
 use graft_core::Matching;
 use graft_gen::{suite, Scale};
 use graft_graph::BipartiteCsr;
@@ -75,23 +82,63 @@ pub struct RegistryStats {
 struct Inner {
     cache: LruCache<CacheEntry>,
     sources: HashMap<String, GraphSource>,
+    /// Warm matchings restored from a snapshot, waiting for their graph
+    /// to be materialized (at which point they move into the cache entry,
+    /// after being validated against the real graph dimensions).
+    pending_warm: HashMap<String, Arc<Matching>>,
     reloads: u64,
 }
 
 /// Thread-safe named-graph store. Cheap to share: clone the `Arc`.
 pub struct GraphRegistry {
     inner: Mutex<Inner>,
+    faults: Option<&'static FaultPlan>,
 }
 
-/// Approximate resident size of a parsed graph: two CSR copies (a
+/// Approximate resident CSR size for the given shape: two CSR copies (a
 /// `usize` offset array per side plus a `u32` adjacency entry per edge
 /// per direction).
-pub fn approx_graph_bytes(g: &BipartiteCsr) -> usize {
-    (g.num_x() + 1 + g.num_y() + 1) * std::mem::size_of::<usize>()
-        + 2 * g.num_edges() * std::mem::size_of::<u32>()
+pub fn approx_csr_bytes(nx: usize, ny: usize, edges: usize) -> usize {
+    (nx + 1 + ny + 1) * std::mem::size_of::<usize>() + 2 * edges * std::mem::size_of::<u32>()
 }
 
-fn materialize(source: &GraphSource) -> Result<BipartiteCsr, SvcError> {
+/// Approximate resident size of a parsed graph (see [`approx_csr_bytes`]).
+pub fn approx_graph_bytes(g: &BipartiteCsr) -> usize {
+    approx_csr_bytes(g.num_x(), g.num_y(), g.num_edges())
+}
+
+/// Estimates the resident bytes `source` would occupy, **without
+/// materializing it**: Matrix Market files are answered from the header
+/// alone ([`graft_graph::mtx::read_mtx_shape_file`]), suite specs from
+/// the generators' linear scaling law
+/// ([`graft_gen::suite::SuiteEntry::estimated_shape`]). Admission control
+/// sheds oversized `LOAD`/`GEN` requests on this estimate before any
+/// large allocation happens.
+pub fn estimate_source_bytes(source: &GraphSource) -> Result<usize, SvcError> {
+    match source {
+        GraphSource::MtxFile(path) => {
+            let shape = graft_graph::mtx::read_mtx_shape_file(path)
+                .map_err(|e| SvcError::Load(format!("{}: {e}", path.display())))?;
+            Ok(approx_csr_bytes(shape.rows, shape.cols, shape.max_edges()))
+        }
+        GraphSource::Suite { name, scale } => match suite::by_name(name) {
+            Some(entry) => {
+                let (nx, ny, edges) = entry.estimated_shape(*scale);
+                Ok(approx_csr_bytes(nx, ny, edges))
+            }
+            None => Err(SvcError::Load(format!("unknown suite graph `{name}`"))),
+        },
+    }
+}
+
+fn materialize(source: &GraphSource, faults: Option<&FaultPlan>) -> Result<BipartiteCsr, SvcError> {
+    if let Some(plan) = faults {
+        // Injected I/O errors surface as typed load failures; injected
+        // panics unwind into the caller's firewall (the worker pool for
+        // solve-path reloads, the dispatch guard for inline LOAD/GEN).
+        plan.maybe_fail_io(FaultSite::Reload)
+            .map_err(|e| SvcError::Load(e.to_string()))?;
+    }
     match source {
         GraphSource::MtxFile(path) => graft_graph::mtx::read_mtx_file(path)
             .map_err(|e| SvcError::Load(format!("{}: {e}", path.display()))),
@@ -129,12 +176,20 @@ pub fn parse_gen_spec(spec: &str) -> Result<GraphSource, SvcError> {
 impl GraphRegistry {
     /// A registry whose cache evicts past `budget_bytes`.
     pub fn new(budget_bytes: usize) -> Self {
+        Self::with_faults(budget_bytes, None)
+    }
+
+    /// Like [`GraphRegistry::new`], with a fault plan injected into every
+    /// (re)materialization.
+    pub fn with_faults(budget_bytes: usize, faults: Option<&'static FaultPlan>) -> Self {
         Self {
             inner: Mutex::new(Inner {
                 cache: LruCache::new(budget_bytes),
                 sources: HashMap::new(),
+                pending_warm: HashMap::new(),
                 reloads: 0,
             }),
+            faults,
         }
     }
 
@@ -148,7 +203,7 @@ impl GraphRegistry {
     pub fn register(&self, name: &str, source: GraphSource) -> Result<GraphInfo, SvcError> {
         // Parse outside the lock: loads can be slow and must not stall
         // concurrent SOLVEs of other graphs.
-        let graph = materialize(&source)?;
+        let graph = materialize(&source, self.faults)?;
         let bytes = approx_graph_bytes(&graph);
         let info = GraphInfo {
             nx: graph.num_x(),
@@ -158,6 +213,8 @@ impl GraphRegistry {
         };
         let mut inner = self.lock();
         inner.sources.insert(name.to_string(), source);
+        // A fresh registration replaces whatever a snapshot restored.
+        inner.pending_warm.remove(name);
         inner.cache.insert(
             name.to_string(),
             CacheEntry {
@@ -183,19 +240,67 @@ impl GraphRegistry {
             }
         };
         // Cache miss with a known source: reload outside the lock.
-        let graph = Arc::new(materialize(&source)?);
+        let graph = Arc::new(materialize(&source, self.faults)?);
         let bytes = approx_graph_bytes(&graph);
         let mut inner = self.lock();
         inner.reloads += 1;
+        // A snapshot-restored warm matching attaches on the first
+        // materialization — if it still fits the graph (the source file
+        // may have changed since the snapshot was written).
+        let warm = inner
+            .pending_warm
+            .remove(name)
+            .filter(|m| m.mates_x().len() == graph.num_x() && m.mates_y().len() == graph.num_y());
         inner.cache.insert(
             name.to_string(),
             CacheEntry {
                 graph: Arc::clone(&graph),
-                warm: None,
+                warm: warm.clone(),
             },
             bytes,
         );
-        Ok((graph, None))
+        Ok((graph, warm))
+    }
+
+    /// Remembers `name` from a snapshot without materializing anything:
+    /// the source is registered, and `warm` (if any) is attached lazily
+    /// on the first [`get`](Self::get).
+    pub fn restore(&self, name: &str, source: GraphSource, warm: Option<Matching>) {
+        let mut inner = self.lock();
+        inner.sources.insert(name.to_string(), source);
+        match warm {
+            Some(m) => {
+                inner.pending_warm.insert(name.to_string(), Arc::new(m));
+            }
+            None => {
+                inner.pending_warm.remove(name);
+            }
+        }
+    }
+
+    /// The registry's durable state, for the snapshot writer: every
+    /// registered source plus its current warm matching (cached or still
+    /// pending from a restore), in name order for deterministic files.
+    pub fn snapshot_entries(&self) -> Vec<SnapshotEntry> {
+        let inner = self.lock();
+        let mut names: Vec<&String> = inner.sources.keys().collect();
+        names.sort();
+        names
+            .into_iter()
+            .map(|name| {
+                let warm = inner
+                    .cache
+                    .peek(name)
+                    .and_then(|e| e.warm.as_deref())
+                    .or_else(|| inner.pending_warm.get(name).map(|m| &**m))
+                    .map(WarmStart::from_matching);
+                SnapshotEntry {
+                    name: name.clone(),
+                    source: inner.sources[name].clone(),
+                    warm,
+                }
+            })
+            .collect()
     }
 
     /// Saves `matching` as the warm start for `name`. A no-op if the
@@ -213,6 +318,7 @@ impl GraphRegistry {
         let mut inner = self.lock();
         let had_source = inner.sources.remove(name).is_some();
         let had_entry = inner.cache.remove(name).is_some();
+        inner.pending_warm.remove(name);
         had_source || had_entry
     }
 
@@ -319,6 +425,95 @@ mod tests {
             parse_gen_spec("not-a-graph"),
             Err(SvcError::BadRequest(_))
         ));
+    }
+
+    #[test]
+    fn restore_attaches_warm_matching_lazily() {
+        let r = GraphRegistry::new(usize::MAX);
+        // First life: register, solve, snapshot.
+        r.register("g", tiny_suite_source()).unwrap();
+        let (g, _) = r.get("g").unwrap();
+        let m = graft_core::maximum_matching(&g);
+        let card = m.cardinality();
+        r.store_warm("g", m);
+        let entries = r.snapshot_entries();
+        assert_eq!(entries.len(), 1);
+        let warm = entries[0].warm.as_ref().expect("warm persisted");
+
+        // Second life: restore without materializing, then the first get
+        // returns the warm matching.
+        let r2 = GraphRegistry::new(usize::MAX);
+        r2.restore(
+            "g",
+            entries[0].source.clone(),
+            Some(warm.to_matching().unwrap()),
+        );
+        assert_eq!(r2.stats().registered, 1);
+        assert_eq!(r2.stats().entries, 0, "restore must not materialize");
+        let (_, warm2) = r2.get("g").unwrap();
+        assert_eq!(warm2.expect("warm attached").cardinality(), card);
+        // And it is durable across further gets.
+        let (_, warm3) = r2.get("g").unwrap();
+        assert!(warm3.is_some());
+    }
+
+    #[test]
+    fn restored_warm_with_wrong_shape_is_dropped() {
+        let r = GraphRegistry::new(usize::MAX);
+        let bogus = Matching::empty(3, 3);
+        r.restore("g", tiny_suite_source(), Some(bogus));
+        let (_, warm) = r.get("g").unwrap();
+        assert!(
+            warm.is_none(),
+            "shape-mismatched warm start must be dropped"
+        );
+    }
+
+    #[test]
+    fn snapshot_entries_are_name_sorted_and_include_pending() {
+        let r = GraphRegistry::new(usize::MAX);
+        r.restore("zz", tiny_suite_source(), Some(Matching::empty(2, 2)));
+        r.register("aa", tiny_suite_source()).unwrap();
+        let entries = r.snapshot_entries();
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["aa", "zz"]);
+        assert!(entries[0].warm.is_none());
+        assert!(entries[1].warm.is_some(), "pending warm must be persisted");
+    }
+
+    #[test]
+    fn estimate_tracks_registered_size() {
+        let src = tiny_suite_source();
+        let est = estimate_source_bytes(&src).unwrap();
+        let r = GraphRegistry::new(usize::MAX);
+        let info = r.register("g", src).unwrap();
+        assert!(
+            est <= 2 * info.bytes && info.bytes <= 2 * est,
+            "estimate {est} vs actual {}",
+            info.bytes
+        );
+    }
+
+    #[test]
+    fn injected_reload_faults_surface_as_load_errors() {
+        let plan: &'static FaultPlan = Box::leak(Box::new(
+            FaultPlan::from_spec("seed=5,rate=100,max=100000,sites=reload").unwrap(),
+        ));
+        let r = GraphRegistry::with_faults(usize::MAX, Some(plan));
+        let mut typed = 0;
+        for i in 0..30 {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                r.register(&format!("g{i}"), tiny_suite_source())
+            })) {
+                Ok(Err(SvcError::Load(msg))) => {
+                    assert!(msg.contains("injected"), "{msg}");
+                    typed += 1;
+                }
+                Ok(Ok(_)) | Err(_) => {} // delay fault passed through, or panic
+                Ok(Err(other)) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert!(typed > 0, "100% rate must produce typed i/o failures");
     }
 
     #[test]

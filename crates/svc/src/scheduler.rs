@@ -1,4 +1,4 @@
-//! Bounded job queue + fixed worker pool.
+//! Bounded job queue + fixed worker pool with panic isolation.
 //!
 //! The scheduler is deliberately generic over the job and result types:
 //! the server instantiates it with solve jobs, and the unit tests
@@ -9,11 +9,19 @@
 //!
 //! * `submit` never blocks. A full queue returns the typed
 //!   [`SvcError::Overloaded`] immediately — callers (i.e. clients) own
-//!   the retry policy, the server never builds an unbounded backlog.
+//!   the retry policy, the server never builds an unbounded backlog. The
+//!   rejection carries a `retry_after_ms` suggestion scaled to the
+//!   current backlog and observed solve latency.
 //! * The capacity bounds *queued* jobs; jobs being executed by a worker
 //!   no longer count against it.
+//! * A job that **panics** does not kill its worker: the unwind is caught
+//!   at the job boundary, the submitter receives the typed
+//!   [`SvcError::Internal`] carrying the scheduler-assigned job id, the
+//!   `panics` metric moves, and the same thread picks up the next job.
 //! * Shutdown is graceful: already-queued jobs are drained, new submits
-//!   are refused with [`SvcError::ShuttingDown`].
+//!   are refused with [`SvcError::ShuttingDown`]. [`Scheduler::drain_within`]
+//!   waits (on a condvar, no polling) until the queue is empty and no
+//!   worker is mid-job, bounded by a deadline.
 //!
 //! Each submitted job gets a private [`mpsc::Receiver`] for its result,
 //! so the connection thread that submitted it blocks only on its own
@@ -22,26 +30,32 @@
 use crate::error::SvcError;
 use crate::metrics::Metrics;
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Item<J, R> {
     job: J,
+    id: u64,
     enqueued: Instant,
-    tx: mpsc::Sender<R>,
+    tx: mpsc::Sender<Result<R, SvcError>>,
 }
 
 struct Shared<J, R> {
     queue: Mutex<SchedState<J, R>>,
     cv: Condvar,
     capacity: usize,
+    workers: usize,
+    next_id: AtomicU64,
     metrics: Arc<Metrics>,
 }
 
 struct SchedState<J, R> {
     items: VecDeque<Item<J, R>>,
+    /// Jobs currently inside a worker (popped but not yet answered).
+    active: usize,
     shutdown: bool,
 }
 
@@ -62,10 +76,13 @@ impl<J: Send + 'static, R: Send + 'static> Scheduler<J, R> {
         let shared = Arc::new(Shared {
             queue: Mutex::new(SchedState {
                 items: VecDeque::new(),
+                active: 0,
                 shutdown: false,
             }),
             cv: Condvar::new(),
             capacity,
+            workers,
+            next_id: AtomicU64::new(1),
             metrics,
         });
         let handler = Arc::new(handler);
@@ -85,9 +102,27 @@ impl<J: Send + 'static, R: Send + 'static> Scheduler<J, R> {
         }
     }
 
-    /// Enqueues `job`; the result arrives on the returned receiver.
-    /// Fails fast with [`SvcError::Overloaded`] when the queue is full.
-    pub fn submit(&self, job: J) -> Result<mpsc::Receiver<R>, SvcError> {
+    /// Suggested client backoff when the queue is full: the backlog's
+    /// expected drain time across the pool, from the observed mean solve
+    /// latency (25ms per job before any job has completed), clamped to
+    /// [10ms, 30s].
+    fn suggest_retry_after_ms(&self, backlog: usize) -> u64 {
+        let (count, sum_us, _) = self.shared.metrics.solve.snapshot();
+        let per_job_ms = match sum_us.checked_div(count) {
+            None => 25,
+            Some(mean_us) => (mean_us / 1000).clamp(1, 10_000),
+        };
+        let workers = self.shared.workers as u64;
+        (per_job_ms * backlog as u64)
+            .div_ceil(workers)
+            .clamp(10, 30_000)
+    }
+
+    /// Enqueues `job`; the result arrives on the returned receiver — the
+    /// handler's return value, or [`SvcError::Internal`] if the job
+    /// panicked inside its worker. Fails fast with
+    /// [`SvcError::Overloaded`] when the queue is full.
+    pub fn submit(&self, job: J) -> Result<mpsc::Receiver<Result<R, SvcError>>, SvcError> {
         let (tx, rx) = mpsc::channel();
         let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         if q.shutdown {
@@ -98,12 +133,16 @@ impl<J: Send + 'static, R: Send + 'static> Scheduler<J, R> {
                 .metrics
                 .jobs_rejected
                 .fetch_add(1, Ordering::Relaxed);
+            let backlog = q.items.len() + q.active;
+            drop(q);
             return Err(SvcError::Overloaded {
                 capacity: self.shared.capacity,
+                retry_after_ms: self.suggest_retry_after_ms(backlog),
             });
         }
         q.items.push_back(Item {
             job,
+            id: self.shared.next_id.fetch_add(1, Ordering::Relaxed),
             enqueued: Instant::now(),
             tx,
         });
@@ -128,6 +167,36 @@ impl<J: Send + 'static, R: Send + 'static> Scheduler<J, R> {
         self.shared.cv.notify_all();
     }
 
+    /// Blocks until the queue is empty **and** no worker is mid-job, or
+    /// the deadline passes. Returns `true` if fully drained. Callers
+    /// normally pair this with [`Scheduler::shutdown`] so the backlog is
+    /// finite; without it, new submits can keep the drain from ever
+    /// finishing.
+    pub fn drain_within(&self, deadline: Duration) -> bool {
+        let start = Instant::now();
+        let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if q.items.is_empty() && q.active == 0 {
+                return true;
+            }
+            let Some(remaining) = deadline.checked_sub(start.elapsed()) else {
+                return false;
+            };
+            let (guard, _timeout) = self
+                .shared
+                .cv
+                .wait_timeout(q, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+    }
+
+    /// Queued plus in-flight jobs right now.
+    pub fn backlog(&self) -> usize {
+        let q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.items.len() + q.active
+    }
+
     /// Shuts down and joins every worker (drains the queue first).
     pub fn join(mut self) {
         self.shutdown();
@@ -146,6 +215,7 @@ where
             let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(item) = q.items.pop_front() {
+                    q.active += 1;
                     shared
                         .metrics
                         .queue_depth
@@ -162,13 +232,31 @@ where
             .metrics
             .wait
             .record(item.enqueued.elapsed().as_micros() as u64);
-        let result = handler(item.job);
+        // The job boundary is the panic firewall: a panicking handler
+        // unwinds to here, the submitter gets a typed error carrying the
+        // job id, and this thread stays in the pool (the pool self-heals
+        // by never dying). The handler only sees owned data, so the
+        // AssertUnwindSafe cannot leak broken invariants into shared
+        // state — anything the job touched is dropped by the unwind.
+        let job = item.job;
+        let result = match catch_unwind(AssertUnwindSafe(|| handler(job))) {
+            Ok(r) => Ok(r),
+            Err(_panic) => {
+                shared.metrics.panics.fetch_add(1, Ordering::Relaxed);
+                Err(SvcError::Internal { job: item.id })
+            }
+        };
         shared
             .metrics
             .jobs_completed
             .fetch_add(1, Ordering::Relaxed);
         // The submitter may have hung up (connection dropped): fine.
         let _ = item.tx.send(result);
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.active -= 1;
+        drop(q);
+        // Wake both idle workers and any drain_within waiter.
+        shared.cv.notify_all();
     }
 }
 
@@ -177,30 +265,35 @@ mod tests {
     use super::*;
     use std::time::Duration;
 
-    /// Jobs block until the test releases them: backpressure becomes
-    /// deterministic instead of a race against worker speed.
+    /// Generous bound for "the other thread definitely got there" waits;
+    /// these resolve in microseconds normally, the bound only matters on
+    /// a badly oversubscribed CI machine.
+    const LONG: Duration = Duration::from_secs(30);
+
+    /// Jobs announce on `started_rx` when a worker picks them up, then
+    /// block until the test releases them via `gate_tx`: both sides of
+    /// the handoff are channel rendezvous, so backpressure is
+    /// deterministic without sleeping or polling.
+    #[allow(clippy::type_complexity)]
     fn gated_scheduler(
         workers: usize,
         capacity: usize,
-    ) -> (Scheduler<u32, u32>, mpsc::Sender<()>, Arc<Metrics>) {
+    ) -> (
+        Scheduler<u32, u32>,
+        mpsc::Sender<()>,
+        mpsc::Receiver<()>,
+        Arc<Metrics>,
+    ) {
         let metrics = Arc::new(Metrics::new());
         let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
         let gate_rx = Mutex::new(gate_rx);
         let sched = Scheduler::new(workers, capacity, Arc::clone(&metrics), move |job: u32| {
+            started_tx.send(()).ok();
             gate_rx.lock().unwrap().recv().ok();
             job * 2
         });
-        (sched, gate_tx, metrics)
-    }
-
-    fn wait_until(mut cond: impl FnMut() -> bool) {
-        for _ in 0..2000 {
-            if cond() {
-                return;
-            }
-            std::thread::sleep(Duration::from_millis(1));
-        }
-        panic!("condition not reached within 2s");
+        (sched, gate_tx, started_rx, metrics)
     }
 
     #[test]
@@ -209,7 +302,7 @@ mod tests {
         let sched = Scheduler::new(2, 16, Arc::clone(&metrics), |job: u32| job + 1);
         let rxs: Vec<_> = (0..8).map(|i| sched.submit(i).unwrap()).collect();
         for (i, rx) in rxs.into_iter().enumerate() {
-            assert_eq!(rx.recv().unwrap(), i as u32 + 1);
+            assert_eq!(rx.recv().unwrap().unwrap(), i as u32 + 1);
         }
         assert_eq!(metrics.jobs_completed.load(Ordering::Relaxed), 8);
         assert_eq!(metrics.jobs_rejected.load(Ordering::Relaxed), 0);
@@ -218,16 +311,22 @@ mod tests {
 
     #[test]
     fn full_queue_rejects_with_overloaded() {
-        let (sched, gate, metrics) = gated_scheduler(1, 2);
+        let (sched, gate, started, metrics) = gated_scheduler(1, 2);
         // First job: picked up by the (single) worker, which then blocks.
         let rx0 = sched.submit(10).unwrap();
-        wait_until(|| metrics.queue_depth.load(Ordering::Relaxed) == 0);
+        started.recv_timeout(LONG).expect("worker picked up job 0");
         // Fill the queue behind the busy worker.
         let rx1 = sched.submit(11).unwrap();
         let rx2 = sched.submit(12).unwrap();
         // Queue full now: typed rejection, and the counter moves.
         match sched.submit(13) {
-            Err(SvcError::Overloaded { capacity }) => assert_eq!(capacity, 2),
+            Err(SvcError::Overloaded {
+                capacity,
+                retry_after_ms,
+            }) => {
+                assert_eq!(capacity, 2);
+                assert!(retry_after_ms >= 10, "retry_after_ms={retry_after_ms}");
+            }
             other => panic!("expected Overloaded, got {other:?}"),
         }
         assert_eq!(metrics.jobs_rejected.load(Ordering::Relaxed), 1);
@@ -235,27 +334,27 @@ mod tests {
         for _ in 0..3 {
             gate.send(()).unwrap();
         }
-        assert_eq!(rx0.recv().unwrap(), 20);
-        assert_eq!(rx1.recv().unwrap(), 22);
-        assert_eq!(rx2.recv().unwrap(), 24);
+        assert_eq!(rx0.recv().unwrap().unwrap(), 20);
+        assert_eq!(rx1.recv().unwrap().unwrap(), 22);
+        assert_eq!(rx2.recv().unwrap().unwrap(), 24);
         // Capacity freed again.
         let rx3 = sched.submit(13).unwrap();
         gate.send(()).unwrap();
-        assert_eq!(rx3.recv().unwrap(), 26);
+        assert_eq!(rx3.recv().unwrap().unwrap(), 26);
         sched.join();
     }
 
     #[test]
     fn shutdown_refuses_new_jobs_but_drains_queued_ones() {
-        let (sched, gate, _metrics) = gated_scheduler(1, 8);
+        let (sched, gate, _started, _metrics) = gated_scheduler(1, 8);
         let rx0 = sched.submit(1).unwrap();
         let rx1 = sched.submit(2).unwrap();
         sched.shutdown();
         assert!(matches!(sched.submit(3), Err(SvcError::ShuttingDown)));
         gate.send(()).unwrap();
         gate.send(()).unwrap();
-        assert_eq!(rx0.recv().unwrap(), 2);
-        assert_eq!(rx1.recv().unwrap(), 4);
+        assert_eq!(rx0.recv().unwrap().unwrap(), 2);
+        assert_eq!(rx1.recv().unwrap().unwrap(), 4);
         sched.join();
     }
 
@@ -263,9 +362,81 @@ mod tests {
     fn wait_time_is_recorded() {
         let metrics = Arc::new(Metrics::new());
         let sched = Scheduler::new(1, 8, Arc::clone(&metrics), |job: u32| job);
-        sched.submit(1).unwrap().recv().unwrap();
+        sched.submit(1).unwrap().recv().unwrap().unwrap();
         let (count, _sum, _) = metrics.wait.snapshot();
         assert_eq!(count, 1);
+        sched.join();
+    }
+
+    #[test]
+    fn panicking_job_reports_internal_and_worker_survives() {
+        let metrics = Arc::new(Metrics::new());
+        // One worker: if the panic killed it, the follow-up jobs would
+        // hang forever instead of completing.
+        let sched = Scheduler::new(1, 8, Arc::clone(&metrics), |job: u32| {
+            if job == 13 {
+                panic!("injected failure");
+            }
+            job + 1
+        });
+        let ok_before = sched.submit(1).unwrap();
+        assert_eq!(ok_before.recv().unwrap().unwrap(), 2);
+
+        let boom = sched.submit(13).unwrap();
+        match boom.recv().unwrap() {
+            Err(SvcError::Internal { job }) => assert!(job > 0),
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        assert_eq!(metrics.panics.load(Ordering::Relaxed), 1);
+
+        // Same (sole) worker keeps serving.
+        for i in 0..4 {
+            let rx = sched.submit(i).unwrap();
+            assert_eq!(rx.recv().unwrap().unwrap(), i + 1);
+        }
+        assert_eq!(metrics.jobs_completed.load(Ordering::Relaxed), 6);
+        sched.join();
+    }
+
+    #[test]
+    fn distinct_jobs_get_distinct_ids() {
+        let metrics = Arc::new(Metrics::new());
+        let sched = Scheduler::new(2, 8, Arc::clone(&metrics), |_: u32| {
+            panic!("every job panics")
+        });
+        let mut ids = Vec::new();
+        for i in 0..4 {
+            let rx = sched.submit(i).unwrap();
+            match rx.recv().unwrap() {
+                Err(SvcError::Internal { job }) => ids.push(job),
+                other => panic!("expected Internal, got {other:?}"),
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4, "job ids must be unique");
+        sched.join();
+    }
+
+    #[test]
+    fn drain_within_waits_for_inflight_jobs() {
+        let (sched, gate, started, _metrics) = gated_scheduler(1, 8);
+        let rx0 = sched.submit(5).unwrap();
+        started.recv_timeout(LONG).expect("worker picked up job");
+        sched.shutdown();
+
+        // In-flight job still blocked on the gate: a short drain fails.
+        assert!(!sched.drain_within(Duration::from_millis(50)));
+
+        // Release it from another thread while drain_within waits.
+        let waiter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            gate.send(()).unwrap();
+        });
+        assert!(sched.drain_within(LONG), "drain after release");
+        assert_eq!(sched.backlog(), 0);
+        waiter.join().unwrap();
+        assert_eq!(rx0.recv().unwrap().unwrap(), 10);
         sched.join();
     }
 }

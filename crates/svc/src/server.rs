@@ -1,32 +1,55 @@
-//! TCP front-end: accept loop, per-connection reader threads, dispatch.
+//! TCP front-end: accept loop, per-connection reader threads, dispatch,
+//! and the resilience core (admission control, graceful drain, crash-safe
+//! snapshots).
 //!
 //! Concurrency model (all `std`, no async runtime):
 //!
-//! * one **accept loop** thread (the caller of [`Server::run`]);
+//! * one **accept loop** thread (the caller of [`Server::run`]), which
+//!   sheds connections beyond [`ServeConfig::max_connections`] with a
+//!   typed `ERR overloaded` instead of letting them queue invisibly;
 //! * one **reader thread per connection**, which parses request lines and
 //!   writes reply lines — registry commands (`LOAD`, `GEN`, `EVICT`,
-//!   `STATS`, `TRACE`) execute inline on this thread, so a saturated
-//!   worker pool never blocks monitoring;
+//!   `STATS`, `HEALTH`, `TRACE`) execute inline on this thread, so a
+//!   saturated worker pool never blocks monitoring. `LOAD`/`GEN` pass
+//!   **byte-budget admission control** first: the graph's size is
+//!   estimated from its header/scaling law and oversized requests are
+//!   refused with `ERR too-large` before anything is materialized;
 //! * the fixed **worker pool** (the [`Scheduler`]) executes `SOLVE` and
-//!   `SLEEP` jobs; the submitting connection thread blocks on its own
-//!   job's result channel, clients interleave naturally.
+//!   `SLEEP` jobs behind a panic firewall: a panicking job answers
+//!   `ERR internal job=<id>` and the worker survives.
 //!
-//! `SHUTDOWN` acknowledges, stops the scheduler (draining queued jobs),
-//! and wakes the accept loop with a loopback connection so [`Server::run`]
-//! returns.
+//! **Drain protocol**: `SHUTDOWN` (or SIGTERM via
+//! [`ShutdownHandle::initiate`]) flips the service to `draining` —
+//! `HEALTH` reports it, new `SOLVE`s are refused with
+//! `ERR shutting-down`, in-flight jobs get up to
+//! [`ServeConfig::drain_ms`] to finish — then a final snapshot is
+//! written (when `--state` is configured) and [`Server::run`] returns.
+//!
+//! **Snapshots**: with [`ServeConfig::state_dir`] set, the registry's
+//! sources and warm matchings are persisted periodically and on drain
+//! (atomic tmp+rename, see [`crate::snapshot`]), and restored on boot so
+//! the first `SOLVE` of a restored graph is warm.
 
 use crate::error::SvcError;
+use crate::faults::FaultPlan;
 use crate::metrics::Metrics;
 use crate::protocol::{err_line, parse_request, Request, MAX_LINE_BYTES};
-use crate::registry::{parse_gen_spec, GraphInfo, GraphRegistry, GraphSource};
+use crate::registry::{
+    estimate_source_bytes, parse_gen_spec, GraphInfo, GraphRegistry, GraphSource,
+};
 use crate::scheduler::Scheduler;
+use crate::snapshot;
 use graft_core::trace::RingSink;
-use graft_core::{solve_from_traced, solve_traced, Algorithm, MsBfsOptions, SolveOptions, Tracer};
+use graft_core::{
+    solve_from_traced, solve_traced, Algorithm, MsBfsOptions, PhaseHook, SolveOptions, Tracer,
+};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Server tunables.
 #[derive(Clone, Debug)]
@@ -36,13 +59,30 @@ pub struct ServeConfig {
     /// Worker threads executing solve jobs.
     pub workers: usize,
     /// Bound on queued (not yet running) jobs; beyond it `SOLVE` replies
-    /// `ERR overloaded`.
+    /// `ERR overloaded` with a `retry_after_ms` hint.
     pub queue_capacity: usize,
     /// Byte budget of the graph cache.
     pub cache_bytes: usize,
     /// Capacity of the trace-event ring served by `TRACE`; 0 disables
     /// solve tracing entirely (the engines see a disabled [`Tracer`]).
     pub trace_events: usize,
+    /// Admission limit: a `LOAD`/`GEN` whose *estimated* materialized
+    /// size exceeds this is refused with `ERR too-large` before any
+    /// allocation. `usize::MAX` disables the check.
+    pub max_graph_bytes: usize,
+    /// Concurrent connection cap; connections beyond it are answered
+    /// `ERR overloaded` and closed at accept.
+    pub max_connections: usize,
+    /// How long a drain (SHUTDOWN/SIGTERM) waits for in-flight jobs.
+    pub drain_ms: u64,
+    /// Directory for crash-safe registry snapshots; `None` disables
+    /// persistence.
+    pub state_dir: Option<PathBuf>,
+    /// Interval between periodic snapshots; 0 snapshots only on drain.
+    pub snapshot_interval_ms: u64,
+    /// Fault-injection spec (see [`FaultPlan::from_spec`]); `None` (the
+    /// default) injects nothing and costs nothing on the hot path.
+    pub fault_spec: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -53,7 +93,26 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             cache_bytes: 256 << 20,
             trace_events: 1024,
+            max_graph_bytes: usize::MAX,
+            max_connections: 256,
+            drain_ms: 5_000,
+            state_dir: None,
+            snapshot_interval_ms: 30_000,
+            fault_spec: None,
         }
+    }
+}
+
+/// `HEALTH` states (stored in an `AtomicU8`).
+const HEALTH_LIVE: u8 = 0;
+const HEALTH_READY: u8 = 1;
+const HEALTH_DRAINING: u8 = 2;
+
+fn health_name(v: u8) -> &'static str {
+    match v {
+        HEALTH_READY => "ready",
+        HEALTH_DRAINING => "draining",
+        _ => "live",
     }
 }
 
@@ -71,6 +130,30 @@ enum Job {
 
 type JobReply = Result<String, SvcError>;
 
+/// Initiates the drain protocol from outside a connection thread —
+/// typically a SIGTERM handler. Cloneable and `Send`; safe to trigger
+/// more than once.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shutdown: Arc<AtomicBool>,
+    health: Arc<AtomicU8>,
+    sched: Arc<Scheduler<Job, JobReply>>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Flips the service to `draining` (new `SOLVE`s are refused, queued
+    /// jobs still run) and wakes the accept loop so [`Server::run`] can
+    /// finish the drain and write the final snapshot.
+    pub fn initiate(&self) {
+        self.health.store(HEALTH_DRAINING, Ordering::SeqCst);
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.sched.shutdown();
+        // Wake the accept loop so `Server::run` observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
 /// A bound, not-yet-running service instance.
 pub struct Server {
     listener: TcpListener,
@@ -78,10 +161,19 @@ pub struct Server {
     metrics: Arc<Metrics>,
     sched: Arc<Scheduler<Job, JobReply>>,
     shutdown: Arc<AtomicBool>,
+    health: Arc<AtomicU8>,
     trace: Arc<RingSink>,
+    faults: Option<&'static FaultPlan>,
+    cfg: ServeConfig,
 }
 
-fn run_job(job: Job, registry: &GraphRegistry, metrics: &Metrics, tracer: &Tracer) -> JobReply {
+fn run_job(
+    job: Job,
+    registry: &GraphRegistry,
+    metrics: &Metrics,
+    tracer: &Tracer,
+    phase_hook: Option<PhaseHook>,
+) -> JobReply {
     match job {
         Job::Sleep(ms) => {
             std::thread::sleep(std::time::Duration::from_millis(ms));
@@ -109,6 +201,7 @@ fn run_job(job: Job, registry: &GraphRegistry, metrics: &Metrics, tracer: &Trace
                 threads,
                 ms_bfs: MsBfsOptions {
                     deadline,
+                    phase_hook,
                     ..MsBfsOptions::default()
                 },
                 ..SolveOptions::default()
@@ -144,12 +237,50 @@ fn run_job(job: Job, registry: &GraphRegistry, metrics: &Metrics, tracer: &Trace
     }
 }
 
+/// Writes one snapshot, translating failures (I/O or injected panics)
+/// into metrics instead of letting them escape into the calling thread.
+fn save_snapshot(
+    dir: &std::path::Path,
+    registry: &GraphRegistry,
+    metrics: &Metrics,
+    faults: Option<&FaultPlan>,
+) {
+    let entries = registry.snapshot_entries();
+    let result = catch_unwind(AssertUnwindSafe(|| snapshot::save(dir, &entries, faults)));
+    match result {
+        Ok(Ok(())) => {
+            metrics.snapshots_saved.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(Err(e)) => {
+            metrics.snapshot_errors.fetch_add(1, Ordering::Relaxed);
+            eprintln!("graft-svc: snapshot save failed: {e}");
+        }
+        Err(_) => {
+            metrics.snapshot_errors.fetch_add(1, Ordering::Relaxed);
+            eprintln!("graft-svc: snapshot save panicked (contained)");
+        }
+    }
+}
+
 impl Server {
-    /// Binds the listener and spawns the worker pool. The service is not
-    /// reachable until [`run`](Self::run) starts accepting.
+    /// Binds the listener, spawns the worker pool, and (with
+    /// [`ServeConfig::state_dir`]) restores the last snapshot. The
+    /// service is not reachable until [`run`](Self::run) starts
+    /// accepting.
     pub fn bind(cfg: &ServeConfig) -> std::io::Result<Server> {
+        let faults: Option<&'static FaultPlan> = match &cfg.fault_spec {
+            None => None,
+            Some(spec) => {
+                let plan = FaultPlan::from_spec(spec)
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+                // One plan per server process, alive for its lifetime:
+                // leaking it gives the `&'static` the solver phase hook
+                // needs without poisoning `MsBfsOptions` with lifetimes.
+                Some(&*Box::leak(Box::new(plan)))
+            }
+        };
         let listener = TcpListener::bind(&cfg.addr)?;
-        let registry = Arc::new(GraphRegistry::new(cfg.cache_bytes));
+        let registry = Arc::new(GraphRegistry::with_faults(cfg.cache_bytes, faults));
         let metrics = Arc::new(Metrics::new());
         let trace = Arc::new(RingSink::new(cfg.trace_events));
         let tracer = if cfg.trace_events > 0 {
@@ -157,6 +288,38 @@ impl Server {
         } else {
             Tracer::disabled()
         };
+        if let Some(dir) = &cfg.state_dir {
+            match snapshot::load(dir, faults) {
+                Ok(entries) => {
+                    for e in entries {
+                        let warm = match &e.warm {
+                            None => None,
+                            Some(w) => match w.to_matching() {
+                                Ok(m) => Some(m),
+                                Err(err) => {
+                                    eprintln!(
+                                        "graft-svc: dropping warm start for `{}`: {err}",
+                                        e.name
+                                    );
+                                    None
+                                }
+                            },
+                        };
+                        registry.restore(&e.name, e.source, warm);
+                    }
+                }
+                Err(e) => {
+                    // A corrupt snapshot must not brick the service:
+                    // start cold and say so.
+                    eprintln!("graft-svc: starting cold, snapshot unusable: {e}");
+                }
+            }
+        }
+        let phase_hook = faults.map(|plan| {
+            PhaseHook(Box::leak(Box::new(move |_phases: u32| {
+                plan.maybe_fail_infallible(crate::faults::FaultSite::SolverPhase)
+            })))
+        });
         let sched = {
             let registry = Arc::clone(&registry);
             let metrics = Arc::clone(&metrics);
@@ -164,7 +327,7 @@ impl Server {
                 cfg.workers,
                 cfg.queue_capacity,
                 Arc::clone(&metrics),
-                move |job| run_job(job, &registry, &metrics, &tracer),
+                move |job| run_job(job, &registry, &metrics, &tracer, phase_hook),
             ))
         };
         Ok(Server {
@@ -173,7 +336,10 @@ impl Server {
             metrics,
             sched,
             shutdown: Arc::new(AtomicBool::new(false)),
+            health: Arc::new(AtomicU8::new(HEALTH_LIVE)),
             trace,
+            faults,
+            cfg: cfg.clone(),
         })
     }
 
@@ -182,9 +348,47 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Accept loop. Returns after a client issues `SHUTDOWN`.
+    /// A handle that initiates the drain protocol from another thread
+    /// (the SIGTERM handler in `graftmatch serve`).
+    pub fn shutdown_handle(&self) -> std::io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle {
+            shutdown: Arc::clone(&self.shutdown),
+            health: Arc::clone(&self.health),
+            sched: Arc::clone(&self.sched),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Accept loop. Returns after `SHUTDOWN` (or a
+    /// [`ShutdownHandle::initiate`]) once the drain finishes and the
+    /// final snapshot (if configured) is written.
     pub fn run(self) -> std::io::Result<()> {
         let addr = self.listener.local_addr()?;
+        self.health.store(HEALTH_READY, Ordering::SeqCst);
+
+        // Periodic snapshot writer: wakes every 100ms so shutdown is
+        // prompt, saves every `snapshot_interval_ms`.
+        let snapshot_thread = self.cfg.state_dir.clone().and_then(|dir| {
+            if self.cfg.snapshot_interval_ms == 0 {
+                return None;
+            }
+            let registry = Arc::clone(&self.registry);
+            let metrics = Arc::clone(&self.metrics);
+            let stop = Arc::clone(&self.shutdown);
+            let faults = self.faults;
+            let interval = Duration::from_millis(self.cfg.snapshot_interval_ms);
+            Some(std::thread::spawn(move || {
+                let mut last = Instant::now();
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(100));
+                    if last.elapsed() >= interval {
+                        save_snapshot(&dir, &registry, &metrics, faults);
+                        last = Instant::now();
+                    }
+                }
+            }))
+        });
+
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -193,18 +397,68 @@ impl Server {
                 Ok(s) => s,
                 Err(_) => continue,
             };
+            // Connection cap: shed with a typed reply instead of
+            // accepting work the server can't isolate.
+            if self.metrics.connections_open.load(Ordering::Relaxed) >= self.cfg.max_connections {
+                self.metrics
+                    .connections_shed
+                    .fetch_add(1, Ordering::Relaxed);
+                let mut s = stream;
+                let e = SvcError::Overloaded {
+                    capacity: self.cfg.max_connections,
+                    retry_after_ms: 100,
+                };
+                let _ = writeln!(s, "{}", err_line(&e));
+                continue;
+            }
+            self.metrics
+                .connections_open
+                .fetch_add(1, Ordering::Relaxed);
             let registry = Arc::clone(&self.registry);
             let metrics = Arc::clone(&self.metrics);
             let sched = Arc::clone(&self.sched);
+            let health = Arc::clone(&self.health);
             let shutdown = Arc::clone(&self.shutdown);
             let trace = Arc::clone(&self.trace);
+            let max_graph_bytes = self.cfg.max_graph_bytes;
             std::thread::spawn(move || {
-                let _ =
-                    handle_connection(stream, &registry, &metrics, &sched, &trace, &shutdown, addr);
+                let ctx = ConnCtx {
+                    registry: &registry,
+                    metrics: &metrics,
+                    sched: &sched,
+                    trace: &trace,
+                    health: &health,
+                    shutdown: &shutdown,
+                    max_graph_bytes,
+                    addr,
+                };
+                let _ = handle_connection(stream, &ctx);
+                metrics.connections_open.fetch_sub(1, Ordering::Relaxed);
             });
         }
-        // Drain queued jobs before returning so the process exits clean.
+
+        // Drain: give in-flight jobs a bounded grace period, then
+        // persist. (`sched.shutdown()` already ran via the handle or the
+        // SHUTDOWN connection; repeating it is harmless and covers the
+        // accept-error exit path.)
+        self.health.store(HEALTH_DRAINING, Ordering::SeqCst);
         self.sched.shutdown();
+        let drained = self
+            .sched
+            .drain_within(Duration::from_millis(self.cfg.drain_ms));
+        if !drained {
+            eprintln!(
+                "graft-svc: drain deadline ({}ms) passed with {} job(s) still in flight",
+                self.cfg.drain_ms,
+                self.sched.backlog()
+            );
+        }
+        if let Some(t) = snapshot_thread {
+            let _ = t.join();
+        }
+        if let Some(dir) = &self.cfg.state_dir {
+            save_snapshot(dir, &self.registry, &self.metrics, self.faults);
+        }
         Ok(())
     }
 }
@@ -216,27 +470,62 @@ fn info_line(name: &str, info: GraphInfo) -> String {
     )
 }
 
-fn dispatch(
-    req: Request,
-    registry: &GraphRegistry,
-    metrics: &Metrics,
-    sched: &Scheduler<Job, JobReply>,
-    trace: &RingSink,
-) -> String {
+/// Everything a connection thread needs, bundled so helpers stay
+/// readable.
+struct ConnCtx<'a> {
+    registry: &'a GraphRegistry,
+    metrics: &'a Metrics,
+    sched: &'a Scheduler<Job, JobReply>,
+    trace: &'a RingSink,
+    health: &'a AtomicU8,
+    shutdown: &'a AtomicBool,
+    max_graph_bytes: usize,
+    addr: SocketAddr,
+}
+
+/// Upper bound a `TRACE n` may ask for; anything larger is a typo or an
+/// attack, not a real request.
+const MAX_TRACE_LIMIT: u64 = 1_000_000;
+
+/// Admission check + guarded registration shared by `LOAD` and `GEN`.
+/// The registry materializes outside its lock, so catching a panic here
+/// (an injected fault or a genuine parser bug) leaves no poisoned state —
+/// the connection reports `ERR internal` and keeps serving.
+fn register_guarded(ctx: &ConnCtx<'_>, name: &str, source: GraphSource) -> String {
+    if ctx.max_graph_bytes != usize::MAX {
+        match estimate_source_bytes(&source) {
+            Err(e) => return err_line(&e),
+            Ok(estimated) if estimated > ctx.max_graph_bytes => {
+                ctx.metrics
+                    .admission_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                return err_line(&SvcError::TooLarge {
+                    estimated,
+                    limit: ctx.max_graph_bytes,
+                });
+            }
+            Ok(_) => {}
+        }
+    }
+    match catch_unwind(AssertUnwindSafe(|| ctx.registry.register(name, source))) {
+        Ok(Ok(info)) => info_line(name, info),
+        Ok(Err(e)) => err_line(&e),
+        Err(_) => {
+            ctx.metrics.panics.fetch_add(1, Ordering::Relaxed);
+            err_line(&SvcError::Internal { job: 0 })
+        }
+    }
+}
+
+fn dispatch(req: Request, ctx: &ConnCtx<'_>) -> String {
     match req {
         Request::Load { name, path } => {
-            match registry.register(&name, GraphSource::MtxFile(path.into())) {
-                Ok(info) => info_line(&name, info),
-                Err(e) => err_line(&e),
-            }
+            register_guarded(ctx, &name, GraphSource::MtxFile(path.into()))
         }
-        Request::Gen { name, spec } => {
-            let r = parse_gen_spec(&spec).and_then(|src| registry.register(&name, src));
-            match r {
-                Ok(info) => info_line(&name, info),
-                Err(e) => err_line(&e),
-            }
-        }
+        Request::Gen { name, spec } => match parse_gen_spec(&spec) {
+            Ok(src) => register_guarded(ctx, &name, src),
+            Err(e) => err_line(&e),
+        },
         Request::Solve {
             name,
             algorithm,
@@ -253,13 +542,13 @@ fn dispatch(
                 cold,
                 submitted: now,
             };
-            submit_and_wait(sched, job)
+            submit_and_wait(ctx, job)
         }
-        Request::Sleep { ms } => submit_and_wait(sched, Job::Sleep(ms)),
+        Request::Sleep { ms } => submit_and_wait(ctx, Job::Sleep(ms)),
         Request::Stats => {
             let mut line = String::from("OK ");
-            metrics.render(&mut line);
-            let r = registry.stats();
+            ctx.metrics.render(&mut line);
+            let r = ctx.registry.stats();
             use std::fmt::Write;
             let _ = write!(
                 line,
@@ -277,9 +566,31 @@ fn dispatch(
             );
             line
         }
+        Request::Health => {
+            format!(
+                "OK state={} backlog={}",
+                health_name(ctx.health.load(Ordering::SeqCst)),
+                ctx.sched.backlog()
+            )
+        }
         Request::Trace { limit } => {
-            let n = limit.map_or(usize::MAX, |n| usize::try_from(n).unwrap_or(usize::MAX));
-            let events = trace.recent(n);
+            let cap = ctx.trace.capacity();
+            let n = match limit {
+                None => cap,
+                Some(0) => {
+                    return err_line(&SvcError::BadRequest(
+                        "trace limit must be at least 1".to_string(),
+                    ))
+                }
+                Some(n) if n > MAX_TRACE_LIMIT => {
+                    return err_line(&SvcError::BadRequest(format!(
+                        "trace limit {n} exceeds the maximum {MAX_TRACE_LIMIT}"
+                    )))
+                }
+                // Bounded server-side: never more than the ring holds.
+                Some(n) => (n as usize).min(cap),
+            };
+            let events = ctx.trace.recent(n);
             let mut reply = format!("OK events={}", events.len());
             for ev in &events {
                 reply.push('\n');
@@ -288,18 +599,24 @@ fn dispatch(
             reply
         }
         Request::Evict { name } => {
-            let evicted = registry.evict(&name);
+            let evicted = ctx.registry.evict(&name);
             format!("OK name={name} evicted={evicted}")
         }
         Request::Shutdown => "OK bye".to_string(),
     }
 }
 
-fn submit_and_wait(sched: &Scheduler<Job, JobReply>, job: Job) -> String {
-    match sched.submit(job) {
+fn submit_and_wait(ctx: &ConnCtx<'_>, job: Job) -> String {
+    match ctx.sched.submit(job) {
         Err(e) => err_line(&e),
         Ok(rx) => match rx.recv() {
-            Ok(Ok(line)) => line,
+            Ok(Ok(Ok(line))) => line,
+            Ok(Ok(Err(e))) => {
+                // The job ran and failed with a typed error.
+                ctx.metrics.solves_err.fetch_add(1, Ordering::Relaxed);
+                err_line(&e)
+            }
+            // The job panicked; the scheduler already counted it.
             Ok(Err(e)) => err_line(&e),
             // Worker pool went away mid-job (shutdown race).
             Err(_) => err_line(&SvcError::ShuttingDown),
@@ -376,16 +693,20 @@ fn drain_to_newline(reader: &mut impl BufRead) -> std::io::Result<()> {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn handle_connection(
-    stream: TcpStream,
-    registry: &GraphRegistry,
-    metrics: &Metrics,
-    sched: &Scheduler<Job, JobReply>,
-    trace: &RingSink,
-    shutdown: &AtomicBool,
-    addr: SocketAddr,
-) -> std::io::Result<()> {
+/// Writes one reply line. A failed write (client hung up mid-reply) is
+/// absorbed into the `write_errors` metric and reported as `false` — it
+/// must never unwind or poison anything, the caller just stops serving
+/// this connection.
+fn write_reply(writer: &mut TcpStream, metrics: &Metrics, reply: &str) -> bool {
+    let r = writeln!(writer, "{reply}").and_then(|()| writer.flush());
+    if r.is_err() {
+        metrics.write_errors.fetch_add(1, Ordering::Relaxed);
+        return false;
+    }
+    true
+}
+
+fn handle_connection(stream: TcpStream, ctx: &ConnCtx<'_>) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     loop {
@@ -394,8 +715,9 @@ fn handle_connection(
             LineRead::TooLong => {
                 let e =
                     SvcError::BadRequest(format!("request line exceeds {MAX_LINE_BYTES} bytes"));
-                writeln!(writer, "{}", err_line(&e))?;
-                writer.flush()?;
+                if !write_reply(&mut writer, ctx.metrics, &err_line(&e)) {
+                    break;
+                }
                 continue;
             }
             LineRead::Line(raw) => raw,
@@ -404,8 +726,9 @@ fn handle_connection(
             Ok(s) => s,
             Err(_) => {
                 let e = SvcError::BadRequest("request is not valid UTF-8".to_string());
-                writeln!(writer, "{}", err_line(&e))?;
-                writer.flush()?;
+                if !write_reply(&mut writer, ctx.metrics, &err_line(&e)) {
+                    break;
+                }
                 continue;
             }
         };
@@ -415,20 +738,27 @@ fn handle_connection(
         let req = match parse_request(line) {
             Ok(r) => r,
             Err(e) => {
-                writeln!(writer, "{}", err_line(&e))?;
-                writer.flush()?;
+                if !write_reply(&mut writer, ctx.metrics, &err_line(&e)) {
+                    break;
+                }
                 continue;
             }
         };
         let is_shutdown = matches!(req, Request::Shutdown);
-        let reply = dispatch(req, registry, metrics, sched, trace);
-        writeln!(writer, "{reply}")?;
-        writer.flush()?;
+        let reply = dispatch(req, ctx);
+        let wrote = write_reply(&mut writer, ctx.metrics, &reply);
         if is_shutdown {
-            shutdown.store(true, Ordering::SeqCst);
-            sched.shutdown();
+            // Trigger the drain whether or not the `OK bye` reached the
+            // client — a peer that hangs up right after SHUTDOWN must
+            // still shut the server down.
+            ctx.health.store(HEALTH_DRAINING, Ordering::SeqCst);
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            ctx.sched.shutdown();
             // Wake the accept loop so `Server::run` observes the flag.
-            let _ = TcpStream::connect(addr);
+            let _ = TcpStream::connect(ctx.addr);
+            break;
+        }
+        if !wrote {
             break;
         }
     }

@@ -1,0 +1,631 @@
+//! Crash-safe registry snapshots.
+//!
+//! `serve --state DIR` persists the service's durable state — every
+//! registered graph's *source* plus the last warm-start matching — to
+//! `DIR/registry.jsonl`, and restores it on boot so a restarted server
+//! answers its first `SOLVE` of a known graph warm.
+//!
+//! What is deliberately **not** persisted: the materialized CSR graphs
+//! (re-derivable from their sources, and large) and any in-flight jobs
+//! (the drain protocol finishes or rejects them before the final save).
+//!
+//! ## Format
+//!
+//! One JSON object per line. The objects are *flat* — strings, integers,
+//! and integer arrays only — which keeps the hand-rolled reader (this
+//! build environment has no serde) honest and the format diffable:
+//!
+//! ```text
+//! {"kind":"header","version":1}
+//! {"kind":"graph","name":"g","source":"suite","suite":"kkt_power","scale":"tiny"}
+//! {"kind":"graph","name":"m","source":"mtx","path":"data/m.mtx"}
+//! {"kind":"warm","name":"g","ny":1500,"mate_x":[3,-1,7]}
+//! ```
+//!
+//! `mate_x[x]` is the matched Y partner or `-1`; `ny` sizes the rebuilt
+//! `mate_y` side. A `warm` line always refers to a `graph` line earlier
+//! in the file.
+//!
+//! ## Crash safety
+//!
+//! Saves write `registry.jsonl.tmp`, `fsync` it, then `rename(2)` over
+//! the live file — a crash at any point leaves either the old or the new
+//! snapshot, never a torn file. Loads that find a corrupt line return a
+//! typed error (the server then starts cold rather than half-restored).
+
+use crate::error::SvcError;
+use crate::faults::{FaultPlan, FaultSite};
+use crate::registry::GraphSource;
+use graft_core::Matching;
+use graft_gen::Scale;
+use graft_graph::{VertexId, NONE};
+use std::fs::{self, File};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// File name inside the state directory.
+pub const SNAPSHOT_FILE: &str = "registry.jsonl";
+
+/// One graph's durable state: its source and the last solve's matching.
+#[derive(Debug, Clone)]
+pub struct SnapshotEntry {
+    /// Registry name.
+    pub name: String,
+    /// Where the graph comes from (enough to re-materialize it).
+    pub source: GraphSource,
+    /// Warm-start matching of the last completed solve, if any.
+    pub warm: Option<WarmStart>,
+}
+
+/// A matching flattened for persistence: `mate_x[x]` is the partner or
+/// `-1`, and `ny` sizes the Y side when rebuilding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmStart {
+    /// `|Y|` of the graph the matching belongs to.
+    pub ny: usize,
+    /// Per-X partner, `-1` for unmatched.
+    pub mate_x: Vec<i64>,
+}
+
+impl WarmStart {
+    /// Flattens a live matching.
+    pub fn from_matching(m: &Matching) -> Self {
+        let mate_x = m
+            .mates_x()
+            .iter()
+            .map(|&y| if y == NONE { -1 } else { y as i64 })
+            .collect();
+        Self {
+            ny: m.mates_y().len(),
+            mate_x,
+        }
+    }
+
+    /// Rebuilds the matching, re-deriving `mate_y` and re-validating the
+    /// pairing (a tampered or stale snapshot must not smuggle in an
+    /// inconsistent matching).
+    pub fn to_matching(&self) -> Result<Matching, SvcError> {
+        let mut mate_x = vec![NONE; self.mate_x.len()];
+        let mut mate_y = vec![NONE; self.ny];
+        for (x, &y) in self.mate_x.iter().enumerate() {
+            if y < 0 {
+                continue;
+            }
+            let y = y as usize;
+            if y >= self.ny {
+                return Err(SvcError::Load(format!(
+                    "snapshot warm start: mate_x[{x}]={y} out of range (ny={})",
+                    self.ny
+                )));
+            }
+            mate_x[x] = y as VertexId;
+            mate_y[y] = x as VertexId;
+        }
+        Matching::try_from_mates(mate_x, mate_y)
+            .map_err(|e| SvcError::Load(format!("snapshot warm start invalid: {e}")))
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The values our flat lines can hold.
+#[derive(Debug, PartialEq)]
+enum Value {
+    Str(String),
+    Int(i64),
+    Ints(Vec<i64>),
+}
+
+impl Value {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+/// Minimal parser for one flat JSON object line (string/int/int-array
+/// values only). Returns `(key, value)` pairs in order.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut chars = line.trim().chars().peekable();
+    let mut pairs = Vec::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+        while matches!(chars.peek(), Some(c) if c.is_ascii_whitespace()) {
+            chars.next();
+        }
+    }
+
+    fn parse_string(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<String, String> {
+        if chars.next() != Some('"') {
+            return Err("expected string".into());
+        }
+        let mut s = String::new();
+        loop {
+            match chars.next() {
+                None => return Err("unterminated string".into()),
+                Some('"') => return Ok(s),
+                Some('\\') => match chars.next() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('n') => s.push('\n'),
+                    Some('r') => s.push('\r'),
+                    Some('t') => s.push('\t'),
+                    Some('u') => {
+                        let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                        s.push(char::from_u32(code).ok_or("bad codepoint")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn parse_int(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<i64, String> {
+        let mut s = String::new();
+        if chars.peek() == Some(&'-') {
+            s.push(chars.next().unwrap());
+        }
+        while matches!(chars.peek(), Some(c) if c.is_ascii_digit()) {
+            s.push(chars.next().unwrap());
+        }
+        s.parse::<i64>().map_err(|_| format!("bad integer `{s}`"))
+    }
+
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("expected `{`".into());
+    }
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return Ok(pairs);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(format!("expected `:` after key `{key}`"));
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => Value::Str(parse_string(&mut chars)?),
+            Some('[') => {
+                chars.next();
+                let mut ints = Vec::new();
+                skip_ws(&mut chars);
+                if chars.peek() == Some(&']') {
+                    chars.next();
+                } else {
+                    loop {
+                        skip_ws(&mut chars);
+                        ints.push(parse_int(&mut chars)?);
+                        skip_ws(&mut chars);
+                        match chars.next() {
+                            Some(',') => continue,
+                            Some(']') => break,
+                            other => return Err(format!("bad array separator {other:?}")),
+                        }
+                    }
+                }
+                Value::Ints(ints)
+            }
+            Some(c) if *c == '-' || c.is_ascii_digit() => Value::Int(parse_int(&mut chars)?),
+            other => return Err(format!("unsupported value start {other:?}")),
+        };
+        pairs.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+        }
+    }
+    Ok(pairs)
+}
+
+fn field<'a>(pairs: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn render_entry(entry: &SnapshotEntry, out: &mut String) {
+    use std::fmt::Write;
+    let name = json_escape(&entry.name);
+    match &entry.source {
+        GraphSource::MtxFile(path) => {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"graph\",\"name\":\"{name}\",\"source\":\"mtx\",\"path\":\"{}\"}}",
+                json_escape(&path.display().to_string())
+            );
+        }
+        GraphSource::Suite {
+            name: suite_name,
+            scale,
+        } => {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"graph\",\"name\":\"{name}\",\"source\":\"suite\",\"suite\":\"{}\",\"scale\":\"{}\"}}",
+                json_escape(suite_name),
+                scale.name()
+            );
+        }
+    }
+    if let Some(warm) = &entry.warm {
+        let _ = write!(
+            out,
+            "{{\"kind\":\"warm\",\"name\":\"{name}\",\"ny\":{},\"mate_x\":[",
+            warm.ny
+        );
+        for (i, m) in warm.mate_x.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{m}");
+        }
+        out.push_str("]}\n");
+    }
+}
+
+/// Serializes `entries` to the snapshot text (exposed for tests).
+pub fn render(entries: &[SnapshotEntry]) -> String {
+    let mut out = format!("{{\"kind\":\"header\",\"version\":{SNAPSHOT_VERSION}}}\n");
+    for e in entries {
+        render_entry(e, &mut out);
+    }
+    out
+}
+
+/// Atomically writes `entries` to `dir/registry.jsonl` (tmp + fsync +
+/// rename). `faults` injects at [`FaultSite::SnapshotSave`].
+pub fn save(
+    dir: &Path,
+    entries: &[SnapshotEntry],
+    faults: Option<&FaultPlan>,
+) -> std::io::Result<()> {
+    if let Some(plan) = faults {
+        plan.maybe_fail_io(FaultSite::SnapshotSave)?;
+    }
+    fs::create_dir_all(dir)?;
+    let final_path = dir.join(SNAPSHOT_FILE);
+    let tmp_path = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+    {
+        let file = File::create(&tmp_path)?;
+        let mut w = BufWriter::new(file);
+        w.write_all(render(entries).as_bytes())?;
+        w.flush()?;
+        // fsync before rename: the rename must never become visible
+        // ahead of the bytes it points at.
+        w.get_ref().sync_all()?;
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    // Persist the directory entry too, so the rename itself survives a
+    // crash. Some filesystems refuse to fsync a directory; that is not
+    // worth failing the snapshot over.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Errors from [`load`]: I/O vs. corrupt-content, so the caller can
+/// distinguish "no snapshot" from "snapshot there but unusable".
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Reading the file failed.
+    Io(std::io::Error),
+    /// A line failed to parse; `line` is 1-based.
+    Corrupt {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o: {e}"),
+            SnapshotError::Corrupt { line, message } => {
+                write!(f, "snapshot corrupt at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn corrupt(line: usize, message: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Loads `dir/registry.jsonl`. A missing file is an empty snapshot (the
+/// cold-start case), not an error. `faults` injects at
+/// [`FaultSite::SnapshotLoad`].
+pub fn load(dir: &Path, faults: Option<&FaultPlan>) -> Result<Vec<SnapshotEntry>, SnapshotError> {
+    if let Some(plan) = faults {
+        plan.maybe_fail_io(FaultSite::SnapshotLoad)
+            .map_err(SnapshotError::Io)?;
+    }
+    let path = dir.join(SNAPSHOT_FILE);
+    let file = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(SnapshotError::Io(e)),
+    };
+    let mut entries: Vec<SnapshotEntry> = Vec::new();
+    let mut saw_header = false;
+    for (i, line) in BufReader::new(file).lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.map_err(SnapshotError::Io)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let pairs = parse_flat_object(&line).map_err(|m| corrupt(lineno, m))?;
+        let kind = field(&pairs, "kind")
+            .and_then(|v| v.as_str().ok_or("`kind` must be a string".into()))
+            .map_err(|m| corrupt(lineno, m))?
+            .to_string();
+        match kind.as_str() {
+            "header" => {
+                let version = field(&pairs, "version")
+                    .and_then(|v| v.as_int().ok_or("`version` must be an integer".into()))
+                    .map_err(|m| corrupt(lineno, m))?;
+                if version != SNAPSHOT_VERSION as i64 {
+                    return Err(corrupt(lineno, format!("unsupported version {version}")));
+                }
+                saw_header = true;
+            }
+            "graph" => {
+                if !saw_header {
+                    return Err(corrupt(lineno, "graph line before header"));
+                }
+                let name = field(&pairs, "name")
+                    .and_then(|v| v.as_str().ok_or("`name` must be a string".into()))
+                    .map_err(|m| corrupt(lineno, m))?
+                    .to_string();
+                let source_kind = field(&pairs, "source")
+                    .and_then(|v| v.as_str().ok_or("`source` must be a string".into()))
+                    .map_err(|m| corrupt(lineno, m))?;
+                let source = match source_kind {
+                    "mtx" => {
+                        let path = field(&pairs, "path")
+                            .and_then(|v| v.as_str().ok_or("`path` must be a string".into()))
+                            .map_err(|m| corrupt(lineno, m))?;
+                        GraphSource::MtxFile(PathBuf::from(path))
+                    }
+                    "suite" => {
+                        let suite = field(&pairs, "suite")
+                            .and_then(|v| v.as_str().ok_or("`suite` must be a string".into()))
+                            .map_err(|m| corrupt(lineno, m))?;
+                        let scale_name = field(&pairs, "scale")
+                            .and_then(|v| v.as_str().ok_or("`scale` must be a string".into()))
+                            .map_err(|m| corrupt(lineno, m))?;
+                        let scale = Scale::parse(scale_name).ok_or_else(|| {
+                            corrupt(lineno, format!("unknown scale `{scale_name}`"))
+                        })?;
+                        GraphSource::Suite {
+                            name: suite.to_string(),
+                            scale,
+                        }
+                    }
+                    other => return Err(corrupt(lineno, format!("unknown source kind `{other}`"))),
+                };
+                entries.push(SnapshotEntry {
+                    name,
+                    source,
+                    warm: None,
+                });
+            }
+            "warm" => {
+                let name = field(&pairs, "name")
+                    .and_then(|v| v.as_str().ok_or("`name` must be a string".into()))
+                    .map_err(|m| corrupt(lineno, m))?;
+                let ny = field(&pairs, "ny")
+                    .and_then(|v| v.as_int().ok_or("`ny` must be an integer".into()))
+                    .map_err(|m| corrupt(lineno, m))?;
+                if ny < 0 {
+                    return Err(corrupt(lineno, "`ny` must be non-negative"));
+                }
+                let mate_x = match field(&pairs, "mate_x").map_err(|m| corrupt(lineno, m))? {
+                    Value::Ints(v) => v.clone(),
+                    _ => return Err(corrupt(lineno, "`mate_x` must be an integer array")),
+                };
+                let entry = entries.iter_mut().find(|e| e.name == name).ok_or_else(|| {
+                    corrupt(lineno, format!("warm line for unknown graph `{name}`"))
+                })?;
+                entry.warm = Some(WarmStart {
+                    ny: ny as usize,
+                    mate_x,
+                });
+            }
+            other => return Err(corrupt(lineno, format!("unknown line kind `{other}`"))),
+        }
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entries() -> Vec<SnapshotEntry> {
+        vec![
+            SnapshotEntry {
+                name: "gen-graph".into(),
+                source: GraphSource::Suite {
+                    name: "kkt_power".into(),
+                    scale: Scale::Tiny,
+                },
+                warm: Some(WarmStart {
+                    ny: 4,
+                    mate_x: vec![1, -1, 3],
+                }),
+            },
+            SnapshotEntry {
+                name: "file \"quoted\"".into(),
+                source: GraphSource::MtxFile(PathBuf::from("data/a b.mtx")),
+                warm: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_through_a_directory() {
+        let dir = std::env::temp_dir().join(format!("graft-snap-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let entries = sample_entries();
+        save(&dir, &entries, None).unwrap();
+        let back = load(&dir, None).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].name, "gen-graph");
+        assert!(matches!(
+            &back[0].source,
+            GraphSource::Suite { name, scale: Scale::Tiny } if name == "kkt_power"
+        ));
+        assert_eq!(
+            back[0].warm.as_ref().unwrap(),
+            &WarmStart {
+                ny: 4,
+                mate_x: vec![1, -1, 3]
+            }
+        );
+        assert_eq!(back[1].name, "file \"quoted\"");
+        assert!(matches!(
+            &back[1].source,
+            GraphSource::MtxFile(p) if p == &PathBuf::from("data/a b.mtx")
+        ));
+        // No tmp file left behind.
+        assert!(!dir.join(format!("{SNAPSHOT_FILE}.tmp")).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_is_empty_not_error() {
+        let dir = std::env::temp_dir().join(format!("graft-snap-missing-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        assert!(load(&dir, None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_lines_are_located() {
+        let dir = std::env::temp_dir().join(format!("graft-snap-corrupt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join(SNAPSHOT_FILE),
+            "{\"kind\":\"header\",\"version\":1}\n{\"kind\":\"graph\",\"name\":\"g\"\n",
+        )
+        .unwrap();
+        match load(&dir, None) {
+            Err(SnapshotError::Corrupt { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_and_orphan_warm_are_rejected() {
+        let dir = std::env::temp_dir().join(format!("graft-snap-ver-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join(SNAPSHOT_FILE),
+            "{\"kind\":\"header\",\"version\":99}\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            load(&dir, None),
+            Err(SnapshotError::Corrupt { line: 1, .. })
+        ));
+        fs::write(
+            dir.join(SNAPSHOT_FILE),
+            "{\"kind\":\"header\",\"version\":1}\n{\"kind\":\"warm\",\"name\":\"ghost\",\"ny\":1,\"mate_x\":[0]}\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            load(&dir, None),
+            Err(SnapshotError::Corrupt { line: 2, .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn warm_start_rebuilds_a_valid_matching() {
+        let w = WarmStart {
+            ny: 5,
+            mate_x: vec![2, -1, 4],
+        };
+        let m = w.to_matching().unwrap();
+        assert_eq!(m.cardinality(), 2);
+        assert_eq!(m.mate_of_x(0), 2);
+        assert!(!m.is_x_matched(1));
+        assert_eq!(WarmStart::from_matching(&m), w);
+    }
+
+    #[test]
+    fn warm_start_out_of_range_is_typed() {
+        let w = WarmStart {
+            ny: 2,
+            mate_x: vec![7],
+        };
+        assert!(matches!(w.to_matching(), Err(SvcError::Load(_))));
+    }
+
+    #[test]
+    fn save_faults_surface_as_errors() {
+        let dir = std::env::temp_dir().join(format!("graft-snap-fault-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let plan = FaultPlan::from_spec("seed=1,rate=100,max=1000,sites=snapshot-save").unwrap();
+        let mut failed = 0;
+        for _ in 0..50 {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                save(&dir, &[], Some(&plan))
+            })) {
+                Ok(Err(_)) | Err(_) => failed += 1,
+                Ok(Ok(())) => {}
+            }
+        }
+        assert!(failed > 0, "100% fault rate must fail some saves");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,146 @@
+//! Offline stand-in for the `ctrlc` crate (the build environment has no
+//! crates.io access; see the workspace `Cargo.toml`).
+//!
+//! Covers the one call this workspace uses: [`set_handler`], which runs a
+//! user callback when the process receives SIGINT or SIGTERM. The real
+//! crate uses a self-pipe; this shim keeps the signal handler
+//! async-signal-safe by only storing to a `static` atomic, and runs the
+//! user callback from a watcher thread that polls the flag. Polling
+//! latency (≤50ms) is fine for the graceful-drain use case.
+//!
+//! On non-Unix platforms `set_handler` is a no-op that still returns
+//! `Ok`: the service simply won't react to signals, which matches the
+//! degraded behavior callers are expected to tolerate.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Error type mirroring `ctrlc::Error`.
+#[derive(Debug)]
+pub enum Error {
+    /// A handler was already registered.
+    MultipleHandlers,
+    /// Registering the OS signal handler failed.
+    System(std::io::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::MultipleHandlers => write!(f, "a ctrl-c handler is already registered"),
+            Error::System(e) => write!(f, "couldn't register signal handler: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+static REGISTERED: AtomicBool = AtomicBool::new(false);
+/// How many signals have been delivered (so repeated signals re-trigger
+/// the callback, like the real crate).
+static DELIVERIES: AtomicUsize = AtomicUsize::new(0);
+
+#[cfg(unix)]
+mod sys {
+    use super::{DELIVERIES, SIGNALED};
+    use std::sync::atomic::Ordering;
+
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+
+    // `signal(2)` is in every libc; binding it directly avoids a libc
+    // crate dependency. The handler only touches atomics, which is
+    // async-signal-safe.
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+        DELIVERIES.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub fn install() -> std::io::Result<()> {
+        const SIG_ERR: usize = usize::MAX;
+        for sig in [SIGINT, SIGTERM] {
+            let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+            let prev = unsafe { signal(sig, handler) };
+            if prev == SIG_ERR {
+                return Err(std::io::Error::last_os_error());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Registers `handler` to run on SIGINT or SIGTERM (the `termination`
+/// feature of the real crate is always on here). The callback runs on a
+/// dedicated watcher thread, not in signal context, so it may lock,
+/// allocate, and block freely.
+pub fn set_handler<F>(handler: F) -> Result<(), Error>
+where
+    F: FnMut() + Send + 'static,
+{
+    if REGISTERED.swap(true, Ordering::SeqCst) {
+        return Err(Error::MultipleHandlers);
+    }
+    #[cfg(unix)]
+    sys::install().map_err(Error::System)?;
+
+    let mut handler = handler;
+    std::thread::Builder::new()
+        .name("ctrlc-watcher".into())
+        .spawn(move || {
+            let mut seen = 0usize;
+            loop {
+                let delivered = DELIVERIES.load(Ordering::SeqCst);
+                if delivered > seen {
+                    seen = delivered;
+                    handler();
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        })
+        .map_err(Error::System)?;
+    Ok(())
+}
+
+/// Whether a signal has been received (shim extension used in tests).
+pub fn signaled() -> bool {
+    SIGNALED.load(Ordering::SeqCst)
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn handler_runs_on_sigterm() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        set_handler(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        })
+        .expect("register");
+        assert!(matches!(set_handler(|| {}), Err(Error::MultipleHandlers)));
+
+        // Send ourselves SIGTERM via kill(2); bind it the same way the
+        // shim binds signal(2).
+        unsafe extern "C" {
+            fn kill(pid: i32, sig: i32) -> i32;
+            fn getpid() -> i32;
+        }
+        let rc = unsafe { kill(getpid(), sys::SIGTERM) };
+        assert_eq!(rc, 0);
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while hits.load(Ordering::SeqCst) == 0 {
+            assert!(std::time::Instant::now() < deadline, "handler never ran");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(signaled());
+    }
+}

@@ -9,8 +9,17 @@
 //!            [--init karp-sipser] [--seed S] [--dm] [--out matching.txt]
 //! graftmatch --suite wikipedia --scale small --dm --trace run.jsonl
 //! graftmatch serve [--addr 127.0.0.1:0] [--workers N] [--queue N] [--cache-mb N]
-//!                  [--trace-events N]
+//!                  [--trace-events N] [--state DIR] [--drain-ms N]
+//!                  [--max-graph-mb N] [--max-connections N]
+//!                  [--snapshot-interval-ms N] [--faults SPEC]
+//! graftmatch solve-remote --addr HOST:PORT --name NAME [--algorithm A]
+//!                         [--timeout-ms N] [--threads N] [--cold]
+//!                         [--attempts N] [--retry-seed S]
 //! ```
+//!
+//! `serve` installs a SIGINT/SIGTERM handler that drains gracefully:
+//! in-flight solves finish (bounded by `--drain-ms`), a final snapshot
+//! is written when `--state` is set, then the process exits 0.
 
 use ms_bfs_graft::prelude::*;
 use std::io::Write;
@@ -19,6 +28,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: graftmatch (--mtx FILE | --suite NAME) [options]\n\
          \x20      graftmatch serve [serve options]\n\
+         \x20      graftmatch solve-remote --addr HOST:PORT --name NAME [remote options]\n\
          options:\n\
            --algorithm A   ss-dfs|ss-bfs|pf|pf-par|hk|ms-bfs|ms-bfs-do|\n\
                            ms-bfs-graft|ms-bfs-graft-par|pr|pr-par|dist\n\
@@ -37,7 +47,20 @@ fn usage() -> ! {
            --workers N     solver worker threads (default 2)\n\
            --queue N       queued-job bound before ERR overloaded (default 64)\n\
            --cache-mb N    graph cache budget in MiB (default 256)\n\
-           --trace-events N  trace ring capacity for TRACE (default 1024, 0 off)"
+           --trace-events N  trace ring capacity for TRACE (default 1024, 0 off)\n\
+           --state DIR     persist registry snapshots to DIR; restore on boot\n\
+           --drain-ms N    grace period for in-flight jobs on drain (default 5000)\n\
+           --max-graph-mb N  refuse LOAD/GEN estimated above N MiB (default off)\n\
+           --max-connections N  shed connections beyond N (default 256)\n\
+           --snapshot-interval-ms N  periodic snapshot cadence (default 30000, 0 off)\n\
+           --faults SPEC   fault injection, e.g. seed=42,rate=25,max=16,sites=solver|reload\n\
+         remote options:\n\
+           --algorithm A   algorithm name sent with SOLVE (default ms-bfs-graft-par)\n\
+           --timeout-ms N  server-side solve deadline\n\
+           --threads N     worker threads the server should use (0 = its default)\n\
+           --cold          ignore any cached warm start\n\
+           --attempts N    total attempts incl. the first (default 5)\n\
+           --retry-seed S  jitter seed for the backoff schedule (default policy seed)"
     );
     std::process::exit(2);
 }
@@ -55,19 +78,101 @@ fn serve_main(args: Vec<String>) -> ! {
                 cfg.cache_bytes = next().parse::<usize>().unwrap_or_else(|_| usage()) << 20
             }
             "--trace-events" => cfg.trace_events = next().parse().unwrap_or_else(|_| usage()),
+            "--state" => cfg.state_dir = Some(std::path::PathBuf::from(next())),
+            "--drain-ms" => cfg.drain_ms = next().parse().unwrap_or_else(|_| usage()),
+            "--max-graph-mb" => {
+                cfg.max_graph_bytes = next().parse::<usize>().unwrap_or_else(|_| usage()) << 20
+            }
+            "--max-connections" => cfg.max_connections = next().parse().unwrap_or_else(|_| usage()),
+            "--snapshot-interval-ms" => {
+                cfg.snapshot_interval_ms = next().parse().unwrap_or_else(|_| usage())
+            }
+            "--faults" => cfg.fault_spec = Some(next()),
             _ => usage(),
         }
     }
-    let result = svc::serve(&cfg, |addr| {
-        // Printed line is load-bearing: clients scrape the bound address
-        // (the default port is ephemeral).
-        println!("graft-svc listening on {addr}");
-        let _ = std::io::stdout().flush();
-    });
-    match result {
+    let server = match svc::Server::bind(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            // Printed line is load-bearing: clients scrape the bound
+            // address (the default port is ephemeral).
+            println!("graft-svc listening on {addr}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    // SIGINT/SIGTERM start the same drain protocol as SHUTDOWN; `run`
+    // returns once in-flight jobs finish and the final snapshot lands.
+    if let Ok(handle) = server.shutdown_handle() {
+        if let Err(e) = ctrlc::set_handler(move || handle.initiate()) {
+            eprintln!("warning: no signal handler, use SHUTDOWN to stop: {e}");
+        }
+    }
+    match server.run() {
         Ok(()) => std::process::exit(0),
         Err(e) => {
             eprintln!("serve failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn solve_remote_main(args: Vec<String>) -> ! {
+    let mut addr: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut algorithm = "ms-bfs-graft-par".to_string();
+    let mut timeout_ms: Option<u64> = None;
+    let mut threads = 0usize;
+    let mut cold = false;
+    let mut policy = svc::RetryPolicy::default();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut next = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--addr" => addr = Some(next()),
+            "--name" => name = Some(next()),
+            "--algorithm" => algorithm = next(),
+            "--timeout-ms" => timeout_ms = Some(next().parse().unwrap_or_else(|_| usage())),
+            "--threads" => threads = next().parse().unwrap_or_else(|_| usage()),
+            "--cold" => cold = true,
+            "--attempts" => policy.max_attempts = next().parse().unwrap_or_else(|_| usage()),
+            "--retry-seed" => policy.seed = next().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    let (addr, name) = match (addr, name) {
+        (Some(a), Some(n)) => (a, n),
+        _ => usage(),
+    };
+    let algorithm = Algorithm::parse(&algorithm).unwrap_or_else(|| usage());
+    let line = svc::Request::Solve {
+        name,
+        algorithm,
+        timeout_ms,
+        threads,
+        cold,
+    }
+    .wire();
+    let mut client = svc::RetryClient::new(addr, policy);
+    match client.request(&line) {
+        Ok(reply) => {
+            if client.retries > 0 {
+                eprintln!("succeeded after {} retr(ies)", client.retries);
+            }
+            println!("{reply}");
+            std::process::exit(if reply.starts_with("OK") { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("solve-remote failed: {e}");
             std::process::exit(1);
         }
     }
@@ -77,6 +182,9 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("serve") {
         serve_main(args.split_off(1));
+    }
+    if args.first().map(String::as_str) == Some("solve-remote") {
+        solve_remote_main(args.split_off(1));
     }
     let mut mtx: Option<String> = None;
     let mut suite: Option<String> = None;

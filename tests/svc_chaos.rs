@@ -1,0 +1,284 @@
+//! Seeded chaos tests: the service under a deterministic fault plan
+//! (injected panics, delays, and I/O errors at registry reloads and
+//! solver phase boundaries) must keep three promises:
+//!
+//! 1. **every request gets exactly one typed reply** — `OK ...` or
+//!    `ERR <code> ...`, never a dropped connection or a hang;
+//! 2. **accounting closes**: `solves_ok + solves_err + panics` equals
+//!    the number of jobs that entered the pool (plus any panics caught
+//!    at the inline registration firewall);
+//! 3. **no thread dies permanently**: after the fault budget is spent,
+//!    the same workers keep completing jobs.
+//!
+//! A separate test restarts the service from its snapshot mid-chaos and
+//! checks the registry (and warm matchings) survive.
+//!
+//! The fault plan is a pure function of the seed, so each test pins its
+//! seed; CI runs this file as its `chaos` job.
+
+use ms_bfs_graft::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to service");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn req(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").expect("send request");
+        self.writer.flush().unwrap();
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        assert!(!reply.is_empty(), "server closed the connection mid-chaos");
+        reply.trim_end().to_string()
+    }
+}
+
+fn field_u64(line: &str, key: &str) -> u64 {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no field `{key}` in `{line}`"))
+        .parse()
+        .unwrap_or_else(|_| panic!("field `{key}` in `{line}` is not a number"))
+}
+
+/// Registers `name` under fault injection: retries until the registry
+/// accepts it, returning how many panics the inline firewall absorbed
+/// along the way (they show up in the `panics` metric and must be added
+/// to the accounting invariant).
+fn gen_with_retries(c: &mut Client, name: &str, spec: &str) -> u64 {
+    let mut inline_panics = 0;
+    for _ in 0..100 {
+        let reply = c.req(&format!("GEN {name} {spec}"));
+        if reply.starts_with("OK ") {
+            return inline_panics;
+        }
+        if reply.starts_with("ERR internal") {
+            inline_panics += 1;
+        } else {
+            assert!(
+                reply.starts_with("ERR load"),
+                "unexpected GEN failure: {reply}"
+            );
+        }
+    }
+    panic!("GEN {name} never succeeded under chaos");
+}
+
+/// One full chaos session against an in-process server. Every reply is
+/// asserted typed; returns nothing — the invariants are the assertions.
+fn chaos_session(seed: u64) {
+    // A deliberately hostile configuration: two workers, a graph cache
+    // too small to hold even one graph (so *every* solve re-materializes
+    // through the faulty reload path), and faults armed at the reload
+    // and solver-phase sites.
+    let server = svc::Server::bind(&svc::ServeConfig {
+        workers: 2,
+        queue_capacity: 16,
+        cache_bytes: 1, // evict-always: maximal pressure on reloads
+        trace_events: 64,
+        fault_spec: Some(format!("seed={seed},rate=20,max=24,sites=solver|reload")),
+        ..svc::ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut admin = Client::connect(&addr);
+    let mut inline_panics = 0;
+    inline_panics += gen_with_retries(&mut admin, "a", "kkt_power:tiny");
+    inline_panics += gen_with_retries(&mut admin, "b", "coPapersDBLP:tiny");
+
+    // The storm: 4 client threads × 10 sequential SOLVEs each. Each
+    // thread checks promise 1 (exactly one typed reply per request).
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 10;
+    let mut joins = Vec::new();
+    for t in 0..THREADS {
+        let addr = addr.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut c = Client::connect(&addr);
+            let (mut ok, mut rejected) = (0u64, 0u64);
+            for i in 0..PER_THREAD {
+                let name = if (t + i) % 2 == 0 { "a" } else { "b" };
+                let alg = if i % 2 == 0 {
+                    "ms-bfs-graft"
+                } else {
+                    "ms-bfs-graft-par"
+                };
+                let reply = c.req(&format!("SOLVE {name} {alg}"));
+                assert!(
+                    reply.starts_with("OK ") || reply.starts_with("ERR "),
+                    "untyped reply: {reply}"
+                );
+                if reply.starts_with("OK ") {
+                    ok += 1;
+                    assert!(reply.contains("cardinality="), "{reply}");
+                } else if reply.starts_with("ERR overloaded") {
+                    // Refused at admission: never entered the pool.
+                    rejected += 1;
+                } else {
+                    // Typed error codes the chaos sites can produce.
+                    assert!(
+                        reply.starts_with("ERR internal") || reply.starts_with("ERR load"),
+                        "unexpected error under chaos: {reply}"
+                    );
+                }
+            }
+            (ok, rejected)
+        }));
+    }
+    let (mut client_ok, mut client_rejected) = (0u64, 0u64);
+    for j in joins {
+        let (ok, rejected) = j.join().unwrap();
+        client_ok += ok;
+        client_rejected += rejected;
+    }
+    let submitted = (THREADS * PER_THREAD) as u64 - client_rejected;
+
+    // Promise 2: the books balance. Inline registration panics land in
+    // `panics` too, so they are added on the right-hand side.
+    let stats = admin.req("STATS");
+    let solves_ok = field_u64(&stats, "solves_ok");
+    let solves_err = field_u64(&stats, "solves_err");
+    let panics = field_u64(&stats, "panics");
+    assert_eq!(solves_ok, client_ok, "server/client OK counts disagree");
+    assert_eq!(
+        solves_ok + solves_err + panics,
+        submitted + inline_panics,
+        "accounting must close: ok={solves_ok} err={solves_err} panics={panics} \
+         submitted={submitted} inline_panics={inline_panics}\n{stats}"
+    );
+    assert!(
+        solves_err + panics + inline_panics > 0,
+        "the fault plan never fired — chaos test is vacuous\n{stats}"
+    );
+    assert!(
+        solves_ok > 0,
+        "no solve ever succeeded under chaos\n{stats}"
+    );
+
+    // Promise 3: with the fault budget spent (max=24), the same worker
+    // pool keeps serving: run one clean solve per worker plus one more.
+    for _ in 0..3 {
+        let reply = admin.req("SOLVE a ms-bfs-graft");
+        if reply.starts_with("OK ") {
+            continue;
+        }
+        // Budget may not be fully drained; a typed failure is still a
+        // live worker. But a second try must not be refused outright.
+        assert!(reply.starts_with("ERR "), "{reply}");
+    }
+    let health = admin.req("HEALTH");
+    assert!(health.contains("state=ready"), "{health}");
+
+    assert_eq!(admin.req("SHUTDOWN"), "OK bye");
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn chaos_seed_42_keeps_all_promises() {
+    chaos_session(42);
+}
+
+#[test]
+fn chaos_seed_c0ffee_keeps_all_promises() {
+    chaos_session(0xC0FFEE);
+}
+
+#[test]
+fn restart_from_snapshot_mid_chaos_preserves_registry() {
+    let dir = std::env::temp_dir().join(format!("graft_svc_chaos_snapshot_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // The local oracle for the suite graph (generators are seeded).
+    let local = gen::suite::by_name("kkt_power")
+        .unwrap()
+        .build(gen::Scale::Tiny);
+    let oracle = matching::solve(&local, Algorithm::HopcroftKarp, &SolveOptions::default());
+    let max_card = oracle.matching.cardinality() as u64;
+
+    // Session 1: solver faults only (snapshot-save stays clean so the
+    // drain-time snapshot is trustworthy), small fault budget so the
+    // session ends with a clean maximum matching cached.
+    {
+        let server = svc::Server::bind(&svc::ServeConfig {
+            workers: 2,
+            state_dir: Some(dir.clone()),
+            fault_spec: Some("seed=7,rate=25,max=8,sites=solver".to_string()),
+            ..svc::ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || server.run());
+        let mut c = Client::connect(&addr);
+        assert!(c.req("GEN g kkt_power:tiny").starts_with("OK "));
+        assert!(c.req("GEN h coPapersDBLP:tiny").starts_with("OK "));
+
+        // Solve until one clean success lands (the budget guarantees the
+        // faults dry up).
+        let mut got_ok = false;
+        for _ in 0..40 {
+            let reply = c.req("SOLVE g ms-bfs-graft");
+            if reply.starts_with("OK ") {
+                assert_eq!(field_u64(&reply, "cardinality"), max_card);
+                got_ok = true;
+                break;
+            }
+            assert!(reply.starts_with("ERR "), "{reply}");
+        }
+        assert!(got_ok, "no clean solve before the budget dried up");
+        assert_eq!(c.req("SHUTDOWN"), "OK bye");
+        handle.join().unwrap().unwrap();
+    }
+
+    // Session 2: a fault-free server over the same state dir. Both
+    // graphs are back, and `g`'s matching is restored (warm solve with
+    // zero augmentations at the pre-restart cardinality).
+    {
+        let server = svc::Server::bind(&svc::ServeConfig {
+            state_dir: Some(dir.clone()),
+            ..svc::ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || server.run());
+        let mut c = Client::connect(&addr);
+
+        let stats = c.req("STATS");
+        assert_eq!(field_u64(&stats, "registered"), 2, "{stats}");
+
+        let solved = c.req("SOLVE g ms-bfs-graft");
+        assert!(solved.starts_with("OK "), "{solved}");
+        assert_eq!(field_u64(&solved, "cardinality"), max_card, "{solved}");
+        assert_eq!(
+            solved.split_whitespace().find(|t| t.starts_with("warm=")),
+            Some("warm=true"),
+            "{solved}"
+        );
+        assert_eq!(field_u64(&solved, "augmentations"), 0, "{solved}");
+
+        // The graph without a stored matching still solves cold.
+        let other = c.req("SOLVE h ms-bfs-graft");
+        assert!(other.starts_with("OK "), "{other}");
+
+        assert_eq!(c.req("SHUTDOWN"), "OK bye");
+        handle.join().unwrap().unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

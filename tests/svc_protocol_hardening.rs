@@ -342,6 +342,7 @@ fn arb_request() -> impl Strategy<Value = svc::Request> {
                 cold: cold == 1,
             }),
         Just(svc::Request::Stats),
+        Just(svc::Request::Health),
         (0u64..2, 0u64..10_000).prop_map(|(some, n)| svc::Request::Trace {
             limit: if some == 1 { Some(n) } else { None },
         }),

@@ -1,0 +1,354 @@
+//! Resilience-core integration tests: HEALTH states and graceful drain,
+//! SIGTERM-driven shutdown with a crash-safe snapshot round-trip,
+//! byte-budget admission control, server-side TRACE bounds, and
+//! broken-pipe hardening on the reply path.
+
+use ms_bfs_graft::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+struct ChildGuard(Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to service");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("send request");
+        self.writer.flush().unwrap();
+    }
+
+    fn recv(&mut self) -> String {
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        assert!(!reply.is_empty(), "server closed the connection");
+        reply.trim_end().to_string()
+    }
+
+    fn req(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn field<'a>(line: &'a str, key: &str) -> &'a str {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no field `{key}` in `{line}`"))
+}
+
+fn field_u64(line: &str, key: &str) -> u64 {
+    field(line, key).parse().unwrap_or_else(|_| {
+        panic!("field `{key}` in `{line}` is not a number");
+    })
+}
+
+fn spawn_server(extra_args: &[&str]) -> (ChildGuard, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_graftmatch"))
+        .arg("serve")
+        .args(extra_args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn graftmatch serve");
+    let stdout = child.stdout.take().unwrap();
+    let mut first_line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut first_line)
+        .expect("read listen line");
+    let addr = first_line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address in listen line")
+        .to_string();
+    assert!(
+        first_line.contains("listening on"),
+        "unexpected banner: {first_line}"
+    );
+    (ChildGuard(child), addr)
+}
+
+fn fresh_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "graft_svc_resilience_{name}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn health_reports_draining_and_drain_finishes_inflight_jobs() {
+    let server = svc::Server::bind(&svc::ServeConfig {
+        workers: 1,
+        ..svc::ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut inflight = Client::connect(&addr);
+    let mut observer = Client::connect(&addr);
+    let mut stopper = Client::connect(&addr);
+
+    let health = observer.req("HEALTH");
+    assert_eq!(field(&health, "state"), "ready", "{health}");
+    assert_eq!(field_u64(&health, "backlog"), 0, "{health}");
+
+    // Occupy the only worker, then initiate the drain.
+    inflight.send("SLEEP 400");
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(stopper.req("SHUTDOWN"), "OK bye");
+
+    // The draining state becomes visible shortly after the SHUTDOWN
+    // reply (the flags flip right after the reply is written).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let health = observer.req("HEALTH");
+        if field(&health, "state") == "draining" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "never saw draining: {health}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Draining refuses new jobs with a typed reply...
+    let refused = observer.req("SOLVE whatever ms-bfs-graft");
+    assert!(refused.starts_with("ERR shutting-down"), "{refused}");
+
+    // ...but the in-flight job still completes within the grace period.
+    assert_eq!(inflight.recv(), "OK slept_ms=400");
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn sigterm_drains_and_snapshot_gives_a_warm_restart() {
+    let dir = fresh_dir("sigterm");
+    let dir_s = dir.display().to_string();
+
+    // The suite generators are seeded, so the oracle cardinality can be
+    // computed locally.
+    let local = gen::suite::by_name("kkt_power")
+        .unwrap()
+        .build(gen::Scale::Tiny);
+    let oracle = matching::solve(&local, Algorithm::HopcroftKarp, &SolveOptions::default());
+    let max_card = oracle.matching.cardinality() as u64;
+
+    let card_before;
+    {
+        let (mut guard, addr) = spawn_server(&["--state", &dir_s]);
+        let mut c = Client::connect(&addr);
+        assert!(c.req("GEN g kkt_power:tiny").starts_with("OK "));
+        let solved = c.req("SOLVE g ms-bfs-graft");
+        assert!(solved.starts_with("OK "), "{solved}");
+        assert_eq!(field(&solved, "warm"), "false");
+        card_before = field_u64(&solved, "cardinality");
+        assert_eq!(card_before, max_card);
+
+        // SIGTERM, not SHUTDOWN: the signal handler must run the same
+        // drain protocol and exit 0 after the final snapshot.
+        let pid = guard.0.id();
+        let rc = Command::new("sh")
+            .args(["-c", &format!("kill -TERM {pid}")])
+            .status()
+            .expect("run kill");
+        assert!(rc.success());
+        let status = guard.0.wait().expect("server exits after SIGTERM");
+        assert!(status.success(), "exit status after SIGTERM: {status}");
+    }
+
+    // A fresh process over the same state dir restores the registry and
+    // the last matching: the first SOLVE is already warm.
+    let (_guard, addr) = spawn_server(&["--state", &dir_s]);
+    let mut c = Client::connect(&addr);
+    let solved = c.req("SOLVE g ms-bfs-graft");
+    assert!(solved.starts_with("OK "), "{solved}");
+    assert_eq!(field(&solved, "warm"), "true", "{solved}");
+    assert_eq!(field_u64(&solved, "cardinality"), card_before);
+    assert_eq!(
+        field_u64(&solved, "augmentations"),
+        0,
+        "a restored maximum matching needs no augmentation: {solved}"
+    );
+    assert_eq!(c.req("SHUTDOWN"), "OK bye");
+}
+
+#[test]
+fn admission_control_refuses_oversized_graphs_before_materializing() {
+    let server = svc::Server::bind(&svc::ServeConfig {
+        max_graph_bytes: 1 << 20,
+        ..svc::ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    let mut c = Client::connect(&addr);
+
+    // kkt_power:medium is tens of MB materialized; the estimate alone
+    // must reject it.
+    let t0 = Instant::now();
+    let rejected = c.req("GEN big kkt_power:medium");
+    assert!(rejected.starts_with("ERR too-large"), "{rejected}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "rejection must come from the estimate, not a build"
+    );
+    assert!(rejected.contains("bytes"), "{rejected}");
+    assert!(rejected.contains("admission limit"), "{rejected}");
+
+    let stats = c.req("STATS");
+    assert!(field_u64(&stats, "admission_rejected") >= 1, "{stats}");
+
+    // A graph under the limit still loads and solves.
+    assert!(c.req("GEN ok kkt_power:tiny").starts_with("OK "));
+    let solved = c.req("SOLVE ok ms-bfs-graft");
+    assert!(solved.starts_with("OK "), "{solved}");
+
+    assert_eq!(c.req("SHUTDOWN"), "OK bye");
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn trace_limits_are_bounded_server_side() {
+    let server = svc::Server::bind(&svc::ServeConfig {
+        trace_events: 8,
+        ..svc::ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    let mut c = Client::connect(&addr);
+
+    assert!(c.req("GEN g kkt_power:tiny").starts_with("OK "));
+    assert!(c.req("SOLVE g ms-bfs-graft").starts_with("OK "));
+
+    let zero = c.req("TRACE 0");
+    assert!(zero.starts_with("ERR bad-request"), "{zero}");
+    let absurd = c.req("TRACE 1000001");
+    assert!(absurd.starts_with("ERR bad-request"), "{absurd}");
+
+    // A huge-but-legal request is capped at the ring capacity (8), not
+    // echoed back as a promise of a million events.
+    let capped = c.req("TRACE 999999");
+    let n = field_u64(&capped, "events");
+    assert!(n <= 8, "{capped}");
+    for _ in 0..n {
+        let ev = c.recv();
+        assert!(ev.starts_with('{'), "{ev}");
+    }
+
+    let three = c.req("TRACE 3");
+    let n = field_u64(&three, "events");
+    assert!(n <= 3, "{three}");
+    for _ in 0..n {
+        c.recv();
+    }
+
+    assert_eq!(c.req("SHUTDOWN"), "OK bye");
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn broken_pipe_mid_reply_is_absorbed_not_fatal() {
+    let server = svc::Server::bind(&svc::ServeConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    // Two queued requests, then vanish before either reply lands. The
+    // first reply hits a socket the peer already closed (triggering an
+    // RST), the second write then fails — which must be absorbed into
+    // the write_errors metric, not unwind the connection thread.
+    {
+        let mut doomed = TcpStream::connect(&addr).unwrap();
+        doomed.write_all(b"SLEEP 150\nSLEEP 150\n").unwrap();
+        doomed.flush().unwrap();
+        let _ = doomed.shutdown(Shutdown::Both);
+    }
+
+    // The server is fully responsive throughout and afterwards.
+    let mut c = Client::connect(&addr);
+    assert_eq!(c.req("SLEEP 1"), "OK slept_ms=1");
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = c.req("STATS");
+        if field_u64(&stats, "write_errors") >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "write error never surfaced: {stats}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // State is not poisoned: normal service continues on new and
+    // existing connections.
+    assert!(c.req("GEN g kkt_power:tiny").starts_with("OK "));
+    assert!(c.req("SOLVE g ms-bfs-graft").starts_with("OK "));
+    assert_eq!(c.req("SHUTDOWN"), "OK bye");
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn solve_remote_retries_against_a_draining_then_fresh_server() {
+    // End-to-end check of the CLI client path: a SOLVE against a live
+    // server succeeds through `graftmatch solve-remote`.
+    let (_guard, addr) = spawn_server(&[]);
+    let mut c = Client::connect(&addr);
+    assert!(c.req("GEN g kkt_power:tiny").starts_with("OK "));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_graftmatch"))
+        .args([
+            "solve-remote",
+            "--addr",
+            &addr,
+            "--name",
+            "g",
+            "--algorithm",
+            "ms-bfs-graft",
+            "--attempts",
+            "3",
+        ])
+        .output()
+        .expect("run solve-remote");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("OK "), "{stdout}");
+    assert!(stdout.contains("cardinality="), "{stdout}");
+
+    // An unknown graph is a non-retryable error: exit code 1, no hang.
+    let out = Command::new(env!("CARGO_BIN_EXE_graftmatch"))
+        .args(["solve-remote", "--addr", &addr, "--name", "nope"])
+        .output()
+        .expect("run solve-remote");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("ERR unknown-graph"), "{stdout}");
+
+    assert_eq!(c.req("SHUTDOWN"), "OK bye");
+}
