@@ -46,6 +46,7 @@ mod ss;
 pub mod stats;
 pub mod trace;
 pub mod verify;
+mod workspace;
 
 mod hopcroft_karp;
 
@@ -71,15 +72,21 @@ pub(crate) mod tests_support {
 
 pub use hopcroft_karp::hopcroft_karp;
 pub use matching::Matching;
-pub use ms_bfs::{ms_bfs_serial, ms_bfs_serial_traced, MsBfsOptions, PhaseHook};
-pub use par::{ms_bfs_graft_parallel, ms_bfs_graft_parallel_traced};
-pub use pothen_fan::{pothen_fan, pothen_fan_traced};
+pub use ms_bfs::{
+    ms_bfs_serial, ms_bfs_serial_traced, ms_bfs_serial_traced_in, MsBfsOptions, PhaseHook,
+};
+pub use par::{
+    ms_bfs_graft_parallel, ms_bfs_graft_parallel_traced, ms_bfs_graft_parallel_traced_in,
+};
+pub use pothen_fan::{pothen_fan, pothen_fan_traced, pothen_fan_traced_in};
 pub use pothen_fan_par::pothen_fan_parallel;
 pub use push_relabel::{
-    push_relabel, push_relabel_parallel, push_relabel_traced, PrOrder, PushRelabelOptions,
+    push_relabel, push_relabel_parallel, push_relabel_traced, push_relabel_traced_in, PrOrder,
+    PushRelabelOptions,
 };
 pub use ss::{ss_bfs, ss_dfs};
 pub use trace::Tracer;
+pub use workspace::SolveWorkspace;
 
 use graft_graph::BipartiteCsr;
 use stats::SearchStats;
@@ -256,6 +263,42 @@ pub fn solve_traced(
     solve_from_traced(g, m0, algorithm, opts, tracer)
 }
 
+/// [`solve`] against a caller-owned [`SolveWorkspace`]: repeated solves
+/// reuse the workspace's buffers instead of allocating per call (see
+/// [`solve_from_traced_in`] for which algorithms benefit).
+pub fn solve_in(
+    g: &BipartiteCsr,
+    algorithm: Algorithm,
+    opts: &SolveOptions,
+    ws: &mut SolveWorkspace,
+) -> RunOutcome {
+    let m0 = opts.initializer.run(g, opts.seed);
+    solve_from_in(g, m0, algorithm, opts, ws)
+}
+
+/// [`solve_from`] against a caller-owned [`SolveWorkspace`].
+pub fn solve_from_in(
+    g: &BipartiteCsr,
+    m0: Matching,
+    algorithm: Algorithm,
+    opts: &SolveOptions,
+    ws: &mut SolveWorkspace,
+) -> RunOutcome {
+    solve_from_traced_in(g, m0, algorithm, opts, &Tracer::disabled(), ws)
+}
+
+/// [`solve_traced`] against a caller-owned [`SolveWorkspace`].
+pub fn solve_traced_in(
+    g: &BipartiteCsr,
+    algorithm: Algorithm,
+    opts: &SolveOptions,
+    tracer: &Tracer,
+    ws: &mut SolveWorkspace,
+) -> RunOutcome {
+    let m0 = opts.initializer.run(g, opts.seed);
+    solve_from_traced_in(g, m0, algorithm, opts, tracer, ws)
+}
+
 /// One-call maximum cardinality matching with the paper's default stack
 /// (Karp-Sipser initialization + parallel MS-BFS-Graft).
 ///
@@ -321,6 +364,28 @@ pub fn solve_from_traced(
     opts: &SolveOptions,
     tracer: &Tracer,
 ) -> RunOutcome {
+    let mut ws = SolveWorkspace::new();
+    solve_from_traced_in(g, m0, algorithm, opts, tracer, &mut ws)
+}
+
+/// [`solve_from_traced`] against a caller-owned [`SolveWorkspace`].
+///
+/// Identical output to the fresh-allocation entry points — same matching,
+/// same [`stats::SearchStats`] counters — but the per-vertex arrays and
+/// frontier vectors live in `ws` and are recycled across calls via an
+/// epoch/versioned-visited scheme, so a warm solve performs no `O(n)`
+/// clears and (for the serial engines) no heap allocations at all. The
+/// serial MS-BFS family, Pothen-Fan, serial push-relabel, and the parallel
+/// MS-BFS-Graft engine draw on `ws`; the remaining algorithms ignore it
+/// (they are baselines/oracles, not service hot paths).
+pub fn solve_from_traced_in(
+    g: &BipartiteCsr,
+    m0: Matching,
+    algorithm: Algorithm,
+    opts: &SolveOptions,
+    tracer: &Tracer,
+    ws: &mut SolveWorkspace,
+) -> RunOutcome {
     let ms_opts = effective_ms_opts(algorithm, opts);
     tracer.emit(|| TraceEvent::RunStart {
         algorithm: algorithm.cli_name().to_string(),
@@ -335,20 +400,21 @@ pub fn solve_from_traced(
     let out = match algorithm {
         Algorithm::SsDfs => ss_dfs(g, m0),
         Algorithm::SsBfs => ss_bfs(g, m0),
-        Algorithm::PothenFan => pothen_fan_traced(g, m0, tracer),
+        Algorithm::PothenFan => pothen_fan_traced_in(g, m0, tracer, ws),
         Algorithm::PothenFanParallel => pothen_fan_parallel(g, m0, opts.threads),
         Algorithm::HopcroftKarp => hopcroft_karp(g, m0),
         Algorithm::MsBfs | Algorithm::MsBfsDirOpt | Algorithm::MsBfsGraft => {
-            ms_bfs_serial_traced(g, m0, &ms_opts.expect("MS algorithm"), tracer)
+            ms_bfs_serial_traced_in(g, m0, &ms_opts.expect("MS algorithm"), tracer, ws)
         }
-        Algorithm::MsBfsGraftParallel => ms_bfs_graft_parallel_traced(
+        Algorithm::MsBfsGraftParallel => ms_bfs_graft_parallel_traced_in(
             g,
             m0,
             &ms_opts.expect("MS algorithm"),
             opts.threads,
             tracer,
+            ws,
         ),
-        Algorithm::PushRelabel => push_relabel_traced(g, m0, &opts.push_relabel, tracer),
+        Algorithm::PushRelabel => push_relabel_traced_in(g, m0, &opts.push_relabel, tracer, ws),
         Algorithm::PushRelabelParallel => push_relabel_parallel(
             g,
             m0,

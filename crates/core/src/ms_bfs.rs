@@ -34,9 +34,10 @@
 //! Matched `X` vertices are only ever reached through their unique mate,
 //! so they need neither a visited flag nor a parent pointer.
 
-use crate::ss::reconstruct;
+use crate::ss::reconstruct_into;
 use crate::stats::{SearchStats, Step};
 use crate::trace::{TraceEvent, Tracer};
+use crate::workspace::{MsBuffers, SolveWorkspace};
 use crate::{Matching, RunOutcome};
 use graft_graph::{BipartiteCsr, VertexId, NONE};
 use std::time::Instant;
@@ -139,17 +140,16 @@ struct Engine<'a> {
     g: &'a BipartiteCsr,
     m: Matching,
     opts: MsBfsOptions,
-    visited: Vec<bool>,
-    parent_y: Vec<VertexId>,
-    root_y: Vec<VertexId>,
-    root_x: Vec<VertexId>,
-    leaf: Vec<VertexId>,
+    /// Per-vertex buffers, borrowed from the caller's workspace. The
+    /// epoch was already advanced by `begin_solve`, so every mark from
+    /// earlier solves reads as unvisited/NONE without any O(n) clear
+    /// (see [`crate::SolveWorkspace`]). The unvisited-`Y` cache lives
+    /// here too: exact when `unvisited_valid`, rebuilt from a full scan
+    /// after a graft/destroy reset invalidates it, and filtered
+    /// incrementally between bottom-up levels of one phase so repeated
+    /// levels do not rescan all of `Y`.
+    ws: &'a mut MsBuffers,
     num_unvisited_y: usize,
-    /// Cached list of unvisited Y vertices: exact when present, rebuilt
-    /// from a full scan after a graft/destroy reset invalidates it, and
-    /// filtered incrementally between bottom-up levels of one phase so
-    /// repeated levels do not rescan all of `Y`.
-    unvisited_cache: Option<Vec<VertexId>>,
     stats: SearchStats,
     tracer: Tracer,
 }
@@ -179,7 +179,24 @@ pub fn ms_bfs_serial_traced(
     opts: &MsBfsOptions,
     tracer: &Tracer,
 ) -> RunOutcome {
+    let mut ws = SolveWorkspace::new();
+    ms_bfs_serial_traced_in(g, m, opts, tracer, &mut ws)
+}
+
+/// [`ms_bfs_serial_traced`] solving in a caller-provided
+/// [`SolveWorkspace`]: on a warm workspace the engine performs no heap
+/// allocation at all (pinned by `tests/workspace_alloc.rs`), and the
+/// result is identical to a fresh-workspace solve (pinned by
+/// `tests/workspace_reuse.rs`).
+pub fn ms_bfs_serial_traced_in(
+    g: &BipartiteCsr,
+    m: Matching,
+    opts: &MsBfsOptions,
+    tracer: &Tracer,
+    ws: &mut SolveWorkspace,
+) -> RunOutcome {
     let start = Instant::now();
+    ws.ms.begin_solve(g.num_x(), g.num_y());
     let mut e = Engine {
         g,
         stats: SearchStats {
@@ -188,13 +205,8 @@ pub fn ms_bfs_serial_traced(
         },
         m,
         opts: *opts,
-        visited: vec![false; g.num_y()],
-        parent_y: vec![NONE; g.num_y()],
-        root_y: vec![NONE; g.num_y()],
-        root_x: vec![NONE; g.num_x()],
-        leaf: vec![NONE; g.num_x()],
+        ws: &mut ws.ms,
         num_unvisited_y: g.num_y(),
-        unvisited_cache: None,
         tracer: tracer.clone(),
     };
     e.run();
@@ -206,10 +218,16 @@ pub fn ms_bfs_serial_traced(
 
 impl Engine<'_> {
     fn run(&mut self) {
+        // The frontier ping-pong buffers are taken out of the workspace
+        // for the whole run (the borrow checker cannot see that the
+        // engine never touches them through `self.ws`), and returned at
+        // the end so their capacity survives into the next solve.
+        let mut frontier = std::mem::take(&mut self.ws.frontier);
+        let mut next = std::mem::take(&mut self.ws.next);
         // Initial frontier: all unmatched X vertices become roots.
-        let mut frontier: Vec<VertexId> = self.m.unmatched_x().collect();
+        frontier.extend(self.m.unmatched_x());
         for &x in &frontier {
-            self.root_x[x as usize] = x;
+            self.ws.set_root_x(x, x);
         }
 
         loop {
@@ -253,13 +271,16 @@ impl Engine<'_> {
                 trace.frontier_peak = trace.frontier_peak.max(frontier.len());
                 trace.bottom_up_levels += u32::from(bottom_up);
                 let t0 = Instant::now();
-                let (step, next) = if bottom_up {
-                    (Step::BottomUp, self.bottom_up_level())
+                next.clear();
+                let step = if bottom_up {
+                    self.bottom_up_level(&mut next);
+                    Step::BottomUp
                 } else {
-                    (Step::TopDown, self.top_down_level(&frontier))
+                    self.top_down_level(&frontier, &mut next);
+                    Step::TopDown
                 };
                 self.stats.breakdown.add(step, t0.elapsed());
-                frontier = next;
+                std::mem::swap(&mut frontier, &mut next);
                 level += 1;
             }
             trace.levels = level;
@@ -280,8 +301,7 @@ impl Engine<'_> {
             }
 
             // ---- Step 3: rebuild the frontier (Algorithm 7). ----
-            let (next_frontier, active_x, renewable_y, grafted) = self.rebuild_frontier();
-            frontier = next_frontier;
+            let (active_x, renewable_y, grafted) = self.rebuild_frontier(&mut frontier);
             trace.active_x = active_x;
             trace.renewable_y = renewable_y;
             trace.grafted = grafted;
@@ -297,6 +317,8 @@ impl Engine<'_> {
                 self.stats.phase_traces.push(trace);
             }
         }
+        self.ws.frontier = frontier;
+        self.ws.next = next;
     }
 
     fn emit_phase_end(&self, trace: &crate::stats::PhaseTrace, phase_t0: Option<Instant>) {
@@ -312,48 +334,43 @@ impl Engine<'_> {
         });
     }
 
-    /// Algorithm 4: expand the frontier top-down. Returns the next frontier.
-    fn top_down_level(&mut self, frontier: &[VertexId]) -> Vec<VertexId> {
+    /// Algorithm 4: expand the frontier top-down into `next`.
+    fn top_down_level(&mut self, frontier: &[VertexId], next: &mut Vec<VertexId>) {
         let g = self.g;
-        let mut next = Vec::new();
         for &x in frontier {
             // The tree may have turned renewable earlier this level.
-            let root = self.root_x[x as usize];
-            if self.leaf[root as usize] != NONE {
+            let root = self.ws.root_of_x(x);
+            if self.ws.leaf_of(root) != NONE {
                 continue;
             }
             for &y in g.x_neighbors(x) {
                 self.stats.edges_traversed += 1;
-                if !self.visited[y as usize] {
-                    self.visit(y, x, &mut next);
+                if !self.ws.is_visited(y) {
+                    self.visit(y, x, next);
                 }
             }
         }
-        next
     }
 
     /// Algorithm 6: expand bottom-up over the unvisited `Y` vertices.
-    fn bottom_up_level(&mut self) -> Vec<VertexId> {
-        let mut candidates = match self.unvisited_cache.take() {
-            Some(mut list) => {
-                list.retain(|&y| !self.visited[y as usize]);
-                list
-            }
-            None => (0..self.g.num_y() as VertexId)
-                .filter(|&y| !self.visited[y as usize])
-                .collect(),
-        };
-        let mut next = Vec::new();
+    fn bottom_up_level(&mut self, next: &mut Vec<VertexId>) {
+        let mut candidates = std::mem::take(&mut self.ws.unvisited);
+        if self.ws.unvisited_valid {
+            candidates.retain(|&y| !self.ws.is_visited(y));
+        } else {
+            candidates.clear();
+            candidates.extend((0..self.g.num_y() as VertexId).filter(|&y| !self.ws.is_visited(y)));
+        }
         // Indexed loop: `adopt_into_active` needs `&mut self` while the
         // candidate list is iterated.
         #[allow(clippy::needless_range_loop)]
         for i in 0..candidates.len() {
             let y = candidates[i];
-            self.adopt_into_active(y, &mut next);
+            self.adopt_into_active(y, next);
         }
-        candidates.retain(|&y| !self.visited[y as usize]);
-        self.unvisited_cache = Some(candidates);
-        next
+        candidates.retain(|&y| !self.ws.is_visited(y));
+        self.ws.unvisited = candidates;
+        self.ws.unvisited_valid = true;
     }
 
     /// Scans the neighbors of the unvisited vertex `y` for a member of an
@@ -362,8 +379,8 @@ impl Engine<'_> {
         let g = self.g;
         for &x in g.y_neighbors(y) {
             self.stats.edges_traversed += 1;
-            let root = self.root_x[x as usize];
-            if root != NONE && self.leaf[root as usize] == NONE {
+            let root = self.ws.root_of_x(x);
+            if root != NONE && self.ws.leaf_of(root) == NONE {
                 self.visit(y, x, next);
                 return; // stop exploring y's neighbors (Algorithm 6 line 7)
             }
@@ -372,61 +389,67 @@ impl Engine<'_> {
 
     /// Algorithm 5: record `y`'s discovery from `x`, extending the tree.
     fn visit(&mut self, y: VertexId, x: VertexId, next: &mut Vec<VertexId>) {
-        debug_assert!(!self.visited[y as usize]);
-        self.visited[y as usize] = true;
+        debug_assert!(!self.ws.is_visited(y));
+        self.ws.set_visited(y);
         self.num_unvisited_y -= 1;
-        self.parent_y[y as usize] = x;
-        let root = self.root_x[x as usize];
-        self.root_y[y as usize] = root;
+        self.ws.parent_y[y as usize] = x;
+        let root = self.ws.root_of_x(x);
+        self.ws.root_y[y as usize] = root;
         let mate = self.m.mate_of_y(y);
         if mate != NONE {
-            self.root_x[mate as usize] = root;
+            self.ws.set_root_x(mate, root);
             next.push(mate);
         } else {
             // Augmenting path found: mark T(root) renewable. Later finds in
             // the same tree overwrite — one path per tree survives.
-            self.leaf[root as usize] = y;
+            self.ws.set_leaf(root, y);
         }
     }
 
     /// Step 2: augment every renewable tree; returns the number of paths.
     fn augment_all(&mut self) -> u64 {
         let mut count = 0u64;
+        let mut path = std::mem::take(&mut self.ws.path);
         for x0 in 0..self.g.num_x() as VertexId {
-            if self.m.is_x_matched(x0)
-                || self.root_x[x0 as usize] != x0
-                || self.leaf[x0 as usize] == NONE
-            {
+            let leaf = self.ws.leaf_of(x0);
+            if self.m.is_x_matched(x0) || self.ws.root_of_x(x0) != x0 || leaf == NONE {
                 continue;
             }
-            let path = reconstruct(&self.m, &self.parent_y, self.leaf[x0 as usize]);
+            reconstruct_into(&self.m, &self.ws.parent_y, leaf, &mut path);
             debug_assert_eq!(path[0], x0);
             self.stats.total_augmenting_path_edges += (path.len() - 1) as u64;
             self.m.augment(&path);
             count += 1;
         }
+        self.ws.path = path;
         self.stats.augmenting_paths += count;
         count
     }
 
-    /// Algorithm 7: construct the next phase's frontier by tree grafting,
-    /// or destroy the forest and restart from the unmatched vertices.
-    /// Returns `(frontier, |activeX|, |renewableY|, grafted)`.
-    fn rebuild_frontier(&mut self) -> (Vec<VertexId>, usize, usize, bool) {
+    /// Algorithm 7: construct the next phase's frontier (into `frontier`)
+    /// by tree grafting, or destroy the forest and restart from the
+    /// unmatched vertices. Returns `(|activeX|, |renewableY|, grafted)`.
+    fn rebuild_frontier(&mut self, frontier: &mut Vec<VertexId>) -> (usize, usize, bool) {
         // -- Statistics driving the decision (timed separately: Fig. 6). --
         let t_stats = Instant::now();
-        let active_x = (0..self.g.num_x())
+        let active_x = (0..self.g.num_x() as VertexId)
             .filter(|&x| {
-                let r = self.root_x[x];
-                r != NONE && self.leaf[r as usize] == NONE
+                let r = self.ws.root_of_x(x);
+                r != NONE && self.ws.leaf_of(r) == NONE
             })
             .count();
-        let renewable_y: Vec<VertexId> = (0..self.g.num_y() as VertexId)
-            .filter(|&y| {
-                let r = self.root_y[y as usize];
-                r != NONE && self.visited[y as usize] && self.leaf[r as usize] != NONE
-            })
-            .collect();
+        let mut renewable_y = std::mem::take(&mut self.ws.renewable);
+        renewable_y.clear();
+        // The visited check must come first: `root_y` is only meaningful
+        // (and only guaranteed in-range after a graph change) for
+        // vertices visited in the current epoch.
+        renewable_y.extend((0..self.g.num_y() as VertexId).filter(|&y| {
+            if !self.ws.is_visited(y) {
+                return false;
+            }
+            let r = self.ws.root_y[y as usize];
+            r != NONE && self.ws.leaf_of(r) != NONE
+        }));
         self.stats
             .breakdown
             .add(Step::Statistics, t_stats.elapsed());
@@ -434,50 +457,49 @@ impl Engine<'_> {
         let t_graft = Instant::now();
         // Resets below un-visit vertices: the cached unvisited list is no
         // longer a superset and must be rebuilt at the next bottom-up.
-        self.unvisited_cache = None;
+        self.ws.unvisited_valid = false;
         // Reset the renewable Y vertices so they can be reused.
         for &y in &renewable_y {
-            self.visited[y as usize] = false;
+            self.ws.unvisit(y);
             self.num_unvisited_y += 1;
-            self.root_y[y as usize] = NONE;
-            self.parent_y[y as usize] = NONE;
+            self.ws.root_y[y as usize] = NONE;
+            self.ws.parent_y[y as usize] = NONE;
         }
 
         let renewable_count = renewable_y.len();
         let graft_profitable =
             self.opts.grafting && active_x as f64 > renewable_count as f64 / self.opts.alpha;
 
-        let frontier = if graft_profitable {
+        frontier.clear();
+        if graft_profitable {
             // Tree grafting: bottom-up step restricted to the renewable Y
             // vertices; any of them adjacent to an active tree is adopted
             // and its mate becomes part of the new frontier.
-            let mut next = Vec::new();
             for &y in &renewable_y {
-                self.adopt_into_active(y, &mut next);
+                self.adopt_into_active(y, frontier);
             }
-            next
         } else {
             // Destroy everything and restart from the unmatched vertices.
-            for y in 0..self.g.num_y() {
-                if self.visited[y] {
-                    self.visited[y] = false;
+            for y in 0..self.g.num_y() as VertexId {
+                if self.ws.is_visited(y) {
+                    self.ws.unvisit(y);
                     self.num_unvisited_y += 1;
-                    self.root_y[y] = NONE;
-                    self.parent_y[y] = NONE;
+                    self.ws.root_y[y as usize] = NONE;
+                    self.ws.parent_y[y as usize] = NONE;
                 }
             }
-            for x in 0..self.g.num_x() {
-                self.root_x[x] = NONE;
-                self.leaf[x] = NONE;
+            for x in 0..self.g.num_x() as VertexId {
+                self.ws.clear_root_x(x);
+                self.ws.clear_leaf(x);
             }
-            let frontier: Vec<VertexId> = self.m.unmatched_x().collect();
-            for &x in &frontier {
-                self.root_x[x as usize] = x;
+            frontier.extend(self.m.unmatched_x());
+            for &x in frontier.iter() {
+                self.ws.set_root_x(x, x);
             }
-            frontier
-        };
+        }
+        self.ws.renewable = renewable_y;
         self.stats.breakdown.add(Step::Graft, t_graft.elapsed());
-        (frontier, active_x, renewable_count, graft_profitable)
+        (active_x, renewable_count, graft_profitable)
     }
 }
 

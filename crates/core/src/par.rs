@@ -33,10 +33,11 @@
 use crate::ms_bfs::MsBfsOptions;
 use crate::stats::{SearchStats, Step, Stopwatch};
 use crate::trace::{TraceEvent, Tracer};
+use crate::workspace::{pack, unpack, SolveWorkspace};
 use crate::{Matching, RunOutcome};
 use graft_graph::{BipartiteCsr, VertexId, NONE};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Maximum matching by the parallel MS-BFS-Graft engine.
@@ -64,25 +65,46 @@ pub fn ms_bfs_graft_parallel_traced(
     threads: usize,
     tracer: &Tracer,
 ) -> RunOutcome {
+    let mut ws = SolveWorkspace::new();
+    ms_bfs_graft_parallel_traced_in(g, m, opts, threads, tracer, &mut ws)
+}
+
+/// [`ms_bfs_graft_parallel_traced`] against a caller-owned
+/// [`SolveWorkspace`]: the large atomic per-vertex arrays are reused
+/// across solves under the epoch scheme (the visited claim becomes a
+/// `compare_exchange(stale, epoch)`). The fold/reduce frontier
+/// accumulators still allocate — they are inherent to the private-queue
+/// scheme — so this engine is *allocation-light*, not allocation-free.
+pub fn ms_bfs_graft_parallel_traced_in(
+    g: &BipartiteCsr,
+    m: Matching,
+    opts: &MsBfsOptions,
+    threads: usize,
+    tracer: &Tracer,
+    ws: &mut SolveWorkspace,
+) -> RunOutcome {
     if threads == 0 {
-        return run(g, m, opts, tracer);
+        return run(g, m, opts, tracer, ws);
     }
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
         .expect("failed to build rayon pool");
-    pool.install(|| run(g, m, opts, tracer))
+    pool.install(|| run(g, m, opts, tracer, ws))
 }
 
 struct Shared<'a> {
     g: &'a BipartiteCsr,
-    mate_x: Vec<AtomicU32>,
-    mate_y: Vec<AtomicU32>,
-    visited: Vec<AtomicU8>,
-    parent_y: Vec<AtomicU32>,
-    root_y: Vec<AtomicU32>,
-    root_x: Vec<AtomicU32>,
-    leaf: Vec<AtomicU32>,
+    /// Current workspace epoch: `visited[y] == epoch` ⇔ visited this
+    /// solve; `root_x`/`leaf` entries are `(epoch << 32) | value` packed.
+    epoch: u32,
+    mate_x: &'a [AtomicU32],
+    mate_y: &'a [AtomicU32],
+    visited: &'a [AtomicU32],
+    parent_y: &'a [AtomicU32],
+    root_y: &'a [AtomicU32],
+    root_x: &'a [AtomicU64],
+    leaf: &'a [AtomicU64],
 }
 
 /// Accumulator for one BFS level: next frontier, newly visited count,
@@ -99,28 +121,48 @@ fn merge(mut a: LevelAcc, mut b: LevelAcc) -> LevelAcc {
 }
 
 impl Shared<'_> {
+    #[inline]
+    fn is_visited(&self, y: VertexId) -> bool {
+        self.visited[y as usize].load(Ordering::Relaxed) == self.epoch
+    }
+
+    #[inline]
+    fn root_of_x(&self, x: VertexId) -> VertexId {
+        unpack(self.epoch, self.root_x[x as usize].load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    fn set_root_x(&self, x: VertexId, root: VertexId) {
+        self.root_x[x as usize].store(pack(self.epoch, root), Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn leaf_of(&self, x: VertexId) -> VertexId {
+        unpack(self.epoch, self.leaf[x as usize].load(Ordering::Relaxed))
+    }
+
     /// Algorithm 5: pointer updates after the calling task has claimed `y`.
     #[inline]
     fn visit_claimed(&self, y: VertexId, x: VertexId, acc: &mut LevelAcc) {
-        let root = self.root_x[x as usize].load(Ordering::Relaxed);
+        let root = self.root_of_x(x);
         self.parent_y[y as usize].store(x, Ordering::Relaxed);
         self.root_y[y as usize].store(root, Ordering::Relaxed);
         acc.1 += 1;
         let mate = self.mate_y[y as usize].load(Ordering::Relaxed);
         if mate != NONE {
-            self.root_x[mate as usize].store(root, Ordering::Relaxed);
+            self.set_root_x(mate, root);
             acc.0.push(mate);
         } else {
             // Benign race: last writer wins, one augmenting path per tree.
-            self.leaf[root as usize].store(y, Ordering::Relaxed);
+            self.leaf[root as usize].store(pack(self.epoch, y), Ordering::Relaxed);
         }
     }
 
     /// `x` is in an active tree (root known and not yet renewable).
     #[inline]
     fn x_is_active(&self, x: VertexId) -> bool {
-        let root = self.root_x[x as usize].load(Ordering::Relaxed);
-        root != NONE && self.leaf[root as usize].load(Ordering::Relaxed) == NONE
+        let root = self.root_of_x(x);
+        root != NONE && self.leaf_of(root) == NONE
     }
 
     /// Algorithm 4: one parallel top-down level.
@@ -135,12 +177,16 @@ impl Shared<'_> {
                     }
                     for &y in self.g.x_neighbors(x) {
                         acc.2 += 1;
-                        // Screen with a relaxed load before the CAS.
-                        if self.visited[y as usize].load(Ordering::Relaxed) != 0 {
+                        // Screen with a relaxed load before the CAS. The
+                        // observed stale value (0 or an old epoch) is the
+                        // CAS expectation: a lost race means another task
+                        // already wrote the current epoch.
+                        let cur = self.visited[y as usize].load(Ordering::Relaxed);
+                        if cur == self.epoch {
                             continue;
                         }
                         if self.visited[y as usize]
-                            .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed)
+                            .compare_exchange(cur, self.epoch, Ordering::AcqRel, Ordering::Relaxed)
                             .is_ok()
                         {
                             self.visit_claimed(y, x, &mut acc);
@@ -164,7 +210,7 @@ impl Shared<'_> {
                     for &x in self.g.y_neighbors(y) {
                         acc.2 += 1;
                         if self.x_is_active(x) {
-                            self.visited[y as usize].store(1, Ordering::Relaxed);
+                            self.visited[y as usize].store(self.epoch, Ordering::Relaxed);
                             self.visit_claimed(y, x, &mut acc);
                             break; // stop exploring y's neighbors
                         }
@@ -178,28 +224,43 @@ impl Shared<'_> {
     fn unvisited_y(&self) -> Vec<VertexId> {
         (0..self.g.num_y() as VertexId)
             .into_par_iter()
-            .filter(|&y| self.visited[y as usize].load(Ordering::Relaxed) == 0)
+            .filter(|&y| !self.is_visited(y))
             .collect()
     }
 }
 
-fn run(g: &BipartiteCsr, m: Matching, opts: &MsBfsOptions, tracer: &Tracer) -> RunOutcome {
+fn run(
+    g: &BipartiteCsr,
+    m: Matching,
+    opts: &MsBfsOptions,
+    tracer: &Tracer,
+    ws: &mut SolveWorkspace,
+) -> RunOutcome {
     let start = Instant::now();
     let mut stats = SearchStats {
         initial_cardinality: m.cardinality(),
         ..Default::default()
     };
 
-    let (mx, my) = m.into_mates();
+    let (nx, ny) = (g.num_x(), g.num_y());
+    let epoch = ws.par.begin_solve(nx, ny);
+    let (mut mx, mut my) = m.into_mates();
+    for (a, &v) in ws.par.mate_x.iter().zip(mx.iter()) {
+        a.store(v, Ordering::Relaxed);
+    }
+    for (a, &v) in ws.par.mate_y.iter().zip(my.iter()) {
+        a.store(v, Ordering::Relaxed);
+    }
     let sh = Shared {
         g,
-        mate_x: mx.into_iter().map(AtomicU32::new).collect(),
-        mate_y: my.into_iter().map(AtomicU32::new).collect(),
-        visited: (0..g.num_y()).map(|_| AtomicU8::new(0)).collect(),
-        parent_y: (0..g.num_y()).map(|_| AtomicU32::new(NONE)).collect(),
-        root_y: (0..g.num_y()).map(|_| AtomicU32::new(NONE)).collect(),
-        root_x: (0..g.num_x()).map(|_| AtomicU32::new(NONE)).collect(),
-        leaf: (0..g.num_x()).map(|_| AtomicU32::new(NONE)).collect(),
+        epoch,
+        mate_x: &ws.par.mate_x[..nx],
+        mate_y: &ws.par.mate_y[..ny],
+        visited: &ws.par.visited[..ny],
+        parent_y: &ws.par.parent_y[..ny],
+        root_y: &ws.par.root_y[..ny],
+        root_x: &ws.par.root_x[..nx],
+        leaf: &ws.par.leaf[..nx],
     };
 
     // Initial frontier: unmatched X vertices become roots.
@@ -207,7 +268,7 @@ fn run(g: &BipartiteCsr, m: Matching, opts: &MsBfsOptions, tracer: &Tracer) -> R
         .filter(|&x| sh.mate_x[x as usize].load(Ordering::Relaxed) == NONE)
         .collect();
     for &x in &frontier {
-        sh.root_x[x as usize].store(x, Ordering::Relaxed);
+        sh.set_root_x(x, x);
     }
     let mut num_unvisited_y = g.num_y();
     // Cached unvisited-Y list for bottom-up levels: exact when present,
@@ -259,16 +320,12 @@ fn run(g: &BipartiteCsr, m: Matching, opts: &MsBfsOptions, tracer: &Tracer) -> R
                 let r = match unvisited_cache.take() {
                     Some(list) => list
                         .into_par_iter()
-                        .filter(|&y| sh.visited[y as usize].load(Ordering::Relaxed) == 0)
+                        .filter(|&y| !sh.is_visited(y))
                         .collect(),
                     None => sh.unvisited_y(),
                 };
                 let out = sh.bottom_up(&r);
-                unvisited_cache = Some(
-                    r.into_par_iter()
-                        .filter(|&y| sh.visited[y as usize].load(Ordering::Relaxed) == 0)
-                        .collect(),
-                );
+                unvisited_cache = Some(r.into_par_iter().filter(|&y| !sh.is_visited(y)).collect());
                 out
             } else {
                 let _t = Stopwatch::start(&mut stats.breakdown, Step::TopDown);
@@ -288,8 +345,8 @@ fn run(g: &BipartiteCsr, m: Matching, opts: &MsBfsOptions, tracer: &Tracer) -> R
                 .into_par_iter()
                 .filter(|&x0| {
                     sh.mate_x[x0 as usize].load(Ordering::Relaxed) == NONE
-                        && sh.root_x[x0 as usize].load(Ordering::Relaxed) == x0
-                        && sh.leaf[x0 as usize].load(Ordering::Relaxed) != NONE
+                        && sh.root_of_x(x0) == x0
+                        && sh.leaf_of(x0) != NONE
                 })
                 .collect();
             let (count, path_edges) = roots
@@ -322,10 +379,14 @@ fn run(g: &BipartiteCsr, m: Matching, opts: &MsBfsOptions, tracer: &Tracer) -> R
             let renewable_y: Vec<VertexId> = (0..g.num_y() as VertexId)
                 .into_par_iter()
                 .filter(|&y| {
+                    // The visited check must come first: `root_y` is only
+                    // meaningful (and only guaranteed in-range after a
+                    // graph change) for current-epoch vertices.
+                    if !sh.is_visited(y) {
+                        return false;
+                    }
                     let r = sh.root_y[y as usize].load(Ordering::Relaxed);
-                    r != NONE
-                        && sh.visited[y as usize].load(Ordering::Relaxed) != 0
-                        && sh.leaf[r as usize].load(Ordering::Relaxed) != NONE
+                    r != NONE && sh.leaf_of(r) != NONE
                 })
                 .collect();
             (active_x_count, renewable_y)
@@ -333,6 +394,8 @@ fn run(g: &BipartiteCsr, m: Matching, opts: &MsBfsOptions, tracer: &Tracer) -> R
 
         let _t = Stopwatch::start(&mut stats.breakdown, Step::Graft);
         // The resets below un-visit vertices: invalidate the cache.
+        // (Un-visits store 0 — epoch 0 is never issued — and happen only
+        // in this join-delimited region, never concurrently with claims.)
         unvisited_cache = None;
         // Reset renewable Y vertices for reuse.
         renewable_y.par_iter().for_each(|&y| {
@@ -354,24 +417,23 @@ fn run(g: &BipartiteCsr, m: Matching, opts: &MsBfsOptions, tracer: &Tracer) -> R
             next
         } else {
             // Destroy the forest and restart from the unmatched vertices.
-            (0..g.num_y()).into_par_iter().for_each(|y| {
-                if sh.visited[y].load(Ordering::Relaxed) != 0 {
-                    sh.visited[y].store(0, Ordering::Relaxed);
-                    sh.root_y[y].store(NONE, Ordering::Relaxed);
-                    sh.parent_y[y].store(NONE, Ordering::Relaxed);
+            (0..g.num_y() as VertexId).into_par_iter().for_each(|y| {
+                if sh.is_visited(y) {
+                    sh.visited[y as usize].store(0, Ordering::Relaxed);
+                    sh.root_y[y as usize].store(NONE, Ordering::Relaxed);
+                    sh.parent_y[y as usize].store(NONE, Ordering::Relaxed);
                 }
             });
             (0..g.num_x()).into_par_iter().for_each(|x| {
-                sh.root_x[x].store(NONE, Ordering::Relaxed);
-                sh.leaf[x].store(NONE, Ordering::Relaxed);
+                sh.root_x[x].store(0, Ordering::Relaxed);
+                sh.leaf[x].store(0, Ordering::Relaxed);
             });
             num_unvisited_y = g.num_y();
             let f: Vec<VertexId> = (0..g.num_x() as VertexId)
                 .into_par_iter()
                 .filter(|&x| sh.mate_x[x as usize].load(Ordering::Relaxed) == NONE)
                 .collect();
-            f.par_iter()
-                .for_each(|&x| sh.root_x[x as usize].store(x, Ordering::Relaxed));
+            f.par_iter().for_each(|&x| sh.set_root_x(x, x));
             f
         };
         trace.edges_traversed = stats.edges_traversed - edges_at_start;
@@ -387,17 +449,15 @@ fn run(g: &BipartiteCsr, m: Matching, opts: &MsBfsOptions, tracer: &Tracer) -> R
         }
     }
 
-    let mate_x: Vec<VertexId> = sh
-        .mate_x
-        .iter()
-        .map(|a| a.load(Ordering::Relaxed))
-        .collect();
-    let mate_y: Vec<VertexId> = sh
-        .mate_y
-        .iter()
-        .map(|a| a.load(Ordering::Relaxed))
-        .collect();
-    let matching = Matching::from_mates(mate_x, mate_y);
+    // Load the result back into the mate vectors taken from the input
+    // matching — no fresh allocation on the warm path.
+    for (v, a) in mx.iter_mut().zip(sh.mate_x.iter()) {
+        *v = a.load(Ordering::Relaxed);
+    }
+    for (v, a) in my.iter_mut().zip(sh.mate_y.iter()) {
+        *v = a.load(Ordering::Relaxed);
+    }
+    let matching = Matching::from_mates(mx, my);
     stats.final_cardinality = matching.cardinality();
     stats.elapsed = start.elapsed();
     RunOutcome { matching, stats }
@@ -423,7 +483,7 @@ fn emit_phase_end(tracer: &Tracer, trace: &crate::stats::PhaseTrace, phase_t0: O
 /// concurrent augmentations never touch the same slots; the rayon join
 /// publishes them to the grafting step.
 fn augment_tree(sh: &Shared<'_>, x0: VertexId) -> (u64, u64) {
-    let leaf = sh.leaf[x0 as usize].load(Ordering::Relaxed);
+    let leaf = sh.leaf_of(x0);
     let mut edges = 0u64;
     let mut y = leaf;
     loop {

@@ -18,6 +18,7 @@
 
 use crate::stats::SearchStats;
 use crate::trace::{TraceEvent, Tracer};
+use crate::workspace::{pack, SolveWorkspace};
 use crate::{Matching, RunOutcome};
 use graft_graph::{BipartiteCsr, VertexId, NONE};
 use std::time::Instant;
@@ -29,24 +30,40 @@ pub fn pothen_fan(g: &BipartiteCsr, m: Matching) -> RunOutcome {
 
 /// [`pothen_fan`] with a [`Tracer`] observing each phase (PF has no BFS
 /// levels, so phases are the only inner structure it reports).
-pub fn pothen_fan_traced(g: &BipartiteCsr, mut m: Matching, tracer: &Tracer) -> RunOutcome {
+pub fn pothen_fan_traced(g: &BipartiteCsr, m: Matching, tracer: &Tracer) -> RunOutcome {
+    let mut ws = SolveWorkspace::new();
+    pothen_fan_traced_in(g, m, tracer, &mut ws)
+}
+
+/// [`pothen_fan_traced`] against a caller-owned [`SolveWorkspace`]: warm
+/// solves reuse the visited stamps, lookahead cursors, root list and DFS
+/// stack, performing no heap allocations.
+pub fn pothen_fan_traced_in(
+    g: &BipartiteCsr,
+    mut m: Matching,
+    tracer: &Tracer,
+    ws: &mut SolveWorkspace,
+) -> RunOutcome {
     let start = Instant::now();
     let mut stats = SearchStats {
         initial_cardinality: m.cardinality(),
         ..Default::default()
     };
 
-    let ny = g.num_y();
-    // Phase-stamped visited flags: visited[y] == phase means visited in the
-    // current phase. Avoids an O(ny) clear per phase.
-    let mut visited: Vec<u32> = vec![0; ny];
-    let mut lookahead: Vec<u32> = vec![0; g.num_x()];
+    // Phase-stamped visited flags, extended with the workspace epoch:
+    // visited[y] == (epoch, phase) means visited in the current phase.
+    // Avoids an O(ny) clear per phase *and* per solve.
+    let epoch = ws.pf.begin_solve(g.num_x(), g.num_y());
+    let wsr = &mut ws.pf;
+    let mut roots = std::mem::take(&mut wsr.roots);
+    let mut stack = std::mem::take(&mut wsr.stack);
     let mut phase: u32 = 0;
 
     loop {
         phase += 1;
         let mut augmented_this_phase = 0u64;
-        let roots: Vec<VertexId> = m.unmatched_x().collect();
+        roots.clear();
+        roots.extend(m.unmatched_x());
         if roots.is_empty() {
             break;
         }
@@ -54,15 +71,17 @@ pub fn pothen_fan_traced(g: &BipartiteCsr, mut m: Matching, tracer: &Tracer) -> 
         let edges_at_start = stats.edges_traversed;
         let path_edges_at_start = stats.total_augmenting_path_edges;
         let fair_reverse = phase.is_multiple_of(2);
-        for x0 in roots {
+        for &x0 in &roots {
             if dfs_lookahead(
                 g,
                 &mut m,
-                &mut visited,
-                &mut lookahead,
+                &mut wsr.visited,
+                &mut wsr.lookahead,
+                epoch,
                 phase,
                 fair_reverse,
                 x0,
+                &mut stack,
                 &mut stats,
             ) {
                 augmented_this_phase += 1;
@@ -84,6 +103,8 @@ pub fn pothen_fan_traced(g: &BipartiteCsr, mut m: Matching, tracer: &Tracer) -> 
             break;
         }
     }
+    wsr.roots = roots;
+    wsr.stack = stack;
 
     stats.final_cardinality = m.cardinality();
     stats.elapsed = start.elapsed();
@@ -95,34 +116,46 @@ pub fn pothen_fan_traced(g: &BipartiteCsr, mut m: Matching, tracer: &Tracer) -> 
 fn dfs_lookahead(
     g: &BipartiteCsr,
     m: &mut Matching,
-    visited: &mut [u32],
-    lookahead: &mut [u32],
+    visited: &mut [u64],
+    lookahead: &mut [u64],
+    epoch: u32,
     phase: u32,
     fair_reverse: bool,
     x0: VertexId,
+    stack: &mut Vec<(VertexId, usize, VertexId)>,
     stats: &mut SearchStats,
 ) -> bool {
+    let stamp = pack(epoch, phase);
     // Frame: (x, scan cursor, y used to enter this frame).
-    let mut stack: Vec<(VertexId, usize, VertexId)> = vec![(x0, 0, NONE)];
+    stack.clear();
+    stack.push((x0, 0, NONE));
     while !stack.is_empty() {
         let (x, _, _) = *stack.last().unwrap();
         let nbrs = g.x_neighbors(x);
 
         // Lookahead: monotone scan of x's adjacency for a free Y vertex.
+        // The cursor is epoch-packed; a stale one from an earlier solve
+        // reads as 0, restarting the O(m)-total scan for this solve.
+        let mut cursor = if (lookahead[x as usize] >> 32) as u32 == epoch {
+            lookahead[x as usize] as u32
+        } else {
+            0
+        };
         let mut free_y = NONE;
-        while (lookahead[x as usize] as usize) < nbrs.len() {
-            let y = nbrs[lookahead[x as usize] as usize];
-            lookahead[x as usize] += 1;
+        while (cursor as usize) < nbrs.len() {
+            let y = nbrs[cursor as usize];
+            cursor += 1;
             stats.edges_traversed += 1;
             if !m.is_y_matched(y) {
                 free_y = y;
                 break;
             }
         }
+        lookahead[x as usize] = pack(epoch, cursor);
         if free_y != NONE {
             // Mark it visited so sibling searches in this phase skip it,
             // and flip the path spelled out by the stack.
-            visited[free_y as usize] = phase;
+            visited[free_y as usize] = stamp;
             let mut cur_y = free_y;
             let mut edges = 1u64;
             while let Some((fx, _, via)) = stack.pop() {
@@ -148,10 +181,10 @@ fn dfs_lookahead(
                 nbrs[i]
             };
             stats.edges_traversed += 1;
-            if visited[y as usize] == phase {
+            if visited[y as usize] == stamp {
                 continue;
             }
-            visited[y as usize] = phase;
+            visited[y as usize] = stamp;
             let mate = m.mate_of_y(y);
             debug_assert_ne!(mate, NONE, "free vertices are caught by lookahead");
             stack.push((mate, 0, y));

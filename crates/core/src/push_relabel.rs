@@ -22,10 +22,11 @@
 
 use crate::stats::SearchStats;
 use crate::trace::{TraceEvent, Tracer};
+use crate::workspace::{PrBuffers, SolveWorkspace};
 use crate::{Matching, RunOutcome};
 use graft_graph::{BipartiteCsr, VertexId, NONE};
 use rayon::prelude::*;
-use std::collections::VecDeque;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -76,19 +77,24 @@ impl Default for PushRelabelOptions {
 
 /// The serial solver's active set under a selection discipline. Keys are
 /// the labels known at insertion time; selection correctness does not
-/// require fresh keys, so no revalidation is needed.
-enum ActiveSet {
-    Fifo(VecDeque<VertexId>),
+/// require fresh keys, so no revalidation is needed. The collections are
+/// borrowed from the workspace (both arrive cleared).
+enum ActiveSet<'a> {
+    Fifo(&'a mut VecDeque<VertexId>),
     // Max-heap on (key, x); for lowest-label the key is negated at push.
-    Heap(std::collections::BinaryHeap<(i64, VertexId)>, bool),
+    Heap(&'a mut BinaryHeap<(i64, VertexId)>, bool),
 }
 
-impl ActiveSet {
-    fn new(order: PrOrder) -> Self {
+impl<'a> ActiveSet<'a> {
+    fn new(
+        order: PrOrder,
+        fifo: &'a mut VecDeque<VertexId>,
+        heap: &'a mut BinaryHeap<(i64, VertexId)>,
+    ) -> Self {
         match order {
-            PrOrder::Fifo => ActiveSet::Fifo(VecDeque::new()),
-            PrOrder::HighestLabel => ActiveSet::Heap(std::collections::BinaryHeap::new(), false),
-            PrOrder::LowestLabel => ActiveSet::Heap(std::collections::BinaryHeap::new(), true),
+            PrOrder::Fifo => ActiveSet::Fifo(fifo),
+            PrOrder::HighestLabel => ActiveSet::Heap(heap, false),
+            PrOrder::LowestLabel => ActiveSet::Heap(heap, true),
         }
     }
 
@@ -118,17 +124,26 @@ fn label_limit(g: &BipartiteCsr) -> u32 {
 /// Exact labels: `d[y]` = residual distance from `y` to the sink
 /// (1 for free `Y` vertices, +2 per alternating `Y`-step), `limit` where
 /// unreachable. Returns the number of edges scanned.
-fn global_relabel(g: &BipartiteCsr, mate_x: &[VertexId], d_y: &mut [u32], limit: u32) -> u64 {
+fn global_relabel(
+    g: &BipartiteCsr,
+    mate_x: &[VertexId],
+    d_y: &mut [u32],
+    limit: u32,
+    matched_y: &mut [bool],
+    queue: &mut VecDeque<VertexId>,
+) -> u64 {
     let mut scanned = 0u64;
     for d in d_y.iter_mut() {
         *d = limit;
     }
-    let mut queue: VecDeque<VertexId> = VecDeque::new();
+    queue.clear();
     // A Y vertex is free iff no x points at it: detect via a marker sweep
     // instead of trusting a mate_y array (the parallel solver only
     // maintains mate_y authoritatively — callers pass a consistent mate_x
     // derived from it).
-    let mut matched_y = vec![false; g.num_y()];
+    for f in matched_y.iter_mut() {
+        *f = false;
+    }
     for &y in mate_x.iter().filter(|&&y| y != NONE) {
         matched_y[y as usize] = true;
     }
@@ -168,9 +183,24 @@ pub fn push_relabel(g: &BipartiteCsr, m: Matching, opts: &PushRelabelOptions) ->
 /// scanned — relabel sweep included — before the next relabel.
 pub fn push_relabel_traced(
     g: &BipartiteCsr,
+    m: Matching,
+    opts: &PushRelabelOptions,
+    tracer: &Tracer,
+) -> RunOutcome {
+    let mut ws = SolveWorkspace::new();
+    push_relabel_traced_in(g, m, opts, tracer, &mut ws)
+}
+
+/// [`push_relabel_traced`] against a caller-owned [`SolveWorkspace`]: warm
+/// solves reuse the label array, the relabel scratch and the active set,
+/// performing no heap allocations. PR needs no epoch versioning — the
+/// solve-opening global relabel fully reinitializes every buffer.
+pub fn push_relabel_traced_in(
+    g: &BipartiteCsr,
     mut m: Matching,
     opts: &PushRelabelOptions,
     tracer: &Tracer,
+    ws: &mut SolveWorkspace,
 ) -> RunOutcome {
     let start = Instant::now();
     let mut stats = SearchStats {
@@ -181,14 +211,24 @@ pub fn push_relabel_traced(
     let n = g.num_vertices().max(1);
     let relabel_threshold = ((n as f64 / opts.global_relabel_frequency.max(0.01)) as u64).max(1);
 
-    let mut d_y: Vec<u32> = vec![limit; g.num_y()];
+    let ny = g.num_y();
+    ws.pr.begin_solve(ny);
+    let PrBuffers {
+        d_y,
+        matched_y,
+        bfs,
+        fifo,
+        heap,
+    } = &mut ws.pr;
+    let d_y = &mut d_y[..ny];
+    let matched_y = &mut matched_y[..ny];
     let mut phase_t0 = tracer.is_enabled().then(Instant::now);
     let mut phase_edges_start = stats.edges_traversed;
     let mut phase_augs_start = stats.augmenting_paths;
-    stats.edges_traversed += global_relabel(g, m.mates_x(), &mut d_y, limit);
+    stats.edges_traversed += global_relabel(g, m.mates_x(), d_y, limit, matched_y, bfs);
     stats.phases += 1;
 
-    let mut queue = ActiveSet::new(opts.order);
+    let mut queue = ActiveSet::new(opts.order, fifo, heap);
     for x in m.unmatched_x().filter(|&x| g.x_degree(x) > 0) {
         queue.push(x, 0);
     }
@@ -231,7 +271,7 @@ pub fn push_relabel_traced(
             phase_t0 = tracer.is_enabled().then(Instant::now);
             phase_edges_start = stats.edges_traversed;
             phase_augs_start = stats.augmenting_paths;
-            stats.edges_traversed += global_relabel(g, m.mates_x(), &mut d_y, limit);
+            stats.edges_traversed += global_relabel(g, m.mates_x(), d_y, limit, matched_y, bfs);
             stats.phases += 1;
             pushes_since_relabel = 0;
         }
@@ -308,6 +348,8 @@ fn pr_par_run(g: &BipartiteCsr, m: Matching, opts: &PushRelabelOptions) -> RunOu
         mate_x.iter().map(|a| a.load(Ordering::Relaxed)).collect()
     };
 
+    let mut gr_matched = vec![false; g.num_y()];
+    let mut gr_queue: VecDeque<VertexId> = VecDeque::new();
     loop {
         // ---- Repair sweep: clear stale mate pointers of robbed X
         // vertices whose requeue entry was dropped when the push budget
@@ -323,7 +365,14 @@ fn pr_par_run(g: &BipartiteCsr, m: Matching, opts: &PushRelabelOptions) -> RunOu
         // ---- Exact global relabel (serial; also the certification). ----
         let mx_snap = snapshot_mate_x(&mate_x);
         let mut labels: Vec<u32> = vec![limit; g.num_y()];
-        stats.edges_traversed += global_relabel(g, &mx_snap, &mut labels, limit);
+        stats.edges_traversed += global_relabel(
+            g,
+            &mx_snap,
+            &mut labels,
+            limit,
+            &mut gr_matched,
+            &mut gr_queue,
+        );
         stats.phases += 1;
         for (a, &v) in d_y.iter().zip(labels.iter()) {
             a.store(v, Ordering::Relaxed);

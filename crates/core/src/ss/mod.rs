@@ -20,7 +20,7 @@ mod dfs;
 pub use bfs::ss_bfs;
 pub use dfs::ss_dfs;
 
-pub(crate) use bfs::reconstruct;
+pub(crate) use bfs::reconstruct_into;
 
 #[cfg(test)]
 mod tests {

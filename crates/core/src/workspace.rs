@@ -1,0 +1,512 @@
+//! Reusable per-solve buffers: the [`SolveWorkspace`].
+//!
+//! The paper's scalability argument hinges on keeping the hot loop out of
+//! the allocator (§III-B: thread-private queues that "fit in the local
+//! cache"), yet a naive engine rebuilds every per-vertex array — `parent`,
+//! `root`, `leaf`, `visited`, the frontier vectors — from scratch on every
+//! solve. A resident service (`graft-svc`) pays that cost on every warm
+//! request. The workspace owns those arrays across solves, so a warm
+//! solve performs **zero heap allocations** in the serial engines
+//! (locked by `tests/workspace_alloc.rs`).
+//!
+//! ## The epoch trick: reuse without O(n) clears
+//!
+//! Recycling buffers is only a win if it does not trade the allocation
+//! for an O(n) `memset` per solve. Every per-vertex mark is therefore
+//! *versioned* by a solve epoch that advances at the start of each solve:
+//!
+//! * `visited[y]` stores the epoch in which `y` was visited; `y` is
+//!   visited iff `visited[y] == epoch`, and un-visiting writes `0`
+//!   (epoch `0` is never issued).
+//! * `root[x]` and `leaf[x]` are read for *arbitrary* vertices (per edge
+//!   in the bottom-up step), so they cannot be guarded by a visited
+//!   check. They are packed as `(epoch << 32) | value` in a `u64`: a
+//!   stale entry fails the epoch compare and reads as [`NONE`].
+//! * `parent[y]` and the `Y`-side `root[y]` are only ever read behind a
+//!   current-epoch visited check, so they need no versioning at all —
+//!   stale values are unreachable, even across solves on *different*
+//!   graphs (where a stale id could otherwise be out of range).
+//!
+//! When the epoch counter would wrap (once per 2³² solves), the marks are
+//! fully cleared once and the epoch restarts — amortized cost zero.
+//!
+//! ## Scope
+//!
+//! The serial engines (MS-BFS in all three configurations, Pothen-Fan,
+//! serial push-relabel) run allocation-free on a warm workspace. The
+//! parallel MS-BFS-Graft engine reuses its large atomic per-vertex
+//! arrays, but its fold/reduce frontier accumulators are inherently
+//! allocating, as are the other parallel solvers and the single-source
+//! baselines; those either reuse what they can or ignore the workspace
+//! (see [`crate::solve_from_in`]).
+
+use graft_graph::{VertexId, NONE};
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU32, AtomicU64};
+
+/// Packs `value` under `epoch` for the versioned `root`/`leaf` arrays.
+#[inline]
+pub(crate) fn pack(epoch: u32, value: VertexId) -> u64 {
+    (u64::from(epoch) << 32) | u64::from(value)
+}
+
+/// Reads a packed entry: the stored value if it belongs to `epoch`,
+/// otherwise [`NONE`] (the entry is stale from an earlier solve).
+#[inline]
+pub(crate) fn unpack(epoch: u32, packed: u64) -> VertexId {
+    if (packed >> 32) as u32 == epoch {
+        packed as VertexId
+    } else {
+        NONE
+    }
+}
+
+/// Ensures `v` can hold `want` elements without reallocating.
+fn reserve_to<T>(v: &mut Vec<T>, want: usize) {
+    if v.capacity() < want {
+        v.reserve(want - v.len());
+    }
+}
+
+/// Buffers of the serial MS-BFS engine (all three Fig. 7 configurations).
+#[derive(Debug, Default)]
+pub(crate) struct MsBuffers {
+    /// Current solve epoch; `0` means "never used".
+    pub(crate) epoch: u32,
+    /// `visited[y] == epoch` ⇔ `y` is in some tree this phase.
+    pub(crate) visited: Vec<u32>,
+    /// `X` parent of `y`; read only behind a visited check.
+    pub(crate) parent_y: Vec<VertexId>,
+    /// Tree root of `y`; read only behind a visited check.
+    pub(crate) root_y: Vec<VertexId>,
+    /// Epoch-packed tree root of `x` (read per edge — cannot be guarded).
+    pub(crate) root_x: Vec<u64>,
+    /// Epoch-packed augmenting-path endpoint of the tree rooted at `x`.
+    pub(crate) leaf: Vec<u64>,
+    /// Current BFS frontier (ping-pongs with `next`).
+    pub(crate) frontier: Vec<VertexId>,
+    /// Next BFS frontier (ping-pongs with `frontier`).
+    pub(crate) next: Vec<VertexId>,
+    /// Cached unvisited-`Y` list for bottom-up levels.
+    pub(crate) unvisited: Vec<VertexId>,
+    /// Whether `unvisited` is a valid superset for the current phase.
+    pub(crate) unvisited_valid: bool,
+    /// Renewable `Y` vertices gathered by the frontier rebuild.
+    pub(crate) renewable: Vec<VertexId>,
+    /// Augmenting-path reconstruction buffer.
+    pub(crate) path: Vec<VertexId>,
+}
+
+impl MsBuffers {
+    /// Starts a solve on an `nx`×`ny` graph: advances the epoch (every
+    /// mark from earlier solves becomes stale) and grows the buffers.
+    /// No O(n) clear happens except on the 2³²-solve epoch wrap.
+    pub(crate) fn begin_solve(&mut self, nx: usize, ny: usize) {
+        if self.epoch == u32::MAX {
+            self.visited.iter_mut().for_each(|v| *v = 0);
+            self.root_x.iter_mut().for_each(|v| *v = 0);
+            self.leaf.iter_mut().for_each(|v| *v = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        if self.visited.len() < ny {
+            self.visited.resize(ny, 0);
+            self.parent_y.resize(ny, NONE);
+            self.root_y.resize(ny, NONE);
+        }
+        if self.root_x.len() < nx {
+            self.root_x.resize(nx, 0);
+            self.leaf.resize(nx, 0);
+        }
+        // Frontier capacities are reserved up front rather than left to
+        // amortized growth: `frontier`/`next` swap roles every level, so
+        // a buffer can face a larger level in solve k+1 than it ever held
+        // in solve k even on the identical instance — which would
+        // reallocate on the warm path.
+        reserve_to(&mut self.frontier, nx);
+        reserve_to(&mut self.next, nx);
+        reserve_to(&mut self.unvisited, ny);
+        reserve_to(&mut self.renewable, ny);
+        // An augmenting path alternates X and Y vertices, so its length
+        // is bounded by twice the smaller side plus the free endpoint.
+        reserve_to(&mut self.path, 2 * nx.min(ny) + 1);
+        self.unvisited_valid = false;
+        self.frontier.clear();
+        self.next.clear();
+        self.unvisited.clear();
+        self.renewable.clear();
+        self.path.clear();
+    }
+
+    #[inline]
+    pub(crate) fn is_visited(&self, y: VertexId) -> bool {
+        self.visited[y as usize] == self.epoch
+    }
+
+    #[inline]
+    pub(crate) fn set_visited(&mut self, y: VertexId) {
+        self.visited[y as usize] = self.epoch;
+    }
+
+    #[inline]
+    pub(crate) fn unvisit(&mut self, y: VertexId) {
+        self.visited[y as usize] = 0;
+    }
+
+    #[inline]
+    pub(crate) fn root_of_x(&self, x: VertexId) -> VertexId {
+        unpack(self.epoch, self.root_x[x as usize])
+    }
+
+    #[inline]
+    pub(crate) fn set_root_x(&mut self, x: VertexId, root: VertexId) {
+        self.root_x[x as usize] = pack(self.epoch, root);
+    }
+
+    #[inline]
+    pub(crate) fn clear_root_x(&mut self, x: VertexId) {
+        self.root_x[x as usize] = 0;
+    }
+
+    #[inline]
+    pub(crate) fn leaf_of(&self, x: VertexId) -> VertexId {
+        unpack(self.epoch, self.leaf[x as usize])
+    }
+
+    #[inline]
+    pub(crate) fn set_leaf(&mut self, x: VertexId, y: VertexId) {
+        self.leaf[x as usize] = pack(self.epoch, y);
+    }
+
+    #[inline]
+    pub(crate) fn clear_leaf(&mut self, x: VertexId) {
+        self.leaf[x as usize] = 0;
+    }
+
+    fn bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.visited.capacity() * size_of::<u32>()
+            + (self.parent_y.capacity() + self.root_y.capacity()) * size_of::<VertexId>()
+            + (self.root_x.capacity() + self.leaf.capacity()) * size_of::<u64>()
+            + (self.frontier.capacity()
+                + self.next.capacity()
+                + self.unvisited.capacity()
+                + self.renewable.capacity()
+                + self.path.capacity())
+                * size_of::<VertexId>()
+    }
+}
+
+/// Buffers of the parallel MS-BFS-Graft engine: the atomic per-vertex
+/// arrays, versioned exactly like the serial ones. The visited claim
+/// becomes `compare_exchange(observed_stale, epoch)` — a lost race means
+/// another task already wrote the current epoch.
+#[derive(Debug, Default)]
+pub(crate) struct ParBuffers {
+    pub(crate) epoch: u32,
+    pub(crate) mate_x: Vec<AtomicU32>,
+    pub(crate) mate_y: Vec<AtomicU32>,
+    pub(crate) visited: Vec<AtomicU32>,
+    pub(crate) parent_y: Vec<AtomicU32>,
+    pub(crate) root_y: Vec<AtomicU32>,
+    pub(crate) root_x: Vec<AtomicU64>,
+    pub(crate) leaf: Vec<AtomicU64>,
+}
+
+impl ParBuffers {
+    /// See [`MsBuffers::begin_solve`]; returns the new epoch.
+    pub(crate) fn begin_solve(&mut self, nx: usize, ny: usize) -> u32 {
+        if self.epoch == u32::MAX {
+            self.visited.iter_mut().for_each(|v| *v.get_mut() = 0);
+            self.root_x.iter_mut().for_each(|v| *v.get_mut() = 0);
+            self.leaf.iter_mut().for_each(|v| *v.get_mut() = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        if self.visited.len() < ny {
+            self.visited.resize_with(ny, || AtomicU32::new(0));
+            self.parent_y.resize_with(ny, || AtomicU32::new(NONE));
+            self.root_y.resize_with(ny, || AtomicU32::new(NONE));
+            self.mate_y.resize_with(ny, || AtomicU32::new(NONE));
+        }
+        if self.root_x.len() < nx {
+            self.root_x.resize_with(nx, || AtomicU64::new(0));
+            self.leaf.resize_with(nx, || AtomicU64::new(0));
+            self.mate_x.resize_with(nx, || AtomicU32::new(NONE));
+        }
+        self.epoch
+    }
+
+    fn bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.mate_x.capacity()
+            + self.mate_y.capacity()
+            + self.visited.capacity()
+            + self.parent_y.capacity()
+            + self.root_y.capacity())
+            * size_of::<AtomicU32>()
+            + (self.root_x.capacity() + self.leaf.capacity()) * size_of::<AtomicU64>()
+    }
+}
+
+/// Buffers of the serial Pothen-Fan engine. PF already phase-stamps its
+/// visited flags; the workspace extends the stamp with the solve epoch
+/// (`(epoch << 32) | phase`) so it survives across solves, and versions
+/// the monotone lookahead cursors the same way (`(epoch << 32) | cursor`
+/// — a stale cursor reads as 0, restarting the O(m)-total scan).
+#[derive(Debug, Default)]
+pub(crate) struct PfBuffers {
+    pub(crate) epoch: u32,
+    /// `visited[y] == pack(epoch, phase)` ⇔ visited in the current phase.
+    pub(crate) visited: Vec<u64>,
+    /// Epoch-packed monotone lookahead cursor per `X` vertex.
+    pub(crate) lookahead: Vec<u64>,
+    /// Per-phase DFS roots (the unmatched `X` vertices).
+    pub(crate) roots: Vec<VertexId>,
+    /// Explicit DFS stack: `(x, scan cursor, y used to enter the frame)`.
+    pub(crate) stack: Vec<(VertexId, usize, VertexId)>,
+}
+
+impl PfBuffers {
+    /// See [`MsBuffers::begin_solve`]; returns the new epoch.
+    pub(crate) fn begin_solve(&mut self, nx: usize, ny: usize) -> u32 {
+        if self.epoch == u32::MAX {
+            self.visited.iter_mut().for_each(|v| *v = 0);
+            self.lookahead.iter_mut().for_each(|v| *v = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        if self.visited.len() < ny {
+            self.visited.resize(ny, 0);
+        }
+        if self.lookahead.len() < nx {
+            self.lookahead.resize(nx, 0);
+        }
+        // Roots hold at most every X vertex; the DFS stack holds one frame
+        // per X vertex on the current alternating path. Reserving up front
+        // keeps the warm path off the allocator even when a later solve
+        // pushes deeper than any earlier one did.
+        reserve_to(&mut self.roots, nx);
+        reserve_to(&mut self.stack, nx);
+        self.roots.clear();
+        self.stack.clear();
+        self.epoch
+    }
+
+    fn bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.visited.capacity() + self.lookahead.capacity()) * size_of::<u64>()
+            + self.roots.capacity() * size_of::<VertexId>()
+            + self.stack.capacity() * size_of::<(VertexId, usize, VertexId)>()
+    }
+}
+
+/// Buffers of the serial push-relabel engine. PR needs no epoch trick:
+/// every buffer is fully (re)initialized by the solve-opening global
+/// relabel, so plain reuse already makes the warm path allocation-free.
+#[derive(Debug, Default)]
+pub(crate) struct PrBuffers {
+    /// Distance labels of the `Y` vertices.
+    pub(crate) d_y: Vec<u32>,
+    /// Scratch marker sweep of `global_relabel`.
+    pub(crate) matched_y: Vec<bool>,
+    /// Scratch BFS queue of `global_relabel`.
+    pub(crate) bfs: VecDeque<VertexId>,
+    /// FIFO active set (the paper's configuration).
+    pub(crate) fifo: VecDeque<VertexId>,
+    /// Keyed active set for the highest/lowest-label disciplines.
+    pub(crate) heap: BinaryHeap<(i64, VertexId)>,
+}
+
+impl PrBuffers {
+    pub(crate) fn begin_solve(&mut self, ny: usize) {
+        if self.d_y.len() < ny {
+            self.d_y.resize(ny, 0);
+            self.matched_y.resize(ny, false);
+        }
+        // Every queue holds at most each Y vertex once.
+        if self.bfs.capacity() < ny {
+            self.bfs.reserve(ny - self.bfs.len());
+        }
+        if self.fifo.capacity() < ny {
+            self.fifo.reserve(ny - self.fifo.len());
+        }
+        if self.heap.capacity() < ny {
+            self.heap.reserve(ny - self.heap.len());
+        }
+        self.bfs.clear();
+        self.fifo.clear();
+        self.heap.clear();
+    }
+
+    fn bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.d_y.capacity() * size_of::<u32>()
+            + self.matched_y.capacity()
+            + (self.bfs.capacity() + self.fifo.capacity()) * size_of::<VertexId>()
+            + self.heap.capacity() * size_of::<(i64, VertexId)>()
+    }
+}
+
+/// Reusable solver workspace: every per-vertex buffer and frontier vector
+/// the engines need, owned across solves.
+///
+/// Create one with [`SolveWorkspace::new`] and pass it to
+/// [`crate::solve_in`] / [`crate::solve_from_in`] (or the engine-level
+/// `*_in` entry points). The buffers grow lazily to the largest graph
+/// seen, each engine touching only its own arena, and an epoch/versioned
+/// scheme makes reuse safe with no O(n) clears between solves — even
+/// across solves on *different* graphs. The module-level docs in
+/// `workspace.rs` state the epoch invariants each arena relies on.
+///
+/// A workspace is plain mutable state: it is `Send` (hand it to another
+/// thread between solves) but deliberately not `Sync` — one solve borrows
+/// it exclusively. `graft-svc` gives each worker thread its own.
+///
+/// ```
+/// use graft_core::{solve_in, Algorithm, SolveOptions, SolveWorkspace};
+/// use graft_graph::BipartiteCsr;
+///
+/// let g = BipartiteCsr::from_edges(2, 2, &[(0, 0), (1, 0), (1, 1)]);
+/// let mut ws = SolveWorkspace::new();
+/// let first = solve_in(&g, Algorithm::MsBfsGraft, &SolveOptions::default(), &mut ws);
+/// let warm = solve_in(&g, Algorithm::MsBfsGraft, &SolveOptions::default(), &mut ws);
+/// assert_eq!(first.matching.cardinality(), warm.matching.cardinality());
+/// ```
+#[derive(Debug, Default)]
+pub struct SolveWorkspace {
+    pub(crate) ms: MsBuffers,
+    pub(crate) par: ParBuffers,
+    pub(crate) pf: PfBuffers,
+    pub(crate) pr: PrBuffers,
+}
+
+impl SolveWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Releases all buffer memory. The next solve re-grows from empty —
+    /// `graft-svc` workers call this after an `EVICT` so a workspace
+    /// sized for an evicted giant does not pin its footprint forever.
+    pub fn shrink(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Current heap footprint of the owned buffers, in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.ms.bytes() + self.par.bytes() + self.pf.bytes() + self.pr.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_maximum;
+    use crate::{solve_from_in, Algorithm, Matching, SolveOptions};
+    use graft_graph::BipartiteCsr;
+
+    #[test]
+    fn pack_unpack_roundtrip_and_staleness() {
+        assert_eq!(unpack(3, pack(3, 17)), 17);
+        assert_eq!(unpack(3, pack(3, NONE)), NONE);
+        assert_eq!(unpack(4, pack(3, 17)), NONE, "stale epoch reads NONE");
+        assert_eq!(unpack(1, 0), NONE, "zeroed entry reads NONE");
+        assert_eq!(unpack(u32::MAX, pack(u32::MAX, 5)), 5);
+    }
+
+    #[test]
+    fn footprint_grows_and_shrinks() {
+        let g = BipartiteCsr::from_edges(64, 64, &[(0, 0), (1, 1), (2, 1), (2, 2)]);
+        let mut ws = SolveWorkspace::new();
+        assert_eq!(ws.footprint_bytes(), 0);
+        let opts = SolveOptions::default();
+        solve_from_in(
+            &g,
+            Matching::for_graph(&g),
+            Algorithm::MsBfsGraft,
+            &opts,
+            &mut ws,
+        );
+        assert!(ws.footprint_bytes() > 0);
+        ws.shrink();
+        assert_eq!(ws.footprint_bytes(), 0);
+    }
+
+    /// Epoch wrap must fully clear the versioned marks: force the counter
+    /// to the wrap point and check solves stay correct straight through it.
+    #[test]
+    fn epoch_wrap_is_survivable() {
+        let g = BipartiteCsr::from_edges(
+            5,
+            5,
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (2, 1),
+                (2, 2),
+                (3, 2),
+                (3, 3),
+                (4, 3),
+                (4, 4),
+                (0, 4),
+            ],
+        );
+        let opts = SolveOptions::default();
+        let mut ws = SolveWorkspace::new();
+        // Seed the buffers with real marks, then jump to the wrap point.
+        solve_from_in(
+            &g,
+            Matching::for_graph(&g),
+            Algorithm::MsBfsGraft,
+            &opts,
+            &mut ws,
+        );
+        ws.ms.epoch = u32::MAX - 1;
+        ws.pf.epoch = u32::MAX - 1;
+        ws.par.epoch = u32::MAX - 1;
+        for _ in 0..4 {
+            for alg in [
+                Algorithm::MsBfsGraft,
+                Algorithm::PothenFan,
+                Algorithm::MsBfsGraftParallel,
+            ] {
+                let out = solve_from_in(&g, Matching::for_graph(&g), alg, &opts, &mut ws);
+                assert_eq!(out.matching.cardinality(), 5, "{alg:?}");
+                assert!(is_maximum(&g, &out.matching));
+            }
+        }
+        assert!(
+            ws.ms.epoch >= 1 && ws.ms.epoch < 10,
+            "wrapped and restarted"
+        );
+    }
+
+    /// A workspace grown on a large graph must stay correct on a smaller
+    /// one (stale out-of-range ids must never be dereferenced).
+    #[test]
+    fn large_then_small_graph_reuse() {
+        let mut edges = Vec::new();
+        for x in 0..300u32 {
+            edges.push((x, (x * 7) % 200));
+            edges.push((x, (x * 13 + 3) % 200));
+        }
+        let big = BipartiteCsr::from_edges(300, 200, &edges);
+        let small = BipartiteCsr::from_edges(2, 2, &[(0, 0), (1, 0), (1, 1)]);
+        let opts = SolveOptions::default();
+        let mut ws = SolveWorkspace::new();
+        for alg in [
+            Algorithm::MsBfsGraft,
+            Algorithm::PothenFan,
+            Algorithm::PushRelabel,
+            Algorithm::MsBfsGraftParallel,
+        ] {
+            solve_from_in(&big, Matching::for_graph(&big), alg, &opts, &mut ws);
+            let out = solve_from_in(&small, Matching::for_graph(&small), alg, &opts, &mut ws);
+            assert_eq!(out.matching.cardinality(), 2, "{alg:?}");
+            assert!(is_maximum(&small, &out.matching));
+        }
+    }
+}

@@ -72,6 +72,32 @@ impl<J: Send + 'static, R: Send + 'static> Scheduler<J, R> {
     where
         F: Fn(J) -> R + Send + Sync + 'static,
     {
+        Self::with_worker_state(
+            workers,
+            capacity,
+            metrics,
+            || (),
+            move |job, (): &mut ()| handler(job),
+        )
+    }
+
+    /// [`Scheduler::new`] with per-worker mutable state: `state_factory`
+    /// runs once *inside* each worker thread (so `S` needs no `Send`) and
+    /// the produced value is passed to every `handler` call on that
+    /// worker. The server uses this to give each worker a resident
+    /// [`graft_core::SolveWorkspace`], making warm solves allocation-free.
+    pub fn with_worker_state<S, SF, F>(
+        workers: usize,
+        capacity: usize,
+        metrics: Arc<Metrics>,
+        state_factory: SF,
+        handler: F,
+    ) -> Self
+    where
+        S: 'static,
+        SF: Fn() -> S + Send + Sync + 'static,
+        F: Fn(J, &mut S) -> R + Send + Sync + 'static,
+    {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
             queue: Mutex::new(SchedState {
@@ -86,13 +112,18 @@ impl<J: Send + 'static, R: Send + 'static> Scheduler<J, R> {
             metrics,
         });
         let handler = Arc::new(handler);
+        let state_factory = Arc::new(state_factory);
         let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let handler = Arc::clone(&handler);
+                let state_factory = Arc::clone(&state_factory);
                 std::thread::Builder::new()
                     .name(format!("graft-svc-worker-{i}"))
-                    .spawn(move || worker_loop(shared, handler))
+                    .spawn(move || {
+                        let mut state = state_factory();
+                        worker_loop(shared, handler, &mut state)
+                    })
                     .expect("failed to spawn worker thread")
             })
             .collect();
@@ -206,9 +237,9 @@ impl<J: Send + 'static, R: Send + 'static> Scheduler<J, R> {
     }
 }
 
-fn worker_loop<J, R, F>(shared: Arc<Shared<J, R>>, handler: Arc<F>)
+fn worker_loop<J, R, S, F>(shared: Arc<Shared<J, R>>, handler: Arc<F>, state: &mut S)
 where
-    F: Fn(J) -> R,
+    F: Fn(J, &mut S) -> R,
 {
     loop {
         let item = {
@@ -235,11 +266,12 @@ where
         // The job boundary is the panic firewall: a panicking handler
         // unwinds to here, the submitter gets a typed error carrying the
         // job id, and this thread stays in the pool (the pool self-heals
-        // by never dying). The handler only sees owned data, so the
-        // AssertUnwindSafe cannot leak broken invariants into shared
-        // state — anything the job touched is dropped by the unwind.
+        // by never dying). The handler sees owned data plus this worker's
+        // private state; the AssertUnwindSafe is sound for the state too,
+        // because a solve workspace abandoned mid-solve is re-validated
+        // wholesale by the next solve's epoch bump.
         let job = item.job;
-        let result = match catch_unwind(AssertUnwindSafe(|| handler(job))) {
+        let result = match catch_unwind(AssertUnwindSafe(|| handler(job, state))) {
             Ok(r) => Ok(r),
             Err(_panic) => {
                 shared.metrics.panics.fetch_add(1, Ordering::Relaxed);
@@ -294,6 +326,30 @@ mod tests {
             job * 2
         });
         (sched, gate_tx, started_rx, metrics)
+    }
+
+    #[test]
+    fn worker_state_persists_across_jobs_on_one_worker() {
+        // A single worker with a counter as its state: every job sees the
+        // count left behind by its predecessors, proving the state (in
+        // production, a SolveWorkspace) survives between jobs instead of
+        // being rebuilt per job.
+        let metrics = Arc::new(Metrics::new());
+        let sched = Scheduler::with_worker_state(
+            1,
+            16,
+            Arc::clone(&metrics),
+            || 0u32,
+            |job: u32, seen: &mut u32| {
+                *seen += 1;
+                (job, *seen)
+            },
+        );
+        let rxs: Vec<_> = (0..4).map(|i| sched.submit(i).unwrap()).collect();
+        for (i, rx) in rxs.into_iter().enumerate() {
+            assert_eq!(rx.recv().unwrap().unwrap(), (i as u32, i as u32 + 1));
+        }
+        sched.join();
     }
 
     #[test]

@@ -41,13 +41,14 @@ use crate::scheduler::Scheduler;
 use crate::snapshot;
 use graft_core::trace::RingSink;
 use graft_core::{
-    solve_from_traced, solve_traced, Algorithm, MsBfsOptions, PhaseHook, SolveOptions, Tracer,
+    solve_from_traced_in, solve_traced_in, Algorithm, MsBfsOptions, PhaseHook, SolveOptions,
+    SolveWorkspace, Tracer,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -164,7 +165,18 @@ pub struct Server {
     health: Arc<AtomicU8>,
     trace: Arc<RingSink>,
     faults: Option<&'static FaultPlan>,
+    shrink_gen: Arc<AtomicU64>,
     cfg: ServeConfig,
+}
+
+/// Per-worker solver state: a resident [`SolveWorkspace`] (grown on
+/// demand to the largest graph this worker has solved) plus the last
+/// observed shrink generation. `EVICT` bumps the shared generation; each
+/// worker compares lazily before its next solve and releases the buffers,
+/// so a workspace sized for an evicted giant does not pin its footprint.
+struct WorkerState {
+    ws: SolveWorkspace,
+    seen_shrink_gen: u64,
 }
 
 fn run_job(
@@ -173,6 +185,7 @@ fn run_job(
     metrics: &Metrics,
     tracer: &Tracer,
     phase_hook: Option<PhaseHook>,
+    ws: &mut SolveWorkspace,
 ) -> JobReply {
     match job {
         Job::Sleep(ms) => {
@@ -209,8 +222,10 @@ fn run_job(
             let warm_used = warm.is_some() && !cold;
             let t0 = Instant::now();
             let out = match warm.filter(|_| !cold) {
-                Some(m0) => solve_from_traced(&graph, (*m0).clone(), algorithm, &opts, tracer),
-                None => solve_traced(&graph, algorithm, &opts, tracer),
+                Some(m0) => {
+                    solve_from_traced_in(&graph, (*m0).clone(), algorithm, &opts, tracer, ws)
+                }
+                None => solve_traced_in(&graph, algorithm, &opts, tracer, ws),
             };
             let solve_us = t0.elapsed().as_micros() as u64;
             metrics.solve.record(solve_us);
@@ -320,14 +335,27 @@ impl Server {
                 plan.maybe_fail_infallible(crate::faults::FaultSite::SolverPhase)
             })))
         });
+        let shrink_gen = Arc::new(AtomicU64::new(0));
         let sched = {
             let registry = Arc::clone(&registry);
             let metrics = Arc::clone(&metrics);
-            Arc::new(Scheduler::new(
+            let shrink_gen = Arc::clone(&shrink_gen);
+            Arc::new(Scheduler::with_worker_state(
                 cfg.workers,
                 cfg.queue_capacity,
                 Arc::clone(&metrics),
-                move |job| run_job(job, &registry, &metrics, &tracer, phase_hook),
+                || WorkerState {
+                    ws: SolveWorkspace::new(),
+                    seen_shrink_gen: 0,
+                },
+                move |job, state: &mut WorkerState| {
+                    let gen = shrink_gen.load(Ordering::Relaxed);
+                    if state.seen_shrink_gen != gen {
+                        state.ws.shrink();
+                        state.seen_shrink_gen = gen;
+                    }
+                    run_job(job, &registry, &metrics, &tracer, phase_hook, &mut state.ws)
+                },
             ))
         };
         Ok(Server {
@@ -339,6 +367,7 @@ impl Server {
             health: Arc::new(AtomicU8::new(HEALTH_LIVE)),
             trace,
             faults,
+            shrink_gen,
             cfg: cfg.clone(),
         })
     }
@@ -420,6 +449,7 @@ impl Server {
             let health = Arc::clone(&self.health);
             let shutdown = Arc::clone(&self.shutdown);
             let trace = Arc::clone(&self.trace);
+            let shrink_gen = Arc::clone(&self.shrink_gen);
             let max_graph_bytes = self.cfg.max_graph_bytes;
             std::thread::spawn(move || {
                 let ctx = ConnCtx {
@@ -429,6 +459,7 @@ impl Server {
                     trace: &trace,
                     health: &health,
                     shutdown: &shutdown,
+                    shrink_gen: &shrink_gen,
                     max_graph_bytes,
                     addr,
                 };
@@ -479,6 +510,7 @@ struct ConnCtx<'a> {
     trace: &'a RingSink,
     health: &'a AtomicU8,
     shutdown: &'a AtomicBool,
+    shrink_gen: &'a AtomicU64,
     max_graph_bytes: usize,
     addr: SocketAddr,
 }
@@ -600,6 +632,11 @@ fn dispatch(req: Request, ctx: &ConnCtx<'_>) -> String {
         }
         Request::Evict { name } => {
             let evicted = ctx.registry.evict(&name);
+            if evicted {
+                // Tell workers their resident workspaces may now be
+                // oversized; each shrinks lazily before its next solve.
+                ctx.shrink_gen.fetch_add(1, Ordering::Relaxed);
+            }
             format!("OK name={name} evicted={evicted}")
         }
         Request::Shutdown => "OK bye".to_string(),

@@ -38,6 +38,8 @@ fn usage() -> ! {
            --init I        none|greedy|random-greedy|karp-sipser (default karp-sipser)\n\
            --seed S        initializer seed (default 1)\n\
            --scale S       tiny|small|medium|large for --suite (default small)\n\
+           --reps N        repeat the solve N times against one reused\n\
+                           workspace, reporting per-rep times (default 1)\n\
            --dm            print the Dulmage-Mendelsohn summary\n\
            --out FILE      write the matched pairs (x y per line)\n\
            --trace FILE    write a JSONL event trace of the solve\n\
@@ -194,6 +196,7 @@ fn main() {
     let mut init = matching::init::Initializer::KarpSipser;
     let mut seed = 1u64;
     let mut scale = gen::Scale::Small;
+    let mut reps = 1usize;
     let mut want_dm = false;
     let mut out_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
@@ -212,6 +215,7 @@ fn main() {
             }
             "--seed" => seed = next().parse().unwrap_or_else(|_| usage()),
             "--scale" => scale = gen::Scale::parse(&next()).unwrap_or_else(|| usage()),
+            "--reps" => reps = next().parse().unwrap_or_else(|_| usage()),
             "--dm" => want_dm = true,
             "--out" => out_path = Some(next()),
             "--trace" => trace_path = Some(next()),
@@ -280,7 +284,28 @@ fn main() {
             threads,
             ..SolveOptions::default()
         };
-        let out = solve_from_traced(&g, m0, alg, &opts, &tracer);
+        // One workspace shared by all reps: rep 1 grows it, later reps run
+        // allocation-free on the serial engines. Only rep 1 is traced, so
+        // a `--trace` file describes a single solve regardless of --reps.
+        let mut ws = SolveWorkspace::new();
+        let out = solve_from_traced_in(&g, m0.clone(), alg, &opts, &tracer, &mut ws);
+        if reps > 1 {
+            eprintln!(
+                "rep 1: {:.3?} (|M| = {}, cold workspace)",
+                out.stats.elapsed,
+                out.matching.cardinality()
+            );
+        }
+        for rep in 1..reps.max(1) {
+            let again =
+                solve_from_traced_in(&g, m0.clone(), alg, &opts, &Tracer::disabled(), &mut ws);
+            eprintln!(
+                "rep {}: {:.3?} (|M| = {})",
+                rep + 1,
+                again.stats.elapsed,
+                again.matching.cardinality()
+            );
+        }
         eprintln!(
             "{}: {} phases, {} augmenting paths, {} edges traversed",
             alg.name(),

@@ -1,0 +1,136 @@
+//! Differential tests for workspace reuse: a single [`SolveWorkspace`]
+//! recycled across many solves — different graphs, different engines,
+//! interleaved — must produce byte-identical matchings and search
+//! statistics to fresh-workspace solves. This is the contract that lets
+//! graft-svc keep one workspace per worker for the life of the process.
+
+use ms_bfs_graft::prelude::*;
+
+/// The engines that are deterministic under this build (the rayon shim
+/// executes sequentially, so even the parallel engines are reproducible
+/// here) — every one must be workspace-oblivious in its observable
+/// behavior.
+const ENGINES: &[Algorithm] = &[
+    Algorithm::SsDfs,
+    Algorithm::SsBfs,
+    Algorithm::PothenFan,
+    Algorithm::PothenFanParallel,
+    Algorithm::HopcroftKarp,
+    Algorithm::MsBfs,
+    Algorithm::MsBfsDirOpt,
+    Algorithm::MsBfsGraft,
+    Algorithm::MsBfsGraftParallel,
+    Algorithm::PushRelabel,
+    Algorithm::PushRelabelParallel,
+];
+
+/// Three graphs of deliberately different shapes and sizes, ordered
+/// big → small → big so reuse crosses both shrinking and growing
+/// transitions (the epoch scheme must hide every stale entry, including
+/// out-of-range vertex ids left by the larger graph).
+fn graphs() -> Vec<BipartiteCsr> {
+    vec![
+        gen::preferential_attachment(1800, 1500, 4, 0.6, 42),
+        BipartiteCsr::from_edges(
+            4,
+            4,
+            &[(0, 0), (0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)],
+        ),
+        gen::preferential_attachment(1000, 1300, 3, 0.3, 7),
+    ]
+}
+
+fn assert_same_outcome(alg: Algorithm, round: usize, gi: usize, a: &RunOutcome, b: &RunOutcome) {
+    let ctx = format!("{} round {round} graph {gi}", alg.name());
+    assert_eq!(
+        a.matching.mates_x(),
+        b.matching.mates_x(),
+        "{ctx}: mates_x diverged"
+    );
+    assert_eq!(
+        a.matching.mates_y(),
+        b.matching.mates_y(),
+        "{ctx}: mates_y diverged"
+    );
+    // Counter-for-counter equality; wall-clock fields are excluded.
+    assert_eq!(a.stats.edges_traversed, b.stats.edges_traversed, "{ctx}");
+    assert_eq!(a.stats.phases, b.stats.phases, "{ctx}");
+    assert_eq!(a.stats.augmenting_paths, b.stats.augmenting_paths, "{ctx}");
+    assert_eq!(
+        a.stats.total_augmenting_path_edges, b.stats.total_augmenting_path_edges,
+        "{ctx}"
+    );
+    assert_eq!(
+        a.stats.initial_cardinality, b.stats.initial_cardinality,
+        "{ctx}"
+    );
+    assert_eq!(
+        a.stats.final_cardinality, b.stats.final_cardinality,
+        "{ctx}"
+    );
+}
+
+/// One workspace, every engine, three graphs, three rounds: 99 recycled
+/// solves all matching their fresh twins exactly.
+#[test]
+fn recycled_workspace_matches_fresh_solves_exactly() {
+    let gs = graphs();
+    let inits: Vec<Matching> = gs
+        .iter()
+        .map(|g| matching::init::Initializer::KarpSipser.run(g, 0xBEEF))
+        .collect();
+    let opts = SolveOptions {
+        initializer: matching::init::Initializer::None,
+        ..SolveOptions::default()
+    };
+    let mut ws = SolveWorkspace::new();
+    for round in 0..3 {
+        // Interleave: engines in the inner loop so consecutive solves on
+        // the shared workspace switch engine AND graph every time.
+        for (gi, (g, m0)) in gs.iter().zip(&inits).enumerate() {
+            for &alg in ENGINES {
+                let fresh = solve_from(g, m0.clone(), alg, &opts);
+                let reused = solve_from_in(g, m0.clone(), alg, &opts, &mut ws);
+                assert_same_outcome(alg, round, gi, &fresh, &reused);
+            }
+        }
+    }
+}
+
+/// Three consecutive recycled solves of the *same* instance are
+/// reproducible among themselves (no state leaks between back-to-back
+/// runs on an already-warm workspace).
+#[test]
+fn consecutive_warm_solves_are_reproducible() {
+    let g = gen::preferential_attachment(1200, 1200, 4, 0.5, 11);
+    let m0 = matching::init::Initializer::Greedy.run(&g, 3);
+    let opts = SolveOptions {
+        initializer: matching::init::Initializer::None,
+        ..SolveOptions::default()
+    };
+    for &alg in ENGINES {
+        let mut ws = SolveWorkspace::new();
+        let first = solve_from_in(&g, m0.clone(), alg, &opts, &mut ws);
+        for rep in 1..3 {
+            let again = solve_from_in(&g, m0.clone(), alg, &opts, &mut ws);
+            assert_same_outcome(alg, rep, 0, &first, &again);
+        }
+    }
+}
+
+/// `solve_in` (initializer inside) agrees with `solve` for a recycled
+/// workspace, and shrink() between solves is harmless.
+#[test]
+fn solve_in_and_shrink_roundtrip() {
+    let g = gen::preferential_attachment(900, 1100, 3, 0.4, 5);
+    let opts = SolveOptions::default();
+    let mut ws = SolveWorkspace::new();
+    for &alg in &[Algorithm::MsBfsGraft, Algorithm::PothenFan] {
+        let fresh = solve(&g, alg, &opts);
+        let reused = solve_in(&g, alg, &opts, &mut ws);
+        assert_eq!(fresh.matching.mates_x(), reused.matching.mates_x());
+        ws.shrink();
+        let after_shrink = solve_in(&g, alg, &opts, &mut ws);
+        assert_eq!(fresh.matching.mates_x(), after_shrink.matching.mates_x());
+    }
+}
