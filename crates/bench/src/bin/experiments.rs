@@ -6,8 +6,11 @@
 //! experiments <all|table1|table2|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|variability>...
 //!             [--scale tiny|small|medium|large] [--threads N] [--reps N] [--out DIR]
 //! experiments trace-report <file.jsonl>
+//! experiments loadgen [--connections N] [--requests N] [--batch N] [--seed S]
+//!             [--open-loop-rate R] [--scale ...] [--threads N] [--out DIR]
 //! ```
 
+use graft_bench::experiments::LoadgenOptions;
 use graft_bench::{experiments, Config};
 use graft_gen::Scale;
 
@@ -15,7 +18,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: experiments <experiment>... [--scale tiny|small|medium|large] [--threads N] [--reps N] [--out DIR] [--init none|greedy|random-greedy|karp-sipser]\n\
          \x20      experiments trace-report <file.jsonl>\n\
-         experiments: all table1 table2 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 variability ablation_alpha ablation_init ablation_pr_order dist anatomy perf-gate"
+         \x20      experiments loadgen [--connections N] [--requests N] [--batch N] [--seed S] [--open-loop-rate R]\n\
+         experiments: all table1 table2 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 variability ablation_alpha ablation_init ablation_pr_order dist anatomy perf-gate loadgen"
     );
     std::process::exit(2);
 }
@@ -34,10 +38,31 @@ fn main() {
         }
     }
     let mut cfg = Config::default();
+    let mut lg = LoadgenOptions::default();
     let mut names: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--connections" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                lg.connections = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--requests" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                lg.requests_per_conn = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--batch" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                lg.batch_size = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                lg.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--open-loop-rate" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                lg.open_loop_rate = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
             "--scale" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 cfg.scale = Scale::parse(&v).unwrap_or_else(|| usage());
@@ -76,7 +101,14 @@ fn main() {
         cfg.out_dir.display()
     );
     for name in names {
-        match experiments::run_by_name(&name, &cfg) {
+        // loadgen has its own knobs beyond `Config`, so it dispatches
+        // directly; everything else goes through the generic registry.
+        let outcome = if name == "loadgen" {
+            experiments::loadgen(&cfg, &lg).map(|()| true)
+        } else {
+            experiments::run_by_name(&name, &cfg)
+        };
+        match outcome {
             Ok(true) => {}
             Ok(false) => {
                 eprintln!("unknown experiment `{name}`");

@@ -12,6 +12,7 @@ mod fig6;
 mod fig7;
 mod fig8;
 mod fig9;
+mod loadgen;
 mod perf_gate;
 mod tables;
 mod variability;
@@ -27,6 +28,7 @@ pub use fig6::fig6;
 pub use fig7::fig7;
 pub use fig8::fig8;
 pub use fig9::fig9;
+pub use loadgen::{loadgen, LoadgenOptions, LOADGEN_FILE, LOADGEN_SCHEMA, PIPELINE_SPEEDUP_MIN};
 pub use perf_gate::{perf_gate, BENCH_FILE, BENCH_SCHEMA};
 pub use tables::{table1, table2};
 pub use variability::variability;
@@ -105,6 +107,7 @@ pub fn run_by_name(name: &str, cfg: &Config) -> std::io::Result<bool> {
         "dist" => dist(cfg)?,
         "anatomy" => anatomy(cfg)?,
         "perf-gate" => perf_gate(cfg)?,
+        "loadgen" => loadgen(cfg, &LoadgenOptions::default())?,
         _ => return Ok(false),
     }
     Ok(true)

@@ -84,7 +84,7 @@ fn sorted(mut v: Vec<f64>) -> Vec<f64> {
 }
 
 /// Best-effort short commit hash; "unknown" outside a git checkout.
-fn git_sha() -> String {
+pub(crate) fn git_sha() -> String {
     std::process::Command::new("git")
         .args(["rev-parse", "--short=12", "HEAD"])
         .output()
@@ -96,7 +96,7 @@ fn git_sha() -> String {
         .unwrap_or_else(|| "unknown".into())
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -114,7 +114,7 @@ fn json_escape(s: &str) -> String {
 
 /// Seconds with microsecond resolution — enough for tiny-scale solves,
 /// and locale-proof (always a plain `1.234567` literal).
-fn json_secs(v: f64) -> String {
+pub(crate) fn json_secs(v: f64) -> String {
     format!("{v:.6}")
 }
 

@@ -398,6 +398,17 @@ impl SolveWorkspace {
     pub fn footprint_bytes(&self) -> usize {
         self.ms.bytes() + self.par.bytes() + self.pf.bytes() + self.pr.bytes()
     }
+
+    /// Jumps every epoch counter to `u32::MAX`, so the *next* solve takes
+    /// the once-per-2³²-solves full-clear path. Test hook only: the wrap
+    /// is unreachable in bounded time otherwise, and its coverage must
+    /// not depend on `pub(crate)` access.
+    #[doc(hidden)]
+    pub fn force_epoch_wrap(&mut self) {
+        self.ms.epoch = u32::MAX;
+        self.par.epoch = u32::MAX;
+        self.pf.epoch = u32::MAX;
+    }
 }
 
 #[cfg(test)]

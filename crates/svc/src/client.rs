@@ -17,7 +17,7 @@
 //! Non-retryable errors (`bad-request`, `unknown-graph`, …) and `OK`
 //! replies return immediately.
 
-use crate::protocol::Reply;
+use crate::protocol::{Reply, Request};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -102,6 +102,29 @@ struct Conn {
     writer: TcpStream,
 }
 
+/// Reads one reply line, treating a clean close as `UnexpectedEof` (the
+/// retry loop reconnects on it).
+fn read_reply_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
+    let mut reply = String::new();
+    let n = reader.read_line(&mut reply)?;
+    if n == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection",
+        ));
+    }
+    Ok(reply.trim_end_matches(['\n', '\r']).to_string())
+}
+
+/// What one pipelined exchange produced.
+enum BatchExchange {
+    /// The batch header itself was refused (`ERR ...` before any member
+    /// reply); carries the header line.
+    HeaderErr(String),
+    /// The full in-order member replies (some may be `ERR` lines).
+    Members(Vec<String>),
+}
+
 /// A reconnecting, retrying, newline-protocol client.
 pub struct RetryClient {
     addr: String,
@@ -156,6 +179,8 @@ impl RetryClient {
             let stream = TcpStream::connect(&self.addr)?;
             stream.set_read_timeout(Some(self.policy.io_timeout))?;
             stream.set_write_timeout(Some(self.policy.io_timeout))?;
+            // Request/reply traffic: never trade latency for coalescing.
+            stream.set_nodelay(true)?;
             let reader = BufReader::new(stream.try_clone()?);
             self.conn = Some(Conn {
                 reader,
@@ -187,6 +212,96 @@ impl RetryClient {
             self.conn = None;
         }
         result
+    }
+
+    /// One raw pipelined exchange: the `SOLVE_BATCH n` header and every
+    /// member line go out in a single buffered write, then the header
+    /// reply plus exactly `n` member replies are read back. Any I/O
+    /// failure — including the server dying mid-reply-stream —
+    /// invalidates the connection so the next attempt resends the whole
+    /// batch on a fresh socket.
+    fn exchange_batch(&mut self, members: &[String]) -> std::io::Result<BatchExchange> {
+        let result = (|| {
+            let conn = self.connect()?;
+            let header = Request::SolveBatch {
+                count: members.len(),
+            }
+            .wire();
+            let mut buf = String::with_capacity(
+                header.len() + 1 + members.iter().map(|m| m.len() + 1).sum::<usize>(),
+            );
+            buf.push_str(&header);
+            buf.push('\n');
+            for m in members {
+                buf.push_str(m);
+                buf.push('\n');
+            }
+            conn.writer.write_all(buf.as_bytes())?;
+            conn.writer.flush()?;
+            let header_reply = read_reply_line(&mut conn.reader)?;
+            if !header_reply.starts_with("OK") {
+                // A refused header produces no member replies; the
+                // stream is still framed for the next request.
+                return Ok(BatchExchange::HeaderErr(header_reply));
+            }
+            let mut replies = Vec::with_capacity(members.len());
+            for _ in 0..members.len() {
+                replies.push(read_reply_line(&mut conn.reader)?);
+            }
+            Ok(BatchExchange::Members(replies))
+        })();
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+
+    /// Sends `members` as one pipelined `SOLVE_BATCH` round trip and
+    /// returns the in-order member replies. Transport failures —
+    /// including a connection dropped halfway through the reply stream —
+    /// retry the *whole* batch on a fresh connection (solves are
+    /// idempotent), as do retryable header-level errors. Per-member
+    /// `ERR` lines are returned in-slot without retrying: the caller
+    /// sees exactly what the server decided for each slot. A
+    /// non-retryable header-level `ERR` (e.g. a count past the server's
+    /// limit) is returned as a single-element vec, mirroring how
+    /// [`request`](Self::request) surfaces non-retryable replies.
+    pub fn request_batch(&mut self, members: &[String]) -> Result<Vec<String>, ClientError> {
+        let mut last_io: Option<std::io::Error> = None;
+        let mut last_reply: Option<String> = None;
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                let hint = last_reply.as_deref().and_then(retry_after_hint);
+                std::thread::sleep(self.backoff(attempt - 1, hint));
+                self.retries += 1;
+            }
+            match self.exchange_batch(members) {
+                Err(e) => {
+                    last_io = Some(e);
+                    last_reply = None;
+                }
+                Ok(BatchExchange::Members(replies)) => return Ok(replies),
+                Ok(BatchExchange::HeaderErr(header)) => {
+                    let retryable = matches!(
+                        Reply::parse(&header),
+                        Some(Reply::Err { ref code, .. }) if code_is_retryable(code)
+                    );
+                    if !retryable {
+                        return Ok(vec![header]);
+                    }
+                    last_io = None;
+                    last_reply = Some(header);
+                }
+            }
+        }
+        match (last_reply, last_io) {
+            (Some(reply), _) => Err(ClientError::RetriesExhausted {
+                attempts: self.policy.max_attempts,
+                last_reply: reply,
+            }),
+            (None, Some(e)) => Err(ClientError::Io(e)),
+            (None, None) => unreachable!("at least one attempt ran"),
+        }
     }
 
     /// Sends `line` and returns the reply line, retrying transient
@@ -335,6 +450,66 @@ mod tests {
             }
             other => panic!("expected RetriesExhausted, got {other:?}"),
         }
+    }
+
+    fn batch(lines: &[&str]) -> Vec<String> {
+        lines.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn batch_replies_come_back_in_order() {
+        let addr = scripted_server(vec![vec![
+            "OK batch=3",
+            "OK cardinality=1",
+            "ERR unknown-graph no graph named `h`",
+            "OK cardinality=3",
+        ]]);
+        let mut c = RetryClient::new(addr, fast_policy());
+        let replies = c
+            .request_batch(&batch(&["SOLVE g", "SOLVE h", "SOLVE g"]))
+            .unwrap();
+        assert_eq!(replies.len(), 3);
+        assert_eq!(replies[0], "OK cardinality=1");
+        assert!(
+            replies[1].starts_with("ERR unknown-graph"),
+            "{}",
+            replies[1]
+        );
+        assert_eq!(replies[2], "OK cardinality=3");
+        assert_eq!(c.retries, 0, "member-level ERRs are not retried");
+    }
+
+    #[test]
+    fn batch_resumes_on_fresh_connection_after_mid_stream_drop() {
+        // The first connection dies after the header and one member
+        // reply; the client must resend the whole batch and return the
+        // complete second stream.
+        let addr = scripted_server(vec![
+            vec!["OK batch=2", "OK first-attempt"],
+            vec!["OK batch=2", "OK a", "OK b"],
+        ]);
+        let mut c = RetryClient::new(addr, fast_policy());
+        let replies = c.request_batch(&batch(&["SOLVE g", "SOLVE g"])).unwrap();
+        assert_eq!(replies, vec!["OK a".to_string(), "OK b".to_string()]);
+        assert_eq!(c.retries, 1, "exactly the one reconnect retry");
+    }
+
+    #[test]
+    fn batch_header_bad_request_returns_without_retry() {
+        let addr = scripted_server(vec![vec!["ERR bad-request batch count 9999999 too big"]]);
+        let mut c = RetryClient::new(addr, fast_policy());
+        let replies = c.request_batch(&batch(&["SOLVE g"])).unwrap();
+        assert_eq!(replies.len(), 1);
+        assert!(replies[0].starts_with("ERR bad-request"), "{}", replies[0]);
+        assert_eq!(c.retries, 0);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let addr = scripted_server(vec![vec!["OK batch=0"]]);
+        let mut c = RetryClient::new(addr, fast_policy());
+        let replies = c.request_batch(&[]).unwrap();
+        assert!(replies.is_empty());
     }
 
     #[test]

@@ -23,13 +23,17 @@
 //! * [`metrics`] — atomic counters and latency histograms (global,
 //!   per-algorithm, and per-graph) behind the `STATS` command;
 //! * [`protocol`] / [`server`] — a newline-delimited TCP protocol
-//!   (`LOAD`, `GEN`, `SOLVE`, `STATS`, `HEALTH`, `TRACE`, `EVICT`,
-//!   `SHUTDOWN`) on `std::net`, one reader thread per connection. No
-//!   async runtime: plain blocking I/O and threads are plenty for a
-//!   solver service whose unit of work is milliseconds to seconds.
-//!   Solves run under a [`graft_core::Tracer`] feeding a bounded
-//!   in-memory ring; `TRACE` streams the most recent events back as
-//!   JSONL.
+//!   (`LOAD`, `GEN`, `SOLVE`, `SOLVE_BATCH`, `STATS`, `HEALTH`, `TRACE`,
+//!   `EVICT`, `SHUTDOWN`) on `std::net`, one reader thread per
+//!   connection. No async runtime: plain blocking I/O and threads are
+//!   plenty for a solver service whose unit of work is milliseconds to
+//!   seconds. `SOLVE_BATCH n` **pipelines**: `n` member lines are read
+//!   up front, scheduled concurrently across the worker pool, and
+//!   answered in request order through a reorder buffer — one round
+//!   trip amortized over the whole batch, with per-member typed `ERR`s
+//!   landing in-slot. Solves run under a [`graft_core::Tracer`] feeding
+//!   a bounded in-memory ring; `TRACE` streams the most recent events
+//!   back as JSONL.
 //!
 //! The resilience core on top:
 //!
@@ -93,7 +97,10 @@ pub use error::SvcError;
 pub use faults::{Fault, FaultPlan, FaultSite};
 pub use lru::{LruCache, LruStats};
 pub use metrics::Metrics;
-pub use protocol::{parse_request, Reply, Request, MAX_LINE_BYTES};
+pub use protocol::{
+    parse_batch_member, parse_request, BatchMember, Reply, Request, SolveSpec, MAX_BATCH,
+    MAX_LINE_BYTES,
+};
 pub use registry::{GraphRegistry, GraphSource, RegistryStats};
 pub use scheduler::Scheduler;
 pub use server::{serve, ServeConfig, Server, ShutdownHandle};

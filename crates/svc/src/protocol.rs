@@ -8,6 +8,7 @@
 //! LOAD <name> <path.mtx>
 //! GEN <name> <suite>[:<scale>]
 //! SOLVE <name> [algorithm] [timeout_ms=N] [threads=N] [cold]
+//! SOLVE_BATCH <n>
 //! STATS
 //! HEALTH
 //! TRACE [n]
@@ -18,9 +19,23 @@
 //!
 //! Replies are `OK key=value ...` or `ERR <code> <message>`, where
 //! `<code>` is [`SvcError::code`]. Keywords are case-insensitive;
-//! names are case-sensitive. `TRACE` is the one multi-line reply: its
-//! `OK events=N` line is followed by exactly `N` JSON trace-event lines
-//! (the [`graft_core::trace`] schema, newest last).
+//! names are case-sensitive. `TRACE` is one of two multi-line replies:
+//! its `OK events=N` line is followed by exactly `N` JSON trace-event
+//! lines (the [`graft_core::trace`] schema, newest last).
+//!
+//! `SOLVE_BATCH <n>` is the pipelined path: the header line is followed
+//! by exactly `n` **member lines**, each either the argument list of a
+//! `SOLVE` (`<name> [algorithm] [timeout_ms=N] [threads=N] [cold]`) or
+//! `SLEEP <ms>`. The reply is the header `OK batch=<n>` followed by
+//! exactly `n` reply lines, **in member order** — each `OK ...` exactly
+//! as the equivalent one-shot request would have produced, or a typed
+//! `ERR` for just that member (a failed member never desynchronizes the
+//! stream: its slot is filled and the remaining members still run).
+//! Members are scheduled concurrently across the worker pool, which is
+//! where the throughput over one-round-trip-per-request comes from.
+//! `n` may be `0` (the reply is just `OK batch=0`) and is capped at
+//! [`MAX_BATCH`]; a header above the cap is refused **before** any
+//! member line is consumed.
 //!
 //! Hardening: a request line longer than [`MAX_LINE_BYTES`], containing a
 //! NUL byte, or holding invalid UTF-8 is answered with a typed
@@ -35,6 +50,142 @@ use std::fmt::Write as _;
 /// lines are rejected with `ERR bad-request` and discarded up to the next
 /// newline, keeping the connection usable.
 pub const MAX_LINE_BYTES: usize = 8192;
+
+/// Upper bound on `SOLVE_BATCH <n>`: anything larger is a typo or an
+/// attack, not a real batch (a client wanting more issues more batches —
+/// the pipeline never drains between them anyway).
+pub const MAX_BATCH: usize = 4096;
+
+/// Everything a `SOLVE` carries after the verb. Shared between the
+/// one-shot [`Request::Solve`] and `SOLVE_BATCH` members
+/// ([`BatchMember::Solve`]), so both paths parse and execute
+/// identically — the differential tests pin exactly this.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveSpec {
+    /// Registry name of the graph.
+    pub name: String,
+    /// Algorithm to run.
+    pub algorithm: Algorithm,
+    /// Per-job deadline, from now.
+    pub timeout_ms: Option<u64>,
+    /// Thread count for parallel algorithms (0 = default pool).
+    pub threads: usize,
+    /// Ignore any cached warm-start matching.
+    pub cold: bool,
+}
+
+impl SolveSpec {
+    /// A spec with every option at its default (the same defaults
+    /// `SOLVE <name>` parses to).
+    pub fn new(name: impl Into<String>) -> SolveSpec {
+        SolveSpec {
+            name: name.into(),
+            algorithm: Algorithm::MsBfsGraftParallel,
+            timeout_ms: None,
+            threads: 0,
+            cold: false,
+        }
+    }
+
+    /// The canonical argument list after the `SOLVE` verb (also a valid
+    /// `SOLVE_BATCH` member line).
+    pub fn wire_args(&self) -> String {
+        let mut s = format!("{} {}", self.name, self.algorithm.cli_name());
+        if let Some(ms) = self.timeout_ms {
+            let _ = write!(s, " timeout_ms={ms}");
+        }
+        if self.threads != 0 {
+            let _ = write!(s, " threads={}", self.threads);
+        }
+        if self.cold {
+            s.push_str(" cold");
+        }
+        s
+    }
+
+    /// Parses `<name> [algorithm] [timeout_ms=N] [threads=N] [cold]`.
+    fn parse<'a>(mut tokens: impl Iterator<Item = &'a str>) -> Result<SolveSpec, SvcError> {
+        let name = tokens
+            .next()
+            .ok_or_else(|| bad("SOLVE needs <name> [algorithm] [options]"))?;
+        let mut spec = SolveSpec::new(name);
+        for (i, tok) in tokens.enumerate() {
+            if let Some(v) = tok.strip_prefix("timeout_ms=") {
+                spec.timeout_ms = Some(
+                    v.parse()
+                        .map_err(|_| bad(format!("bad timeout_ms `{v}`")))?,
+                );
+            } else if let Some(v) = tok.strip_prefix("threads=") {
+                spec.threads = v.parse().map_err(|_| bad(format!("bad threads `{v}`")))?;
+            } else if tok.eq_ignore_ascii_case("cold") {
+                spec.cold = true;
+            } else if i == 0 {
+                spec.algorithm = Algorithm::parse(tok)
+                    .ok_or_else(|| bad(format!("unknown algorithm `{tok}`")))?;
+            } else {
+                return Err(bad(format!("unknown SOLVE option `{tok}`")));
+            }
+        }
+        Ok(spec)
+    }
+}
+
+/// One member of a `SOLVE_BATCH`: a solve, or a worker-occupying sleep
+/// (the latter mirrors the `SLEEP` verb and exists for operational and
+/// concurrency testing — e.g. holding the pool busy while `EVICT` or
+/// `SHUTDOWN` land mid-batch).
+#[derive(Clone, Debug, PartialEq)]
+pub enum BatchMember {
+    /// `<name> [algorithm] [options]` — scheduled like a one-shot `SOLVE`.
+    Solve(SolveSpec),
+    /// `SLEEP <ms>` — scheduled like a one-shot `SLEEP`.
+    Sleep {
+        /// Sleep duration in milliseconds.
+        ms: u64,
+    },
+}
+
+impl BatchMember {
+    /// The canonical member-line encoding; [`parse_batch_member`] inverts
+    /// it exactly.
+    pub fn wire(&self) -> String {
+        match self {
+            BatchMember::Solve(spec) => spec.wire_args(),
+            BatchMember::Sleep { ms } => format!("SLEEP {ms}"),
+        }
+    }
+}
+
+/// Parses one `SOLVE_BATCH` member line. The first token `SLEEP`
+/// (case-insensitive) selects the sleep form; anything else is a graph
+/// name starting a solve spec — which means a graph literally named
+/// `sleep` cannot be batch-solved (rename it; the one-shot `SOLVE` still
+/// works).
+pub fn parse_batch_member(line: &str) -> Result<BatchMember, SvcError> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(bad(format!(
+            "batch member line exceeds {MAX_LINE_BYTES} bytes"
+        )));
+    }
+    if line.contains('\0') {
+        return Err(bad("NUL byte in batch member"));
+    }
+    let line = line.strip_suffix('\r').unwrap_or(line);
+    let mut tokens = line.split_whitespace().peekable();
+    match tokens.peek() {
+        None => Err(bad("empty batch member")),
+        Some(tok) if tok.eq_ignore_ascii_case("sleep") => {
+            tokens.next();
+            let ms = tokens.next().ok_or_else(|| bad("SLEEP needs <ms>"))?;
+            let ms = ms.parse().map_err(|_| bad(format!("bad ms `{ms}`")))?;
+            if tokens.next().is_some() {
+                return Err(bad("unexpected trailing tokens"));
+            }
+            Ok(BatchMember::Sleep { ms })
+        }
+        Some(_) => Ok(BatchMember::Solve(SolveSpec::parse(tokens)?)),
+    }
+}
 
 /// A parsed request line.
 #[derive(Clone, Debug, PartialEq)]
@@ -54,17 +205,13 @@ pub enum Request {
         spec: String,
     },
     /// Solve for a maximum matching.
-    Solve {
-        /// Registry name of the graph.
-        name: String,
-        /// Algorithm to run.
-        algorithm: Algorithm,
-        /// Per-job deadline, from now.
-        timeout_ms: Option<u64>,
-        /// Thread count for parallel algorithms (0 = default pool).
-        threads: usize,
-        /// Ignore any cached warm-start matching.
-        cold: bool,
+    Solve(SolveSpec),
+    /// Header of a pipelined batch: exactly `count` member lines follow
+    /// (see [`parse_batch_member`]), and the reply is `OK batch=<count>`
+    /// followed by `count` reply lines in member order.
+    SolveBatch {
+        /// Number of member lines that follow (≤ [`MAX_BATCH`]).
+        count: usize,
     },
     /// One-line counter dump.
     Stats,
@@ -101,25 +248,8 @@ impl Request {
         match self {
             Request::Load { name, path } => format!("LOAD {name} {path}"),
             Request::Gen { name, spec } => format!("GEN {name} {spec}"),
-            Request::Solve {
-                name,
-                algorithm,
-                timeout_ms,
-                threads,
-                cold,
-            } => {
-                let mut s = format!("SOLVE {name} {}", algorithm.cli_name());
-                if let Some(ms) = timeout_ms {
-                    let _ = write!(s, " timeout_ms={ms}");
-                }
-                if *threads != 0 {
-                    let _ = write!(s, " threads={threads}");
-                }
-                if *cold {
-                    s.push_str(" cold");
-                }
-                s
-            }
+            Request::Solve(spec) => format!("SOLVE {}", spec.wire_args()),
+            Request::SolveBatch { count } => format!("SOLVE_BATCH {count}"),
             Request::Stats => "STATS".to_string(),
             Request::Health => "HEALTH".to_string(),
             Request::Trace { limit: None } => "TRACE".to_string(),
@@ -217,38 +347,18 @@ pub fn parse_request(line: &str) -> Result<Request, SvcError> {
                 spec: spec.to_string(),
             }
         }
-        "SOLVE" => {
-            let name = tokens
-                .next()
-                .ok_or_else(|| bad("SOLVE needs <name> [algorithm] [options]"))?;
-            let mut algorithm = Algorithm::MsBfsGraftParallel;
-            let mut timeout_ms = None;
-            let mut threads = 0usize;
-            let mut cold = false;
-            for (i, tok) in tokens.by_ref().enumerate() {
-                if let Some(v) = tok.strip_prefix("timeout_ms=") {
-                    timeout_ms = Some(
-                        v.parse()
-                            .map_err(|_| bad(format!("bad timeout_ms `{v}`")))?,
-                    );
-                } else if let Some(v) = tok.strip_prefix("threads=") {
-                    threads = v.parse().map_err(|_| bad(format!("bad threads `{v}`")))?;
-                } else if tok.eq_ignore_ascii_case("cold") {
-                    cold = true;
-                } else if i == 0 {
-                    algorithm = Algorithm::parse(tok)
-                        .ok_or_else(|| bad(format!("unknown algorithm `{tok}`")))?;
-                } else {
-                    return Err(bad(format!("unknown SOLVE option `{tok}`")));
-                }
+        "SOLVE" => Request::Solve(SolveSpec::parse(tokens.by_ref())?),
+        "SOLVE_BATCH" => {
+            let n = tokens.next().ok_or_else(|| bad("SOLVE_BATCH needs <n>"))?;
+            let count: usize = n
+                .parse()
+                .map_err(|_| bad(format!("bad batch count `{n}`")))?;
+            if count > MAX_BATCH {
+                return Err(bad(format!(
+                    "batch count {count} exceeds the maximum {MAX_BATCH}"
+                )));
             }
-            Request::Solve {
-                name: name.to_string(),
-                algorithm,
-                timeout_ms,
-                threads,
-                cold,
-            }
+            Request::SolveBatch { count }
         }
         "STATS" => Request::Stats,
         "HEALTH" => Request::Health,
@@ -286,6 +396,7 @@ pub fn parse_request(line: &str) -> Result<Request, SvcError> {
             | Request::Load { .. }
             | Request::Gen { .. }
             | Request::Trace { .. }
+            | Request::SolveBatch { .. }
     ) && tokens.next().is_some()
     {
         return Err(bad("unexpected trailing tokens"));
@@ -307,44 +418,119 @@ mod tests {
         let req = parse_request("SOLVE g ms-bfs-graft timeout_ms=250 threads=2 cold").unwrap();
         assert_eq!(
             req,
-            Request::Solve {
+            Request::Solve(SolveSpec {
                 name: "g".into(),
                 algorithm: Algorithm::MsBfsGraft,
                 timeout_ms: Some(250),
                 threads: 2,
                 cold: true,
-            }
+            })
         );
     }
 
     #[test]
     fn solve_defaults() {
         let req = parse_request("solve g").unwrap();
-        assert_eq!(
-            req,
-            Request::Solve {
-                name: "g".into(),
-                algorithm: Algorithm::MsBfsGraftParallel,
-                timeout_ms: None,
-                threads: 0,
-                cold: false,
-            }
-        );
+        assert_eq!(req, Request::Solve(SolveSpec::new("g")));
     }
 
     #[test]
     fn options_without_algorithm() {
         let req = parse_request("SOLVE g timeout_ms=5").unwrap();
         match req {
-            Request::Solve {
-                algorithm,
-                timeout_ms,
-                ..
-            } => {
-                assert_eq!(algorithm, Algorithm::MsBfsGraftParallel);
-                assert_eq!(timeout_ms, Some(5));
+            Request::Solve(spec) => {
+                assert_eq!(spec.algorithm, Algorithm::MsBfsGraftParallel);
+                assert_eq!(spec.timeout_ms, Some(5));
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_solve_batch_header() {
+        assert_eq!(
+            parse_request("SOLVE_BATCH 8").unwrap(),
+            Request::SolveBatch { count: 8 }
+        );
+        assert_eq!(
+            parse_request("solve_batch 0").unwrap(),
+            Request::SolveBatch { count: 0 }
+        );
+        assert_eq!(
+            parse_request(&format!("SOLVE_BATCH {MAX_BATCH}")).unwrap(),
+            Request::SolveBatch { count: MAX_BATCH }
+        );
+        for line in [
+            "SOLVE_BATCH",
+            "SOLVE_BATCH x",
+            "SOLVE_BATCH -1",
+            "SOLVE_BATCH 3 4",
+            &format!("SOLVE_BATCH {}", MAX_BATCH + 1),
+        ] {
+            assert!(
+                matches!(parse_request(line), Err(SvcError::BadRequest(_))),
+                "line `{line}` should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_batch_members() {
+        assert_eq!(
+            parse_batch_member("g ms-bfs-graft timeout_ms=9 cold").unwrap(),
+            BatchMember::Solve(SolveSpec {
+                name: "g".into(),
+                algorithm: Algorithm::MsBfsGraft,
+                timeout_ms: Some(9),
+                threads: 0,
+                cold: true,
+            })
+        );
+        assert_eq!(
+            parse_batch_member("g").unwrap(),
+            BatchMember::Solve(SolveSpec::new("g"))
+        );
+        assert_eq!(
+            parse_batch_member("SLEEP 25").unwrap(),
+            BatchMember::Sleep { ms: 25 }
+        );
+        assert_eq!(
+            parse_batch_member("sleep 0\r").unwrap(),
+            BatchMember::Sleep { ms: 0 }
+        );
+        for line in [
+            "",
+            "   ",
+            "g not-an-algorithm",
+            "g hk pf",
+            "SLEEP",
+            "SLEEP abc",
+            "SLEEP 1 2",
+            "g\0",
+        ] {
+            assert!(
+                matches!(parse_batch_member(line), Err(SvcError::BadRequest(_))),
+                "member `{line}` should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_member_wire_round_trips() {
+        let members = [
+            BatchMember::Solve(SolveSpec::new("g")),
+            BatchMember::Solve(SolveSpec {
+                name: "other".into(),
+                algorithm: Algorithm::HopcroftKarp,
+                timeout_ms: Some(7),
+                threads: 3,
+                cold: true,
+            }),
+            BatchMember::Sleep { ms: 12 },
+        ];
+        for m in members {
+            let wire = m.wire();
+            assert_eq!(parse_batch_member(&wire).unwrap(), m, "wire `{wire}`");
         }
     }
 
@@ -456,20 +642,15 @@ mod tests {
                 name: "g".into(),
                 spec: "kkt_power:tiny".into(),
             },
-            Request::Solve {
+            Request::Solve(SolveSpec {
                 name: "g".into(),
                 algorithm: Algorithm::MsBfsGraft,
                 timeout_ms: Some(250),
                 threads: 2,
                 cold: true,
-            },
-            Request::Solve {
-                name: "g".into(),
-                algorithm: Algorithm::MsBfsGraftParallel,
-                timeout_ms: None,
-                threads: 0,
-                cold: false,
-            },
+            }),
+            Request::Solve(SolveSpec::new("g")),
+            Request::SolveBatch { count: 16 },
             Request::Stats,
             Request::Health,
             Request::Trace { limit: None },

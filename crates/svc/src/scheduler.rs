@@ -36,11 +36,39 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Where a job's result goes: its submitter's private channel
+/// ([`Scheduler::submit`]), or a shared **completion queue** with the
+/// submitter's tag attached ([`Scheduler::submit_tagged`]) — the server's
+/// pipelined `SOLVE_BATCH` path drains one such queue per connection and
+/// reorders completions back into request order.
+enum ReplyTx<R> {
+    Private(mpsc::Sender<Result<R, SvcError>>),
+    Tagged {
+        tag: u64,
+        tx: mpsc::Sender<(u64, Result<R, SvcError>)>,
+    },
+}
+
+impl<R> ReplyTx<R> {
+    /// Delivers the result; a hung-up receiver is fine (the submitter's
+    /// connection dropped).
+    fn send(self, result: Result<R, SvcError>) {
+        match self {
+            ReplyTx::Private(tx) => {
+                let _ = tx.send(result);
+            }
+            ReplyTx::Tagged { tag, tx } => {
+                let _ = tx.send((tag, result));
+            }
+        }
+    }
+}
+
 struct Item<J, R> {
     job: J,
     id: u64,
     enqueued: Instant,
-    tx: mpsc::Sender<Result<R, SvcError>>,
+    tx: ReplyTx<R>,
 }
 
 struct Shared<J, R> {
@@ -155,6 +183,33 @@ impl<J: Send + 'static, R: Send + 'static> Scheduler<J, R> {
     /// [`SvcError::Overloaded`] when the queue is full.
     pub fn submit(&self, job: J) -> Result<mpsc::Receiver<Result<R, SvcError>>, SvcError> {
         let (tx, rx) = mpsc::channel();
+        self.enqueue(job, ReplyTx::Private(tx))?;
+        Ok(rx)
+    }
+
+    /// Like [`submit`](Self::submit), but the result is delivered on the
+    /// caller-supplied shared channel as `(tag, result)` instead of a
+    /// private receiver. Many tagged jobs can share one channel — a
+    /// completion queue — and the caller matches completions back to
+    /// requests by tag, in whatever order workers finish. Rejections
+    /// (full queue, shutdown) are synchronous, exactly as for `submit`:
+    /// a rejected job never produces a completion.
+    pub fn submit_tagged(
+        &self,
+        job: J,
+        tag: u64,
+        tx: &mpsc::Sender<(u64, Result<R, SvcError>)>,
+    ) -> Result<(), SvcError> {
+        self.enqueue(
+            job,
+            ReplyTx::Tagged {
+                tag,
+                tx: tx.clone(),
+            },
+        )
+    }
+
+    fn enqueue(&self, job: J, tx: ReplyTx<R>) -> Result<(), SvcError> {
         let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         if q.shutdown {
             return Err(SvcError::ShuttingDown);
@@ -187,7 +242,7 @@ impl<J: Send + 'static, R: Send + 'static> Scheduler<J, R> {
             .store(q.items.len(), Ordering::Relaxed);
         drop(q);
         self.shared.cv.notify_one();
-        Ok(rx)
+        Ok(())
     }
 
     /// Refuses new jobs; queued jobs still drain.
@@ -283,7 +338,7 @@ where
             .jobs_completed
             .fetch_add(1, Ordering::Relaxed);
         // The submitter may have hung up (connection dropped): fine.
-        let _ = item.tx.send(result);
+        item.tx.send(result);
         let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         q.active -= 1;
         drop(q);
@@ -471,6 +526,81 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 4, "job ids must be unique");
+        sched.join();
+    }
+
+    #[test]
+    fn tagged_jobs_share_one_completion_queue() {
+        let metrics = Arc::new(Metrics::new());
+        let sched = Scheduler::new(2, 16, Arc::clone(&metrics), |job: u32| job * 10);
+        let (tx, rx) = mpsc::channel();
+        for tag in 0..6u64 {
+            sched.submit_tagged(tag as u32, tag, &tx).unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<(u64, u32)> = (0..6)
+            .map(|_| {
+                let (tag, result) = rx.recv().expect("completion arrives");
+                (tag, result.unwrap())
+            })
+            .collect();
+        got.sort_unstable();
+        let want: Vec<(u64, u32)> = (0..6).map(|t| (t, t as u32 * 10)).collect();
+        assert_eq!(got, want, "every tag completes exactly once");
+        assert!(rx.recv().is_err(), "no extra completions");
+        sched.join();
+    }
+
+    #[test]
+    fn tagged_panic_reports_internal_under_its_tag() {
+        let metrics = Arc::new(Metrics::new());
+        let sched = Scheduler::new(1, 8, Arc::clone(&metrics), |job: u32| {
+            if job == 2 {
+                panic!("injected");
+            }
+            job
+        });
+        let (tx, rx) = mpsc::channel();
+        for tag in 0..4u64 {
+            sched.submit_tagged(tag as u32, tag, &tx).unwrap();
+        }
+        drop(tx);
+        let mut oks = 0;
+        let mut internals = Vec::new();
+        for _ in 0..4 {
+            match rx.recv().unwrap() {
+                (_, Ok(_)) => oks += 1,
+                (tag, Err(SvcError::Internal { .. })) => internals.push(tag),
+                (tag, other) => panic!("tag {tag}: unexpected {other:?}"),
+            }
+        }
+        assert_eq!(oks, 3);
+        assert_eq!(internals, vec![2], "the panic lands under its own tag");
+        assert_eq!(metrics.panics.load(Ordering::Relaxed), 1);
+        sched.join();
+    }
+
+    #[test]
+    fn tagged_rejections_are_synchronous_and_produce_no_completion() {
+        let (sched, gate, started, _metrics) = gated_scheduler(1, 1);
+        let (tx, rx) = mpsc::channel();
+        sched.submit_tagged(1, 0, &tx).unwrap();
+        started.recv_timeout(LONG).expect("worker picked up job 0");
+        sched.submit_tagged(2, 1, &tx).unwrap(); // fills the queue
+        match sched.submit_tagged(3, 2, &tx) {
+            Err(SvcError::Overloaded { .. }) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        drop(tx);
+        gate.send(()).unwrap();
+        gate.send(()).unwrap();
+        let mut tags: Vec<u64> = (0..2).map(|_| rx.recv().unwrap().0).collect();
+        tags.sort_unstable();
+        assert_eq!(tags, vec![0, 1]);
+        assert!(
+            rx.recv().is_err(),
+            "the rejected tag must never complete later"
+        );
         sched.join();
     }
 

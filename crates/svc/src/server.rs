@@ -16,7 +16,13 @@
 //!   refused with `ERR too-large` before anything is materialized;
 //! * the fixed **worker pool** (the [`Scheduler`]) executes `SOLVE` and
 //!   `SLEEP` jobs behind a panic firewall: a panicking job answers
-//!   `ERR internal job=<id>` and the worker survives.
+//!   `ERR internal job=<id>` and the worker survives;
+//! * `SOLVE_BATCH n` **pipelines**: the connection thread reads all `n`
+//!   member lines, submits them to the pool tagged with their slot
+//!   index, and replies `OK batch=<n>` plus one line per slot *in
+//!   request order* as a reorder buffer resolves — a malformed, refused,
+//!   timed-out, or panicking member yields its typed `ERR` in-slot
+//!   without desynchronizing the rest.
 //!
 //! **Drain protocol**: `SHUTDOWN` (or SIGTERM via
 //! [`ShutdownHandle::initiate`]) flips the service to `draining` —
@@ -33,7 +39,9 @@
 use crate::error::SvcError;
 use crate::faults::FaultPlan;
 use crate::metrics::Metrics;
-use crate::protocol::{err_line, parse_request, Request, MAX_LINE_BYTES};
+use crate::protocol::{
+    err_line, parse_batch_member, parse_request, BatchMember, Request, SolveSpec, MAX_LINE_BYTES,
+};
 use crate::registry::{
     estimate_source_bytes, parse_gen_spec, GraphInfo, GraphRegistry, GraphSource,
 };
@@ -49,7 +57,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Server tunables.
@@ -426,6 +434,9 @@ impl Server {
                 Ok(s) => s,
                 Err(_) => continue,
             };
+            // Replies are single small lines; Nagle would hold them
+            // hostage to the peer's delayed ACK. Best-effort.
+            let _ = stream.set_nodelay(true);
             // Connection cap: shed with a typed reply instead of
             // accepting work the server can't isolate.
             if self.metrics.connections_open.load(Ordering::Relaxed) >= self.cfg.max_connections {
@@ -558,23 +569,14 @@ fn dispatch(req: Request, ctx: &ConnCtx<'_>) -> String {
             Ok(src) => register_guarded(ctx, &name, src),
             Err(e) => err_line(&e),
         },
-        Request::Solve {
-            name,
-            algorithm,
-            timeout_ms,
-            threads,
-            cold,
-        } => {
-            let now = Instant::now();
-            let job = Job::Solve {
-                name,
-                algorithm,
-                deadline: timeout_ms.map(|ms| now + std::time::Duration::from_millis(ms)),
-                threads,
-                cold,
-                submitted: now,
-            };
-            submit_and_wait(ctx, job)
+        Request::Solve(spec) => submit_and_wait(ctx, job_from_spec(spec)),
+        Request::SolveBatch { .. } => {
+            // Batches are intercepted by `handle_connection` (only it can
+            // read the member lines); reaching this arm means a caller
+            // dispatched the header without the stream.
+            err_line(&SvcError::BadRequest(
+                "SOLVE_BATCH requires a connection stream".to_string(),
+            ))
         }
         Request::Sleep { ms } => submit_and_wait(ctx, Job::Sleep(ms)),
         Request::Stats => {
@@ -640,6 +642,18 @@ fn dispatch(req: Request, ctx: &ConnCtx<'_>) -> String {
             format!("OK name={name} evicted={evicted}")
         }
         Request::Shutdown => "OK bye".to_string(),
+    }
+}
+
+fn job_from_spec(spec: SolveSpec) -> Job {
+    let now = Instant::now();
+    Job::Solve {
+        name: spec.name,
+        algorithm: spec.algorithm,
+        deadline: spec.timeout_ms.map(|ms| now + Duration::from_millis(ms)),
+        threads: spec.threads,
+        cold: spec.cold,
+        submitted: now,
     }
 }
 
@@ -743,6 +757,150 @@ fn write_reply(writer: &mut TcpStream, metrics: &Metrics, reply: &str) -> bool {
     true
 }
 
+/// Writes a pre-assembled chunk of reply lines (each already
+/// `\n`-terminated) in one syscall. Same failure contract as
+/// [`write_reply`]: a hung-up peer becomes a metric, never a panic.
+fn write_chunk(writer: &mut TcpStream, metrics: &Metrics, chunk: &str) -> bool {
+    let r = writer
+        .write_all(chunk.as_bytes())
+        .and_then(|()| writer.flush());
+    if r.is_err() {
+        metrics.write_errors.fetch_add(1, Ordering::Relaxed);
+        return false;
+    }
+    true
+}
+
+/// The pipelined `SOLVE_BATCH` path. The connection thread reads all
+/// `count` member lines up front (consuming exactly `count` lines keeps
+/// the stream framed even when members are malformed), submits every
+/// valid member to the worker pool tagged with its slot index, and then
+/// replies in request order: `OK batch=<count>` followed by one line per
+/// slot, emitted as the in-order prefix of a reorder buffer resolves.
+///
+/// Per-member semantics match single `SOLVE`s exactly — backpressure
+/// (`ERR overloaded`), drain (`ERR shutting-down`), deadline, and the
+/// panic firewall (`ERR internal`) each land in their own slot without
+/// desynchronizing the remaining replies.
+///
+/// Returns `Ok(false)` when the connection should stop being served
+/// (peer hung up mid-batch or a write failed).
+/// Renders one tagged completion into its reply line, keeping the
+/// `solves_err` ledger in step with the `submit_and_wait` path.
+fn reply_line(ctx: &ConnCtx<'_>, result: Result<JobReply, SvcError>) -> String {
+    match result {
+        Ok(Ok(line)) => line,
+        Ok(Err(e)) => {
+            // The job ran and failed with a typed error.
+            ctx.metrics.solves_err.fetch_add(1, Ordering::Relaxed);
+            err_line(&e)
+        }
+        // The job panicked; the scheduler already counted it.
+        Err(e) => err_line(&e),
+    }
+}
+
+fn handle_batch(
+    reader: &mut impl BufRead,
+    writer: &mut TcpStream,
+    ctx: &ConnCtx<'_>,
+    count: usize,
+) -> std::io::Result<bool> {
+    let mut replies: Vec<Option<String>> = (0..count).map(|_| None).collect();
+    let mut members: Vec<Option<BatchMember>> = Vec::with_capacity(count);
+    for reply in replies.iter_mut() {
+        match read_bounded_line(reader)? {
+            // EOF mid-batch: the peer abandoned the request before
+            // framing completed; there is nobody to reply to.
+            LineRead::Eof => return Ok(false),
+            LineRead::TooLong => {
+                *reply = Some(err_line(&SvcError::BadRequest(format!(
+                    "batch member exceeds {MAX_LINE_BYTES} bytes"
+                ))));
+                members.push(None);
+            }
+            LineRead::Line(raw) => match std::str::from_utf8(&raw) {
+                Err(_) => {
+                    *reply = Some(err_line(&SvcError::BadRequest(
+                        "batch member is not valid UTF-8".to_string(),
+                    )));
+                    members.push(None);
+                }
+                Ok(s) => match parse_batch_member(s) {
+                    Err(e) => {
+                        *reply = Some(err_line(&e));
+                        members.push(None);
+                    }
+                    Ok(m) => members.push(Some(m)),
+                },
+            },
+        }
+    }
+
+    // Submit every parseable member before reading any completion: the
+    // queue capacity (not this thread's round trips) is the only limit
+    // on how much of the batch runs concurrently.
+    let (tx, rx) = mpsc::channel();
+    for (slot, member) in members.into_iter().enumerate() {
+        let Some(m) = member else { continue };
+        let job = match m {
+            BatchMember::Sleep { ms } => Job::Sleep(ms),
+            BatchMember::Solve(spec) => job_from_spec(spec),
+        };
+        if let Err(e) = ctx.sched.submit_tagged(job, slot as u64, &tx) {
+            replies[slot] = Some(err_line(&e));
+        }
+    }
+    // Our clone is the only non-worker sender; dropping it lets
+    // `rx.recv()` report `Err` once every outstanding job has either
+    // replied or been abandoned by a dying pool — no hang either way.
+    drop(tx);
+
+    let mut ok_to_write = write_chunk(writer, ctx.metrics, &format!("OK batch={count}\n"));
+    let mut next = 0usize;
+    let mut chunk = String::new();
+    loop {
+        // Emit the resolved prefix in one buffered write. When the
+        // socket is gone we keep draining completions anyway so the
+        // `solves_err` accounting still closes.
+        chunk.clear();
+        while next < count {
+            match &replies[next] {
+                Some(line) => {
+                    chunk.push_str(line);
+                    chunk.push('\n');
+                    next += 1;
+                }
+                None => break,
+            }
+        }
+        if ok_to_write && !chunk.is_empty() {
+            ok_to_write = write_chunk(writer, ctx.metrics, &chunk);
+        }
+        if next == count {
+            return Ok(ok_to_write);
+        }
+        match rx.recv() {
+            Ok((tag, result)) => {
+                replies[tag as usize] = Some(reply_line(ctx, result));
+                // Coalesce: fold in every completion that already
+                // landed while this thread was writing, so a fast pool
+                // costs one reply syscall per burst, not per member.
+                while let Ok((tag, result)) = rx.try_recv() {
+                    replies[tag as usize] = Some(reply_line(ctx, result));
+                }
+            }
+            // Worker pool went away mid-batch (shutdown race): every
+            // unresolved slot gets the typed drain error.
+            Err(_) => {
+                for r in replies.iter_mut().filter(|r| r.is_none()) {
+                    *r = Some(err_line(&SvcError::ShuttingDown));
+                }
+            }
+        }
+    }
+}
+
 fn handle_connection(stream: TcpStream, ctx: &ConnCtx<'_>) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
@@ -781,6 +939,12 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx<'_>) -> std::io::Result<()
                 continue;
             }
         };
+        if let Request::SolveBatch { count } = req {
+            if !handle_batch(&mut reader, &mut writer, ctx, count)? {
+                break;
+            }
+            continue;
+        }
         let is_shutdown = matches!(req, Request::Shutdown);
         let reply = dispatch(req, ctx);
         let wrote = write_reply(&mut writer, ctx.metrics, &reply);

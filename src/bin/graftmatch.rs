@@ -14,7 +14,7 @@
 //!                  [--snapshot-interval-ms N] [--faults SPEC]
 //! graftmatch solve-remote --addr HOST:PORT --name NAME [--algorithm A]
 //!                         [--timeout-ms N] [--threads N] [--cold]
-//!                         [--attempts N] [--retry-seed S]
+//!                         [--batch N] [--attempts N] [--retry-seed S]
 //! ```
 //!
 //! `serve` installs a SIGINT/SIGTERM handler that drains gracefully:
@@ -61,6 +61,8 @@ fn usage() -> ! {
            --timeout-ms N  server-side solve deadline\n\
            --threads N     worker threads the server should use (0 = its default)\n\
            --cold          ignore any cached warm start\n\
+           --batch N       send N copies of the solve as one pipelined\n\
+                           SOLVE_BATCH round trip (0 = plain SOLVE)\n\
            --attempts N    total attempts incl. the first (default 5)\n\
            --retry-seed S  jitter seed for the backoff schedule (default policy seed)"
     );
@@ -135,6 +137,7 @@ fn solve_remote_main(args: Vec<String>) -> ! {
     let mut timeout_ms: Option<u64> = None;
     let mut threads = 0usize;
     let mut cold = false;
+    let mut batch = 0usize;
     let mut policy = svc::RetryPolicy::default();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -146,6 +149,7 @@ fn solve_remote_main(args: Vec<String>) -> ! {
             "--timeout-ms" => timeout_ms = Some(next().parse().unwrap_or_else(|_| usage())),
             "--threads" => threads = next().parse().unwrap_or_else(|_| usage()),
             "--cold" => cold = true,
+            "--batch" => batch = next().parse().unwrap_or_else(|_| usage()),
             "--attempts" => policy.max_attempts = next().parse().unwrap_or_else(|_| usage()),
             "--retry-seed" => policy.seed = next().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
@@ -156,15 +160,37 @@ fn solve_remote_main(args: Vec<String>) -> ! {
         _ => usage(),
     };
     let algorithm = Algorithm::parse(&algorithm).unwrap_or_else(|| usage());
-    let line = svc::Request::Solve {
+    let spec = svc::SolveSpec {
         name,
         algorithm,
         timeout_ms,
         threads,
         cold,
-    }
-    .wire();
+    };
     let mut client = svc::RetryClient::new(addr, policy);
+    if batch > 0 {
+        // One pipelined round trip carrying `batch` copies of the solve.
+        let members: Vec<String> = (0..batch)
+            .map(|_| svc::BatchMember::Solve(spec.clone()).wire())
+            .collect();
+        match client.request_batch(&members) {
+            Ok(replies) => {
+                if client.retries > 0 {
+                    eprintln!("succeeded after {} retr(ies)", client.retries);
+                }
+                let all_ok = replies.iter().all(|r| r.starts_with("OK"));
+                for reply in replies {
+                    println!("{reply}");
+                }
+                std::process::exit(if all_ok { 0 } else { 1 });
+            }
+            Err(e) => {
+                eprintln!("solve-remote failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let line = svc::Request::Solve(spec).wire();
     match client.request(&line) {
         Ok(reply) => {
             if client.retries > 0 {

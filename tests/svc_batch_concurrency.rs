@@ -1,0 +1,198 @@
+//! Concurrency semantics of `SOLVE_BATCH` under operational events:
+//! `EVICT` landing while a batch is in flight, backpressure overflowing
+//! mid-batch, and the `SHUTDOWN` drain overlapping a batch. In every
+//! case each member must complete or carry its typed `ERR` in-slot, the
+//! `solves_ok + solves_err + panics` accounting must close against the
+//! replies actually received, and the connection must never hang.
+
+use ms_bfs_graft::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to service");
+        // The hang-detection teeth: any read past this is a test failure.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("send request");
+        self.writer.flush().unwrap();
+    }
+
+    fn recv(&mut self) -> String {
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        assert!(!reply.is_empty(), "server closed the connection");
+        reply.trim_end().to_string()
+    }
+
+    fn req(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn field_u64(line: &str, key: &str) -> u64 {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no field `{key}` in `{line}`"))
+        .parse()
+        .unwrap_or_else(|_| panic!("field `{key}` in `{line}` is not a number"))
+}
+
+fn spawn_server(workers: usize, queue_capacity: usize) -> (String, std::thread::JoinHandle<()>) {
+    let server = svc::Server::bind(&svc::ServeConfig {
+        workers,
+        queue_capacity,
+        ..svc::ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || {
+        server.run().unwrap();
+    });
+    (addr, handle)
+}
+
+#[test]
+fn evict_mid_batch_yields_typed_errors_in_slot() {
+    let (addr, _handle) = spawn_server(1, 64);
+    let mut c = Client::connect(&addr);
+    assert!(c.req("GEN g kkt_power:tiny").starts_with("OK "));
+    let warm = c.req("SOLVE g hk");
+    assert!(warm.starts_with("OK "), "{warm}");
+
+    // The single worker is pinned by the SLEEP member, so the EVICT
+    // below is guaranteed to land before the two solve members run:
+    // `EVICT` forgets the graph entirely, and each member must carry
+    // its own typed `ERR unknown-graph` without desynchronizing the
+    // stream or poisoning the SLEEP's slot.
+    c.send("SOLVE_BATCH 3");
+    c.send("SLEEP 400");
+    c.send("g hk");
+    c.send("g ms-bfs-graft");
+
+    let mut admin = Client::connect(&addr);
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(admin.req("EVICT g"), "OK name=g evicted=true");
+
+    assert_eq!(c.recv(), "OK batch=3");
+    assert_eq!(c.recv(), "OK slept_ms=400");
+    for slot in 1..3 {
+        let reply = c.recv();
+        assert!(
+            reply.starts_with("ERR unknown-graph"),
+            "slot {slot}: {reply}"
+        );
+    }
+
+    // The ledger closes against what actually ran: one successful solve
+    // before the batch, two typed failures inside it, no panics.
+    let stats = admin.req("STATS");
+    assert_eq!(field_u64(&stats, "solves_ok"), 1, "{stats}");
+    assert_eq!(field_u64(&stats, "solves_err"), 2, "{stats}");
+    assert_eq!(field_u64(&stats, "panics"), 0, "{stats}");
+
+    // The connection is still fully usable: re-register and batch again.
+    assert!(c.req("GEN g kkt_power:tiny").starts_with("OK "));
+    c.send("SOLVE_BATCH 1");
+    c.send("g hk");
+    assert_eq!(c.recv(), "OK batch=1");
+    assert!(c.recv().starts_with("OK graph=g"));
+    assert_eq!(admin.req("SHUTDOWN"), "OK bye");
+}
+
+#[test]
+fn shutdown_mid_batch_drains_queued_members_and_accounting_closes() {
+    // One worker, queue of two. Another connection's SLEEP pins the
+    // worker, so a five-member batch queues two members and overflows
+    // three — then SHUTDOWN lands while all of that is in flight.
+    let (addr, handle) = spawn_server(1, 2);
+    let mut c = Client::connect(&addr);
+    assert!(c.req("GEN g kkt_power:tiny").starts_with("OK "));
+
+    let mut occupier = Client::connect(&addr);
+    occupier.send("SLEEP 400");
+    // Give the worker time to pick the SLEEP up, emptying the queue.
+    std::thread::sleep(Duration::from_millis(100));
+
+    c.send("SOLVE_BATCH 5");
+    for _ in 0..5 {
+        c.send("g hk");
+    }
+
+    let mut admin = Client::connect(&addr);
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(admin.req("SHUTDOWN"), "OK bye");
+
+    // The drain contract: the two queued members finish under the
+    // drain grace period, the three the full queue refused carry their
+    // typed ERR in-slot, and the reply stream stays framed and ordered.
+    assert_eq!(c.recv(), "OK batch=5");
+    for slot in 0..2 {
+        let reply = c.recv();
+        assert!(reply.starts_with("OK graph=g"), "slot {slot}: {reply}");
+    }
+    for slot in 2..5 {
+        let reply = c.recv();
+        assert!(reply.starts_with("ERR overloaded"), "slot {slot}: {reply}");
+    }
+    assert_eq!(occupier.recv(), "OK slept_ms=400");
+
+    // STATS still answers on a live connection during/after the drain,
+    // and the ledger closes: both solves that ran are in solves_ok,
+    // queue-refused members never entered the ledger (they are
+    // `rejected`), and nothing panicked.
+    let stats = c.req("STATS");
+    assert_eq!(field_u64(&stats, "solves_ok"), 2, "{stats}");
+    assert_eq!(field_u64(&stats, "solves_err"), 0, "{stats}");
+    assert_eq!(field_u64(&stats, "panics"), 0, "{stats}");
+    assert_eq!(field_u64(&stats, "rejected"), 3, "{stats}");
+    drop(c);
+    drop(admin);
+    drop(occupier);
+    handle.join().unwrap();
+}
+
+#[test]
+fn batch_issued_after_drain_gets_typed_errors_in_every_slot() {
+    let (addr, handle) = spawn_server(1, 8);
+    let mut c = Client::connect(&addr);
+    assert!(c.req("GEN g kkt_power:tiny").starts_with("OK "));
+
+    let mut admin = Client::connect(&addr);
+    assert_eq!(admin.req("SHUTDOWN"), "OK bye");
+    handle.join().unwrap();
+
+    // The established connection outlives the accept loop; a batch sent
+    // into the drained pool answers with a full, framed reply stream of
+    // typed errors rather than a hang or a hangup.
+    c.send("SOLVE_BATCH 3");
+    c.send("g hk");
+    c.send("SLEEP 5");
+    c.send("g hk");
+    assert_eq!(c.recv(), "OK batch=3");
+    for slot in 0..3 {
+        let reply = c.recv();
+        assert!(
+            reply.starts_with("ERR shutting-down"),
+            "slot {slot}: {reply}"
+        );
+    }
+    let health = c.req("HEALTH");
+    assert!(health.contains("state=draining"), "{health}");
+}

@@ -1,0 +1,150 @@
+//! Property tests for `SOLVE_BATCH` framing: for arbitrary member mixes
+//! and batch sizes (0, 1, and beyond the worker pool), the reply stream
+//! always carries `OK batch=<n>` plus exactly `n` in-order lines, each
+//! slot's reply matches its member's kind, and a mid-batch `ERR` —
+//! malformed member, unknown graph, oversized line, zero-deadline
+//! timeout — never desynchronizes the connection (a follow-up request
+//! still gets its own reply).
+//!
+//! One shared in-process server (two workers, so batches larger than the
+//! pool exercise queuing) serves every proptest case over a fresh
+//! connection.
+
+use ms_bfs_graft::prelude::*;
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to service");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("send request");
+        self.writer.flush().unwrap();
+    }
+
+    fn recv(&mut self) -> String {
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        assert!(!reply.is_empty(), "server closed the connection");
+        reply.trim_end().to_string()
+    }
+}
+
+/// The shared server: bound once, registered with graph `g`, never shut
+/// down (the test process exiting takes it with it).
+fn server_addr() -> &'static str {
+    static ADDR: OnceLock<String> = OnceLock::new();
+    ADDR.get_or_init(|| {
+        let server = svc::Server::bind(&svc::ServeConfig {
+            workers: 2,
+            queue_capacity: 1024,
+            ..svc::ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        std::thread::spawn(move || server.run());
+        let mut c = Client::connect(&addr);
+        c.send("GEN g kkt_power:tiny");
+        assert!(c.recv().starts_with("OK "), "registering `g` failed");
+        addr
+    })
+}
+
+/// One member kind: the wire line to send and a predicate prefix the
+/// slot's reply must start with.
+fn member_for_kind(kind: usize) -> (String, &'static str) {
+    match kind % 7 {
+        // Valid warm/cold solves on the registered graph.
+        0 => ("g hk".to_string(), "OK graph=g algorithm=hk"),
+        1 => ("g ss-bfs cold".to_string(), "OK graph=g algorithm=ss-bfs"),
+        // A worker-occupying no-op.
+        2 => ("SLEEP 1".to_string(), "OK slept_ms=1"),
+        // Unknown graph: a typed in-slot error.
+        3 => ("nope hk".to_string(), "ERR unknown-graph"),
+        // Unknown algorithm / malformed option: parse-time in-slot error.
+        4 => ("g nosuchalg".to_string(), "ERR bad-request"),
+        // A member line past MAX_LINE_BYTES: rejected in-slot, and the
+        // excess bytes must be drained without touching later members.
+        5 => ("x".repeat(svc::MAX_LINE_BYTES + 100), "ERR bad-request"),
+        // A zero deadline: aged out before the worker runs it.
+        _ => ("g hk timeout_ms=0".to_string(), "ERR deadline"),
+    }
+}
+
+fn run_batch_case(kinds: &[usize]) {
+    let mut c = Client::connect(server_addr());
+    c.send(&format!("SOLVE_BATCH {}", kinds.len()));
+    let members: Vec<(String, &str)> = kinds.iter().map(|&k| member_for_kind(k)).collect();
+    for (line, _) in &members {
+        c.send(line);
+    }
+    let header = c.recv();
+    assert_eq!(header, format!("OK batch={}", kinds.len()));
+    for (slot, (line, expect)) in members.iter().enumerate() {
+        let reply = c.recv();
+        assert!(
+            reply.starts_with(expect),
+            "slot {slot} (member `{}`): expected `{expect}...`, got `{reply}`",
+            &line[..line.len().min(40)],
+        );
+    }
+    // The stream must still be framed: an ordinary request round-trips.
+    c.send("HEALTH");
+    let health = c.recv();
+    assert!(health.starts_with("OK state="), "{health}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn arbitrary_member_mixes_never_desynchronize(
+        kinds in proptest::collection::vec(0usize..7, 0..12)
+    ) {
+        run_batch_case(&kinds);
+    }
+}
+
+#[test]
+fn empty_batch_replies_header_only() {
+    run_batch_case(&[]);
+}
+
+#[test]
+fn single_member_batch() {
+    run_batch_case(&[0]);
+}
+
+#[test]
+fn batch_larger_than_worker_pool_preserves_order() {
+    // 11 members over 2 workers: queuing cannot reorder replies.
+    run_batch_case(&[0, 1, 2, 3, 4, 5, 6, 0, 1, 2, 3]);
+}
+
+#[test]
+fn oversized_count_is_rejected_without_reading_members() {
+    let mut c = Client::connect(server_addr());
+    c.send(&format!("SOLVE_BATCH {}", svc::MAX_BATCH + 1));
+    let reply = c.recv();
+    assert!(reply.starts_with("ERR bad-request"), "{reply}");
+    // No member lines were consumed: the next line is a fresh request.
+    c.send("HEALTH");
+    assert!(c.recv().starts_with("OK state="));
+}

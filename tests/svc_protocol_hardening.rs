@@ -334,13 +334,16 @@ fn arb_request() -> impl Strategy<Value = svc::Request> {
             0usize..16,
             0usize..2
         )
-            .prop_map(|(name, algorithm, t, threads, cold)| svc::Request::Solve {
-                name,
-                algorithm,
-                timeout_ms: if t == 0 { None } else { Some(t) },
-                threads,
-                cold: cold == 1,
-            }),
+            .prop_map(|(name, algorithm, t, threads, cold)| svc::Request::Solve(
+                svc::SolveSpec {
+                    name,
+                    algorithm,
+                    timeout_ms: if t == 0 { None } else { Some(t) },
+                    threads,
+                    cold: cold == 1,
+                }
+            )),
+        (0usize..svc::MAX_BATCH).prop_map(|count| svc::Request::SolveBatch { count }),
         Just(svc::Request::Stats),
         Just(svc::Request::Health),
         (0u64..2, 0u64..10_000).prop_map(|(some, n)| svc::Request::Trace {

@@ -1,0 +1,87 @@
+//! Epoch-wrap coverage for [`SolveWorkspace`]: the versioned-visited
+//! scheme avoids O(n) clears by bumping an epoch per solve, which means
+//! once every 2³² solves the counter hits `u32::MAX` and the *one* full
+//! clear must run. That branch is unreachable in bounded time through
+//! normal use, so `force_epoch_wrap` (a `#[doc(hidden)]` test hook)
+//! pins the counters at the wrap point and these tests drive every
+//! engine straight through it, demanding byte-identical outcomes
+//! against fresh-workspace solves — before the wrap, across it, and for
+//! several solves after.
+
+use ms_bfs_graft::prelude::*;
+
+fn assert_same_outcome(alg: Algorithm, stage: &str, a: &RunOutcome, b: &RunOutcome) {
+    let ctx = format!("{} at stage `{stage}`", alg.name());
+    assert_eq!(
+        a.matching.mates_x(),
+        b.matching.mates_x(),
+        "{ctx}: mates_x diverged"
+    );
+    assert_eq!(
+        a.matching.mates_y(),
+        b.matching.mates_y(),
+        "{ctx}: mates_y diverged"
+    );
+    assert_eq!(a.stats.edges_traversed, b.stats.edges_traversed, "{ctx}");
+    assert_eq!(a.stats.phases, b.stats.phases, "{ctx}");
+    assert_eq!(a.stats.augmenting_paths, b.stats.augmenting_paths, "{ctx}");
+    assert_eq!(
+        a.stats.final_cardinality, b.stats.final_cardinality,
+        "{ctx}"
+    );
+}
+
+/// Every engine solves identically on a workspace whose very next solve
+/// crosses the wrap — dirty marks from a *different* graph included, so
+/// the full clear (not epoch staleness) is what hides them.
+#[test]
+fn wrap_with_dirty_marks_from_another_graph_is_invisible() {
+    let big = gen::preferential_attachment(1600, 1400, 4, 0.6, 42);
+    let small = gen::preferential_attachment(700, 900, 3, 0.4, 7);
+    let m0_small = matching::init::Initializer::KarpSipser.run(&small, 0xBEEF);
+    let opts = SolveOptions {
+        initializer: matching::init::Initializer::None,
+        ..SolveOptions::default()
+    };
+    for &alg in &Algorithm::ALL {
+        let mut ws = SolveWorkspace::new();
+        // Fill the buffers with real marks from the bigger graph, then
+        // pin the counters at the wrap point.
+        solve_in(&big, alg, &SolveOptions::default(), &mut ws);
+        ws.force_epoch_wrap();
+        let fresh = solve_from(&small, m0_small.clone(), alg, &opts);
+        let wrapped = solve_from_in(&small, m0_small.clone(), alg, &opts, &mut ws);
+        assert_same_outcome(alg, "the wrapping solve", &fresh, &wrapped);
+        // Life after the wrap: the restarted epoch stream stays exact.
+        for rep in 0..3 {
+            let again = solve_from_in(&small, m0_small.clone(), alg, &opts, &mut ws);
+            assert_same_outcome(alg, &format!("post-wrap rep {rep}"), &fresh, &again);
+        }
+    }
+}
+
+/// Wrapping repeatedly (every single solve) is pathological but must
+/// still be correct — the clear itself must leave no residue.
+#[test]
+fn back_to_back_wraps_stay_exact() {
+    let g = gen::preferential_attachment(1000, 1000, 3, 0.5, 11);
+    let m0 = matching::init::Initializer::Greedy.run(&g, 3);
+    let opts = SolveOptions {
+        initializer: matching::init::Initializer::None,
+        ..SolveOptions::default()
+    };
+    for &alg in &[
+        Algorithm::MsBfsGraft,
+        Algorithm::MsBfsGraftParallel,
+        Algorithm::PothenFan,
+        Algorithm::HopcroftKarp,
+    ] {
+        let fresh = solve_from(&g, m0.clone(), alg, &opts);
+        let mut ws = SolveWorkspace::new();
+        for rep in 0..4 {
+            ws.force_epoch_wrap();
+            let wrapped = solve_from_in(&g, m0.clone(), alg, &opts, &mut ws);
+            assert_same_outcome(alg, &format!("wrap {rep}"), &fresh, &wrapped);
+        }
+    }
+}
