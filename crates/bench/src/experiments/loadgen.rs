@@ -143,7 +143,7 @@ fn xorshift(state: &mut u64) -> u64 {
 fn build_workload(opts: &LoadgenOptions) -> Vec<Vec<String>> {
     (0..opts.connections)
         .map(|c| {
-            let mut rng = opts.seed ^ ((c as u64 + 1) * 0x9E37_79B9_7F4A_7C15) | 1;
+            let mut rng = opts.seed ^ (c as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
             (0..opts.requests_per_conn)
                 .map(|_| {
                     let (name, _) = GRAPHS[(xorshift(&mut rng) as usize) % GRAPHS.len()];

@@ -4,6 +4,7 @@
 mod ablation;
 mod anatomy;
 mod dist;
+mod dynbench;
 mod fig1;
 mod fig3;
 mod fig4;
@@ -20,6 +21,7 @@ mod variability;
 pub use ablation::{ablation_alpha, ablation_init, ablation_pr_order};
 pub use anatomy::anatomy;
 pub use dist::dist;
+pub use dynbench::{dynbench, DYNBENCH_FILE, DYNBENCH_SCHEMA, DYNBENCH_SPEEDUP_MIN};
 pub use fig1::fig1;
 pub use fig3::fig3;
 pub use fig4::fig4;
@@ -107,6 +109,7 @@ pub fn run_by_name(name: &str, cfg: &Config) -> std::io::Result<bool> {
         "dist" => dist(cfg)?,
         "anatomy" => anatomy(cfg)?,
         "perf-gate" => perf_gate(cfg)?,
+        "dynbench" => dynbench(cfg)?,
         "loadgen" => loadgen(cfg, &LoadgenOptions::default())?,
         _ => return Ok(false),
     }

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod augment;
 pub mod diff;
 pub mod frontier;
 pub mod init;
@@ -70,6 +71,9 @@ pub(crate) mod tests_support {
     }
 }
 
+pub use augment::{
+    augment_from_free_x, augment_from_x, augment_from_y, AugmentOutcome, XYAdjacency,
+};
 pub use hopcroft_karp::hopcroft_karp;
 pub use matching::Matching;
 pub use ms_bfs::{

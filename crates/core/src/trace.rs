@@ -146,6 +146,48 @@ pub enum TraceEvent {
         /// Whether a deadline cut the run short.
         timed_out: bool,
     },
+    /// An edge insertion in the `graft-dyn` subsystem ran a bounded
+    /// augmenting search (or matched the endpoints directly).
+    DynAugment {
+        /// `X` endpoint of the inserted edge.
+        x: u64,
+        /// `Y` endpoint of the inserted edge.
+        y: u64,
+        /// Whether the matching grew by one.
+        augmented: bool,
+        /// Length in edges of the applied path (0 when none).
+        path_len: u64,
+        /// Edges traversed by the bounded search (0 for a direct match).
+        edges_traversed: u64,
+        /// Matching cardinality after the update.
+        cardinality: u64,
+    },
+    /// A matched-edge deletion in `graft-dyn` attempted repair by
+    /// augmenting from the two newly exposed endpoints.
+    DynRepair {
+        /// `X` endpoint of the deleted edge.
+        x: u64,
+        /// `Y` endpoint of the deleted edge.
+        y: u64,
+        /// Whether a replacement augmenting path restored the cardinality.
+        repaired: bool,
+        /// Edges traversed by the repair search(es).
+        edges_traversed: u64,
+        /// Matching cardinality after the update.
+        cardinality: u64,
+    },
+    /// The `graft-dyn` overlay compacted into a fresh CSR and
+    /// warm-started a full solve from the surviving matching.
+    DynRebuild {
+        /// Live edges in the compacted graph.
+        edges: u64,
+        /// Tombstones discarded by the compaction.
+        tombstones: u64,
+        /// Matching cardinality after the warm re-solve.
+        cardinality: u64,
+        /// Wall-clock of the rebuild in microseconds.
+        elapsed_us: u64,
+    },
 }
 
 impl TraceEvent {
@@ -157,6 +199,9 @@ impl TraceEvent {
             TraceEvent::PhaseEnd { .. } => "phase_end",
             TraceEvent::Graft { .. } => "graft",
             TraceEvent::RunEnd { .. } => "run_end",
+            TraceEvent::DynAugment { .. } => "dyn_augment",
+            TraceEvent::DynRepair { .. } => "dyn_repair",
+            TraceEvent::DynRebuild { .. } => "dyn_rebuild",
         }
     }
 
@@ -277,6 +322,45 @@ impl TraceEvent {
                 field_u64(&mut s, "elapsed_us", *elapsed_us);
                 field_bool(&mut s, "timed_out", *timed_out);
             }
+            TraceEvent::DynAugment {
+                x,
+                y,
+                augmented,
+                path_len,
+                edges_traversed,
+                cardinality,
+            } => {
+                field_u64(&mut s, "x", *x);
+                field_u64(&mut s, "y", *y);
+                field_bool(&mut s, "augmented", *augmented);
+                field_u64(&mut s, "path_len", *path_len);
+                field_u64(&mut s, "edges_traversed", *edges_traversed);
+                field_u64(&mut s, "cardinality", *cardinality);
+            }
+            TraceEvent::DynRepair {
+                x,
+                y,
+                repaired,
+                edges_traversed,
+                cardinality,
+            } => {
+                field_u64(&mut s, "x", *x);
+                field_u64(&mut s, "y", *y);
+                field_bool(&mut s, "repaired", *repaired);
+                field_u64(&mut s, "edges_traversed", *edges_traversed);
+                field_u64(&mut s, "cardinality", *cardinality);
+            }
+            TraceEvent::DynRebuild {
+                edges,
+                tombstones,
+                cardinality,
+                elapsed_us,
+            } => {
+                field_u64(&mut s, "edges", *edges);
+                field_u64(&mut s, "tombstones", *tombstones);
+                field_u64(&mut s, "cardinality", *cardinality);
+                field_u64(&mut s, "elapsed_us", *elapsed_us);
+            }
         }
         s.push('}');
         s
@@ -358,6 +442,27 @@ impl TraceEvent {
                 edges_traversed: u("edges_traversed")?,
                 elapsed_us: u("elapsed_us")?,
                 timed_out: b("timed_out")?,
+            },
+            "dyn_augment" => TraceEvent::DynAugment {
+                x: u("x")?,
+                y: u("y")?,
+                augmented: b("augmented")?,
+                path_len: u("path_len")?,
+                edges_traversed: u("edges_traversed")?,
+                cardinality: u("cardinality")?,
+            },
+            "dyn_repair" => TraceEvent::DynRepair {
+                x: u("x")?,
+                y: u("y")?,
+                repaired: b("repaired")?,
+                edges_traversed: u("edges_traversed")?,
+                cardinality: u("cardinality")?,
+            },
+            "dyn_rebuild" => TraceEvent::DynRebuild {
+                edges: u("edges")?,
+                tombstones: u("tombstones")?,
+                cardinality: u("cardinality")?,
+                elapsed_us: u("elapsed_us")?,
             },
             other => return Err(format!("unknown event kind `{other}`")),
         };
@@ -1138,6 +1243,13 @@ pub fn replay(events: &[TraceEvent]) -> Result<Vec<RunSummary>, ReplayError> {
                 }
                 runs.push(run.summary);
             }
+            // graft-dyn update events are not part of a solver run; they
+            // may appear anywhere in a stream (a rebuild's warm re-solve
+            // emits its own run_start/run_end pair) and carry no replay
+            // invariants of their own.
+            TraceEvent::DynAugment { .. }
+            | TraceEvent::DynRepair { .. }
+            | TraceEvent::DynRebuild { .. } => {}
         }
     }
     if open.is_some() {
@@ -1213,13 +1325,52 @@ mod tests {
         ]
     }
 
+    fn dyn_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::DynAugment {
+                x: 3,
+                y: 7,
+                augmented: true,
+                path_len: 5,
+                edges_traversed: 19,
+                cardinality: 42,
+            },
+            TraceEvent::DynRepair {
+                x: 3,
+                y: 7,
+                repaired: false,
+                edges_traversed: 8,
+                cardinality: 41,
+            },
+            TraceEvent::DynRebuild {
+                edges: 900,
+                tombstones: 250,
+                cardinality: 41,
+                elapsed_us: 120,
+            },
+        ]
+    }
+
     #[test]
     fn json_round_trip_every_variant() {
-        for ev in sample_events() {
+        for ev in sample_events().into_iter().chain(dyn_events()) {
             let json = ev.to_json();
             let back = TraceEvent::from_json(&json).unwrap_or_else(|e| panic!("{json}: {e}"));
             assert_eq!(ev, back, "round-trip of {json}");
         }
+    }
+
+    #[test]
+    fn replay_skips_dyn_events_anywhere() {
+        // Before, between, and after runs: dyn events never perturb the
+        // run-level invariants.
+        let mut evs = dyn_events();
+        evs.extend(sample_events());
+        evs.insert(4, dyn_events()[2].clone());
+        evs.extend(dyn_events());
+        let runs = replay(&evs).unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].final_cardinality, 6);
     }
 
     #[test]

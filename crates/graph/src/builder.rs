@@ -80,6 +80,22 @@ impl GraphBuilder {
         }
     }
 
+    /// Removes every pending copy of the edge `(x, y)`, returning whether
+    /// any was present. Out-of-range endpoints are a no-op `false` (they
+    /// can never have been added).
+    pub fn remove_edge(&mut self, x: VertexId, y: VertexId) -> bool {
+        let before = self.edges.len();
+        self.edges.retain(|&e| e != (x, y));
+        self.edges.len() != before
+    }
+
+    /// Normalizes the pending edge list in place (sort + dedup) via
+    /// [`compact_edge_list`], so `len` reports distinct edges. `build`
+    /// produces the same graph with or without this call.
+    pub fn compact(&mut self) {
+        compact_edge_list(&mut self.edges);
+    }
+
     /// Number of edges accumulated so far (duplicates still counted).
     pub fn len(&self) -> usize {
         self.edges.len()
@@ -115,6 +131,16 @@ impl GraphBuilder {
 
         BipartiteCsr::from_parts_unchecked(nx, ny, x_ptr, x_adj, y_ptr, y_adj)
     }
+}
+
+/// Sorts an `(x, y)` edge list lexicographically and removes duplicates
+/// in place — the normalization [`GraphBuilder::build`] applies per row,
+/// exposed for callers that maintain explicit edge lists (the graft-dyn
+/// delta overlay compacts its surviving-edge list with this before
+/// rebuilding a fresh CSR).
+pub fn compact_edge_list(edges: &mut Vec<(VertexId, VertexId)>) {
+    edges.sort_unstable();
+    edges.dedup();
 }
 
 /// Counting sort of `(row, col)` pairs into CSR buckets.
@@ -211,6 +237,56 @@ mod tests {
             assert_eq!(g.y_neighbors(y), &[0, 1, 2, 3]);
         }
         assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn remove_edge_drops_every_pending_copy() {
+        let mut b = GraphBuilder::new(3, 3);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        assert!(b.remove_edge(0, 1));
+        assert_eq!(b.len(), 1);
+        assert!(!b.remove_edge(0, 1), "already gone");
+        assert!(!b.remove_edge(2, 0), "never added");
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn remove_then_readd_keeps_edge() {
+        let mut b = GraphBuilder::new(2, 2);
+        b.add_edge(0, 0);
+        assert!(b.remove_edge(0, 0));
+        b.add_edge(0, 0);
+        let g = b.build();
+        assert!(g.has_edge(0, 0));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn compact_edge_list_sorts_and_dedups() {
+        let mut edges = vec![(2, 0), (0, 1), (2, 0), (0, 0), (0, 1)];
+        compact_edge_list(&mut edges);
+        assert_eq!(edges, vec![(0, 0), (0, 1), (2, 0)]);
+        let mut empty: Vec<(VertexId, VertexId)> = Vec::new();
+        compact_edge_list(&mut empty);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn builder_compact_matches_build_output() {
+        let mut a = GraphBuilder::new(3, 3);
+        let mut b = GraphBuilder::new(3, 3);
+        for &(x, y) in &[(1, 1), (0, 2), (1, 1), (2, 0), (0, 2)] {
+            a.add_edge(x, y);
+            b.add_edge(x, y);
+        }
+        b.compact();
+        assert_eq!(b.len(), 3, "compact dedups the pending list");
+        assert_eq!(a.build(), b.build());
     }
 
     #[test]

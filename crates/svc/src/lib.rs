@@ -23,8 +23,9 @@
 //! * [`metrics`] — atomic counters and latency histograms (global,
 //!   per-algorithm, and per-graph) behind the `STATS` command;
 //! * [`protocol`] / [`server`] — a newline-delimited TCP protocol
-//!   (`LOAD`, `GEN`, `SOLVE`, `SOLVE_BATCH`, `STATS`, `HEALTH`, `TRACE`,
-//!   `EVICT`, `SHUTDOWN`) on `std::net`, one reader thread per
+//!   (`LOAD`, `GEN`, `SOLVE`, `SOLVE_BATCH`, `UPDATE`, `UPDATE_BATCH`,
+//!   `STATS`, `HEALTH`, `TRACE`, `EVICT`, `SHUTDOWN`) on `std::net`,
+//!   one reader thread per
 //!   connection. No async runtime: plain blocking I/O and threads are
 //!   plenty for a solver service whose unit of work is milliseconds to
 //!   seconds. `SOLVE_BATCH n` **pipelines**: `n` member lines are read
@@ -33,7 +34,11 @@
 //!   trip amortized over the whole batch, with per-member typed `ERR`s
 //!   landing in-slot. Solves run under a [`graft_core::Tracer`] feeding
 //!   a bounded in-memory ring; `TRACE` streams the most recent events
-//!   back as JSONL.
+//!   back as JSONL. `UPDATE <g> ADD|DEL <x> <y>` maintains a
+//!   [`graft_dyn::DynamicMatching`] per graph (created lazily from the
+//!   registered source) so edge-update streams are repaired
+//!   incrementally instead of re-solved; `UPDATE_BATCH` pipelines them
+//!   through the same framing/reorder machinery as `SOLVE_BATCH`.
 //!
 //! The resilience core on top:
 //!
@@ -98,10 +103,10 @@ pub use faults::{Fault, FaultPlan, FaultSite};
 pub use lru::{LruCache, LruStats};
 pub use metrics::Metrics;
 pub use protocol::{
-    parse_batch_member, parse_request, BatchMember, Reply, Request, SolveSpec, MAX_BATCH,
-    MAX_LINE_BYTES,
+    parse_batch_member, parse_request, parse_update_member, BatchMember, Reply, Request, SolveSpec,
+    UpdateSpec, MAX_BATCH, MAX_LINE_BYTES,
 };
 pub use registry::{GraphRegistry, GraphSource, RegistryStats};
 pub use scheduler::Scheduler;
 pub use server::{serve, ServeConfig, Server, ShutdownHandle};
-pub use snapshot::{SnapshotEntry, SnapshotError, WarmStart};
+pub use snapshot::{Snapshot, SnapshotDelta, SnapshotEntry, SnapshotError, WarmStart};

@@ -79,6 +79,14 @@ pub struct Metrics {
     pub snapshot_errors: AtomicU64,
     /// Reply writes that failed because the client hung up mid-reply.
     pub write_errors: AtomicU64,
+    /// `UPDATE`s that applied (including accepted no-ops).
+    pub updates_ok: AtomicU64,
+    /// `UPDATE`s rejected with a typed error (unknown graph, missing
+    /// edge, out-of-range endpoint).
+    pub updates_err: AtomicU64,
+    /// Dynamic-matching overlay compactions (budget exhaustion or the
+    /// tombstone-ratio policy), summed across graphs.
+    pub rebuilds: AtomicU64,
     /// Time from submit to worker pickup.
     pub wait: Histogram,
     /// Time a worker spent solving.
@@ -109,6 +117,9 @@ impl Metrics {
             snapshots_saved: AtomicU64::new(0),
             snapshot_errors: AtomicU64::new(0),
             write_errors: AtomicU64::new(0),
+            updates_ok: AtomicU64::new(0),
+            updates_err: AtomicU64::new(0),
+            rebuilds: AtomicU64::new(0),
             wait: Histogram::default(),
             solve: Histogram::default(),
             solves_per_algorithm: Default::default(),
@@ -198,6 +209,13 @@ impl Metrics {
             self.snapshot_errors.load(Ordering::Relaxed),
             self.write_errors.load(Ordering::Relaxed),
         );
+        let _ = write!(
+            out,
+            " updates_ok={} updates_err={} rebuilds={}",
+            self.updates_ok.load(Ordering::Relaxed),
+            self.updates_err.load(Ordering::Relaxed),
+            self.rebuilds.load(Ordering::Relaxed),
+        );
         for (i, alg) in Algorithm::ALL.iter().enumerate() {
             let n = self.solves_per_algorithm[i].load(Ordering::Relaxed);
             if n > 0 {
@@ -268,6 +286,9 @@ mod tests {
         assert!(s.contains("solves_err=0"), "{s}");
         assert!(s.contains("panics=0"), "{s}");
         assert!(s.contains("snapshots_saved=0"), "{s}");
+        assert!(s.contains("updates_ok=0"), "{s}");
+        assert!(s.contains("updates_err=0"), "{s}");
+        assert!(s.contains("rebuilds=0"), "{s}");
         assert!(s.contains("solve_us_sum[ms-bfs-graft]=300"), "{s}");
         assert!(s.contains("graph_solves[a]=2"), "{s}");
         assert!(s.contains("graph_solves[b]=1"), "{s}");

@@ -9,6 +9,8 @@
 //! GEN <name> <suite>[:<scale>]
 //! SOLVE <name> [algorithm] [timeout_ms=N] [threads=N] [cold]
 //! SOLVE_BATCH <n>
+//! UPDATE <name> ADD|DEL <x> <y>
+//! UPDATE_BATCH <n>
 //! STATS
 //! HEALTH
 //! TRACE [n]
@@ -36,6 +38,16 @@
 //! `n` may be `0` (the reply is just `OK batch=0`) and is capped at
 //! [`MAX_BATCH`]; a header above the cap is refused **before** any
 //! member line is consumed.
+//!
+//! `UPDATE <name> ADD|DEL <x> <y>` applies one edge update to the named
+//! graph's dynamic matching (created lazily from the registered graph on
+//! first update) and replies
+//! `OK graph=<name> op=add|del x=<x> y=<y> outcome=<o> cardinality=<c>
+//! rebuilds=<r> elapsed_us=<t>`. `UPDATE_BATCH <n>` reuses the
+//! `SOLVE_BATCH` framing verbatim: `n` member lines follow, each either
+//! the argument list of an `UPDATE` (`<name> ADD|DEL <x> <y>`) or
+//! `SLEEP <ms>`, and the reply is `OK batch=<n>` plus `n` reply lines in
+//! member order.
 //!
 //! Hardening: a request line longer than [`MAX_LINE_BYTES`], containing a
 //! NUL byte, or holding invalid UTF-8 is answered with a typed
@@ -130,6 +142,64 @@ impl SolveSpec {
     }
 }
 
+/// Everything an `UPDATE` carries after the verb. Shared between the
+/// one-shot [`Request::Update`] and `UPDATE_BATCH` members
+/// ([`BatchMember::Update`]), so both paths parse and execute
+/// identically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdateSpec {
+    /// Registry name of the graph.
+    pub name: String,
+    /// `true` for `ADD`, `false` for `DEL`.
+    pub add: bool,
+    /// `X` endpoint of the edge.
+    pub x: u32,
+    /// `Y` endpoint of the edge.
+    pub y: u32,
+}
+
+impl UpdateSpec {
+    /// The canonical argument list after the `UPDATE` verb (also a valid
+    /// `UPDATE_BATCH` member line).
+    pub fn wire_args(&self) -> String {
+        format!(
+            "{} {} {} {}",
+            self.name,
+            if self.add { "ADD" } else { "DEL" },
+            self.x,
+            self.y
+        )
+    }
+
+    /// Parses `<name> ADD|DEL <x> <y>` (rejecting trailing tokens — the
+    /// shape is fixed).
+    fn parse<'a>(mut tokens: impl Iterator<Item = &'a str>) -> Result<UpdateSpec, SvcError> {
+        let usage = "UPDATE needs <name> ADD|DEL <x> <y>";
+        let name = tokens.next().ok_or_else(|| bad(usage))?;
+        let op = tokens.next().ok_or_else(|| bad(usage))?;
+        let add = if op.eq_ignore_ascii_case("add") {
+            true
+        } else if op.eq_ignore_ascii_case("del") {
+            false
+        } else {
+            return Err(bad(format!("bad update op `{op}` (want ADD or DEL)")));
+        };
+        let x = tokens.next().ok_or_else(|| bad(usage))?;
+        let x = x.parse().map_err(|_| bad(format!("bad x `{x}`")))?;
+        let y = tokens.next().ok_or_else(|| bad(usage))?;
+        let y = y.parse().map_err(|_| bad(format!("bad y `{y}`")))?;
+        if tokens.next().is_some() {
+            return Err(bad("unexpected trailing tokens"));
+        }
+        Ok(UpdateSpec {
+            name: name.to_string(),
+            add,
+            x,
+            y,
+        })
+    }
+}
+
 /// One member of a `SOLVE_BATCH`: a solve, or a worker-occupying sleep
 /// (the latter mirrors the `SLEEP` verb and exists for operational and
 /// concurrency testing — e.g. holding the pool busy while `EVICT` or
@@ -138,6 +208,9 @@ impl SolveSpec {
 pub enum BatchMember {
     /// `<name> [algorithm] [options]` — scheduled like a one-shot `SOLVE`.
     Solve(SolveSpec),
+    /// `<name> ADD|DEL <x> <y>` — scheduled like a one-shot `UPDATE`
+    /// (only produced by [`parse_update_member`]).
+    Update(UpdateSpec),
     /// `SLEEP <ms>` — scheduled like a one-shot `SLEEP`.
     Sleep {
         /// Sleep duration in milliseconds.
@@ -146,11 +219,13 @@ pub enum BatchMember {
 }
 
 impl BatchMember {
-    /// The canonical member-line encoding; [`parse_batch_member`] inverts
-    /// it exactly.
+    /// The canonical member-line encoding; [`parse_batch_member`] (for
+    /// solves and sleeps) or [`parse_update_member`] (for updates and
+    /// sleeps) inverts it exactly.
     pub fn wire(&self) -> String {
         match self {
             BatchMember::Solve(spec) => spec.wire_args(),
+            BatchMember::Update(spec) => spec.wire_args(),
             BatchMember::Sleep { ms } => format!("SLEEP {ms}"),
         }
     }
@@ -187,6 +262,35 @@ pub fn parse_batch_member(line: &str) -> Result<BatchMember, SvcError> {
     }
 }
 
+/// Parses one `UPDATE_BATCH` member line: the argument list of an
+/// `UPDATE` (`<name> ADD|DEL <x> <y>`), or `SLEEP <ms>`. Same
+/// hardening and `SLEEP` caveat as [`parse_batch_member`].
+pub fn parse_update_member(line: &str) -> Result<BatchMember, SvcError> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(bad(format!(
+            "batch member line exceeds {MAX_LINE_BYTES} bytes"
+        )));
+    }
+    if line.contains('\0') {
+        return Err(bad("NUL byte in batch member"));
+    }
+    let line = line.strip_suffix('\r').unwrap_or(line);
+    let mut tokens = line.split_whitespace().peekable();
+    match tokens.peek() {
+        None => Err(bad("empty batch member")),
+        Some(tok) if tok.eq_ignore_ascii_case("sleep") => {
+            tokens.next();
+            let ms = tokens.next().ok_or_else(|| bad("SLEEP needs <ms>"))?;
+            let ms = ms.parse().map_err(|_| bad(format!("bad ms `{ms}`")))?;
+            if tokens.next().is_some() {
+                return Err(bad("unexpected trailing tokens"));
+            }
+            Ok(BatchMember::Sleep { ms })
+        }
+        Some(_) => Ok(BatchMember::Update(UpdateSpec::parse(tokens)?)),
+    }
+}
+
 /// A parsed request line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -210,6 +314,15 @@ pub enum Request {
     /// (see [`parse_batch_member`]), and the reply is `OK batch=<count>`
     /// followed by `count` reply lines in member order.
     SolveBatch {
+        /// Number of member lines that follow (≤ [`MAX_BATCH`]).
+        count: usize,
+    },
+    /// Apply one edge update to a graph's dynamic matching.
+    Update(UpdateSpec),
+    /// Header of a pipelined update batch: exactly `count` member lines
+    /// follow (see [`parse_update_member`]), replied to like
+    /// [`Request::SolveBatch`].
+    UpdateBatch {
         /// Number of member lines that follow (≤ [`MAX_BATCH`]).
         count: usize,
     },
@@ -250,6 +363,8 @@ impl Request {
             Request::Gen { name, spec } => format!("GEN {name} {spec}"),
             Request::Solve(spec) => format!("SOLVE {}", spec.wire_args()),
             Request::SolveBatch { count } => format!("SOLVE_BATCH {count}"),
+            Request::Update(spec) => format!("UPDATE {}", spec.wire_args()),
+            Request::UpdateBatch { count } => format!("UPDATE_BATCH {count}"),
             Request::Stats => "STATS".to_string(),
             Request::Health => "HEALTH".to_string(),
             Request::Trace { limit: None } => "TRACE".to_string(),
@@ -360,6 +475,19 @@ pub fn parse_request(line: &str) -> Result<Request, SvcError> {
             }
             Request::SolveBatch { count }
         }
+        "UPDATE" => Request::Update(UpdateSpec::parse(tokens.by_ref())?),
+        "UPDATE_BATCH" => {
+            let n = tokens.next().ok_or_else(|| bad("UPDATE_BATCH needs <n>"))?;
+            let count: usize = n
+                .parse()
+                .map_err(|_| bad(format!("bad batch count `{n}`")))?;
+            if count > MAX_BATCH {
+                return Err(bad(format!(
+                    "batch count {count} exceeds the maximum {MAX_BATCH}"
+                )));
+            }
+            Request::UpdateBatch { count }
+        }
         "STATS" => Request::Stats,
         "HEALTH" => Request::Health,
         "TRACE" => {
@@ -397,6 +525,7 @@ pub fn parse_request(line: &str) -> Result<Request, SvcError> {
             | Request::Gen { .. }
             | Request::Trace { .. }
             | Request::SolveBatch { .. }
+            | Request::UpdateBatch { .. }
     ) && tokens.next().is_some()
     {
         return Err(bad("unexpected trailing tokens"));
@@ -535,6 +664,83 @@ mod tests {
     }
 
     #[test]
+    fn parses_update_and_update_batch() {
+        assert_eq!(
+            parse_request("UPDATE g ADD 3 7").unwrap(),
+            Request::Update(UpdateSpec {
+                name: "g".into(),
+                add: true,
+                x: 3,
+                y: 7,
+            })
+        );
+        assert_eq!(
+            parse_request("update g del 0 0\r").unwrap(),
+            Request::Update(UpdateSpec {
+                name: "g".into(),
+                add: false,
+                x: 0,
+                y: 0,
+            })
+        );
+        assert_eq!(
+            parse_request("UPDATE_BATCH 5").unwrap(),
+            Request::UpdateBatch { count: 5 }
+        );
+        for line in [
+            "UPDATE",
+            "UPDATE g",
+            "UPDATE g ADD",
+            "UPDATE g ADD 1",
+            "UPDATE g FLIP 1 2",
+            "UPDATE g ADD x 2",
+            "UPDATE g ADD 1 y",
+            "UPDATE g ADD -1 2",
+            "UPDATE g ADD 1 2 3",
+            "UPDATE_BATCH",
+            "UPDATE_BATCH x",
+            "UPDATE_BATCH 3 4",
+            &format!("UPDATE_BATCH {}", MAX_BATCH + 1),
+        ] {
+            assert!(
+                matches!(parse_request(line), Err(SvcError::BadRequest(_))),
+                "line `{line}` should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_update_members() {
+        assert_eq!(
+            parse_update_member("g ADD 1 2").unwrap(),
+            BatchMember::Update(UpdateSpec {
+                name: "g".into(),
+                add: true,
+                x: 1,
+                y: 2,
+            })
+        );
+        assert_eq!(
+            parse_update_member("SLEEP 9").unwrap(),
+            BatchMember::Sleep { ms: 9 }
+        );
+        for line in ["", "g", "g ADD", "g NOPE 1 2", "g ADD 1 2 3", "g ADD 1\0 2"] {
+            assert!(
+                matches!(parse_update_member(line), Err(SvcError::BadRequest(_))),
+                "member `{line}` should be rejected"
+            );
+        }
+        // An update member round-trips through wire().
+        let m = BatchMember::Update(UpdateSpec {
+            name: "g".into(),
+            add: false,
+            x: 4,
+            y: 0,
+        });
+        assert_eq!(parse_update_member(&m.wire()).unwrap(), m);
+    }
+
+    #[test]
     fn parses_simple_commands() {
         assert_eq!(
             parse_request("LOAD g /tmp/a.mtx").unwrap(),
@@ -651,6 +857,19 @@ mod tests {
             }),
             Request::Solve(SolveSpec::new("g")),
             Request::SolveBatch { count: 16 },
+            Request::Update(UpdateSpec {
+                name: "g".into(),
+                add: true,
+                x: 5,
+                y: 11,
+            }),
+            Request::Update(UpdateSpec {
+                name: "g".into(),
+                add: false,
+                x: 0,
+                y: 0,
+            }),
+            Request::UpdateBatch { count: 3 },
             Request::Stats,
             Request::Health,
             Request::Trace { limit: None },

@@ -40,24 +40,27 @@ use crate::error::SvcError;
 use crate::faults::FaultPlan;
 use crate::metrics::Metrics;
 use crate::protocol::{
-    err_line, parse_batch_member, parse_request, BatchMember, Request, SolveSpec, MAX_LINE_BYTES,
+    err_line, parse_batch_member, parse_request, parse_update_member, BatchMember, Request,
+    SolveSpec, UpdateSpec, MAX_LINE_BYTES,
 };
 use crate::registry::{
     estimate_source_bytes, parse_gen_spec, GraphInfo, GraphRegistry, GraphSource,
 };
 use crate::scheduler::Scheduler;
-use crate::snapshot;
+use crate::snapshot::{self, Snapshot, SnapshotDelta};
 use graft_core::trace::RingSink;
 use graft_core::{
     solve_from_traced_in, solve_traced_in, Algorithm, MsBfsOptions, PhaseHook, SolveOptions,
     SolveWorkspace, Tracer,
 };
+use graft_dyn::{DynConfig, DynamicMatching, UpdateOutcome};
+use std::collections::{BTreeSet, HashMap};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Server tunables.
@@ -134,7 +137,75 @@ enum Job {
         cold: bool,
         submitted: Instant,
     },
+    Update(UpdateSpec),
     Sleep(u64),
+}
+
+/// Locks a mutex, recovering from poisoning. A panicking update is
+/// already isolated by the scheduler's firewall; abandoning the graph's
+/// dynamic state on top of that would turn one contained panic into a
+/// permanent per-graph outage.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One graph's live dynamic-update state: the incremental matcher plus a
+/// journal of edge updates relative to the *registered source*. The
+/// journal is what snapshots persist and replay on restart — it is
+/// deliberately independent of the matcher's internal compactions, which
+/// fold the overlay into its private base CSR.
+struct DynState {
+    dm: DynamicMatching,
+    adds: BTreeSet<(u32, u32)>,
+    dels: BTreeSet<(u32, u32)>,
+}
+
+impl DynState {
+    /// Folds one accepted update into the journal: an insert cancels a
+    /// pending delete of the same edge (and vice versa) instead of
+    /// recording both.
+    fn journal(&mut self, add: bool, x: u32, y: u32) {
+        if add {
+            if !self.dels.remove(&(x, y)) {
+                self.adds.insert((x, y));
+            }
+        } else if !self.adds.remove(&(x, y)) {
+            self.dels.insert((x, y));
+        }
+    }
+}
+
+/// All dynamic states, created lazily on a graph's first `UPDATE`.
+/// `restored` holds snapshot deltas not yet replayed; each is consumed by
+/// the graph's first `UPDATE` and, until then, persisted verbatim so an
+/// idle restart keeps it.
+#[derive(Default)]
+struct DynStore {
+    states: Mutex<HashMap<String, Arc<Mutex<Option<DynState>>>>>,
+    restored: Mutex<HashMap<String, SnapshotDelta>>,
+}
+
+impl DynStore {
+    /// Snapshot view: every non-empty live journal plus the
+    /// not-yet-replayed restored deltas, in stable name order.
+    fn deltas(&self) -> Vec<SnapshotDelta> {
+        let mut out: Vec<SnapshotDelta> = lock_recover(&self.restored).values().cloned().collect();
+        let states = lock_recover(&self.states);
+        for (name, slot) in states.iter() {
+            let guard = lock_recover(slot);
+            if let Some(s) = guard.as_ref() {
+                if !s.adds.is_empty() || !s.dels.is_empty() {
+                    out.push(SnapshotDelta {
+                        name: name.clone(),
+                        adds: s.adds.iter().copied().collect(),
+                        dels: s.dels.iter().copied().collect(),
+                    });
+                }
+            }
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
 }
 
 type JobReply = Result<String, SvcError>;
@@ -174,6 +245,7 @@ pub struct Server {
     trace: Arc<RingSink>,
     faults: Option<&'static FaultPlan>,
     shrink_gen: Arc<AtomicU64>,
+    dyn_store: Arc<DynStore>,
     cfg: ServeConfig,
 }
 
@@ -192,6 +264,7 @@ fn run_job(
     registry: &GraphRegistry,
     metrics: &Metrics,
     tracer: &Tracer,
+    dyn_store: &DynStore,
     phase_hook: Option<PhaseHook>,
     ws: &mut SolveWorkspace,
 ) -> JobReply {
@@ -200,6 +273,7 @@ fn run_job(
             std::thread::sleep(std::time::Duration::from_millis(ms));
             Ok(format!("OK slept_ms={ms}"))
         }
+        Job::Update(spec) => run_update(&spec, registry, metrics, tracer, dyn_store),
         Job::Solve {
             name,
             algorithm,
@@ -260,16 +334,117 @@ fn run_job(
     }
 }
 
+/// Executes one `UPDATE`: finds (or lazily creates) the graph's dynamic
+/// state, applies the edge update incrementally, journals it for the
+/// snapshot, and renders the reply line.
+fn run_update(
+    spec: &UpdateSpec,
+    registry: &GraphRegistry,
+    metrics: &Metrics,
+    tracer: &Tracer,
+    store: &DynStore,
+) -> JobReply {
+    let slot = {
+        let mut states = lock_recover(&store.states);
+        Arc::clone(states.entry(spec.name.clone()).or_default())
+    };
+    let mut guard = lock_recover(&slot);
+    let t0 = Instant::now();
+    if guard.is_none() {
+        // Lazy creation: clone the registered CSR, warm-start from the
+        // registry's last matching when the dimensions line up, then
+        // replay the snapshot-restored journal (if any) against it.
+        let (graph, warm) = match registry.get(&spec.name) {
+            Ok(g) => g,
+            Err(e) => {
+                metrics.updates_err.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        let base = (*graph).clone();
+        let mut dm = match warm {
+            Some(m0)
+                if m0.mates_x().len() == base.num_x() && m0.mates_y().len() == base.num_y() =>
+            {
+                DynamicMatching::with_warm_start(base, (*m0).clone(), DynConfig::default())
+            }
+            _ => DynamicMatching::new(base),
+        };
+        dm.set_tracer(tracer.clone());
+        let mut state = DynState {
+            dm,
+            adds: BTreeSet::new(),
+            dels: BTreeSet::new(),
+        };
+        let restored = lock_recover(&store.restored).remove(&spec.name);
+        if let Some(delta) = restored {
+            // An edge that no longer replays (the graph's source file
+            // changed underneath the snapshot, say) drops that edge,
+            // not the whole graph.
+            for &(x, y) in &delta.adds {
+                if state.dm.insert_edge(x, y).is_ok() {
+                    state.journal(true, x, y);
+                }
+            }
+            for &(x, y) in &delta.dels {
+                if state.dm.delete_edge(x, y).is_ok() {
+                    state.journal(false, x, y);
+                }
+            }
+        }
+        *guard = Some(state);
+    }
+    let state = guard.as_mut().expect("dyn state initialized above");
+    let result = if spec.add {
+        state.dm.insert_edge(spec.x, spec.y)
+    } else {
+        state.dm.delete_edge(spec.x, spec.y)
+    };
+    match result {
+        Err(e) => {
+            metrics.updates_err.fetch_add(1, Ordering::Relaxed);
+            Err(SvcError::BadRequest(e.to_string()))
+        }
+        Ok(report) => {
+            // A noop insert changed nothing; everything else moves the
+            // journal.
+            if report.outcome != UpdateOutcome::Noop {
+                state.journal(spec.add, spec.x, spec.y);
+            }
+            if report.rebuilt {
+                metrics.rebuilds.fetch_add(1, Ordering::Relaxed);
+            }
+            metrics.updates_ok.fetch_add(1, Ordering::Relaxed);
+            Ok(format!(
+                "OK graph={} op={} x={} y={} outcome={} cardinality={} rebuilds={} elapsed_us={}",
+                spec.name,
+                if spec.add { "add" } else { "del" },
+                spec.x,
+                spec.y,
+                report.outcome.label(),
+                report.cardinality,
+                state.dm.rebuilds(),
+                t0.elapsed().as_micros(),
+            ))
+        }
+    }
+}
+
 /// Writes one snapshot, translating failures (I/O or injected panics)
 /// into metrics instead of letting them escape into the calling thread.
 fn save_snapshot(
     dir: &std::path::Path,
     registry: &GraphRegistry,
+    dyn_store: &DynStore,
     metrics: &Metrics,
     faults: Option<&FaultPlan>,
 ) {
-    let entries = registry.snapshot_entries();
-    let result = catch_unwind(AssertUnwindSafe(|| snapshot::save(dir, &entries, faults)));
+    let snap = Snapshot {
+        entries: registry.snapshot_entries(),
+        deltas: dyn_store.deltas(),
+        rebuilds: metrics.rebuilds.load(Ordering::Relaxed),
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| snapshot::save(dir, &snap, faults)));
     match result {
         Ok(Ok(())) => {
             metrics.snapshots_saved.fetch_add(1, Ordering::Relaxed);
@@ -311,10 +486,18 @@ impl Server {
         } else {
             Tracer::disabled()
         };
+        let dyn_store = Arc::new(DynStore::default());
         if let Some(dir) = &cfg.state_dir {
             match snapshot::load(dir, faults) {
-                Ok(entries) => {
-                    for e in entries {
+                Ok(snap) => {
+                    metrics.rebuilds.store(snap.rebuilds, Ordering::Relaxed);
+                    {
+                        let mut restored = lock_recover(&dyn_store.restored);
+                        for d in snap.deltas {
+                            restored.insert(d.name.clone(), d);
+                        }
+                    }
+                    for e in snap.entries {
                         let warm = match &e.warm {
                             None => None,
                             Some(w) => match w.to_matching() {
@@ -348,6 +531,7 @@ impl Server {
             let registry = Arc::clone(&registry);
             let metrics = Arc::clone(&metrics);
             let shrink_gen = Arc::clone(&shrink_gen);
+            let dyn_store = Arc::clone(&dyn_store);
             Arc::new(Scheduler::with_worker_state(
                 cfg.workers,
                 cfg.queue_capacity,
@@ -362,11 +546,20 @@ impl Server {
                         state.ws.shrink();
                         state.seen_shrink_gen = gen;
                     }
-                    run_job(job, &registry, &metrics, &tracer, phase_hook, &mut state.ws)
+                    run_job(
+                        job,
+                        &registry,
+                        &metrics,
+                        &tracer,
+                        &dyn_store,
+                        phase_hook,
+                        &mut state.ws,
+                    )
                 },
             ))
         };
         Ok(Server {
+            dyn_store,
             listener,
             registry,
             metrics,
@@ -411,6 +604,7 @@ impl Server {
             }
             let registry = Arc::clone(&self.registry);
             let metrics = Arc::clone(&self.metrics);
+            let dyn_store = Arc::clone(&self.dyn_store);
             let stop = Arc::clone(&self.shutdown);
             let faults = self.faults;
             let interval = Duration::from_millis(self.cfg.snapshot_interval_ms);
@@ -419,7 +613,7 @@ impl Server {
                 while !stop.load(Ordering::SeqCst) {
                     std::thread::sleep(Duration::from_millis(100));
                     if last.elapsed() >= interval {
-                        save_snapshot(&dir, &registry, &metrics, faults);
+                        save_snapshot(&dir, &registry, &dyn_store, &metrics, faults);
                         last = Instant::now();
                     }
                 }
@@ -457,6 +651,7 @@ impl Server {
             let registry = Arc::clone(&self.registry);
             let metrics = Arc::clone(&self.metrics);
             let sched = Arc::clone(&self.sched);
+            let dyn_store = Arc::clone(&self.dyn_store);
             let health = Arc::clone(&self.health);
             let shutdown = Arc::clone(&self.shutdown);
             let trace = Arc::clone(&self.trace);
@@ -467,6 +662,7 @@ impl Server {
                     registry: &registry,
                     metrics: &metrics,
                     sched: &sched,
+                    dyn_store: &dyn_store,
                     trace: &trace,
                     health: &health,
                     shutdown: &shutdown,
@@ -499,7 +695,13 @@ impl Server {
             let _ = t.join();
         }
         if let Some(dir) = &self.cfg.state_dir {
-            save_snapshot(dir, &self.registry, &self.metrics, self.faults);
+            save_snapshot(
+                dir,
+                &self.registry,
+                &self.dyn_store,
+                &self.metrics,
+                self.faults,
+            );
         }
         Ok(())
     }
@@ -518,6 +720,7 @@ struct ConnCtx<'a> {
     registry: &'a GraphRegistry,
     metrics: &'a Metrics,
     sched: &'a Scheduler<Job, JobReply>,
+    dyn_store: &'a DynStore,
     trace: &'a RingSink,
     health: &'a AtomicU8,
     shutdown: &'a AtomicBool,
@@ -570,12 +773,13 @@ fn dispatch(req: Request, ctx: &ConnCtx<'_>) -> String {
             Err(e) => err_line(&e),
         },
         Request::Solve(spec) => submit_and_wait(ctx, job_from_spec(spec)),
-        Request::SolveBatch { .. } => {
+        Request::Update(spec) => submit_and_wait(ctx, Job::Update(spec)),
+        Request::SolveBatch { .. } | Request::UpdateBatch { .. } => {
             // Batches are intercepted by `handle_connection` (only it can
             // read the member lines); reaching this arm means a caller
             // dispatched the header without the stream.
             err_line(&SvcError::BadRequest(
-                "SOLVE_BATCH requires a connection stream".to_string(),
+                "batch requests require a connection stream".to_string(),
             ))
         }
         Request::Sleep { ms } => submit_and_wait(ctx, Job::Sleep(ms)),
@@ -634,6 +838,10 @@ fn dispatch(req: Request, ctx: &ConnCtx<'_>) -> String {
         }
         Request::Evict { name } => {
             let evicted = ctx.registry.evict(&name);
+            // Dynamic state (and any restored-but-unreplayed delta) goes
+            // with the registration: an evicted name is fully forgotten.
+            lock_recover(&ctx.dyn_store.states).remove(&name);
+            lock_recover(&ctx.dyn_store.restored).remove(&name);
             if evicted {
                 // Tell workers their resident workspaces may now be
                 // oversized; each shrinks lazily before its next solve.
@@ -805,6 +1013,7 @@ fn handle_batch(
     writer: &mut TcpStream,
     ctx: &ConnCtx<'_>,
     count: usize,
+    parse_member: fn(&str) -> Result<BatchMember, SvcError>,
 ) -> std::io::Result<bool> {
     let mut replies: Vec<Option<String>> = (0..count).map(|_| None).collect();
     let mut members: Vec<Option<BatchMember>> = Vec::with_capacity(count);
@@ -826,7 +1035,7 @@ fn handle_batch(
                     )));
                     members.push(None);
                 }
-                Ok(s) => match parse_batch_member(s) {
+                Ok(s) => match parse_member(s) {
                     Err(e) => {
                         *reply = Some(err_line(&e));
                         members.push(None);
@@ -846,6 +1055,7 @@ fn handle_batch(
         let job = match m {
             BatchMember::Sleep { ms } => Job::Sleep(ms),
             BatchMember::Solve(spec) => job_from_spec(spec),
+            BatchMember::Update(spec) => Job::Update(spec),
         };
         if let Err(e) = ctx.sched.submit_tagged(job, slot as u64, &tx) {
             replies[slot] = Some(err_line(&e));
@@ -940,7 +1150,13 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx<'_>) -> std::io::Result<()
             }
         };
         if let Request::SolveBatch { count } = req {
-            if !handle_batch(&mut reader, &mut writer, ctx, count)? {
+            if !handle_batch(&mut reader, &mut writer, ctx, count, parse_batch_member)? {
+                break;
+            }
+            continue;
+        }
+        if let Request::UpdateBatch { count } = req {
+            if !handle_batch(&mut reader, &mut writer, ctx, count, parse_update_member)? {
                 break;
             }
             continue;

@@ -16,15 +16,28 @@
 //! build environment has no serde) honest and the format diffable:
 //!
 //! ```text
-//! {"kind":"header","version":1}
+//! {"kind":"header","version":2}
 //! {"kind":"graph","name":"g","source":"suite","suite":"kkt_power","scale":"tiny"}
 //! {"kind":"graph","name":"m","source":"mtx","path":"data/m.mtx"}
 //! {"kind":"warm","name":"g","ny":1500,"mate_x":[3,-1,7]}
+//! {"kind":"delta","name":"g","adds":[0,5,3,1],"dels":[2,2]}
+//! {"kind":"rebuilds","count":4}
 //! ```
 //!
 //! `mate_x[x]` is the matched Y partner or `-1`; `ny` sizes the rebuilt
 //! `mate_y` side. A `warm` line always refers to a `graph` line earlier
 //! in the file.
+//!
+//! Version 2 adds the dynamic-update state: `delta` lines record a
+//! graph's pending edge updates relative to its registered source as
+//! flat `[x0,y0,x1,y1,...]` pairs (`adds` inserted, `dels` deleted), and
+//! one `rebuilds` line carries the service-wide overlay-compaction
+//! counter. Version 1 files load fine (no deltas). Delta and rebuilds
+//! lines that fail to decode are **skipped** — the affected graph simply
+//! starts its dynamic state cold — because losing replayable updates
+//! must not brick the whole registry; structurally corrupt lines (bad
+//! JSON, unknown kinds, broken `graph`/`warm` lines) still fail the
+//! load.
 //!
 //! ## Crash safety
 //!
@@ -44,10 +57,47 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u64 = 1;
+pub const SNAPSHOT_VERSION: u64 = 2;
+
+/// Oldest version [`load`] still accepts (pre-delta snapshots).
+pub const SNAPSHOT_MIN_VERSION: u64 = 1;
 
 /// File name inside the state directory.
 pub const SNAPSHOT_FILE: &str = "registry.jsonl";
+
+/// Everything a snapshot holds: the registry entries plus the dynamic
+/// per-graph deltas and the service-wide rebuild counter.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Registered graphs (sources + warm matchings).
+    pub entries: Vec<SnapshotEntry>,
+    /// Pending dynamic edge updates per graph, relative to the source.
+    pub deltas: Vec<SnapshotDelta>,
+    /// Overlay compactions performed so far (restored into `STATS`).
+    pub rebuilds: u64,
+}
+
+impl Snapshot {
+    /// A snapshot holding only registry entries (no dynamic state).
+    pub fn from_entries(entries: Vec<SnapshotEntry>) -> Self {
+        Self {
+            entries,
+            ..Self::default()
+        }
+    }
+}
+
+/// One graph's pending dynamic updates: the edges inserted into and
+/// deleted from its registered source since the last compaction.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SnapshotDelta {
+    /// Registry name (matches a `graph` line).
+    pub name: String,
+    /// Edges added relative to the source.
+    pub adds: Vec<(u32, u32)>,
+    /// Edges deleted relative to the source.
+    pub dels: Vec<(u32, u32)>,
+}
 
 /// One graph's durable state: its source and the last solve's matching.
 #[derive(Debug, Clone)]
@@ -302,22 +352,48 @@ fn render_entry(entry: &SnapshotEntry, out: &mut String) {
     }
 }
 
-/// Serializes `entries` to the snapshot text (exposed for tests).
-pub fn render(entries: &[SnapshotEntry]) -> String {
+fn render_pairs(out: &mut String, pairs: &[(u32, u32)]) {
+    use std::fmt::Write;
+    out.push('[');
+    for (i, (x, y)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{x},{y}");
+    }
+    out.push(']');
+}
+
+/// Serializes a snapshot to its text form (exposed for tests).
+pub fn render(snap: &Snapshot) -> String {
+    use std::fmt::Write;
     let mut out = format!("{{\"kind\":\"header\",\"version\":{SNAPSHOT_VERSION}}}\n");
-    for e in entries {
+    for e in &snap.entries {
         render_entry(e, &mut out);
+    }
+    for d in &snap.deltas {
+        if d.adds.is_empty() && d.dels.is_empty() {
+            continue;
+        }
+        let _ = write!(
+            out,
+            "{{\"kind\":\"delta\",\"name\":\"{}\",\"adds\":",
+            json_escape(&d.name)
+        );
+        render_pairs(&mut out, &d.adds);
+        out.push_str(",\"dels\":");
+        render_pairs(&mut out, &d.dels);
+        out.push_str("}\n");
+    }
+    if snap.rebuilds > 0 {
+        let _ = writeln!(out, "{{\"kind\":\"rebuilds\",\"count\":{}}}", snap.rebuilds);
     }
     out
 }
 
-/// Atomically writes `entries` to `dir/registry.jsonl` (tmp + fsync +
+/// Atomically writes `snap` to `dir/registry.jsonl` (tmp + fsync +
 /// rename). `faults` injects at [`FaultSite::SnapshotSave`].
-pub fn save(
-    dir: &Path,
-    entries: &[SnapshotEntry],
-    faults: Option<&FaultPlan>,
-) -> std::io::Result<()> {
+pub fn save(dir: &Path, snap: &Snapshot, faults: Option<&FaultPlan>) -> std::io::Result<()> {
     if let Some(plan) = faults {
         plan.maybe_fail_io(FaultSite::SnapshotSave)?;
     }
@@ -327,7 +403,7 @@ pub fn save(
     {
         let file = File::create(&tmp_path)?;
         let mut w = BufWriter::new(file);
-        w.write_all(render(entries).as_bytes())?;
+        w.write_all(render(snap).as_bytes())?;
         w.flush()?;
         // fsync before rename: the rename must never become visible
         // ahead of the bytes it points at.
@@ -378,10 +454,42 @@ fn corrupt(line: usize, message: impl Into<String>) -> SnapshotError {
     }
 }
 
+/// Decodes a flat `[x0,y0,x1,y1,...]` delta array; `None` on odd
+/// length or out-of-`u32` values (the caller skips the delta line).
+fn decode_pairs(v: &Value) -> Option<Vec<(u32, u32)>> {
+    let ints = match v {
+        Value::Ints(ints) => ints,
+        _ => return None,
+    };
+    if ints.len() % 2 != 0 {
+        return None;
+    }
+    let mut pairs = Vec::with_capacity(ints.len() / 2);
+    for chunk in ints.chunks_exact(2) {
+        let x = u32::try_from(chunk[0]).ok()?;
+        let y = u32::try_from(chunk[1]).ok()?;
+        pairs.push((x, y));
+    }
+    Some(pairs)
+}
+
+/// Decodes one `delta` line; `None` means "skip it, start that graph's
+/// dynamic state cold" (the ISSUE-mandated degradation: a bad delta must
+/// not brick the registry).
+fn decode_delta(pairs: &[(String, Value)], entries: &[SnapshotEntry]) -> Option<SnapshotDelta> {
+    let name = field(pairs, "name").ok()?.as_str()?.to_string();
+    // A delta for a graph the snapshot does not register cannot be
+    // replayed against anything.
+    entries.iter().find(|e| e.name == name)?;
+    let adds = decode_pairs(field(pairs, "adds").ok()?)?;
+    let dels = decode_pairs(field(pairs, "dels").ok()?)?;
+    Some(SnapshotDelta { name, adds, dels })
+}
+
 /// Loads `dir/registry.jsonl`. A missing file is an empty snapshot (the
 /// cold-start case), not an error. `faults` injects at
 /// [`FaultSite::SnapshotLoad`].
-pub fn load(dir: &Path, faults: Option<&FaultPlan>) -> Result<Vec<SnapshotEntry>, SnapshotError> {
+pub fn load(dir: &Path, faults: Option<&FaultPlan>) -> Result<Snapshot, SnapshotError> {
     if let Some(plan) = faults {
         plan.maybe_fail_io(FaultSite::SnapshotLoad)
             .map_err(SnapshotError::Io)?;
@@ -389,10 +497,12 @@ pub fn load(dir: &Path, faults: Option<&FaultPlan>) -> Result<Vec<SnapshotEntry>
     let path = dir.join(SNAPSHOT_FILE);
     let file = match File::open(&path) {
         Ok(f) => f,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Snapshot::default()),
         Err(e) => return Err(SnapshotError::Io(e)),
     };
     let mut entries: Vec<SnapshotEntry> = Vec::new();
+    let mut deltas: Vec<SnapshotDelta> = Vec::new();
+    let mut rebuilds = 0u64;
     let mut saw_header = false;
     for (i, line) in BufReader::new(file).lines().enumerate() {
         let lineno = i + 1;
@@ -410,7 +520,7 @@ pub fn load(dir: &Path, faults: Option<&FaultPlan>) -> Result<Vec<SnapshotEntry>
                 let version = field(&pairs, "version")
                     .and_then(|v| v.as_int().ok_or("`version` must be an integer".into()))
                     .map_err(|m| corrupt(lineno, m))?;
-                if version != SNAPSHOT_VERSION as i64 {
+                if version < SNAPSHOT_MIN_VERSION as i64 || version > SNAPSHOT_VERSION as i64 {
                     return Err(corrupt(lineno, format!("unsupported version {version}")));
                 }
                 saw_header = true;
@@ -478,10 +588,37 @@ pub fn load(dir: &Path, faults: Option<&FaultPlan>) -> Result<Vec<SnapshotEntry>
                     mate_x,
                 });
             }
+            "delta" => {
+                if !saw_header {
+                    return Err(corrupt(lineno, "delta line before header"));
+                }
+                // Degrade, don't brick: an undecodable delta only costs
+                // that graph its replayable updates.
+                if let Some(delta) = decode_delta(&pairs, &entries) {
+                    deltas.retain(|d| d.name != delta.name);
+                    deltas.push(delta);
+                }
+            }
+            "rebuilds" => {
+                if !saw_header {
+                    return Err(corrupt(lineno, "rebuilds line before header"));
+                }
+                if let Some(count) = field(&pairs, "count")
+                    .ok()
+                    .and_then(|v| v.as_int())
+                    .and_then(|v| u64::try_from(v).ok())
+                {
+                    rebuilds = count;
+                }
+            }
             other => return Err(corrupt(lineno, format!("unknown line kind `{other}`"))),
         }
     }
-    Ok(entries)
+    Ok(Snapshot {
+        entries,
+        deltas,
+        rebuilds,
+    })
 }
 
 #[cfg(test)]
@@ -513,27 +650,45 @@ mod tests {
     fn round_trip_through_a_directory() {
         let dir = std::env::temp_dir().join(format!("graft-snap-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
-        let entries = sample_entries();
-        save(&dir, &entries, None).unwrap();
+        let snap = Snapshot {
+            entries: sample_entries(),
+            deltas: vec![
+                SnapshotDelta {
+                    name: "gen-graph".into(),
+                    adds: vec![(0, 5), (3, 1)],
+                    dels: vec![(2, 2)],
+                },
+                // Empty deltas are not persisted.
+                SnapshotDelta {
+                    name: "file \"quoted\"".into(),
+                    adds: vec![],
+                    dels: vec![],
+                },
+            ],
+            rebuilds: 4,
+        };
+        save(&dir, &snap, None).unwrap();
         let back = load(&dir, None).unwrap();
-        assert_eq!(back.len(), 2);
-        assert_eq!(back[0].name, "gen-graph");
+        assert_eq!(back.entries.len(), 2);
+        assert_eq!(back.entries[0].name, "gen-graph");
         assert!(matches!(
-            &back[0].source,
+            &back.entries[0].source,
             GraphSource::Suite { name, scale: Scale::Tiny } if name == "kkt_power"
         ));
         assert_eq!(
-            back[0].warm.as_ref().unwrap(),
+            back.entries[0].warm.as_ref().unwrap(),
             &WarmStart {
                 ny: 4,
                 mate_x: vec![1, -1, 3]
             }
         );
-        assert_eq!(back[1].name, "file \"quoted\"");
+        assert_eq!(back.entries[1].name, "file \"quoted\"");
         assert!(matches!(
-            &back[1].source,
+            &back.entries[1].source,
             GraphSource::MtxFile(p) if p == &PathBuf::from("data/a b.mtx")
         ));
+        assert_eq!(back.deltas, vec![snap.deltas[0].clone()]);
+        assert_eq!(back.rebuilds, 4);
         // No tmp file left behind.
         assert!(!dir.join(format!("{SNAPSHOT_FILE}.tmp")).exists());
         fs::remove_dir_all(&dir).unwrap();
@@ -543,7 +698,76 @@ mod tests {
     fn missing_snapshot_is_empty_not_error() {
         let dir = std::env::temp_dir().join(format!("graft-snap-missing-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
-        assert!(load(&dir, None).unwrap().is_empty());
+        let snap = load(&dir, None).unwrap();
+        assert!(snap.entries.is_empty() && snap.deltas.is_empty() && snap.rebuilds == 0);
+    }
+
+    #[test]
+    fn version_1_snapshots_still_load() {
+        let dir = std::env::temp_dir().join(format!("graft-snap-v1-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join(SNAPSHOT_FILE),
+            "{\"kind\":\"header\",\"version\":1}\n\
+             {\"kind\":\"graph\",\"name\":\"g\",\"source\":\"suite\",\"suite\":\"kkt_power\",\"scale\":\"tiny\"}\n",
+        )
+        .unwrap();
+        let snap = load(&dir, None).unwrap();
+        assert_eq!(snap.entries.len(), 1);
+        assert!(snap.deltas.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_delta_and_rebuilds_lines_are_skipped_not_fatal() {
+        let dir = std::env::temp_dir().join(format!("graft-snap-baddelta-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        // Odd-length adds array, delta for an unregistered graph, negative
+        // coordinate, and a negative rebuilds count: all must degrade to
+        // "cold dynamic state", never a failed load.
+        fs::write(
+            dir.join(SNAPSHOT_FILE),
+            "{\"kind\":\"header\",\"version\":2}\n\
+             {\"kind\":\"graph\",\"name\":\"g\",\"source\":\"suite\",\"suite\":\"kkt_power\",\"scale\":\"tiny\"}\n\
+             {\"kind\":\"delta\",\"name\":\"g\",\"adds\":[0,1,2],\"dels\":[]}\n\
+             {\"kind\":\"delta\",\"name\":\"ghost\",\"adds\":[0,1],\"dels\":[]}\n\
+             {\"kind\":\"delta\",\"name\":\"g\",\"adds\":[-3,1],\"dels\":[]}\n\
+             {\"kind\":\"delta\",\"name\":\"g\",\"adds\":\"zap\",\"dels\":[]}\n\
+             {\"kind\":\"rebuilds\",\"count\":-7}\n",
+        )
+        .unwrap();
+        let snap = load(&dir, None).unwrap();
+        assert_eq!(snap.entries.len(), 1);
+        assert!(snap.deltas.is_empty(), "all four deltas were undecodable");
+        assert_eq!(snap.rebuilds, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn later_delta_for_same_graph_wins() {
+        let dir = std::env::temp_dir().join(format!("graft-snap-dupdelta-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join(SNAPSHOT_FILE),
+            "{\"kind\":\"header\",\"version\":2}\n\
+             {\"kind\":\"graph\",\"name\":\"g\",\"source\":\"suite\",\"suite\":\"kkt_power\",\"scale\":\"tiny\"}\n\
+             {\"kind\":\"delta\",\"name\":\"g\",\"adds\":[0,1],\"dels\":[]}\n\
+             {\"kind\":\"delta\",\"name\":\"g\",\"adds\":[5,6],\"dels\":[7,8]}\n",
+        )
+        .unwrap();
+        let snap = load(&dir, None).unwrap();
+        assert_eq!(
+            snap.deltas,
+            vec![SnapshotDelta {
+                name: "g".into(),
+                adds: vec![(5, 6)],
+                dels: vec![(7, 8)],
+            }]
+        );
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -619,7 +843,7 @@ mod tests {
         let mut failed = 0;
         for _ in 0..50 {
             match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                save(&dir, &[], Some(&plan))
+                save(&dir, &Snapshot::default(), Some(&plan))
             })) {
                 Ok(Err(_)) | Err(_) => failed += 1,
                 Ok(Ok(())) => {}

@@ -15,6 +15,8 @@
 //! graftmatch solve-remote --addr HOST:PORT --name NAME [--algorithm A]
 //!                         [--timeout-ms N] [--threads N] [--cold]
 //!                         [--batch N] [--attempts N] [--retry-seed S]
+//! graftmatch update --addr HOST:PORT NAME (add|del) X Y
+//!                   [--attempts N] [--retry-seed S]
 //! ```
 //!
 //! `serve` installs a SIGINT/SIGTERM handler that drains gracefully:
@@ -29,6 +31,7 @@ fn usage() -> ! {
         "usage: graftmatch (--mtx FILE | --suite NAME) [options]\n\
          \x20      graftmatch serve [serve options]\n\
          \x20      graftmatch solve-remote --addr HOST:PORT --name NAME [remote options]\n\
+         \x20      graftmatch update --addr HOST:PORT NAME (add|del) X Y [remote options]\n\
          options:\n\
            --algorithm A   ss-dfs|ss-bfs|pf|pf-par|hk|ms-bfs|ms-bfs-do|\n\
                            ms-bfs-graft|ms-bfs-graft-par|pr|pr-par|dist\n\
@@ -206,6 +209,52 @@ fn solve_remote_main(args: Vec<String>) -> ! {
     }
 }
 
+fn update_main(args: Vec<String>) -> ! {
+    let mut addr: Option<String> = None;
+    let mut policy = svc::RetryPolicy::default();
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut next = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--addr" => addr = Some(next()),
+            "--attempts" => policy.max_attempts = next().parse().unwrap_or_else(|_| usage()),
+            "--retry-seed" => policy.seed = next().parse().unwrap_or_else(|_| usage()),
+            _ => positional.push(a),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| usage());
+    let [name, op, x, y]: [String; 4] = match positional.try_into() {
+        Ok(p) => p,
+        Err(_) => usage(),
+    };
+    let add = match op.to_ascii_lowercase().as_str() {
+        "add" => true,
+        "del" => false,
+        _ => usage(),
+    };
+    let spec = svc::UpdateSpec {
+        name,
+        add,
+        x: x.parse().unwrap_or_else(|_| usage()),
+        y: y.parse().unwrap_or_else(|_| usage()),
+    };
+    let mut client = svc::RetryClient::new(addr, policy);
+    match client.request(&svc::Request::Update(spec).wire()) {
+        Ok(reply) => {
+            if client.retries > 0 {
+                eprintln!("succeeded after {} retr(ies)", client.retries);
+            }
+            println!("{reply}");
+            std::process::exit(if reply.starts_with("OK") { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("update failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("serve") {
@@ -213,6 +262,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("solve-remote") {
         solve_remote_main(args.split_off(1));
+    }
+    if args.first().map(String::as_str) == Some("update") {
+        update_main(args.split_off(1));
     }
     let mut mtx: Option<String> = None;
     let mut suite: Option<String> = None;

@@ -9,6 +9,8 @@
 //! * [`matching`] — every matching algorithm the paper evaluates,
 //!   including the MS-BFS-Graft contribution (serial and parallel);
 //! * [`dm`] — the Dulmage-Mendelsohn / block-triangular-form application;
+//! * [`dyn_matching`] — incremental matching under edge updates (a CSR
+//!   base plus a delta overlay, repaired by bounded augmenting searches);
 //! * [`svc`] — the resident matching service behind `graftmatch serve`
 //!   (graph registry + LRU cache, worker pool with deadlines and warm
 //!   starts, newline-delimited TCP protocol).
@@ -33,6 +35,7 @@
 pub use graft_core as matching;
 pub use graft_dist as dist;
 pub use graft_dm as dm;
+pub use graft_dyn as dyn_matching;
 pub use graft_gen as gen;
 pub use graft_graph as graph;
 pub use graft_svc as svc;
@@ -46,6 +49,7 @@ pub mod prelude {
     };
     pub use graft_dist::{self as dist, distributed_ms_bfs_graft};
     pub use graft_dm::{self as dm, DmDecomposition};
+    pub use graft_dyn::{self as dyn_matching, DynConfig, DynamicMatching};
     pub use graft_gen as gen;
     pub use graft_graph::{self as graph, BipartiteCsr, GraphBuilder, VertexId, NONE};
     pub use graft_svc as svc;

@@ -1,0 +1,197 @@
+//! Differential tests for the dynamic-matching subsystem: random
+//! interleaved ADD/DEL/SOLVE streams run against [`DynamicMatching`]
+//! while a mirror edge set feeds from-scratch solves; after every SOLVE
+//! checkpoint (and at the end of every stream) the incremental
+//! cardinality must equal what **every** engine computes from scratch on
+//! the same live edge set.
+
+use ms_bfs_graft::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+use dyn_matching::UpdateOutcome;
+
+#[derive(Clone, Debug)]
+enum DynOp {
+    /// Insert an arbitrary in-range edge (may already be live → Noop).
+    Add(u32, u32),
+    /// Delete the k-th (mod len) currently-live edge — exercises the
+    /// repair path on edges that actually exist.
+    DelLive(usize),
+    /// Delete an arbitrary pair — usually missing, exercising the typed
+    /// rejection path.
+    DelRandom(u32, u32),
+    /// Checkpoint: compare against from-scratch solves of every engine.
+    Solve,
+}
+
+fn arb_ops(nx: u32, ny: u32, len: usize) -> impl Strategy<Value = Vec<DynOp>> {
+    proptest::collection::vec(
+        // The shim's `prop_oneof!` is unweighted; repeating arms skews
+        // the mix toward updates so SOLVE checkpoints stay occasional.
+        prop_oneof![
+            (0..nx, 0..ny).prop_map(|(x, y)| DynOp::Add(x, y)),
+            (0..nx, 0..ny).prop_map(|(x, y)| DynOp::Add(x, y)),
+            (0usize..1024).prop_map(DynOp::DelLive),
+            (0usize..1024).prop_map(DynOp::DelLive),
+            (0..nx, 0..ny).prop_map(|(x, y)| DynOp::DelRandom(x, y)),
+            Just(DynOp::Solve),
+        ],
+        1..len,
+    )
+}
+
+/// Rebuilds the live edge set as a CSR and asserts every engine's
+/// from-scratch cardinality matches the incremental one.
+fn check_against_all_engines(
+    nx: usize,
+    ny: usize,
+    live: &BTreeSet<(u32, u32)>,
+    dm: &DynamicMatching,
+) -> Result<(), TestCaseError> {
+    let edges: Vec<(u32, u32)> = live.iter().copied().collect();
+    let g = BipartiteCsr::from_edges(nx, ny, &edges);
+    prop_assert!(
+        dm.matching().validate(&g).is_ok(),
+        "incremental matching invalid"
+    );
+    let opts = SolveOptions {
+        threads: 2,
+        ..SolveOptions::default()
+    };
+    for alg in Algorithm::ALL {
+        let out = solve(&g, alg, &opts);
+        prop_assert_eq!(
+            out.matching.cardinality(),
+            dm.cardinality(),
+            "{} disagrees with incremental on {} live edges",
+            alg.name(),
+            edges.len()
+        );
+    }
+    Ok(())
+}
+
+fn run_stream(
+    nx: usize,
+    ny: usize,
+    base: &[(u32, u32)],
+    ops: &[DynOp],
+) -> Result<(), TestCaseError> {
+    let g = BipartiteCsr::from_edges(nx, ny, base);
+    let mut live: BTreeSet<(u32, u32)> = base.iter().copied().collect();
+    let mut dm = DynamicMatching::new(g);
+    for op in ops {
+        match *op {
+            DynOp::Add(x, y) => {
+                let was_new = live.insert((x, y));
+                let r = dm.insert_edge(x, y).expect("in-range insert accepted");
+                prop_assert_eq!(
+                    r.outcome == UpdateOutcome::Noop,
+                    !was_new,
+                    "noop iff the edge was already live"
+                );
+            }
+            DynOp::DelLive(k) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (x, y) = *live.iter().nth(k % live.len()).expect("index in range");
+                live.remove(&(x, y));
+                dm.delete_edge(x, y)
+                    .expect("delete of a live edge accepted");
+            }
+            DynOp::DelRandom(x, y) => {
+                let was_live = live.remove(&(x, y));
+                prop_assert_eq!(
+                    dm.delete_edge(x, y).is_ok(),
+                    was_live,
+                    "delete accepted iff the edge was live"
+                );
+            }
+            DynOp::Solve => check_against_all_engines(nx, ny, &live, &dm)?,
+        }
+    }
+    check_against_all_engines(nx, ny, &live, &dm)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Sparse random graphs: most updates land on exposed vertices.
+    #[test]
+    fn sparse_streams_agree(
+        base in proptest::collection::vec((0u32..18, 0u32..14), 0..30),
+        ops in arb_ops(18, 14, 40),
+    ) {
+        run_stream(18, 14, &base, &ops)?;
+    }
+
+    // Dense random graphs: deletes usually repair, inserts often Noop.
+    #[test]
+    fn dense_streams_agree(
+        base in proptest::collection::vec((0u32..8, 0u32..8), 20..60),
+        ops in arb_ops(8, 8, 40),
+    ) {
+        run_stream(8, 8, &base, &ops)?;
+    }
+
+    // Skewed graphs (|X| >> |Y|): the Y side saturates, exercising the
+    // saturation guard and Degraded outcomes.
+    #[test]
+    fn skewed_streams_agree(
+        base in proptest::collection::vec((0u32..24, 0u32..5), 5..40),
+        ops in arb_ops(24, 5, 40),
+    ) {
+        run_stream(24, 5, &base, &ops)?;
+    }
+}
+
+/// Deterministic long streams over three structured graphs, checked
+/// against every engine at the end (and at periodic checkpoints).
+#[test]
+fn structured_graphs_long_streams() {
+    // Complete bipartite K6,6; a path x0-y0-x1-y1-…; a two-block graph
+    // joined by a single bridge edge (repairs must cross it).
+    let complete: Vec<(u32, u32)> = (0..6).flat_map(|x| (0..6).map(move |y| (x, y))).collect();
+    let path: Vec<(u32, u32)> = (0..10u32).flat_map(|i| [(i, i), (i + 1, i)]).collect();
+    let mut blocks: Vec<(u32, u32)> = Vec::new();
+    for x in 0..5u32 {
+        for y in 0..5u32 {
+            blocks.push((x, y));
+            blocks.push((x + 5, y + 5));
+        }
+    }
+    blocks.push((4, 5));
+    type Case = (usize, usize, Vec<(u32, u32)>);
+    let cases: [Case; 3] = [(6, 6, complete), (11, 10, path), (10, 10, blocks)];
+
+    for (nx, ny, base) in cases {
+        let g = BipartiteCsr::from_edges(nx, ny, &base);
+        let mut live: BTreeSet<(u32, u32)> = base.iter().copied().collect();
+        let mut dm = DynamicMatching::new(g);
+        // Seeded churn: delete the k-th live edge, then insert a pair
+        // derived from the same counter, checkpointing every 8 ops.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        for step in 0..64 {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if step % 2 == 0 && !live.is_empty() {
+                let k = (seed >> 33) as usize % live.len();
+                let (x, y) = *live.iter().nth(k).unwrap();
+                live.remove(&(x, y));
+                dm.delete_edge(x, y).unwrap();
+            } else {
+                let x = ((seed >> 20) as usize % nx) as u32;
+                let y = ((seed >> 45) as usize % ny) as u32;
+                live.insert((x, y));
+                dm.insert_edge(x, y).unwrap();
+            }
+            if step % 8 == 7 {
+                check_against_all_engines(nx, ny, &live, &dm).unwrap();
+            }
+        }
+        check_against_all_engines(nx, ny, &live, &dm).unwrap();
+    }
+}

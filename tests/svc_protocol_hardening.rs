@@ -235,9 +235,11 @@ fn stats_counters_reconcile_after_seeded_interleaving() {
     };
     let algs = ["ms-bfs-graft", "pf", "hk", "pr"];
     let mut expected_solves = 0u64;
+    let mut expected_updates_ok = 0u64;
+    let mut expected_updates_err = 0u64;
     for _ in 0..60 {
         let name = &names[rng() % names.len()];
-        match rng() % 4 {
+        match rng() % 5 {
             0 => {
                 // EVICT forgets the registration: later SOLVEs on the
                 // name must fail typed, not count as solves.
@@ -249,6 +251,24 @@ fn stats_counters_reconcile_after_seeded_interleaving() {
                 let r = c.req(&format!("GEN {name} kkt_power:tiny"));
                 assert!(r.starts_with("OK "), "{r}");
                 registered.insert(name.clone());
+            }
+            2 => {
+                // Paired dynamic updates: ADD always succeeds on a
+                // registered graph (insert or noop), and the DEL that
+                // follows hits a live edge, so both count as ok; on an
+                // unregistered name both fail typed and count as err.
+                let (x, y) = (rng() % 8, rng() % 8);
+                let add = c.req(&format!("UPDATE {name} ADD {x} {y}"));
+                let del = c.req(&format!("UPDATE {name} DEL {x} {y}"));
+                if registered.contains(name) {
+                    assert!(add.starts_with("OK "), "{add}");
+                    assert!(del.starts_with("OK "), "{del}");
+                    expected_updates_ok += 2;
+                } else {
+                    assert!(add.starts_with("ERR unknown-graph"), "{add}");
+                    assert!(del.starts_with("ERR unknown-graph"), "{del}");
+                    expected_updates_err += 2;
+                }
             }
             _ => {
                 let alg = algs[rng() % algs.len()];
@@ -298,6 +318,127 @@ fn stats_counters_reconcile_after_seeded_interleaving() {
     assert_eq!(per_alg, solves_ok, "{stats}");
     assert_eq!(field_u64(&stats, "solve_count"), solves_ok, "{stats}");
 
+    // Dynamic-update accounting reconciles against what this client saw,
+    // and a few dozen tombstones on a tiny graph never trip a rebuild.
+    assert_eq!(
+        field_u64(&stats, "updates_ok"),
+        expected_updates_ok,
+        "{stats}"
+    );
+    assert_eq!(
+        field_u64(&stats, "updates_err"),
+        expected_updates_err,
+        "{stats}"
+    );
+    assert_eq!(field_u64(&stats, "rebuilds"), 0, "{stats}");
+
+    assert_eq!(c.req("SHUTDOWN"), "OK bye");
+    assert!(guard.0.wait().unwrap().success());
+}
+
+#[test]
+fn update_verbs_end_to_end_with_hostile_inputs() {
+    let (mut guard, addr) = spawn_server(&[]);
+    let mut c = Client::connect(&addr);
+    assert!(c.req("GEN g kkt_power:tiny").starts_with("OK "));
+
+    // A well-formed insert carries the full structured reply.
+    let reply = c.req("UPDATE g ADD 0 1");
+    assert!(
+        reply.starts_with("OK graph=g op=add x=0 y=1 outcome="),
+        "{reply}"
+    );
+    let card = field_u64(&reply, "cardinality");
+    assert!(card > 0, "{reply}");
+    let _ = field_u64(&reply, "rebuilds");
+    let _ = field_u64(&reply, "elapsed_us");
+
+    // Deleting the edge we just ensured is live succeeds; deleting it a
+    // second time is a typed rejection, not a panic or a silent OK.
+    let reply = c.req("UPDATE g DEL 0 1");
+    assert!(
+        reply.starts_with("OK graph=g op=del x=0 y=1 outcome="),
+        "{reply}"
+    );
+    let reply = c.req("UPDATE g DEL 0 1");
+    assert!(reply.starts_with("ERR bad-request"), "{reply}");
+
+    // Unknown graphs and out-of-range endpoints are typed errors too.
+    let reply = c.req("UPDATE ghost ADD 0 0");
+    assert!(reply.starts_with("ERR unknown-graph"), "{reply}");
+    let reply = c.req("UPDATE g ADD 99999999 0");
+    assert!(reply.starts_with("ERR bad-request"), "{reply}");
+
+    // Hostile shapes: every one rejected, connection never drops.
+    for bad in [
+        "UPDATE",
+        "UPDATE g",
+        "UPDATE g ADD",
+        "UPDATE g ADD 1",
+        "UPDATE g ADD 1 2 3",
+        "UPDATE g FROB 1 2",
+        "UPDATE g ADD x y",
+        "UPDATE g ADD -1 2",
+        "UPDATE_BATCH",
+        "UPDATE_BATCH nope",
+    ] {
+        let reply = c.req(bad);
+        assert!(reply.starts_with("ERR bad-request"), "`{bad}` → {reply}");
+    }
+
+    // The same connection still serves, and the counters saw it all:
+    // 2 ok (add + first del), 3 err (double del, ghost, out-of-range) —
+    // parse-level rejections never reach the update counters.
+    let stats = c.req("STATS");
+    assert_eq!(field_u64(&stats, "updates_ok"), 2, "{stats}");
+    assert_eq!(field_u64(&stats, "updates_err"), 3, "{stats}");
+
+    assert_eq!(c.req("SHUTDOWN"), "OK bye");
+    assert!(guard.0.wait().unwrap().success());
+}
+
+#[test]
+fn update_batch_pipelines_members_with_in_slot_errors() {
+    let (mut guard, addr) = spawn_server(&["--workers", "2"]);
+    let mut c = Client::connect(&addr);
+    assert!(c.req("GEN g kkt_power:tiny").starts_with("OK "));
+
+    // Five members in one round trip: two good updates, a SLEEP, one
+    // malformed member, and one unknown graph. The malformed slot must
+    // carry its own typed ERR without desynchronizing the stream.
+    c.send_raw(b"UPDATE_BATCH 5\n");
+    c.send_raw(b"g ADD 2 3\n");
+    c.send_raw(b"SLEEP 1\n");
+    c.send_raw(b"g DEL 2 3\n");
+    c.send_raw(b"g FROB 1 2\n");
+    c.send_raw(b"ghost ADD 0 0\n");
+
+    assert_eq!(c.recv(), "OK batch=5");
+    let replies: Vec<String> = (0..5).map(|_| c.recv()).collect();
+    assert!(
+        replies[0].starts_with("OK graph=g op=add x=2 y=3 outcome="),
+        "{}",
+        replies[0]
+    );
+    assert!(replies[1].starts_with("OK "), "{}", replies[1]);
+    assert!(
+        replies[2].starts_with("OK graph=g op=del x=2 y=3 outcome="),
+        "{}",
+        replies[2]
+    );
+    assert!(replies[3].starts_with("ERR bad-request"), "{}", replies[3]);
+    assert!(
+        replies[4].starts_with("ERR unknown-graph"),
+        "{}",
+        replies[4]
+    );
+
+    // The connection is still in request framing after the batch.
+    let stats = c.req("STATS");
+    assert!(stats.starts_with("OK "), "{stats}");
+    assert_eq!(field_u64(&stats, "updates_ok"), 2, "{stats}");
+    assert_eq!(field_u64(&stats, "updates_err"), 1, "{stats}");
+
     assert_eq!(c.req("SHUTDOWN"), "OK bye");
     assert!(guard.0.wait().unwrap().success());
 }
@@ -344,6 +485,15 @@ fn arb_request() -> impl Strategy<Value = svc::Request> {
                 }
             )),
         (0usize..svc::MAX_BATCH).prop_map(|count| svc::Request::SolveBatch { count }),
+        (arb_name(), 0u64..2, 0u32..1000, 0u32..1000).prop_map(|(name, add, x, y)| {
+            svc::Request::Update(svc::UpdateSpec {
+                name,
+                add: add == 1,
+                x,
+                y,
+            })
+        }),
+        (0usize..svc::MAX_BATCH).prop_map(|count| svc::Request::UpdateBatch { count }),
         Just(svc::Request::Stats),
         Just(svc::Request::Health),
         (0u64..2, 0u64..10_000).prop_map(|(some, n)| svc::Request::Trace {

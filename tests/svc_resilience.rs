@@ -198,6 +198,50 @@ fn sigterm_drains_and_snapshot_gives_a_warm_restart() {
 }
 
 #[test]
+fn dynamic_deltas_survive_a_snapshot_restart() {
+    let dir = fresh_dir("dyn_deltas");
+    let dir_s = dir.display().to_string();
+
+    // The generators are seeded, so a live base edge and the maximum
+    // cardinality can be computed locally.
+    let local = gen::suite::by_name("kkt_power")
+        .unwrap()
+        .build(gen::Scale::Tiny);
+    let oracle = matching::solve(&local, Algorithm::HopcroftKarp, &SolveOptions::default());
+    let max_card = oracle.matching.cardinality() as u64;
+    let (ex, ey) = (0u32, local.x_neighbors(0)[0]);
+
+    {
+        let (mut guard, addr) = spawn_server(&["--state", &dir_s]);
+        let mut c = Client::connect(&addr);
+        assert!(c.req("GEN g kkt_power:tiny").starts_with("OK "));
+        assert!(c.req("SOLVE g ms-bfs-graft").starts_with("OK "));
+        // Delete a known base edge: the journal now holds one tombstone.
+        let del = c.req(&format!("UPDATE g DEL {ex} {ey}"));
+        assert!(del.starts_with("OK graph=g op=del"), "{del}");
+        assert_eq!(c.req("SHUTDOWN"), "OK bye");
+        assert!(guard.0.wait().unwrap().success());
+    }
+
+    // The restarted server must replay the delta before serving updates:
+    // deleting the same edge again is a typed rejection (it is already
+    // gone), and re-inserting it restores the full base graph, so the
+    // cardinality climbs back to the oracle's maximum.
+    let (mut guard, addr) = spawn_server(&["--state", &dir_s]);
+    let mut c = Client::connect(&addr);
+    let del = c.req(&format!("UPDATE g DEL {ex} {ey}"));
+    assert!(
+        del.starts_with("ERR bad-request"),
+        "tombstone was not restored from the snapshot: {del}"
+    );
+    let add = c.req(&format!("UPDATE g ADD {ex} {ey}"));
+    assert!(add.starts_with("OK graph=g op=add"), "{add}");
+    assert_eq!(field_u64(&add, "cardinality"), max_card, "{add}");
+    assert_eq!(c.req("SHUTDOWN"), "OK bye");
+    assert!(guard.0.wait().unwrap().success());
+}
+
+#[test]
 fn admission_control_refuses_oversized_graphs_before_materializing() {
     let server = svc::Server::bind(&svc::ServeConfig {
         max_graph_bytes: 1 << 20,
