@@ -7,7 +7,7 @@
 //!             [--scale tiny|small|medium|large] [--threads N] [--reps N] [--out DIR]
 //! experiments trace-report <file.jsonl>
 //! experiments loadgen [--connections N] [--requests N] [--batch N] [--seed S]
-//!             [--open-loop-rate R] [--scale ...] [--threads N] [--out DIR]
+//!             [--open-loop-rate R] [--virtual-open-loop] [--scale ...] [--threads N] [--out DIR]
 //! ```
 
 use graft_bench::experiments::LoadgenOptions;
@@ -18,7 +18,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: experiments <experiment>... [--scale tiny|small|medium|large] [--threads N] [--reps N] [--out DIR] [--init none|greedy|random-greedy|karp-sipser]\n\
          \x20      experiments trace-report <file.jsonl>\n\
-         \x20      experiments loadgen [--connections N] [--requests N] [--batch N] [--seed S] [--open-loop-rate R]\n\
+         \x20      experiments loadgen [--connections N] [--requests N] [--batch N] [--seed S] [--open-loop-rate R] [--virtual-open-loop]\n\
          experiments: all table1 table2 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 variability ablation_alpha ablation_init ablation_pr_order dist anatomy perf-gate dynbench loadgen"
     );
     std::process::exit(2);
@@ -63,6 +63,7 @@ fn main() {
                 let v = it.next().unwrap_or_else(|| usage());
                 lg.open_loop_rate = Some(v.parse().unwrap_or_else(|_| usage()));
             }
+            "--virtual-open-loop" => lg.virtual_open_loop = true,
             "--scale" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 cfg.scale = Scale::parse(&v).unwrap_or_else(|| usage());

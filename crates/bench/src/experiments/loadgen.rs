@@ -20,6 +20,12 @@
 //! fixed arrival rate on one connection, measuring latency against the
 //! *scheduled* send time (so queueing delay is not hidden by
 //! coordinated omission). The open-loop pass is reported, never gated.
+//! With `--virtual-open-loop` the same schedule additionally runs on a
+//! virtual clock against a simulated-network server ([`graft_svc`]'s
+//! sim substrate): solves take zero virtual time there, so every
+//! latency must come out exactly zero — a deterministic null test that
+//! the open-loop accounting adds no latency of its own, finished in
+//! microseconds of wall time.
 //!
 //! The gate checks **relative** invariants only — absolute numbers vary
 //! wildly with host load and are recorded, not judged:
@@ -40,10 +46,12 @@ use crate::sysinfo::SystemInfo;
 use crate::Config;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Schema identifier embedded in the JSON artifact; bump on layout change.
-pub const LOADGEN_SCHEMA: &str = "graft-bench/loadgen/v1";
+/// v2 adds the optional `open_loop_virtual` calibration block.
+pub const LOADGEN_SCHEMA: &str = "graft-bench/loadgen/v2";
 
 /// Artifact file name (numbered after the PR that introduced it).
 pub const LOADGEN_FILE: &str = "BENCH_5.json";
@@ -68,6 +76,12 @@ pub struct LoadgenOptions {
     /// Fixed arrival rate (requests/s) for the optional open-loop pass;
     /// `None` skips it.
     pub open_loop_rate: Option<f64>,
+    /// Also run the open-loop schedule on a *virtual* clock against a
+    /// simulated-network server (requires `open_loop_rate`). Solves take
+    /// zero virtual time there, so every measured latency must be
+    /// exactly zero — the pass is the null test of the open-loop
+    /// accounting and it completes in microseconds of wall time.
+    pub virtual_open_loop: bool,
 }
 
 impl Default for LoadgenOptions {
@@ -78,6 +92,7 @@ impl Default for LoadgenOptions {
             batch_size: 32,
             seed: 0x10AD_6E4E,
             open_loop_rate: None,
+            virtual_open_loop: false,
         }
     }
 }
@@ -362,6 +377,111 @@ fn run_open_loop(addr: &str, reqs: &[String], rate: f64) -> std::io::Result<(Vec
     Ok((lats, reqs.len() as f64 / elapsed.max(1e-9)))
 }
 
+/// Virtual-time open-loop pass: the identical schedule arithmetic on a
+/// virtual clock against an in-process server on a simulated network.
+/// With zero virtual service time queueing cannot build, so the
+/// open-loop schedule degenerates to a paced single-threaded loop —
+/// which also keeps the virtual timeline deterministic (one sleeper at
+/// a time) — and every measured latency must come out exactly zero.
+/// Any nonzero value means the accounting pipeline itself manufactured
+/// latency, which the caller turns into a violation.
+fn run_open_loop_virtual(
+    scale_name: &str,
+    reqs: &[String],
+    rate: f64,
+) -> std::io::Result<(Vec<f64>, f64)> {
+    use graft_svc::{Clock, SimClock, SimNet, SimNetConfig, Transport};
+    let clock = Arc::new(SimClock::new());
+    // Default sim-net config: zero connect latency, no drops — the
+    // arrival schedule is the only time source in this pass.
+    let net = SimNet::new(
+        SimNetConfig::default(),
+        Arc::clone(&clock) as Arc<dyn Clock>,
+    );
+    let server = graft_svc::Server::bind_with(
+        &graft_svc::ServeConfig {
+            workers: 1,
+            queue_capacity: reqs.len().max(64),
+            snapshot_interval_ms: 0,
+            ..graft_svc::ServeConfig::default()
+        },
+        Arc::clone(&net) as Arc<dyn Transport>,
+        Arc::clone(&clock) as Arc<dyn Clock>,
+    )?;
+    let addr = server.local_addr()?.to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let mut conn = net.connect(&addr, None)?;
+    let mut reader = BufReader::new(conn.try_clone_conn()?);
+    fn request(
+        conn: &mut Box<dyn graft_svc::Conn>,
+        reader: &mut BufReader<Box<dyn graft_svc::Conn>>,
+        line: &str,
+    ) -> std::io::Result<String> {
+        conn.write_all(format!("{line}\n").as_bytes())?;
+        conn.flush()?;
+        let mut reply = String::new();
+        if reader.read_line(&mut reply)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "sim server closed the connection",
+            ));
+        }
+        Ok(reply.trim_end().to_string())
+    }
+    for (name, suite) in GRAPHS {
+        let reply = request(
+            &mut conn,
+            &mut reader,
+            &format!("GEN {name} {suite}:{scale_name}"),
+        )?;
+        if !reply.starts_with("OK ") {
+            return Err(std::io::Error::other(format!(
+                "virtual GEN failed: {reply}"
+            )));
+        }
+    }
+    // Warm every (graph, engine) cell, mirroring the real-time passes.
+    for (name, _) in GRAPHS {
+        for alg in ALGOS {
+            let reply = request(&mut conn, &mut reader, &format!("SOLVE {name} {alg}"))?;
+            if !reply.starts_with("OK ") {
+                return Err(std::io::Error::other(format!(
+                    "virtual warmup failed: {reply}"
+                )));
+            }
+        }
+    }
+
+    let interval = Duration::from_secs_f64(1.0 / rate.max(0.001));
+    let t0 = clock.now();
+    let mut lats = Vec::with_capacity(reqs.len());
+    for (i, r) in reqs.iter().enumerate() {
+        let scheduled = interval * (i as u32);
+        let elapsed = clock.now().saturating_duration_since(t0);
+        if let Some(wait) = scheduled.checked_sub(elapsed) {
+            clock.sleep(wait);
+        }
+        let reply = request(&mut conn, &mut reader, &format!("SOLVE {r}"))?;
+        if !reply.starts_with("OK ") {
+            return Err(std::io::Error::other(format!(
+                "virtual open-loop reply: {reply}"
+            )));
+        }
+        let done = clock.now().saturating_duration_since(t0);
+        lats.push(done.saturating_sub(scheduled).as_secs_f64());
+    }
+    let elapsed = clock.now().saturating_duration_since(t0).as_secs_f64();
+    let _ = request(&mut conn, &mut reader, "SHUTDOWN");
+    drop(reader);
+    drop(conn);
+    let _ = server_thread
+        .join()
+        .expect("virtual server thread panicked");
+    lats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    Ok((lats, reqs.len() as f64 / elapsed.max(1e-9)))
+}
+
 fn pcts(lat: &[f64]) -> (f64, f64, f64) {
     (
         percentile(lat, 0.50),
@@ -426,6 +546,19 @@ pub fn loadgen(cfg: &Config, opts: &LoadgenOptions) -> std::io::Result<()> {
         Some(rate) => Some((rate, run_open_loop(&addr, &workload[0], rate)?)),
         None => None,
     };
+    let open_virtual = if opts.virtual_open_loop {
+        let Some(rate) = opts.open_loop_rate else {
+            return Err(std::io::Error::other(
+                "--virtual-open-loop requires --open-loop-rate",
+            ));
+        };
+        Some((
+            rate,
+            run_open_loop_virtual(&scale_name, &workload[0], rate)?,
+        ))
+    } else {
+        None
+    };
 
     let _ = admin.req("SHUTDOWN");
     let _ = server_thread.join().expect("server thread panicked");
@@ -453,6 +586,18 @@ pub fn loadgen(cfg: &Config, opts: &LoadgenOptions) -> std::io::Result<()> {
             "pipelined throughput {pipe_tput:.1} req/s is only {speedup:.2}× sequential \
              {seq_tput:.1} req/s (gate: ≥ {PIPELINE_SPEEDUP_MIN}×)"
         ));
+    }
+    if let Some((_, (ref lats, _))) = open_virtual {
+        // Deterministic null check, not a performance gate: on a virtual
+        // clock the schedule is exact and service time is zero, so any
+        // nonzero latency was manufactured by the accounting itself.
+        let max = lats.last().copied().unwrap_or(0.0);
+        if max != 0.0 {
+            violations.push(format!(
+                "virtual-time open-loop measured nonzero latency (max {max:.9}s): \
+                 the open-loop accounting manufactured latency"
+            ));
+        }
     }
 
     let (sp50, sp95, sp99) = pcts(&seq.latencies);
@@ -487,6 +632,18 @@ pub fn loadgen(cfg: &Config, opts: &LoadgenOptions) -> std::io::Result<()> {
         let (op50, op95, op99) = pcts(lats);
         rep.row(vec![
             format!("open-loop@{rate:.0}/s"),
+            format!("{achieved:.1}"),
+            ms(op50),
+            ms(op95),
+            ms(op99),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    if let Some((rate, (ref lats, achieved))) = open_virtual {
+        let (op50, op95, op99) = pcts(lats);
+        rep.row(vec![
+            format!("open-loop@{rate:.0}/s (virtual)"),
             format!("{achieved:.1}"),
             ms(op50),
             ms(op95),
@@ -553,6 +710,18 @@ pub fn loadgen(cfg: &Config, opts: &LoadgenOptions) -> std::io::Result<()> {
             json_secs(p50),
             json_secs(p95),
             json_secs(p99)
+        ));
+    }
+    if let Some((rate, (ref lats, achieved))) = open_virtual {
+        let (p50, p95, p99) = pcts(lats);
+        json.push_str(&format!(
+            "  \"open_loop_virtual\": {{\"target_rps\": {}, \"achieved_rps\": {}, \"p50_s\": {}, \"p95_s\": {}, \"p99_s\": {}, \"max_s\": {}}},\n",
+            json_secs(rate),
+            json_secs(achieved),
+            json_secs(p50),
+            json_secs(p95),
+            json_secs(p99),
+            json_secs(lats.last().copied().unwrap_or(0.0))
         ));
     }
     json.push_str(&format!("  \"speedup\": {},\n", json_secs(speedup)));
@@ -635,6 +804,7 @@ mod tests {
             requests_per_conn: 8,
             batch_size: 4,
             open_loop_rate: Some(200.0),
+            virtual_open_loop: true,
             ..LoadgenOptions::default()
         };
         // Gate violations (pure throughput) are tolerated; correctness
@@ -654,5 +824,29 @@ mod tests {
         assert!(json.contains("\"sequential\""));
         assert!(json.contains("\"pipelined\""));
         assert!(json.contains("\"open_loop\""));
+        assert!(json.contains("\"open_loop_virtual\""));
+    }
+
+    /// The virtual-time pass is exactly deterministic: every latency is
+    /// zero (no queueing can build when service takes zero virtual
+    /// time) and the achieved rate matches the schedule.
+    #[test]
+    fn virtual_open_loop_latencies_are_exactly_zero() {
+        let reqs: Vec<String> = (0..16)
+            .map(|i| format!("{} {}", GRAPHS[i % 2].0, ALGOS[i % ALGOS.len()]))
+            .collect();
+        let (lats, achieved) = run_open_loop_virtual("tiny", &reqs, 500.0).unwrap();
+        assert_eq!(lats.len(), 16);
+        assert!(
+            lats.iter().all(|&l| l == 0.0),
+            "virtual pass manufactured latency: {lats:?}"
+        );
+        // 16 requests at 2ms spacing: the last is *sent* at 30ms of
+        // virtual time and completes instantly.
+        let expected = 16.0 / 0.030;
+        assert!(
+            (achieved - expected).abs() / expected < 1e-6,
+            "achieved {achieved}, expected {expected}"
+        );
     }
 }

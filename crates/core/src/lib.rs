@@ -77,7 +77,7 @@ pub use augment::{
 pub use hopcroft_karp::hopcroft_karp;
 pub use matching::Matching;
 pub use ms_bfs::{
-    ms_bfs_serial, ms_bfs_serial_traced, ms_bfs_serial_traced_in, MsBfsOptions, PhaseHook,
+    ms_bfs_serial, ms_bfs_serial_traced, ms_bfs_serial_traced_in, MsBfsOptions, NowHook, PhaseHook,
 };
 pub use par::{
     ms_bfs_graft_parallel, ms_bfs_graft_parallel_traced, ms_bfs_graft_parallel_traced_in,

@@ -68,6 +68,30 @@ impl std::fmt::Debug for PhaseHook {
     }
 }
 
+/// A replacement time source for the [`MsBfsOptions::deadline`] checks.
+///
+/// The engines compare `now_hook` (or `Instant::now` when unset) against
+/// the deadline at every phase boundary; a simulation harness installs a
+/// virtual clock here so cooperative cancellation runs on simulated time.
+/// Like [`PhaseHook`], the `&'static` borrow keeps the options `Copy` —
+/// long-lived callers leak one allocation per process.
+#[derive(Clone, Copy)]
+pub struct NowHook(pub &'static (dyn Fn() -> Instant + Sync));
+
+impl NowHook {
+    /// The hook's idea of "now".
+    #[inline]
+    pub fn now(&self) -> Instant {
+        (self.0)()
+    }
+}
+
+impl std::fmt::Debug for NowHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("NowHook(..)")
+    }
+}
+
 /// Configuration of the MS-BFS engine (serial and parallel).
 #[derive(Clone, Copy, Debug)]
 pub struct MsBfsOptions {
@@ -94,6 +118,10 @@ pub struct MsBfsOptions {
     /// costs one branch per phase; the service's fault-injection harness
     /// uses it to panic or stall a solve mid-run.
     pub phase_hook: Option<PhaseHook>,
+    /// Time source for the deadline checks; `None` means `Instant::now`.
+    /// The simulation harness points this at its virtual clock so that
+    /// deadlines expire on simulated time.
+    pub now_hook: Option<NowHook>,
 }
 
 impl Default for MsBfsOptions {
@@ -106,6 +134,7 @@ impl Default for MsBfsOptions {
             record_phases: false,
             deadline: None,
             phase_hook: None,
+            now_hook: None,
         }
     }
 }
@@ -232,7 +261,11 @@ impl Engine<'_> {
 
         loop {
             if let Some(deadline) = self.opts.deadline {
-                if Instant::now() >= deadline {
+                let now = match self.opts.now_hook {
+                    Some(h) => h.now(),
+                    None => Instant::now(),
+                };
+                if now >= deadline {
                     self.stats.timed_out = true;
                     break;
                 }

@@ -278,7 +278,11 @@ fn run(
 
     loop {
         if let Some(deadline) = opts.deadline {
-            if Instant::now() >= deadline {
+            let now = match opts.now_hook {
+                Some(h) => h.now(),
+                None => Instant::now(),
+            };
+            if now >= deadline {
                 stats.timed_out = true;
                 break;
             }

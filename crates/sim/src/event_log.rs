@@ -1,0 +1,66 @@
+//! A shared append-only log of scenario events, compared byte-for-byte
+//! across replays of the same seed.
+
+use std::sync::Mutex;
+
+/// Thread-safe append-only event log.
+///
+/// A scenario records every request it sends and every reply it reads;
+/// two runs of the same seed must produce identical [`EventLog::dump`]s
+/// — that equality *is* the determinism contract, and a dump is also
+/// the artifact a failing run prints for offline diffing.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    lines: Mutex<Vec<String>>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event line (no trailing newline needed).
+    pub fn push(&self, line: impl Into<String>) {
+        self.lines
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(line.into());
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.lines.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The whole log as one newline-separated string.
+    pub fn dump(&self) -> String {
+        let lines = self.lines.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for l in lines.iter() {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_preserves_order_and_dumps_with_newlines() {
+        let log = EventLog::new();
+        assert!(log.is_empty());
+        log.push("a");
+        log.push(String::from("b"));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dump(), "a\nb\n");
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic simulation substrate for the graft service stack.
+//!
+//! The service layer (`graft-svc`) talks to time and the network only
+//! through the two traits defined here:
+//!
+//! * [`Clock`] — `now()` / `sleep()` / deadline arithmetic. [`WallClock`]
+//!   is the production backend (plain `Instant::now` + `thread::sleep`);
+//!   [`SimClock`] is a virtual clock whose sleeps advance a priority
+//!   queue of timers instead of blocking, so a test that "waits" 30
+//!   seconds completes in microseconds of wall time.
+//! * [`Transport`] — `bind()` / `connect()` yielding trait-object
+//!   connections. [`TcpTransport`] wraps `std::net`; [`SimNet`] is a
+//!   seeded in-process network with configurable latency, partitions,
+//!   connection drops and duplicate delivery, all derived from the same
+//!   splitmix64 discipline as `svc::FaultPlan`.
+//!
+//! The design follows the FoundationDB simulation philosophy: the
+//! program under test runs unmodified real threads, but every source of
+//! nondeterminism it *observes* (time, the network, injected faults) is
+//! derived from one seed, so a failing schedule replays from that seed.
+//!
+//! This crate is dependency-free and knows nothing about matching or the
+//! service protocol; `graft-svc` layers the scenario runner on top.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod event_log;
+mod net;
+mod rng;
+mod transport;
+
+pub use clock::{Clock, SimClock, TimeHold, WallClock};
+pub use event_log::EventLog;
+pub use net::{SimNet, SimNetConfig};
+pub use rng::mix64;
+pub use transport::{Conn, Listener, TcpTransport, Transport};

@@ -1,0 +1,639 @@
+//! An in-process network: byte pipes behind the [`Transport`] trait,
+//! with seeded connect latency, connection drops, duplicate delivery
+//! and explicit partitions.
+
+use crate::clock::Clock;
+use crate::rng::mix64;
+use crate::transport::{Conn, Listener, Transport};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::SocketAddr;
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::{Duration, Instant};
+
+/// Domain-separation tags for the per-connection fault rolls, so one
+/// seed yields independent latency / drop / duplicate streams — the
+/// same discipline `svc::FaultPlan` applies per fault site.
+const TAG_LATENCY: u64 = 0x4c41_5400_0000_0001;
+const TAG_DROP: u64 = 0x4452_4f50_0000_0002;
+const TAG_DUP: u64 = 0x4455_5000_0000_0003;
+
+/// Knobs of the simulated network, all derived from one seed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimNetConfig {
+    /// Seed for every per-connection decision.
+    pub seed: u64,
+    /// Upper bound on seeded connect latency (virtual milliseconds);
+    /// `0` disables latency injection.
+    pub max_connect_latency_ms: u64,
+    /// Percentage of connections that are severed after a seeded byte
+    /// budget (both directions count), emulating a mid-stream RST.
+    pub drop_rate_pct: u8,
+    /// Percentage of connections whose first written chunk is delivered
+    /// twice. This deliberately desyncs a line protocol — scenario runs
+    /// keep it at 0 and only transport-level tests enable it.
+    pub dup_rate_pct: u8,
+}
+
+/// One direction of a connection: a byte queue plus a closed flag.
+struct PipeBuf {
+    data: VecDeque<u8>,
+    closed: bool,
+}
+
+struct Pipe {
+    buf: Mutex<PipeBuf>,
+    cv: Condvar,
+}
+
+impl Pipe {
+    fn new() -> Arc<Pipe> {
+        Arc::new(Pipe {
+            buf: Mutex::new(PipeBuf {
+                data: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn close(&self) {
+        lock_ok(&self.buf).closed = true;
+        self.cv.notify_all();
+    }
+
+    fn push(&self, bytes: &[u8]) -> io::Result<()> {
+        let mut b = lock_ok(&self.buf);
+        if b.closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "sim pipe closed"));
+        }
+        b.data.extend(bytes.iter().copied());
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    fn read_into(&self, out: &mut [u8], timeout: Option<Duration>) -> io::Result<usize> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut b = lock_ok(&self.buf);
+        loop {
+            if !b.data.is_empty() {
+                let n = out.len().min(b.data.len());
+                for slot in out.iter_mut().take(n) {
+                    *slot = b.data.pop_front().expect("sized above");
+                }
+                return Ok(n);
+            }
+            if b.closed {
+                return Ok(0); // EOF, like a TCP FIN/RST with no data left
+            }
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(io::Error::new(
+                            io::ErrorKind::WouldBlock,
+                            "sim read timed out",
+                        ));
+                    }
+                    let (guard, _) = self
+                        .cv
+                        .wait_timeout(b, d - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    b = guard;
+                }
+                None => b = self.cv.wait(b).unwrap_or_else(|e| e.into_inner()),
+            }
+        }
+    }
+}
+
+fn lock_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Fault state shared by both endpoints of one connection.
+struct LinkFaults {
+    /// Remaining byte budget before the link is severed; `None` = never.
+    budget: Mutex<Option<u64>>,
+    /// Whether the next written chunk should be delivered twice.
+    dup_next: Mutex<bool>,
+    c2s: Arc<Pipe>,
+    s2c: Arc<Pipe>,
+}
+
+impl LinkFaults {
+    fn sever(&self) {
+        self.c2s.close();
+        self.s2c.close();
+    }
+}
+
+/// Per-endpoint state: which pipe we read, which we write, socket-ish
+/// options, and the link faults we share with the peer.
+struct EndShared {
+    read_timeout: Mutex<Option<Duration>>,
+    peer: SocketAddr,
+    link: Arc<LinkFaults>,
+    rx: Arc<Pipe>,
+    tx: Arc<Pipe>,
+}
+
+impl Drop for EndShared {
+    fn drop(&mut self) {
+        // Last handle on this endpoint gone: FIN our outbound direction
+        // so the peer's reads see EOF, exactly like dropping a TcpStream.
+        self.tx.close();
+    }
+}
+
+/// One endpoint of a simulated connection. Clones share the endpoint
+/// (same stream position, same timeouts), like `TcpStream::try_clone`.
+struct SimConn {
+    end: Arc<EndShared>,
+}
+
+impl Read for SimConn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let timeout = *lock_ok(&self.end.read_timeout);
+        self.end.rx.read_into(buf, timeout)
+    }
+}
+
+impl Write for SimConn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut budget = lock_ok(&self.end.link.budget);
+        if let Some(left) = *budget {
+            if left == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "sim link severed",
+                ));
+            }
+            if (left as usize) < buf.len() {
+                // Deliver the budgeted prefix, then kill the link: the
+                // peer sees a truncated stream and EOF, we report success
+                // for bytes "handed to the kernel" — like a real RST
+                // racing a send.
+                self.end.tx.push(&buf[..left as usize]).ok();
+                *budget = Some(0);
+                drop(budget);
+                self.end.link.sever();
+                return Ok(buf.len());
+            }
+            *budget = Some(left - buf.len() as u64);
+        }
+        drop(budget);
+        let dup = std::mem::take(&mut *lock_ok(&self.end.link.dup_next));
+        self.end.tx.push(buf)?;
+        if dup {
+            self.end.tx.push(buf)?;
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Conn for SimConn {
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>> {
+        Ok(Box::new(SimConn {
+            end: Arc::clone(&self.end),
+        }))
+    }
+
+    fn shutdown_both(&self) -> io::Result<()> {
+        self.end.link.sever();
+        Ok(())
+    }
+
+    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        *lock_ok(&self.end.read_timeout) = d;
+        Ok(())
+    }
+
+    fn set_write_timeout(&self, _d: Option<Duration>) -> io::Result<()> {
+        Ok(()) // writes to an in-memory pipe cannot stall
+    }
+
+    fn set_nodelay(&self, _on: bool) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn peer_addr(&self) -> io::Result<SocketAddr> {
+        Ok(self.end.peer)
+    }
+}
+
+/// Accept queue of one bound listener.
+struct AcceptQueue {
+    q: Mutex<AcceptState>,
+    cv: Condvar,
+}
+
+struct AcceptState {
+    pending: VecDeque<SimConn>,
+    closed: bool,
+}
+
+struct SimListener {
+    addr: SocketAddr,
+    queue: Arc<AcceptQueue>,
+}
+
+impl Listener for SimListener {
+    fn accept_conn(&self) -> io::Result<Box<dyn Conn>> {
+        let mut st = lock_ok(&self.queue.q);
+        loop {
+            if let Some(conn) = st.pending.pop_front() {
+                return Ok(Box::new(conn));
+            }
+            if st.closed {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotConnected,
+                    "sim listener closed",
+                ));
+            }
+            st = self.queue.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn local_addr(&self) -> io::Result<SocketAddr> {
+        Ok(self.addr)
+    }
+}
+
+impl Drop for SimListener {
+    fn drop(&mut self) {
+        let mut st = lock_ok(&self.queue.q);
+        st.closed = true;
+        self.queue.cv.notify_all();
+    }
+}
+
+struct NetState {
+    listeners: HashMap<SocketAddr, Arc<AcceptQueue>>,
+    links: Vec<Weak<LinkFaults>>,
+    next_port: u16,
+    connects: u64,
+    partitioned: bool,
+}
+
+/// The simulated network: a seeded, partitionable in-process fabric.
+///
+/// All endpoints live in one process; addresses are fabricated
+/// loopback `SocketAddr`s handed out at `bind` time. Per-connection
+/// latency/drop/duplicate decisions come from `mix64(seed ^ tag ^ n)`
+/// where `n` is the global connect ordinal — identical seed, identical
+/// connect sequence ⇒ identical fault schedule.
+pub struct SimNet {
+    clock: Arc<dyn Clock>,
+    cfg: SimNetConfig,
+    state: Mutex<NetState>,
+}
+
+impl SimNet {
+    /// A simulated network whose injected latency is spent on `clock`.
+    pub fn new(cfg: SimNetConfig, clock: Arc<dyn Clock>) -> Arc<SimNet> {
+        Arc::new(SimNet {
+            clock,
+            cfg,
+            state: Mutex::new(NetState {
+                listeners: HashMap::new(),
+                links: Vec::new(),
+                next_port: 40000,
+                connects: 0,
+                partitioned: false,
+            }),
+        })
+    }
+
+    /// Cuts the network: new connects are refused and every currently
+    /// open link is severed (readers see EOF, writers get broken pipes).
+    pub fn partition(&self) {
+        let mut st = lock_ok(&self.state);
+        st.partitioned = true;
+        let links = std::mem::take(&mut st.links);
+        drop(st);
+        for l in &links {
+            if let Some(l) = l.upgrade() {
+                l.sever();
+            }
+        }
+    }
+
+    /// Heals a partition: new connects succeed again. (Severed links
+    /// stay dead — reconnect, as over a real network.)
+    pub fn heal(&self) {
+        lock_ok(&self.state).partitioned = false;
+    }
+
+    /// Whether the network is currently partitioned.
+    pub fn is_partitioned(&self) -> bool {
+        lock_ok(&self.state).partitioned
+    }
+}
+
+impl Transport for SimNet {
+    fn bind(&self, addr: &str) -> io::Result<Box<dyn Listener>> {
+        let requested: SocketAddr = addr
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("{addr}: {e}")))?;
+        let mut st = lock_ok(&self.state);
+        let mut bound = requested;
+        if bound.port() == 0 {
+            bound.set_port(st.next_port);
+            st.next_port += 1;
+        } else if st.listeners.contains_key(&bound) {
+            return Err(io::Error::new(
+                io::ErrorKind::AddrInUse,
+                format!("sim address {bound} in use"),
+            ));
+        }
+        let queue = Arc::new(AcceptQueue {
+            q: Mutex::new(AcceptState {
+                pending: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        });
+        st.listeners.insert(bound, Arc::clone(&queue));
+        Ok(Box::new(SimListener { addr: bound, queue }))
+    }
+
+    fn connect(&self, addr: &str, _timeout: Option<Duration>) -> io::Result<Box<dyn Conn>> {
+        let target: SocketAddr = addr
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("{addr}: {e}")))?;
+        let (queue, n, client_port) = {
+            let mut st = lock_ok(&self.state);
+            if st.partitioned {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    "sim network partitioned",
+                ));
+            }
+            let queue = st.listeners.get(&target).cloned().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    format!("nothing listening on sim address {target}"),
+                )
+            })?;
+            let n = st.connects;
+            st.connects += 1;
+            (queue, n, 50000 + (n % 15000) as u16)
+        };
+
+        // Seeded connect latency, spent on the (possibly virtual) clock
+        // outside any lock. The ordinal is spread by a golden-ratio
+        // multiply first: xor-ing small ordinals straight into the seed
+        // would make nearby seeds mere permutations of each other.
+        let ord = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        if self.cfg.max_connect_latency_ms > 0 {
+            let ms =
+                mix64(self.cfg.seed ^ TAG_LATENCY ^ ord) % (self.cfg.max_connect_latency_ms + 1);
+            if ms > 0 {
+                self.clock.sleep(Duration::from_millis(ms));
+            }
+        }
+
+        let c2s = Pipe::new();
+        let s2c = Pipe::new();
+        let budget =
+            if (mix64(self.cfg.seed ^ TAG_DROP ^ ord) % 100) < self.cfg.drop_rate_pct as u64 {
+                // Enough budget to let a connection do *some* work before
+                // dying mid-stream.
+                Some(64 + mix64(self.cfg.seed ^ TAG_DROP ^ ord ^ 0xff) % 512)
+            } else {
+                None
+            };
+        let dup = (mix64(self.cfg.seed ^ TAG_DUP ^ ord) % 100) < self.cfg.dup_rate_pct as u64;
+        let link = Arc::new(LinkFaults {
+            budget: Mutex::new(budget),
+            dup_next: Mutex::new(dup),
+            c2s: Arc::clone(&c2s),
+            s2c: Arc::clone(&s2c),
+        });
+        {
+            let mut st = lock_ok(&self.state);
+            st.links.retain(|w| w.strong_count() > 0);
+            st.links.push(Arc::downgrade(&link));
+        }
+
+        let client_addr = SocketAddr::new(target.ip(), client_port);
+        let client = SimConn {
+            end: Arc::new(EndShared {
+                read_timeout: Mutex::new(None),
+                peer: target,
+                link: Arc::clone(&link),
+                rx: Arc::clone(&s2c),
+                tx: Arc::clone(&c2s),
+            }),
+        };
+        let server = SimConn {
+            end: Arc::new(EndShared {
+                read_timeout: Mutex::new(None),
+                peer: client_addr,
+                link,
+                rx: c2s,
+                tx: s2c,
+            }),
+        };
+        {
+            let mut st = lock_ok(&queue.q);
+            if st.closed {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    "sim listener closed",
+                ));
+            }
+            st.pending.push_back(server);
+            queue.cv.notify_all();
+        }
+        Ok(Box::new(client))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use std::io::{BufRead, BufReader};
+
+    fn net(cfg: SimNetConfig) -> (Arc<SimNet>, Arc<SimClock>) {
+        let clock = Arc::new(SimClock::new());
+        (SimNet::new(cfg, clock.clone() as Arc<dyn Clock>), clock)
+    }
+
+    /// Echoes lines on `conns` sequential connections, then drops the
+    /// listener (closing it) and returns.
+    fn echo_server(listener: Box<dyn Listener>, conns: usize) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            for _ in 0..conns {
+                let Ok(conn) = listener.accept_conn() else {
+                    return;
+                };
+                let mut reader = BufReader::new(conn.try_clone_conn().unwrap());
+                let mut w = conn;
+                let mut line = String::new();
+                while {
+                    line.clear();
+                    reader.read_line(&mut line).map(|n| n > 0).unwrap_or(false)
+                } {
+                    if w.write_all(format!("echo {line}").as_bytes()).is_err() {
+                        break;
+                    }
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn sim_net_round_trips_lines_in_process() {
+        let (net, _clock) = net(SimNetConfig::default());
+        let listener = net.bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let h = echo_server(listener, 1);
+        let mut c = net.connect(&addr, None).unwrap();
+        c.write_all(b"hello\n").unwrap();
+        let mut reader = BufReader::new(c.try_clone_conn().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(reply, "echo hello\n");
+        drop(c);
+        drop(reader);
+        drop(net); // listener map still holds the queue; closing is via handle drop
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn partition_refuses_connects_and_severs_live_links_until_healed() {
+        let (net, _clock) = net(SimNetConfig::default());
+        let listener = net.bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let h = echo_server(listener, 2);
+        let mut c = net.connect(&addr, None).unwrap();
+        c.write_all(b"one\n").unwrap();
+        let mut reader = BufReader::new(c.try_clone_conn().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(reply, "echo one\n");
+
+        net.partition();
+        // Existing link is dead: reads drain to EOF, writes break.
+        reply.clear();
+        assert_eq!(reader.read_line(&mut reply).unwrap(), 0);
+        assert!(c.write_all(b"two\n").is_err());
+        // New connects are refused.
+        let err = match net.connect(&addr, None) {
+            Ok(_) => panic!("connect during partition must be refused"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+
+        net.heal();
+        let mut c2 = net.connect(&addr, None).unwrap();
+        c2.write_all(b"three\n").unwrap();
+        let mut r2 = BufReader::new(c2.try_clone_conn().unwrap());
+        reply.clear();
+        r2.read_line(&mut reply).unwrap();
+        assert_eq!(reply, "echo three\n");
+        drop((c, reader, c2, r2, net));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn seeded_drop_severs_the_link_after_a_byte_budget() {
+        // 100% drop rate: every connection carries a finite byte budget.
+        let (net, _clock) = net(SimNetConfig {
+            seed: 7,
+            drop_rate_pct: 100,
+            ..SimNetConfig::default()
+        });
+        let listener = net.bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let h = echo_server(listener, 1);
+        let mut c = net.connect(&addr, None).unwrap();
+        let mut reader = BufReader::new(c.try_clone_conn().unwrap());
+        let mut line = String::new();
+        // Pump until the link dies; budget is 64..=575 bytes round trip,
+        // so this must terminate well within the iteration bound.
+        let mut died = false;
+        for _ in 0..2000 {
+            if c.write_all(b"0123456789abcdef\n").is_err() {
+                died = true;
+                break;
+            }
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => {
+                    died = true;
+                    break;
+                }
+                Ok(_) => {}
+            }
+        }
+        assert!(died, "100% drop rate never severed the link");
+        drop((c, reader, net));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn duplicate_delivery_repeats_the_first_chunk() {
+        let (net, _clock) = net(SimNetConfig {
+            seed: 1,
+            dup_rate_pct: 100,
+            ..SimNetConfig::default()
+        });
+        let listener = net.bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let mut c = net.connect(&addr, None).unwrap();
+        c.write_all(b"ping\n").unwrap();
+        let server = listener.accept_conn().unwrap();
+        let mut reader = BufReader::new(server);
+        let mut first = String::new();
+        let mut second = String::new();
+        reader.read_line(&mut first).unwrap();
+        reader.read_line(&mut second).unwrap();
+        assert_eq!(first, "ping\n");
+        assert_eq!(second, "ping\n");
+        // Only the *first* chunk duplicates.
+        c.write_all(b"pong\n").unwrap();
+        drop(c);
+        let mut rest = String::new();
+        std::io::Read::read_to_string(&mut reader, &mut rest).unwrap();
+        assert_eq!(rest, "pong\n");
+    }
+
+    #[test]
+    fn connect_latency_is_virtual_and_seed_deterministic() {
+        let run = |seed: u64| {
+            let clock = Arc::new(SimClock::new());
+            let net = SimNet::new(
+                SimNetConfig {
+                    seed,
+                    max_connect_latency_ms: 50,
+                    ..SimNetConfig::default()
+                },
+                clock.clone() as Arc<dyn Clock>,
+            );
+            let _listener = net.bind("127.0.0.1:0").unwrap();
+            let addr = "127.0.0.1:40000";
+            let wall = Instant::now();
+            for _ in 0..8 {
+                let _ = net.connect(addr, None).unwrap();
+            }
+            assert!(wall.elapsed() < Duration::from_secs(1), "latency was real");
+            clock.elapsed()
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b, "same seed must spend identical virtual latency");
+        assert_ne!(a, c, "different seeds should (overwhelmingly) differ");
+    }
+}

@@ -1,0 +1,26 @@
+//! The one mixing function behind every seeded decision in the harness.
+
+/// splitmix64 finalizer — the same discipline `svc::FaultPlan` uses, so a
+/// single scenario seed deterministically derives every fault, latency and
+/// delivery decision across the stack.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_matches_reference_vectors() {
+        // First output of splitmix64 seeded with 0 (Vigna's reference
+        // implementation), plus sanity that nearby seeds decorrelate.
+        assert_eq!(mix64(0), 0xe220a8397b1dcdaf);
+        assert_ne!(mix64(1), mix64(2));
+        assert_ne!(mix64(2), mix64(3));
+    }
+}

@@ -1,0 +1,168 @@
+//! The network as a capability: byte-stream connections and listeners
+//! behind trait objects, so the service is oblivious to whether bytes
+//! travel over real TCP or an in-process simulated network.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One bidirectional byte-stream connection.
+///
+/// The surface mirrors the slice of `TcpStream` the service actually
+/// uses: cloning (so a connection can have a reader and a writer side on
+/// different threads, sharing one position like `TcpStream::try_clone`),
+/// half-aware shutdown, and socket-option setters that are best-effort
+/// hints under simulation.
+pub trait Conn: Read + Write + Send {
+    /// A second handle to the same connection (shared stream position,
+    /// shared timeouts), like `TcpStream::try_clone`.
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>>;
+
+    /// Shuts down both directions; subsequent reads see EOF, writes fail.
+    fn shutdown_both(&self) -> io::Result<()>;
+
+    /// Read timeout, as `TcpStream::set_read_timeout`.
+    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()>;
+
+    /// Write timeout, as `TcpStream::set_write_timeout`.
+    fn set_write_timeout(&self, d: Option<Duration>) -> io::Result<()>;
+
+    /// Nagle toggle; a no-op under simulation.
+    fn set_nodelay(&self, on: bool) -> io::Result<()>;
+
+    /// Peer address (fabricated but stable under simulation).
+    fn peer_addr(&self) -> io::Result<SocketAddr>;
+}
+
+/// A passive endpoint accepting [`Conn`]s.
+pub trait Listener: Send {
+    /// Blocks until the next inbound connection.
+    fn accept_conn(&self) -> io::Result<Box<dyn Conn>>;
+
+    /// The bound address, suitable for passing to
+    /// [`Transport::connect`] after formatting.
+    fn local_addr(&self) -> io::Result<SocketAddr>;
+}
+
+/// A network backend: the only way the service opens sockets.
+pub trait Transport: Send + Sync {
+    /// Binds a listener on `addr` (e.g. `"127.0.0.1:0"`).
+    fn bind(&self, addr: &str) -> io::Result<Box<dyn Listener>>;
+
+    /// Opens a connection to `addr`, optionally bounding the attempt.
+    fn connect(&self, addr: &str, timeout: Option<Duration>) -> io::Result<Box<dyn Conn>>;
+}
+
+/// The production backend: plain `std::net` TCP.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TcpTransport;
+
+struct TcpConn(TcpStream);
+
+impl Read for TcpConn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.0.read(buf)
+    }
+}
+
+impl Write for TcpConn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl Conn for TcpConn {
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>> {
+        Ok(Box::new(TcpConn(self.0.try_clone()?)))
+    }
+
+    fn shutdown_both(&self) -> io::Result<()> {
+        self.0.shutdown(std::net::Shutdown::Both)
+    }
+
+    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        self.0.set_read_timeout(d)
+    }
+
+    fn set_write_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        self.0.set_write_timeout(d)
+    }
+
+    fn set_nodelay(&self, on: bool) -> io::Result<()> {
+        self.0.set_nodelay(on)
+    }
+
+    fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.0.peer_addr()
+    }
+}
+
+struct TcpListenerWrap(TcpListener);
+
+impl Listener for TcpListenerWrap {
+    fn accept_conn(&self) -> io::Result<Box<dyn Conn>> {
+        let (stream, _) = self.0.accept()?;
+        Ok(Box::new(TcpConn(stream)))
+    }
+
+    fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.0.local_addr()
+    }
+}
+
+impl Transport for TcpTransport {
+    fn bind(&self, addr: &str) -> io::Result<Box<dyn Listener>> {
+        Ok(Box::new(TcpListenerWrap(TcpListener::bind(addr)?)))
+    }
+
+    fn connect(&self, addr: &str, timeout: Option<Duration>) -> io::Result<Box<dyn Conn>> {
+        let stream = match timeout {
+            Some(t) => {
+                // connect_timeout needs a resolved SocketAddr.
+                let sockaddr = addr
+                    .to_socket_addrs()?
+                    .next()
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+                TcpStream::connect_timeout(&sockaddr, t)?
+            }
+            None => TcpStream::connect(addr)?,
+        };
+        Ok(Box::new(TcpConn(stream)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    #[test]
+    fn tcp_transport_round_trips_a_line() {
+        let t = TcpTransport;
+        let listener = t.bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let conn = listener.accept_conn().unwrap();
+            let mut reader = BufReader::new(conn.try_clone_conn().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let mut w = conn;
+            w.write_all(format!("echo {line}").as_bytes()).unwrap();
+            w.flush().unwrap();
+        });
+        let mut c = t
+            .connect(&addr.to_string(), Some(Duration::from_secs(5)))
+            .unwrap();
+        c.set_nodelay(true).unwrap();
+        c.write_all(b"ping\n").unwrap();
+        let mut reader = BufReader::new(c.try_clone_conn().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(reply, "echo ping\n");
+        server.join().unwrap();
+    }
+}

@@ -12,14 +12,17 @@
 //! 3. **backoff**: transient `ERR overloaded` / `ERR internal` replies
 //!    are retried after `max(server hint, exponential backoff)`, with
 //!    deterministic jitter so a thundering herd of clients decorrelates
-//!    (the jitter RNG seeds from the policy, keeping tests reproducible).
+//!    (the jitter is a pure function of the policy seed, the request
+//!    ordinal and the retry number, so a replayed request sequence
+//!    reproduces its backoff schedule exactly).
 //!
 //! Non-retryable errors (`bad-request`, `unknown-graph`, …) and `OK`
 //! replies return immediately.
 
 use crate::protocol::{Reply, Request};
+use graft_sim::{mix64, Clock, TcpTransport, Transport, WallClock};
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Knobs for [`RetryClient`].
@@ -33,7 +36,7 @@ pub struct RetryPolicy {
     pub max_backoff: Duration,
     /// Read/write timeout on the socket.
     pub io_timeout: Duration,
-    /// Seed for the jitter RNG (same seed → same backoff schedule).
+    /// Seed for the backoff jitter (same seed → same backoff schedule).
     pub seed: u64,
 }
 
@@ -98,13 +101,13 @@ fn code_is_retryable(code: &str) -> bool {
 }
 
 struct Conn {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    reader: BufReader<Box<dyn crate::Conn>>,
+    writer: Box<dyn crate::Conn>,
 }
 
 /// Reads one reply line, treating a clean close as `UnexpectedEof` (the
 /// retry loop reconnects on it).
-fn read_reply_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
+fn read_reply_line(reader: &mut BufReader<Box<dyn crate::Conn>>) -> std::io::Result<String> {
     let mut reply = String::new();
     let n = reader.read_line(&mut reply)?;
     if n == 0 {
@@ -130,34 +133,54 @@ pub struct RetryClient {
     addr: String,
     policy: RetryPolicy,
     conn: Option<Conn>,
-    rng: u64,
+    transport: Arc<dyn Transport>,
+    clock: Arc<dyn Clock>,
+    /// Requests issued so far; the ordinal of the current request feeds
+    /// the backoff jitter (see [`RetryClient::backoff`]).
+    requests: u64,
     /// Retries performed over the client's lifetime (observability for
     /// tests and the CLI's `-v` output).
     pub retries: u64,
 }
 
 impl RetryClient {
-    /// A client for `addr` (host:port). Connects lazily on first use.
+    /// A client for `addr` (host:port) over real TCP and the wall clock.
+    /// Connects lazily on first use.
     pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> Self {
-        let rng = policy.seed | 1;
+        Self::with_transport(addr, policy, Arc::new(TcpTransport), Arc::new(WallClock))
+    }
+
+    /// A client over an explicit transport and clock — the simulation
+    /// harness passes its in-process network and virtual clock here, so
+    /// backoff sleeps advance simulated time.
+    pub fn with_transport(
+        addr: impl Into<String>,
+        policy: RetryPolicy,
+        transport: Arc<dyn Transport>,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
         Self {
             addr: addr.into(),
             policy,
             conn: None,
-            rng,
+            transport,
+            clock,
+            requests: 0,
             retries: 0,
         }
     }
 
-    /// xorshift64* step for jitter; good enough for decorrelation and
-    /// fully deterministic per seed.
-    fn next_rand(&mut self) -> u64 {
-        let mut x = self.rng;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.rng = x;
-        x.wrapping_mul(0x2545f4914f6cdd1d)
+    /// Deterministic jitter: a pure function of the policy seed, the
+    /// request ordinal and the retry number. Unlike a shared RNG stream,
+    /// one request's backoff schedule cannot depend on how many retries
+    /// *other* requests happened to need, so a replayed sequence
+    /// reproduces its sleeps exactly.
+    fn jitter_rand(&self, retry: u32) -> u64 {
+        mix64(
+            self.policy.seed
+                ^ self.requests.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ (u64::from(retry) << 56),
+        )
     }
 
     /// Exponential backoff for the given retry ordinal with ±50% jitter,
@@ -166,7 +189,7 @@ impl RetryClient {
         let base = self.policy.base_backoff.as_millis() as u64;
         let exp = base.saturating_mul(1u64 << retry.min(16));
         // Jitter in [50%, 150%].
-        let jittered = exp / 2 + self.next_rand() % exp.max(1);
+        let jittered = exp / 2 + self.jitter_rand(retry) % exp.max(1);
         let floor = server_hint_ms.unwrap_or(0);
         let ms = jittered
             .max(floor)
@@ -176,12 +199,14 @@ impl RetryClient {
 
     fn connect(&mut self) -> std::io::Result<&mut Conn> {
         if self.conn.is_none() {
-            let stream = TcpStream::connect(&self.addr)?;
+            let stream = self
+                .transport
+                .connect(&self.addr, Some(self.policy.io_timeout))?;
             stream.set_read_timeout(Some(self.policy.io_timeout))?;
             stream.set_write_timeout(Some(self.policy.io_timeout))?;
             // Request/reply traffic: never trade latency for coalescing.
             stream.set_nodelay(true)?;
-            let reader = BufReader::new(stream.try_clone()?);
+            let reader = BufReader::new(stream.try_clone_conn()?);
             self.conn = Some(Conn {
                 reader,
                 writer: stream,
@@ -267,12 +292,14 @@ impl RetryClient {
     /// limit) is returned as a single-element vec, mirroring how
     /// [`request`](Self::request) surfaces non-retryable replies.
     pub fn request_batch(&mut self, members: &[String]) -> Result<Vec<String>, ClientError> {
+        self.requests += 1;
         let mut last_io: Option<std::io::Error> = None;
         let mut last_reply: Option<String> = None;
         for attempt in 0..self.policy.max_attempts {
             if attempt > 0 {
                 let hint = last_reply.as_deref().and_then(retry_after_hint);
-                std::thread::sleep(self.backoff(attempt - 1, hint));
+                let pause = self.backoff(attempt - 1, hint);
+                self.clock.sleep(pause);
                 self.retries += 1;
             }
             match self.exchange_batch(members) {
@@ -310,12 +337,14 @@ impl RetryClient {
     /// only the status line; callers needing the body should use a plain
     /// connection.
     pub fn request(&mut self, line: &str) -> Result<String, ClientError> {
+        self.requests += 1;
         let mut last_io: Option<std::io::Error> = None;
         let mut last_reply: Option<String> = None;
         for attempt in 0..self.policy.max_attempts {
             if attempt > 0 {
                 let hint = last_reply.as_deref().and_then(retry_after_hint);
-                std::thread::sleep(self.backoff(attempt - 1, hint));
+                let pause = self.backoff(attempt - 1, hint);
+                self.clock.sleep(pause);
                 self.retries += 1;
             }
             match self.exchange(line) {

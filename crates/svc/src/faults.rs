@@ -22,7 +22,9 @@
 //! configured nothing is injected and nothing is paid: the hot paths
 //! hold an `Option<&FaultPlan>` that is `None`.
 
+use graft_sim::{Clock, WallClock};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Places in the service where a [`FaultPlan`] may inject a failure.
@@ -91,7 +93,6 @@ pub enum Fault {
 }
 
 /// A deterministic fault-injection plan. See the module docs.
-#[derive(Debug)]
 pub struct FaultPlan {
     seed: u64,
     /// Injection probability per call, in percent (0–100).
@@ -102,6 +103,22 @@ pub struct FaultPlan {
     armed: [bool; FaultSite::ALL.len()],
     fired: AtomicU64,
     calls: [AtomicU64; FaultSite::ALL.len()],
+    /// The clock injected `Delay` faults sleep on; wall by default, the
+    /// simulation's virtual clock under `sim`.
+    clock: Arc<dyn Clock>,
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("seed", &self.seed)
+            .field("rate_pct", &self.rate_pct)
+            .field("max_faults", &self.max_faults)
+            .field("armed", &self.armed)
+            .field("fired", &self.fired)
+            .field("calls", &self.calls)
+            .finish_non_exhaustive()
+    }
 }
 
 /// splitmix64: the standard 64-bit avalanche mixer; every output bit
@@ -125,7 +142,15 @@ impl FaultPlan {
             armed: [true; FaultSite::ALL.len()],
             fired: AtomicU64::new(0),
             calls: std::array::from_fn(|_| AtomicU64::new(0)),
+            clock: Arc::new(WallClock),
         }
+    }
+
+    /// Replaces the clock injected `Delay` faults are spent on. The
+    /// simulation harness points this at its virtual clock so delays
+    /// advance simulated time instead of stalling the test.
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = clock;
     }
 
     /// Parses the CLI/test spec format: comma-separated `key=value`
@@ -229,7 +254,7 @@ impl FaultPlan {
             None => Ok(()),
             Some(Fault::Panic) => panic!("injected fault: panic at {}", site.name()),
             Some(Fault::Delay(d)) => {
-                std::thread::sleep(d);
+                self.clock.sleep(d);
                 Ok(())
             }
             Some(Fault::IoError) => Err(std::io::Error::other(format!(
@@ -245,7 +270,7 @@ impl FaultPlan {
     pub fn maybe_fail_infallible(&self, site: FaultSite) {
         match self.roll(site) {
             None => {}
-            Some(Fault::Delay(d)) => std::thread::sleep(d),
+            Some(Fault::Delay(d)) => self.clock.sleep(d),
             Some(Fault::Panic) | Some(Fault::IoError) => {
                 panic!("injected fault: panic at {}", site.name())
             }

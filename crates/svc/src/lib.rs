@@ -93,6 +93,7 @@ pub mod lru;
 pub mod metrics;
 pub mod protocol;
 pub mod registry;
+pub mod scenario;
 pub mod scheduler;
 pub mod server;
 pub mod snapshot;
@@ -100,6 +101,10 @@ pub mod snapshot;
 pub use client::{ClientError, RetryClient, RetryPolicy};
 pub use error::SvcError;
 pub use faults::{Fault, FaultPlan, FaultSite};
+pub use graft_sim::{
+    Clock, Conn, EventLog, Listener, SimClock, SimNet, SimNetConfig, TcpTransport, Transport,
+    WallClock,
+};
 pub use lru::{LruCache, LruStats};
 pub use metrics::Metrics;
 pub use protocol::{
@@ -107,6 +112,7 @@ pub use protocol::{
     UpdateSpec, MAX_BATCH, MAX_LINE_BYTES,
 };
 pub use registry::{GraphRegistry, GraphSource, RegistryStats};
+pub use scenario::{Scenario, ScenarioConfig, ScenarioReport};
 pub use scheduler::Scheduler;
 pub use server::{serve, ServeConfig, Server, ShutdownHandle};
 pub use snapshot::{Snapshot, SnapshotDelta, SnapshotEntry, SnapshotError, WarmStart};

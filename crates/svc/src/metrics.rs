@@ -9,9 +9,10 @@
 //! array cannot hold them.
 
 use graft_core::Algorithm;
+use graft_sim::{Clock, WallClock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Number of log2 latency buckets: bucket `i` counts values in
@@ -51,6 +52,9 @@ impl Histogram {
 
 /// All counters the service exposes through `STATS`.
 pub struct Metrics {
+    /// The clock `uptime_us` is measured on — the server's (possibly
+    /// virtual) clock, so simulated uptime is deterministic.
+    clock: Arc<dyn Clock>,
     started: Instant,
     /// Jobs accepted into the queue.
     pub jobs_submitted: AtomicU64,
@@ -97,13 +101,23 @@ pub struct Metrics {
     latency_per_algorithm: [Histogram; Algorithm::ALL.len()],
     /// Completed solves per graph name.
     graph_solves: Mutex<HashMap<String, u64>>,
+    /// Graceful drains that gave up before the queue emptied (the
+    /// server exited with jobs still in flight).
+    pub drain_timeouts: AtomicU64,
 }
 
 impl Metrics {
-    /// Fresh zeroed metrics; `uptime_us` counts from here.
+    /// Fresh zeroed metrics on the wall clock; `uptime_us` counts from
+    /// here.
     pub fn new() -> Self {
+        Self::with_clock(Arc::new(WallClock))
+    }
+
+    /// Fresh zeroed metrics whose `uptime_us` is measured on `clock`.
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
         Self {
-            started: Instant::now(),
+            started: clock.now(),
+            clock,
             jobs_submitted: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
@@ -125,6 +139,7 @@ impl Metrics {
             solves_per_algorithm: Default::default(),
             latency_per_algorithm: std::array::from_fn(|_| Histogram::default()),
             graph_solves: Mutex::new(HashMap::new()),
+            drain_timeouts: AtomicU64::new(0),
         }
     }
 
@@ -172,7 +187,10 @@ impl Metrics {
         let _ = write!(
             out,
             "uptime_us={} queue_depth={} submitted={} completed={} rejected={} timed_out={}",
-            self.started.elapsed().as_micros(),
+            self.clock
+                .now()
+                .saturating_duration_since(self.started)
+                .as_micros(),
             self.queue_depth.load(Ordering::Relaxed),
             self.jobs_submitted.load(Ordering::Relaxed),
             self.jobs_completed.load(Ordering::Relaxed),
@@ -211,10 +229,11 @@ impl Metrics {
         );
         let _ = write!(
             out,
-            " updates_ok={} updates_err={} rebuilds={}",
+            " updates_ok={} updates_err={} rebuilds={} drain_timeouts={}",
             self.updates_ok.load(Ordering::Relaxed),
             self.updates_err.load(Ordering::Relaxed),
             self.rebuilds.load(Ordering::Relaxed),
+            self.drain_timeouts.load(Ordering::Relaxed),
         );
         for (i, alg) in Algorithm::ALL.iter().enumerate() {
             let n = self.solves_per_algorithm[i].load(Ordering::Relaxed);

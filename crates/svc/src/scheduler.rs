@@ -29,6 +29,7 @@
 
 use crate::error::SvcError;
 use crate::metrics::Metrics;
+use graft_sim::{Clock, WallClock};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -78,6 +79,9 @@ struct Shared<J, R> {
     workers: usize,
     next_id: AtomicU64,
     metrics: Arc<Metrics>,
+    /// Time source for queue-wait measurement and the drain deadline;
+    /// wall by default, the simulation's virtual clock under `sim`.
+    clock: Arc<dyn Clock>,
 }
 
 struct SchedState<J, R> {
@@ -126,6 +130,32 @@ impl<J: Send + 'static, R: Send + 'static> Scheduler<J, R> {
         SF: Fn() -> S + Send + Sync + 'static,
         F: Fn(J, &mut S) -> R + Send + Sync + 'static,
     {
+        Self::with_worker_state_on(
+            workers,
+            capacity,
+            metrics,
+            Arc::new(WallClock),
+            state_factory,
+            handler,
+        )
+    }
+
+    /// [`Scheduler::with_worker_state`] with an explicit time source:
+    /// queue-wait measurement and [`Scheduler::drain_within`] deadlines
+    /// run on `clock`, so a simulated server drains on virtual time.
+    pub fn with_worker_state_on<S, SF, F>(
+        workers: usize,
+        capacity: usize,
+        metrics: Arc<Metrics>,
+        clock: Arc<dyn Clock>,
+        state_factory: SF,
+        handler: F,
+    ) -> Self
+    where
+        S: 'static,
+        SF: Fn() -> S + Send + Sync + 'static,
+        F: Fn(J, &mut S) -> R + Send + Sync + 'static,
+    {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
             queue: Mutex::new(SchedState {
@@ -138,6 +168,7 @@ impl<J: Send + 'static, R: Send + 'static> Scheduler<J, R> {
             workers,
             next_id: AtomicU64::new(1),
             metrics,
+            clock,
         });
         let handler = Arc::new(handler);
         let state_factory = Arc::new(state_factory);
@@ -229,7 +260,7 @@ impl<J: Send + 'static, R: Send + 'static> Scheduler<J, R> {
         q.items.push_back(Item {
             job,
             id: self.shared.next_id.fetch_add(1, Ordering::Relaxed),
-            enqueued: Instant::now(),
+            enqueued: self.shared.clock.now(),
             tx,
         });
         self.shared
@@ -259,19 +290,27 @@ impl<J: Send + 'static, R: Send + 'static> Scheduler<J, R> {
     /// finite; without it, new submits can keep the drain from ever
     /// finishing.
     pub fn drain_within(&self, deadline: Duration) -> bool {
-        let start = Instant::now();
+        let clock = &self.shared.clock;
+        let start = clock.now();
         let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if q.items.is_empty() && q.active == 0 {
                 return true;
             }
-            let Some(remaining) = deadline.checked_sub(start.elapsed()) else {
-                return false;
+            let elapsed = clock.now().saturating_duration_since(start);
+            let remaining = match deadline.checked_sub(elapsed) {
+                Some(r) if !r.is_zero() => r,
+                _ => return false,
             };
+            // The deadline is measured on the (possibly virtual) clock,
+            // but the condvar wait is real: `wait_slice` caps it so a
+            // virtual clock re-reads `now()` often enough, while a wall
+            // clock still waits the full remainder (wakeups come from
+            // job completions).
             let (guard, _timeout) = self
                 .shared
                 .cv
-                .wait_timeout(q, remaining)
+                .wait_timeout(q, clock.wait_slice(remaining))
                 .unwrap_or_else(|e| e.into_inner());
             q = guard;
         }
@@ -314,10 +353,13 @@ where
                 q = shared.cv.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
-        shared
-            .metrics
-            .wait
-            .record(item.enqueued.elapsed().as_micros() as u64);
+        shared.metrics.wait.record(
+            shared
+                .clock
+                .now()
+                .saturating_duration_since(item.enqueued)
+                .as_micros() as u64,
+        );
         // The job boundary is the panic firewall: a panicking handler
         // unwinds to here, the submitter gets a typed error carrying the
         // job id, and this thread stays in the pool (the pool self-heals
@@ -337,13 +379,16 @@ where
             .metrics
             .jobs_completed
             .fetch_add(1, Ordering::Relaxed);
-        // The submitter may have hung up (connection dropped): fine.
-        item.tx.send(result);
+        // Retire the job *before* delivering its result: a submitter
+        // that receives the reply and immediately asks for `backlog()`
+        // must not observe this job still counted as active.
         let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         q.active -= 1;
         drop(q);
         // Wake both idle workers and any drain_within waiter.
         shared.cv.notify_all();
+        // The submitter may have hung up (connection dropped): fine.
+        item.tx.send(result);
     }
 }
 

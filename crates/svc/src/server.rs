@@ -50,13 +50,14 @@ use crate::scheduler::Scheduler;
 use crate::snapshot::{self, Snapshot, SnapshotDelta};
 use graft_core::trace::RingSink;
 use graft_core::{
-    solve_from_traced_in, solve_traced_in, Algorithm, MsBfsOptions, PhaseHook, SolveOptions,
-    SolveWorkspace, Tracer,
+    solve_from_traced_in, solve_traced_in, Algorithm, MsBfsOptions, NowHook, PhaseHook,
+    SolveOptions, SolveWorkspace, Tracer,
 };
 use graft_dyn::{DynConfig, DynamicMatching, UpdateOutcome};
+use graft_sim::{Clock, Conn, Listener, TcpTransport, Transport, WallClock};
 use std::collections::{BTreeSet, HashMap};
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
@@ -95,6 +96,12 @@ pub struct ServeConfig {
     /// Fault-injection spec (see [`FaultPlan::from_spec`]); `None` (the
     /// default) injects nothing and costs nothing on the hot path.
     pub fault_spec: Option<String>,
+    /// Test-only: collapse the drain grace period to zero so in-flight
+    /// jobs are abandoned at shutdown. Exists to prove the simulation
+    /// harness catches (and replays) a real timing bug; never set in
+    /// production.
+    #[doc(hidden)]
+    pub broken_drain_timer: bool,
 }
 
 impl Default for ServeConfig {
@@ -111,6 +118,7 @@ impl Default for ServeConfig {
             state_dir: None,
             snapshot_interval_ms: 30_000,
             fault_spec: None,
+            broken_drain_timer: false,
         }
     }
 }
@@ -218,6 +226,7 @@ pub struct ShutdownHandle {
     shutdown: Arc<AtomicBool>,
     health: Arc<AtomicU8>,
     sched: Arc<Scheduler<Job, JobReply>>,
+    transport: Arc<dyn Transport>,
     addr: SocketAddr,
 }
 
@@ -230,13 +239,17 @@ impl ShutdownHandle {
         self.shutdown.store(true, Ordering::SeqCst);
         self.sched.shutdown();
         // Wake the accept loop so `Server::run` observes the flag.
-        let _ = TcpStream::connect(self.addr);
+        let _ = self
+            .transport
+            .connect(&self.addr.to_string(), Some(Duration::from_secs(1)));
     }
 }
 
 /// A bound, not-yet-running service instance.
 pub struct Server {
-    listener: TcpListener,
+    listener: Box<dyn Listener>,
+    transport: Arc<dyn Transport>,
+    clock: Arc<dyn Clock>,
     registry: Arc<GraphRegistry>,
     metrics: Arc<Metrics>,
     sched: Arc<Scheduler<Job, JobReply>>,
@@ -259,6 +272,9 @@ struct WorkerState {
     seen_shrink_gen: u64,
 }
 
+// One parameter per piece of per-worker/shared state the job touches;
+// bundling them into a context struct would only move the list.
+#[allow(clippy::too_many_arguments)]
 fn run_job(
     job: Job,
     registry: &GraphRegistry,
@@ -266,14 +282,16 @@ fn run_job(
     tracer: &Tracer,
     dyn_store: &DynStore,
     phase_hook: Option<PhaseHook>,
+    now_hook: Option<NowHook>,
+    clock: &dyn Clock,
     ws: &mut SolveWorkspace,
 ) -> JobReply {
     match job {
         Job::Sleep(ms) => {
-            std::thread::sleep(std::time::Duration::from_millis(ms));
+            clock.sleep(std::time::Duration::from_millis(ms));
             Ok(format!("OK slept_ms={ms}"))
         }
-        Job::Update(spec) => run_update(&spec, registry, metrics, tracer, dyn_store),
+        Job::Update(spec) => run_update(&spec, registry, metrics, tracer, dyn_store, clock),
         Job::Solve {
             name,
             algorithm,
@@ -285,10 +303,10 @@ fn run_job(
             let (graph, warm) = registry.get(&name)?;
             if let Some(dl) = deadline {
                 // The job may have aged out while queued.
-                if Instant::now() >= dl {
+                if clock.now() >= dl {
                     metrics.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
                     return Err(SvcError::DeadlineExceeded {
-                        elapsed: submitted.elapsed(),
+                        elapsed: clock.now().saturating_duration_since(submitted),
                     });
                 }
             }
@@ -297,27 +315,32 @@ fn run_job(
                 ms_bfs: MsBfsOptions {
                     deadline,
                     phase_hook,
+                    now_hook,
                     ..MsBfsOptions::default()
                 },
                 ..SolveOptions::default()
             };
             let warm_used = warm.is_some() && !cold;
-            let t0 = Instant::now();
+            let t0 = clock.now();
             let out = match warm.filter(|_| !cold) {
                 Some(m0) => {
                     solve_from_traced_in(&graph, (*m0).clone(), algorithm, &opts, tracer, ws)
                 }
                 None => solve_traced_in(&graph, algorithm, &opts, tracer, ws),
             };
-            let solve_us = t0.elapsed().as_micros() as u64;
+            let solve_us = clock.now().saturating_duration_since(t0).as_micros() as u64;
             metrics.solve.record(solve_us);
             if out.stats.timed_out {
                 metrics.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
                 return Err(SvcError::DeadlineExceeded {
-                    elapsed: submitted.elapsed(),
+                    elapsed: clock.now().saturating_duration_since(submitted),
                 });
             }
             let s = &out.stats;
+            // `elapsed_us` is measured on the server's clock (not the
+            // solver's internal wall timer) so replies are deterministic
+            // under virtual time: a pure-compute solve takes zero
+            // virtual microseconds.
             let line = format!(
                 "OK graph={name} algorithm={} cardinality={} phases={} augmentations={} warm={} elapsed_us={}",
                 algorithm.cli_name(),
@@ -325,7 +348,7 @@ fn run_job(
                 s.phases,
                 s.augmenting_paths,
                 warm_used,
-                s.elapsed.as_micros(),
+                solve_us,
             );
             registry.store_warm(&name, out.matching);
             metrics.record_solve(algorithm, &name, solve_us);
@@ -343,13 +366,14 @@ fn run_update(
     metrics: &Metrics,
     tracer: &Tracer,
     store: &DynStore,
+    clock: &dyn Clock,
 ) -> JobReply {
     let slot = {
         let mut states = lock_recover(&store.states);
         Arc::clone(states.entry(spec.name.clone()).or_default())
     };
     let mut guard = lock_recover(&slot);
-    let t0 = Instant::now();
+    let t0 = clock.now();
     if guard.is_none() {
         // Lazy creation: clone the registered CSR, warm-start from the
         // registry's last matching when the dimensions line up, then
@@ -424,7 +448,7 @@ fn run_update(
                 report.outcome.label(),
                 report.cardinality,
                 state.dm.rebuilds(),
-                t0.elapsed().as_micros(),
+                clock.now().saturating_duration_since(t0).as_micros(),
             ))
         }
     }
@@ -464,22 +488,36 @@ impl Server {
     /// Binds the listener, spawns the worker pool, and (with
     /// [`ServeConfig::state_dir`]) restores the last snapshot. The
     /// service is not reachable until [`run`](Self::run) starts
-    /// accepting.
+    /// accepting. Production entry point: real TCP, wall-clock time.
     pub fn bind(cfg: &ServeConfig) -> std::io::Result<Server> {
+        Self::bind_with(cfg, Arc::new(TcpTransport), Arc::new(WallClock))
+    }
+
+    /// [`Server::bind`] with explicit network and time capabilities. The
+    /// simulation harness passes a [`graft_sim::SimNet`] and
+    /// [`graft_sim::SimClock`] here; every deadline, backoff, drain
+    /// timer, snapshot interval, and fault delay in the service then
+    /// runs on `clock`, and every byte travels through `transport`.
+    pub fn bind_with(
+        cfg: &ServeConfig,
+        transport: Arc<dyn Transport>,
+        clock: Arc<dyn Clock>,
+    ) -> std::io::Result<Server> {
         let faults: Option<&'static FaultPlan> = match &cfg.fault_spec {
             None => None,
             Some(spec) => {
-                let plan = FaultPlan::from_spec(spec)
+                let mut plan = FaultPlan::from_spec(spec)
                     .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+                plan.set_clock(Arc::clone(&clock));
                 // One plan per server process, alive for its lifetime:
                 // leaking it gives the `&'static` the solver phase hook
                 // needs without poisoning `MsBfsOptions` with lifetimes.
                 Some(&*Box::leak(Box::new(plan)))
             }
         };
-        let listener = TcpListener::bind(&cfg.addr)?;
+        let listener = transport.bind(&cfg.addr)?;
         let registry = Arc::new(GraphRegistry::with_faults(cfg.cache_bytes, faults));
-        let metrics = Arc::new(Metrics::new());
+        let metrics = Arc::new(Metrics::with_clock(Arc::clone(&clock)));
         let trace = Arc::new(RingSink::new(cfg.trace_events));
         let tracer = if cfg.trace_events > 0 {
             Tracer::to_sink(Arc::clone(&trace) as _)
@@ -526,16 +564,30 @@ impl Server {
                 plan.maybe_fail_infallible(crate::faults::FaultSite::SolverPhase)
             })))
         });
+        // Under virtual time the solver's cooperative deadline checks
+        // must consult the simulated clock, not `Instant::now`. The hook
+        // is leaked for the same `&'static` reason as the phase hook —
+        // one per server process, alive for its lifetime. Under the
+        // wall clock the option stays `None` and the solver's default
+        // (zero-cost) path is untouched.
+        let now_hook = if clock.is_virtual() {
+            let c = Arc::clone(&clock);
+            Some(NowHook(Box::leak(Box::new(move || c.now()))))
+        } else {
+            None
+        };
         let shrink_gen = Arc::new(AtomicU64::new(0));
         let sched = {
             let registry = Arc::clone(&registry);
             let metrics = Arc::clone(&metrics);
             let shrink_gen = Arc::clone(&shrink_gen);
             let dyn_store = Arc::clone(&dyn_store);
-            Arc::new(Scheduler::with_worker_state(
+            let clock = Arc::clone(&clock);
+            Arc::new(Scheduler::with_worker_state_on(
                 cfg.workers,
                 cfg.queue_capacity,
                 Arc::clone(&metrics),
+                Arc::clone(&clock),
                 || WorkerState {
                     ws: SolveWorkspace::new(),
                     seen_shrink_gen: 0,
@@ -553,6 +605,8 @@ impl Server {
                         &tracer,
                         &dyn_store,
                         phase_hook,
+                        now_hook,
+                        &*clock,
                         &mut state.ws,
                     )
                 },
@@ -561,6 +615,8 @@ impl Server {
         Ok(Server {
             dyn_store,
             listener,
+            transport,
+            clock,
             registry,
             metrics,
             sched,
@@ -585,8 +641,15 @@ impl Server {
             shutdown: Arc::clone(&self.shutdown),
             health: Arc::clone(&self.health),
             sched: Arc::clone(&self.sched),
+            transport: Arc::clone(&self.transport),
             addr: self.local_addr()?,
         })
+    }
+
+    /// The server's metrics registry — the same counters `STATS`
+    /// renders. Scenario assertions read these directly after a run.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Accept loop. Returns after `SHUTDOWN` (or a
@@ -596,8 +659,9 @@ impl Server {
         let addr = self.listener.local_addr()?;
         self.health.store(HEALTH_READY, Ordering::SeqCst);
 
-        // Periodic snapshot writer: wakes every 100ms so shutdown is
-        // prompt, saves every `snapshot_interval_ms`.
+        // Periodic snapshot writer: wakes every 100ms (on the server's
+        // clock) so shutdown is prompt, saves every
+        // `snapshot_interval_ms`.
         let snapshot_thread = self.cfg.state_dir.clone().and_then(|dir| {
             if self.cfg.snapshot_interval_ms == 0 {
                 return None;
@@ -607,20 +671,22 @@ impl Server {
             let dyn_store = Arc::clone(&self.dyn_store);
             let stop = Arc::clone(&self.shutdown);
             let faults = self.faults;
+            let clock = Arc::clone(&self.clock);
             let interval = Duration::from_millis(self.cfg.snapshot_interval_ms);
             Some(std::thread::spawn(move || {
-                let mut last = Instant::now();
+                let mut last = clock.now();
                 while !stop.load(Ordering::SeqCst) {
-                    std::thread::sleep(Duration::from_millis(100));
-                    if last.elapsed() >= interval {
+                    clock.sleep(Duration::from_millis(100));
+                    if clock.now().saturating_duration_since(last) >= interval {
                         save_snapshot(&dir, &registry, &dyn_store, &metrics, faults);
-                        last = Instant::now();
+                        last = clock.now();
                     }
                 }
             }))
         });
 
-        for stream in self.listener.incoming() {
+        loop {
+            let stream = self.listener.accept_conn();
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
             }
@@ -656,6 +722,8 @@ impl Server {
             let shutdown = Arc::clone(&self.shutdown);
             let trace = Arc::clone(&self.trace);
             let shrink_gen = Arc::clone(&self.shrink_gen);
+            let transport = Arc::clone(&self.transport);
+            let clock = Arc::clone(&self.clock);
             let max_graph_bytes = self.cfg.max_graph_bytes;
             std::thread::spawn(move || {
                 let ctx = ConnCtx {
@@ -667,6 +735,8 @@ impl Server {
                     health: &health,
                     shutdown: &shutdown,
                     shrink_gen: &shrink_gen,
+                    transport: &transport,
+                    clock: &*clock,
                     max_graph_bytes,
                     addr,
                 };
@@ -681,13 +751,17 @@ impl Server {
         // accept-error exit path.)
         self.health.store(HEALTH_DRAINING, Ordering::SeqCst);
         self.sched.shutdown();
-        let drained = self
-            .sched
-            .drain_within(Duration::from_millis(self.cfg.drain_ms));
+        let grace = if self.cfg.broken_drain_timer {
+            Duration::ZERO
+        } else {
+            Duration::from_millis(self.cfg.drain_ms)
+        };
+        let drained = self.sched.drain_within(grace);
         if !drained {
+            self.metrics.drain_timeouts.fetch_add(1, Ordering::Relaxed);
             eprintln!(
                 "graft-svc: drain deadline ({}ms) passed with {} job(s) still in flight",
-                self.cfg.drain_ms,
+                grace.as_millis(),
                 self.sched.backlog()
             );
         }
@@ -725,6 +799,8 @@ struct ConnCtx<'a> {
     health: &'a AtomicU8,
     shutdown: &'a AtomicBool,
     shrink_gen: &'a AtomicU64,
+    transport: &'a Arc<dyn Transport>,
+    clock: &'a dyn Clock,
     max_graph_bytes: usize,
     addr: SocketAddr,
 }
@@ -772,7 +848,10 @@ fn dispatch(req: Request, ctx: &ConnCtx<'_>) -> String {
             Ok(src) => register_guarded(ctx, &name, src),
             Err(e) => err_line(&e),
         },
-        Request::Solve(spec) => submit_and_wait(ctx, job_from_spec(spec)),
+        Request::Solve(spec) => {
+            let job = job_from_spec(spec, ctx.clock);
+            submit_and_wait(ctx, job)
+        }
         Request::Update(spec) => submit_and_wait(ctx, Job::Update(spec)),
         Request::SolveBatch { .. } | Request::UpdateBatch { .. } => {
             // Batches are intercepted by `handle_connection` (only it can
@@ -853,8 +932,8 @@ fn dispatch(req: Request, ctx: &ConnCtx<'_>) -> String {
     }
 }
 
-fn job_from_spec(spec: SolveSpec) -> Job {
-    let now = Instant::now();
+fn job_from_spec(spec: SolveSpec, clock: &dyn Clock) -> Job {
+    let now = clock.now();
     Job::Solve {
         name: spec.name,
         algorithm: spec.algorithm,
@@ -956,7 +1035,7 @@ fn drain_to_newline(reader: &mut impl BufRead) -> std::io::Result<()> {
 /// absorbed into the `write_errors` metric and reported as `false` — it
 /// must never unwind or poison anything, the caller just stops serving
 /// this connection.
-fn write_reply(writer: &mut TcpStream, metrics: &Metrics, reply: &str) -> bool {
+fn write_reply(writer: &mut dyn Conn, metrics: &Metrics, reply: &str) -> bool {
     let r = writeln!(writer, "{reply}").and_then(|()| writer.flush());
     if r.is_err() {
         metrics.write_errors.fetch_add(1, Ordering::Relaxed);
@@ -968,7 +1047,7 @@ fn write_reply(writer: &mut TcpStream, metrics: &Metrics, reply: &str) -> bool {
 /// Writes a pre-assembled chunk of reply lines (each already
 /// `\n`-terminated) in one syscall. Same failure contract as
 /// [`write_reply`]: a hung-up peer becomes a metric, never a panic.
-fn write_chunk(writer: &mut TcpStream, metrics: &Metrics, chunk: &str) -> bool {
+fn write_chunk(writer: &mut dyn Conn, metrics: &Metrics, chunk: &str) -> bool {
     let r = writer
         .write_all(chunk.as_bytes())
         .and_then(|()| writer.flush());
@@ -1010,7 +1089,7 @@ fn reply_line(ctx: &ConnCtx<'_>, result: Result<JobReply, SvcError>) -> String {
 
 fn handle_batch(
     reader: &mut impl BufRead,
-    writer: &mut TcpStream,
+    writer: &mut dyn Conn,
     ctx: &ConnCtx<'_>,
     count: usize,
     parse_member: fn(&str) -> Result<BatchMember, SvcError>,
@@ -1046,17 +1125,27 @@ fn handle_batch(
         }
     }
 
+    // Materialize every job *before* submitting any: `job_from_spec`
+    // anchors deadlines at `clock.now()`, and once the first member is
+    // submitted a worker may start executing (and, under simulation,
+    // advancing virtual time), which would make later members'
+    // deadlines depend on a thread race instead of the batch contents.
+    let jobs: Vec<Option<Job>> = members
+        .into_iter()
+        .map(|member| {
+            member.map(|m| match m {
+                BatchMember::Sleep { ms } => Job::Sleep(ms),
+                BatchMember::Solve(spec) => job_from_spec(spec, ctx.clock),
+                BatchMember::Update(spec) => Job::Update(spec),
+            })
+        })
+        .collect();
     // Submit every parseable member before reading any completion: the
     // queue capacity (not this thread's round trips) is the only limit
     // on how much of the batch runs concurrently.
     let (tx, rx) = mpsc::channel();
-    for (slot, member) in members.into_iter().enumerate() {
-        let Some(m) = member else { continue };
-        let job = match m {
-            BatchMember::Sleep { ms } => Job::Sleep(ms),
-            BatchMember::Solve(spec) => job_from_spec(spec),
-            BatchMember::Update(spec) => Job::Update(spec),
-        };
+    for (slot, job) in jobs.into_iter().enumerate() {
+        let Some(job) = job else { continue };
         if let Err(e) = ctx.sched.submit_tagged(job, slot as u64, &tx) {
             replies[slot] = Some(err_line(&e));
         }
@@ -1111,8 +1200,8 @@ fn handle_batch(
     }
 }
 
-fn handle_connection(stream: TcpStream, ctx: &ConnCtx<'_>) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
+fn handle_connection(stream: Box<dyn Conn>, ctx: &ConnCtx<'_>) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone_conn()?);
     let mut writer = stream;
     loop {
         let raw = match read_bounded_line(&mut reader)? {
@@ -1120,7 +1209,7 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx<'_>) -> std::io::Result<()
             LineRead::TooLong => {
                 let e =
                     SvcError::BadRequest(format!("request line exceeds {MAX_LINE_BYTES} bytes"));
-                if !write_reply(&mut writer, ctx.metrics, &err_line(&e)) {
+                if !write_reply(&mut *writer, ctx.metrics, &err_line(&e)) {
                     break;
                 }
                 continue;
@@ -1131,7 +1220,7 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx<'_>) -> std::io::Result<()
             Ok(s) => s,
             Err(_) => {
                 let e = SvcError::BadRequest("request is not valid UTF-8".to_string());
-                if !write_reply(&mut writer, ctx.metrics, &err_line(&e)) {
+                if !write_reply(&mut *writer, ctx.metrics, &err_line(&e)) {
                     break;
                 }
                 continue;
@@ -1143,27 +1232,27 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx<'_>) -> std::io::Result<()
         let req = match parse_request(line) {
             Ok(r) => r,
             Err(e) => {
-                if !write_reply(&mut writer, ctx.metrics, &err_line(&e)) {
+                if !write_reply(&mut *writer, ctx.metrics, &err_line(&e)) {
                     break;
                 }
                 continue;
             }
         };
         if let Request::SolveBatch { count } = req {
-            if !handle_batch(&mut reader, &mut writer, ctx, count, parse_batch_member)? {
+            if !handle_batch(&mut reader, &mut *writer, ctx, count, parse_batch_member)? {
                 break;
             }
             continue;
         }
         if let Request::UpdateBatch { count } = req {
-            if !handle_batch(&mut reader, &mut writer, ctx, count, parse_update_member)? {
+            if !handle_batch(&mut reader, &mut *writer, ctx, count, parse_update_member)? {
                 break;
             }
             continue;
         }
         let is_shutdown = matches!(req, Request::Shutdown);
         let reply = dispatch(req, ctx);
-        let wrote = write_reply(&mut writer, ctx.metrics, &reply);
+        let wrote = write_reply(&mut *writer, ctx.metrics, &reply);
         if is_shutdown {
             // Trigger the drain whether or not the `OK bye` reached the
             // client — a peer that hangs up right after SHUTDOWN must
@@ -1172,7 +1261,9 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx<'_>) -> std::io::Result<()
             ctx.shutdown.store(true, Ordering::SeqCst);
             ctx.sched.shutdown();
             // Wake the accept loop so `Server::run` observes the flag.
-            let _ = TcpStream::connect(ctx.addr);
+            let _ = ctx
+                .transport
+                .connect(&ctx.addr.to_string(), Some(Duration::from_secs(1)));
             break;
         }
         if !wrote {

@@ -7,6 +7,11 @@
 //! macro, and the `prop_assert*` family. Cases are generated from a
 //! deterministic per-test seed. **No shrinking** is performed — a failing
 //! case reports its case number; rerunning reproduces it exactly.
+//!
+//! Persisted regression corpora are supported: each test file may ship
+//! `proptest-regressions/<file>.txt` (in its package root) whose
+//! `cc <seed>` lines are replayed as extra deterministic cases before
+//! the random ones — see [`test_runner::persisted_seeds`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,17 +44,32 @@ macro_rules! __proptest_fns {
             #[test]
             fn $name() {
                 let config = $cfg;
+                let run_case = |rng: &mut $crate::test_runner::TestRng|
+                    -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                // Persisted regressions replay first: every `cc` seed in
+                // the file's corpus is one extra deterministic case.
+                for seed in $crate::test_runner::persisted_seeds(
+                    env!("CARGO_MANIFEST_DIR"),
+                    module_path!(),
+                ) {
+                    let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+                    if let ::std::result::Result::Err(e) = run_case(&mut rng) {
+                        panic!(
+                            "proptest regression seed {seed:#x} of `{}` failed: {}",
+                            stringify!($name),
+                            e
+                        );
+                    }
+                }
                 let mut rng = $crate::test_runner::TestRng::deterministic(
                     concat!(module_path!(), "::", stringify!($name)),
                 );
                 for case in 0..config.cases {
-                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (|| {
-                            $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
-                            $body
-                            ::std::result::Result::Ok(())
-                        })();
-                    if let ::std::result::Result::Err(e) = outcome {
+                    if let ::std::result::Result::Err(e) = run_case(&mut rng) {
                         panic!(
                             "proptest case {}/{} of `{}` failed: {}",
                             case + 1,

@@ -72,6 +72,12 @@ impl TestRng {
         Self { state: h }
     }
 
+    /// A generator starting from an explicit state — used to replay
+    /// persisted regression seeds from `proptest-regressions/`.
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
     /// Next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -85,5 +91,77 @@ impl TestRng {
     pub fn below(&mut self, bound: u64) -> u64 {
         debug_assert!(bound > 0);
         self.next_u64() % bound
+    }
+}
+
+/// Loads the persisted regression corpus for the test file containing
+/// `module`: `<manifest_dir>/proptest-regressions/<file>.txt`, where
+/// `<file>` is the top-level module segment (for an integration test,
+/// the file name). Mirrors upstream proptest's layout closely enough
+/// that the corpus survives a move to the real crate.
+///
+/// Recognized lines: `cc <seed>` (decimal or `0x`-hex RNG state, run as
+/// an extra case before the random ones for *every* test in the file),
+/// blank lines, and `#` comments. A malformed `cc` line panics — a typo
+/// must not silently drop regression coverage.
+pub fn persisted_seeds(manifest_dir: &str, module: &str) -> Vec<u64> {
+    let file = module.split("::").next().unwrap_or(module);
+    let path = std::path::Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{file}.txt"));
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(rest) = line.strip_prefix("cc ") else {
+            panic!("unrecognized line in {}: `{line}`", path.display());
+        };
+        let tok = rest.split_whitespace().next().unwrap_or("");
+        let parsed = if let Some(hex) = tok.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16)
+        } else {
+            tok.parse()
+        };
+        match parsed {
+            Ok(s) => seeds.push(s),
+            Err(_) => panic!("malformed regression seed in {}: `{line}`", path.display()),
+        }
+    }
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_parses_hex_decimal_comments_and_blanks() {
+        let dir = std::env::temp_dir().join(format!("proptest_shim_corpus_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("proptest-regressions")).unwrap();
+        std::fs::write(
+            dir.join("proptest-regressions/mysuite.txt"),
+            "# header\n\ncc 0x2a\ncc 7\n  cc 0xff  # trailing words ignored\n",
+        )
+        .unwrap();
+        let seeds = persisted_seeds(dir.to_str().unwrap(), "mysuite::inner");
+        assert_eq!(seeds, vec![0x2a, 7, 0xff]);
+        // A file for a different module resolves to no corpus.
+        assert!(persisted_seeds(dir.to_str().unwrap(), "othersuite").is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn from_seed_replays_the_same_stream() {
+        let mut a = TestRng::from_seed(42);
+        let mut b = TestRng::from_seed(42);
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 }

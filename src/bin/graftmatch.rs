@@ -17,7 +17,15 @@
 //!                         [--batch N] [--attempts N] [--retry-seed S]
 //! graftmatch update --addr HOST:PORT NAME (add|del) X Y
 //!                   [--attempts N] [--retry-seed S]
+//! graftmatch sim --seed N [--ops N] [--no-faults] [--log]
 //! ```
+//!
+//! `sim` replays one deterministic simulation scenario: the whole
+//! service stack (server, scheduler, retry client, fault plan) runs
+//! in-process on a virtual clock and a simulated network, every source
+//! of nondeterminism derived from `--seed`. The same seed always
+//! produces a byte-identical event log, so a seed printed by a failing
+//! CI run replays the failure locally.
 //!
 //! `serve` installs a SIGINT/SIGTERM handler that drains gracefully:
 //! in-flight solves finish (bounded by `--drain-ms`), a final snapshot
@@ -32,6 +40,7 @@ fn usage() -> ! {
          \x20      graftmatch serve [serve options]\n\
          \x20      graftmatch solve-remote --addr HOST:PORT --name NAME [remote options]\n\
          \x20      graftmatch update --addr HOST:PORT NAME (add|del) X Y [remote options]\n\
+         \x20      graftmatch sim --seed N [--ops N] [--no-faults] [--log]\n\
          options:\n\
            --algorithm A   ss-dfs|ss-bfs|pf|pf-par|hk|ms-bfs|ms-bfs-do|\n\
                            ms-bfs-graft|ms-bfs-graft-par|pr|pr-par|dist\n\
@@ -67,7 +76,12 @@ fn usage() -> ! {
            --batch N       send N copies of the solve as one pipelined\n\
                            SOLVE_BATCH round trip (0 = plain SOLVE)\n\
            --attempts N    total attempts incl. the first (default 5)\n\
-           --retry-seed S  jitter seed for the backoff schedule (default policy seed)"
+           --retry-seed S  jitter seed for the backoff schedule (default policy seed)\n\
+         sim options:\n\
+           --seed N        scenario seed; same seed => byte-identical log\n\
+           --ops N         workload length in operations (default 48)\n\
+           --no-faults     disable the seeded fault plan\n\
+           --log           print the full normalized event log"
     );
     std::process::exit(2);
 }
@@ -255,10 +269,43 @@ fn update_main(args: Vec<String>) -> ! {
     }
 }
 
+fn sim_main(args: Vec<String>) -> ! {
+    let mut cfg = svc::ScenarioConfig::default();
+    let mut want_log = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut next = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--seed" => cfg.seed = next().parse().unwrap_or_else(|_| usage()),
+            "--ops" => cfg.ops = next().parse().unwrap_or_else(|_| usage()),
+            "--no-faults" => cfg.with_faults = false,
+            "--log" => want_log = true,
+            _ => usage(),
+        }
+    }
+    let report = svc::Scenario::new(cfg).run();
+    if want_log {
+        print!("{}", report.log);
+    }
+    println!(
+        "sim seed={} requests={} violations={}",
+        report.seed,
+        report.requests,
+        report.violations.len()
+    );
+    for v in &report.violations {
+        eprintln!("violation: {v}");
+    }
+    std::process::exit(if report.ok() { 0 } else { 1 });
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("serve") {
         serve_main(args.split_off(1));
+    }
+    if args.first().map(String::as_str) == Some("sim") {
+        sim_main(args.split_off(1));
     }
     if args.first().map(String::as_str) == Some("solve-remote") {
         solve_remote_main(args.split_off(1));

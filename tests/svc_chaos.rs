@@ -15,25 +15,62 @@
 //!
 //! The fault plan is a pure function of the seed, so each test pins its
 //! seed; CI runs this file as its `chaos` job.
+//!
+//! The whole file runs on the simulation stack ([`SimClock`] +
+//! [`SimNet`]): injected delay faults and SLEEP jobs advance virtual
+//! time instead of blocking, so the suite finishes in wall-clock
+//! seconds regardless of how hostile the fault plan is.
 
 use ms_bfs_graft::prelude::*;
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Duration;
 
+/// Spawns an in-process server on a fresh virtual clock and simulated
+/// network; returns the network (for clients), the bound address, and
+/// the server thread's join handle.
+fn spawn_sim_server(
+    cfg: svc::ServeConfig,
+    net_seed: u64,
+) -> (
+    Arc<svc::SimNet>,
+    String,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let clock = Arc::new(svc::SimClock::new());
+    let net = svc::SimNet::new(
+        svc::SimNetConfig {
+            seed: net_seed,
+            ..svc::SimNetConfig::default()
+        },
+        Arc::clone(&clock) as Arc<dyn svc::Clock>,
+    );
+    let server = svc::Server::bind_with(
+        &cfg,
+        Arc::clone(&net) as Arc<dyn svc::Transport>,
+        clock as Arc<dyn svc::Clock>,
+    )
+    .expect("sim bind");
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (net, addr, handle)
+}
+
 struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    reader: BufReader<Box<dyn svc::Conn>>,
+    writer: Box<dyn svc::Conn>,
 }
 
 impl Client {
-    fn connect(addr: &str) -> Client {
-        let stream = TcpStream::connect(addr).expect("connect to service");
+    fn connect(net: &Arc<svc::SimNet>, addr: &str) -> Client {
+        use svc::Transport;
+        let stream = net.connect(addr, None).expect("connect to service");
+        let reader = stream.try_clone_conn().unwrap();
         stream
             .set_read_timeout(Some(Duration::from_secs(60)))
             .unwrap();
         Client {
-            reader: BufReader::new(stream.try_clone().unwrap()),
+            reader: BufReader::new(reader),
             writer: stream,
         }
     }
@@ -86,19 +123,20 @@ fn chaos_session(seed: u64) {
     // too small to hold even one graph (so *every* solve re-materializes
     // through the faulty reload path), and faults armed at the reload
     // and solver-phase sites.
-    let server = svc::Server::bind(&svc::ServeConfig {
-        workers: 2,
-        queue_capacity: 16,
-        cache_bytes: 1, // evict-always: maximal pressure on reloads
-        trace_events: 64,
-        fault_spec: Some(format!("seed={seed},rate=20,max=24,sites=solver|reload")),
-        ..svc::ServeConfig::default()
-    })
-    .unwrap();
-    let addr = server.local_addr().unwrap().to_string();
-    let handle = std::thread::spawn(move || server.run());
+    let (net, addr, handle) = spawn_sim_server(
+        svc::ServeConfig {
+            workers: 2,
+            queue_capacity: 16,
+            cache_bytes: 1, // evict-always: maximal pressure on reloads
+            trace_events: 64,
+            snapshot_interval_ms: 0,
+            fault_spec: Some(format!("seed={seed},rate=20,max=24,sites=solver|reload")),
+            ..svc::ServeConfig::default()
+        },
+        seed,
+    );
 
-    let mut admin = Client::connect(&addr);
+    let mut admin = Client::connect(&net, &addr);
     let mut inline_panics = 0;
     inline_panics += gen_with_retries(&mut admin, "a", "kkt_power:tiny");
     inline_panics += gen_with_retries(&mut admin, "b", "coPapersDBLP:tiny");
@@ -110,8 +148,9 @@ fn chaos_session(seed: u64) {
     let mut joins = Vec::new();
     for t in 0..THREADS {
         let addr = addr.clone();
+        let net = Arc::clone(&net);
         joins.push(std::thread::spawn(move || {
-            let mut c = Client::connect(&addr);
+            let mut c = Client::connect(&net, &addr);
             let (mut ok, mut rejected) = (0u64, 0u64);
             for i in 0..PER_THREAD {
                 let name = if (t + i) % 2 == 0 { "a" } else { "b" };
@@ -217,16 +256,17 @@ fn restart_from_snapshot_mid_chaos_preserves_registry() {
     // drain-time snapshot is trustworthy), small fault budget so the
     // session ends with a clean maximum matching cached.
     {
-        let server = svc::Server::bind(&svc::ServeConfig {
-            workers: 2,
-            state_dir: Some(dir.clone()),
-            fault_spec: Some("seed=7,rate=25,max=8,sites=solver".to_string()),
-            ..svc::ServeConfig::default()
-        })
-        .unwrap();
-        let addr = server.local_addr().unwrap().to_string();
-        let handle = std::thread::spawn(move || server.run());
-        let mut c = Client::connect(&addr);
+        let (net, addr, handle) = spawn_sim_server(
+            svc::ServeConfig {
+                workers: 2,
+                state_dir: Some(dir.clone()),
+                snapshot_interval_ms: 0,
+                fault_spec: Some("seed=7,rate=25,max=8,sites=solver".to_string()),
+                ..svc::ServeConfig::default()
+            },
+            7,
+        );
+        let mut c = Client::connect(&net, &addr);
         assert!(c.req("GEN g kkt_power:tiny").starts_with("OK "));
         assert!(c.req("GEN h coPapersDBLP:tiny").starts_with("OK "));
 
@@ -251,14 +291,15 @@ fn restart_from_snapshot_mid_chaos_preserves_registry() {
     // graphs are back, and `g`'s matching is restored (warm solve with
     // zero augmentations at the pre-restart cardinality).
     {
-        let server = svc::Server::bind(&svc::ServeConfig {
-            state_dir: Some(dir.clone()),
-            ..svc::ServeConfig::default()
-        })
-        .unwrap();
-        let addr = server.local_addr().unwrap().to_string();
-        let handle = std::thread::spawn(move || server.run());
-        let mut c = Client::connect(&addr);
+        let (net, addr, handle) = spawn_sim_server(
+            svc::ServeConfig {
+                state_dir: Some(dir.clone()),
+                snapshot_interval_ms: 0,
+                ..svc::ServeConfig::default()
+            },
+            8,
+        );
+        let mut c = Client::connect(&net, &addr);
 
         let stats = c.req("STATS");
         assert_eq!(field_u64(&stats, "registered"), 2, "{stats}");

@@ -53,6 +53,45 @@ impl Client {
     }
 }
 
+/// Line-protocol client over the simulated network (`Box<dyn Conn>`
+/// instead of `TcpStream`); same surface as [`Client`].
+struct SimClient {
+    reader: BufReader<Box<dyn svc::Conn>>,
+    writer: Box<dyn svc::Conn>,
+}
+
+impl SimClient {
+    fn connect(net: &std::sync::Arc<svc::SimNet>, addr: &str) -> SimClient {
+        use svc::Transport;
+        let stream = net.connect(addr, None).expect("sim connect");
+        let reader = stream.try_clone_conn().expect("clone sim conn");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        SimClient {
+            reader: BufReader::new(reader),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("send request");
+        self.writer.flush().unwrap();
+    }
+
+    fn recv(&mut self) -> String {
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        assert!(!reply.is_empty(), "server closed the connection");
+        reply.trim_end().to_string()
+    }
+
+    fn req(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+    }
+}
+
 fn field<'a>(line: &'a str, key: &str) -> &'a str {
     line.split_whitespace()
         .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
@@ -103,29 +142,57 @@ fn fresh_dir(name: &str) -> std::path::PathBuf {
 
 #[test]
 fn health_reports_draining_and_drain_finishes_inflight_jobs() {
-    let server = svc::Server::bind(&svc::ServeConfig {
-        workers: 1,
-        ..svc::ServeConfig::default()
-    })
+    // Runs on the simulation stack: a virtual clock plus an in-process
+    // network, so "occupy the worker with a long sleep" is scripted
+    // clock state instead of a timing race — no thread::sleep anywhere.
+    use std::sync::Arc;
+    let clock = Arc::new(svc::SimClock::new());
+    let net = svc::SimNet::new(
+        svc::SimNetConfig {
+            seed: 1,
+            ..svc::SimNetConfig::default()
+        },
+        Arc::clone(&clock) as Arc<dyn svc::Clock>,
+    );
+    let server = svc::Server::bind_with(
+        &svc::ServeConfig {
+            workers: 1,
+            snapshot_interval_ms: 0,
+            ..svc::ServeConfig::default()
+        },
+        Arc::clone(&net) as Arc<dyn svc::Transport>,
+        Arc::clone(&clock) as Arc<dyn svc::Clock>,
+    )
     .unwrap();
     let addr = server.local_addr().unwrap().to_string();
     let handle = std::thread::spawn(move || server.run());
 
-    let mut inflight = Client::connect(&addr);
-    let mut observer = Client::connect(&addr);
-    let mut stopper = Client::connect(&addr);
+    let mut inflight = SimClient::connect(&net, &addr);
+    let mut observer = SimClient::connect(&net, &addr);
+    let mut stopper = SimClient::connect(&net, &addr);
 
     let health = observer.req("HEALTH");
     assert_eq!(field(&health, "state"), "ready", "{health}");
     assert_eq!(field_u64(&health, "backlog"), 0, "{health}");
 
-    // Occupy the only worker, then initiate the drain.
+    // Occupy the only worker: pin virtual time short of the job's
+    // wake-up so its 400ms sleep parks, then rendezvous on the clock —
+    // the drain below starts while the job is provably in flight.
+    let pin = clock.hold(Duration::from_millis(5));
     inflight.send("SLEEP 400");
-    std::thread::sleep(Duration::from_millis(100));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while clock.pending_timers() < 2 {
+        assert!(
+            Instant::now() < deadline,
+            "worker never parked in its sleep"
+        );
+        std::thread::yield_now();
+    }
     assert_eq!(stopper.req("SHUTDOWN"), "OK bye");
 
     // The draining state becomes visible shortly after the SHUTDOWN
-    // reply (the flags flip right after the reply is written).
+    // reply (the flags flip right after the reply is written). Each
+    // probe is a full RPC round trip, so this loop never busy-spins.
     let deadline = Instant::now() + Duration::from_secs(5);
     loop {
         let health = observer.req("HEALTH");
@@ -133,14 +200,16 @@ fn health_reports_draining_and_drain_finishes_inflight_jobs() {
             break;
         }
         assert!(Instant::now() < deadline, "never saw draining: {health}");
-        std::thread::sleep(Duration::from_millis(20));
+        std::thread::yield_now();
     }
 
     // Draining refuses new jobs with a typed reply...
     let refused = observer.req("SOLVE whatever ms-bfs-graft");
     assert!(refused.starts_with("ERR shutting-down"), "{refused}");
 
-    // ...but the in-flight job still completes within the grace period.
+    // ...but the in-flight job still completes within the grace period
+    // once the timeline is released.
+    drop(pin);
     assert_eq!(inflight.recv(), "OK slept_ms=400");
     handle.join().unwrap().unwrap();
 }
@@ -347,7 +416,8 @@ fn broken_pipe_mid_reply_is_absorbed_not_fatal() {
             Instant::now() < deadline,
             "write error never surfaced: {stats}"
         );
-        std::thread::sleep(Duration::from_millis(50));
+        // Each probe is a full RPC round trip — re-asking is the wait.
+        std::thread::yield_now();
     }
 
     // State is not poisoned: normal service continues on new and

@@ -1,0 +1,125 @@
+//! Deterministic-simulation scenario suite: the whole service stack
+//! (server, scheduler, retry client, fault plan) runs in-process on a
+//! virtual clock ([`SimClock`]) and a seeded in-memory network
+//! ([`SimNet`]). Each seed drives a full mixed workload — SOLVE,
+//! SOLVE_BATCH, UPDATE, EVICT, STATS, HEALTH, partitions, injected
+//! faults — and must (a) violate no invariant and (b) reproduce a
+//! byte-identical event log when replayed.
+//!
+//! CI runs this file as its `sim` job with a pinned seed matrix plus
+//! one randomized seed echoed into the job log; a failure there
+//! replays locally with `graftmatch sim --seed N --log`.
+
+use graft_sim::mix64;
+use ms_bfs_graft::prelude::*;
+use std::time::{Duration, Instant};
+
+/// The pinned seed matrix. Deliberately spread: small seeds, large
+/// seeds, adjacent pairs (which must diverge), and a few arbitrary
+/// constants picked when the suite was written.
+const SEED_MATRIX: [u64; 16] = [
+    0,
+    1,
+    2,
+    3,
+    7,
+    11,
+    13,
+    42,
+    99,
+    1234,
+    0xdead_beef,
+    0xfeed_f00d,
+    0x1234_5678_9abc_def0,
+    u64::MAX,
+    u64::MAX - 1,
+    0x9e37_79b9_7f4a_7c15,
+];
+
+#[test]
+fn pinned_seed_matrix_is_clean() {
+    let t0 = Instant::now();
+    for &seed in &SEED_MATRIX {
+        let report = svc::Scenario::from_seed(seed).run();
+        assert!(
+            report.ok(),
+            "seed {seed} violated invariants: {:?}\nreplay: graftmatch sim --seed {seed} --log",
+            report.violations
+        );
+        assert!(report.requests > 0, "seed {seed} issued no requests");
+    }
+    // The entire matrix runs on virtual time; if it starts taking real
+    // wall-clock time something is sleeping for real again.
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "16-seed scenario matrix took {:?}; a real sleep crept back in",
+        t0.elapsed()
+    );
+}
+
+#[test]
+fn every_matrix_seed_replays_byte_identically() {
+    for &seed in &SEED_MATRIX[..4] {
+        let a = svc::Scenario::from_seed(seed).run();
+        let b = svc::Scenario::from_seed(seed).run();
+        assert_eq!(
+            a.log, b.log,
+            "seed {seed} produced two different event logs"
+        );
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.requests, b.requests);
+    }
+}
+
+#[test]
+fn randomized_seed_is_clean_and_replayable() {
+    // Derived from real time on purpose: this is the one test allowed
+    // to explore. The seed is printed so a CI failure pins it.
+    let seed = mix64(
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos() as u64,
+    );
+    println!("randomized scenario seed: {seed}");
+    let report = svc::Scenario::from_seed(seed).run();
+    assert!(
+        report.ok(),
+        "randomized seed {seed} violated invariants: {:?}\n\
+         replay: graftmatch sim --seed {seed} --log\n\
+         then pin it in SEED_MATRIX in tests/svc_scenario.rs",
+        report.violations
+    );
+    let replay = svc::Scenario::from_seed(seed).run();
+    assert_eq!(report.log, replay.log, "seed {seed} did not replay");
+}
+
+#[test]
+fn longer_workload_stays_deterministic() {
+    let cfg = svc::ScenarioConfig {
+        seed: 5,
+        ops: 160,
+        ..Default::default()
+    };
+    let a = svc::Scenario::new(cfg.clone()).run();
+    let b = svc::Scenario::new(cfg).run();
+    assert!(a.ok(), "violations: {:?}", a.violations);
+    assert_eq!(a.log, b.log);
+}
+
+#[test]
+fn faultless_runs_are_clean_too() {
+    for seed in [17u64, 23, 31] {
+        let report = svc::Scenario::new(svc::ScenarioConfig {
+            seed,
+            with_faults: false,
+            ..Default::default()
+        })
+        .run();
+        assert!(
+            report.ok(),
+            "faultless seed {seed} violated invariants: {:?}",
+            report.violations
+        );
+    }
+}
