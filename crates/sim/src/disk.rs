@@ -1,0 +1,740 @@
+//! The disk dimension of the simulation substrate.
+//!
+//! Persistence code talks to storage only through the [`Disk`] trait.
+//! [`RealDisk`] passes straight through to `std::fs` and is
+//! byte-compatible with the tmp+fsync+rename discipline the service has
+//! always used. [`SimDisk`] is an in-memory filesystem with the failure
+//! semantics real disks actually exhibit:
+//!
+//! * writes are buffered until `sync_all` — a crash loses everything
+//!   after the last fsync, and may *tear* the unsynced tail (keep a
+//!   seeded prefix of it, possibly with one flipped bit);
+//! * `rename` updates the live namespace immediately but the new
+//!   directory entry is only durable after [`Disk::sync_dir`] — the
+//!   classic "rename visible but lost after power cut" behaviour;
+//! * every operation is counted, so a test can run a workload once to
+//!   learn its operation count and then re-run it once per possible
+//!   crash point ([`SimDiskConfig::crash_at`]), handing each resulting
+//!   post-crash image ([`SimDisk::crash`]) to recovery.
+//!
+//! All randomness (torn-write lengths, bit flips, injected I/O errors)
+//! derives from one seed through [`mix64`], the same splitmix64
+//! discipline as the rest of the crate, so crash schedules replay
+//! byte-identically by seed.
+
+use crate::rng::mix64;
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// An open file handle: sequential writes plus an explicit fsync.
+///
+/// The persistence layer only ever appends or rewrites whole files, so
+/// the handle surface is deliberately tiny — `Write` for bytes and
+/// [`DiskFile::sync_all`] for the durability barrier.
+pub trait DiskFile: Write + Send {
+    /// Flushes buffered bytes and makes the file *contents* durable
+    /// (the directory entry may still need [`Disk::sync_dir`]).
+    fn sync_all(&mut self) -> io::Result<()>;
+}
+
+/// A filesystem as the persistence layer sees it.
+///
+/// Paths are plain `&Path`; backends decide what they mean ([`RealDisk`]
+/// uses the real filesystem, [`SimDisk`] a namespace keyed by the path's
+/// string form).
+pub trait Disk: Send + Sync {
+    /// Creates `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Creates (or truncates) `path` for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn DiskFile>>;
+    /// Opens `path` for appending, creating it if missing.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn DiskFile>>;
+    /// Reads the whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Atomically renames `from` to `to` in the live namespace. The new
+    /// entry survives a crash only after [`Disk::sync_dir`].
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes `path` from the live namespace.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Truncates `path` to `len` bytes (used to physically discard a
+    /// corrupt journal tail after recovery located it).
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Makes `dir`'s entries (renames, removals, creations) durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// File names (not full paths) of `dir`'s entries, sorted.
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>>;
+}
+
+/// The production backend: a passthrough to `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealDisk;
+
+struct RealFile(std::fs::File);
+
+impl Write for RealFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl DiskFile for RealFile {
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+}
+
+impl Disk for RealDisk {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+    fn create(&self, path: &Path) -> io::Result<Box<dyn DiskFile>> {
+        Ok(Box::new(RealFile(std::fs::File::create(path)?)))
+    }
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn DiskFile>> {
+        let f = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(path)?;
+        Ok(Box::new(RealFile(f)))
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = std::fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)?;
+        f.sync_all()
+    }
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Opening a directory read-only and fsyncing it is the portable
+        // way to persist its entries; platforms that refuse report the
+        // error and callers decide whether that is best-effort.
+        std::fs::File::open(dir)?.sync_all()
+    }
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+/// Knobs for one [`SimDisk`] instance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimDiskConfig {
+    /// Seed every torn-write length, bit flip, and injected error
+    /// derives from.
+    pub seed: u64,
+    /// When `Some(k)`, every disk operation with index `>= k` fails with
+    /// a "simulated crash" error — the enumeration hook.
+    pub crash_at: Option<u64>,
+    /// Percent chance (0–100) each operation fails with an injected
+    /// I/O error, independent of `crash_at`.
+    pub fail_rate_pct: u64,
+    /// Cap on injected errors (crash failures are not counted).
+    pub max_faults: u64,
+}
+
+/// One simulated file: its byte contents plus how much of them has been
+/// fsynced. A crash keeps the synced prefix and tears the rest.
+#[derive(Debug, Clone, Default)]
+struct FileState {
+    data: Vec<u8>,
+    synced_len: usize,
+}
+
+#[derive(Default)]
+struct DiskInner {
+    /// File bodies, keyed by an id so renames move entries without
+    /// copying bytes.
+    files: HashMap<u64, FileState>,
+    /// The live namespace: what a running process sees.
+    live: BTreeMap<String, u64>,
+    /// The durable namespace: what survives a crash. Updated by file
+    /// fsync (for freshly created paths) and by `sync_dir`.
+    durable: BTreeMap<String, u64>,
+    next_id: u64,
+    ops: u64,
+    faults_fired: u64,
+    op_trace: Vec<&'static str>,
+}
+
+/// The simulation backend: an in-memory filesystem with seeded faults
+/// and crash-point enumeration.
+///
+/// Cloning is cheap and shares state (the handle model mirrors
+/// [`crate::SimNet`]).
+#[derive(Clone)]
+pub struct SimDisk {
+    cfg: SimDiskConfig,
+    inner: Arc<Mutex<DiskInner>>,
+}
+
+fn key(path: &Path) -> String {
+    path.to_string_lossy().into_owned()
+}
+
+fn crash_err() -> io::Error {
+    io::Error::other("simulated crash (power loss)")
+}
+
+impl SimDisk {
+    /// A fresh empty disk with `cfg`'s fault schedule.
+    pub fn new(cfg: SimDiskConfig) -> Arc<Self> {
+        Arc::new(Self {
+            cfg,
+            inner: Arc::new(Mutex::new(DiskInner::default())),
+        })
+    }
+
+    /// Counts the operation, fails it if the crash point or a seeded
+    /// fault says so. `kind` tags the op in [`SimDisk::op_trace`].
+    fn begin_op(&self, inner: &mut DiskInner, kind: &'static str) -> io::Result<()> {
+        let idx = inner.ops;
+        inner.ops += 1;
+        inner.op_trace.push(kind);
+        if let Some(k) = self.cfg.crash_at {
+            if idx >= k {
+                return Err(crash_err());
+            }
+        }
+        if self.cfg.fail_rate_pct > 0 && inner.faults_fired < self.cfg.max_faults {
+            let roll = mix64(self.cfg.seed ^ 0xd15c_fa17u64.rotate_left(17) ^ idx) % 100;
+            if roll < self.cfg.fail_rate_pct {
+                inner.faults_fired += 1;
+                return Err(io::Error::other(format!("simulated disk fault (op {idx})")));
+            }
+        }
+        Ok(())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, DiskInner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Total disk operations issued so far (the crash-point space is
+    /// `0..=op_count()`).
+    pub fn op_count(&self) -> u64 {
+        self.lock().ops
+    }
+
+    /// Injected (non-crash) faults fired so far.
+    pub fn faults_fired(&self) -> u64 {
+        self.lock().faults_fired
+    }
+
+    /// The kinds of every operation issued, in order — lets tests assert
+    /// the enumeration space covers create/write/fsync/rename/dir-fsync
+    /// sites.
+    pub fn op_trace(&self) -> Vec<&'static str> {
+        self.lock().op_trace.clone()
+    }
+
+    /// Installs `bytes` at `path`, fully durable, without counting ops —
+    /// a test fixture hook.
+    pub fn preload(&self, path: &Path, bytes: &[u8]) {
+        let mut inner = self.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.files.insert(
+            id,
+            FileState {
+                data: bytes.to_vec(),
+                synced_len: bytes.len(),
+            },
+        );
+        let k = key(path);
+        inner.live.insert(k.clone(), id);
+        inner.durable.insert(k, id);
+    }
+
+    /// The live contents of `path` (no op counting) — a test peek.
+    pub fn dump(&self, path: &Path) -> Option<Vec<u8>> {
+        let inner = self.lock();
+        let id = *inner.live.get(&key(path))?;
+        Some(inner.files.get(&id)?.data.clone())
+    }
+
+    /// Computes the post-crash disk: the durable namespace only, each
+    /// file cut to its synced prefix plus a seeded torn fragment of the
+    /// unsynced tail (about a quarter of non-empty torn tails also get
+    /// one seeded bit flip). The returned disk is fully synced, with no
+    /// crash point and no fault injection — recovery runs on it cleanly.
+    pub fn crash(&self) -> Arc<SimDisk> {
+        let inner = self.lock();
+        let out = SimDisk::new(SimDiskConfig {
+            seed: self.cfg.seed,
+            ..SimDiskConfig::default()
+        });
+        {
+            let mut dst = out.lock();
+            for (path, &id) in &inner.durable {
+                let Some(f) = inner.files.get(&id) else {
+                    continue;
+                };
+                let synced = f.synced_len.min(f.data.len());
+                let unsynced = f.data.len() - synced;
+                let h = mix64(self.cfg.seed ^ mix64(id ^ 0x7ea5_ed00));
+                let keep = if unsynced == 0 {
+                    0
+                } else {
+                    (h % (unsynced as u64 + 1)) as usize
+                };
+                let mut data = f.data[..synced + keep].to_vec();
+                if keep > 0 && mix64(h ^ 0xb17f_11b5).is_multiple_of(4) {
+                    // One flipped bit somewhere in the torn region: the
+                    // checksum layer above must catch it.
+                    let bit = mix64(h ^ 0x000f_f5e7) % (keep as u64 * 8);
+                    data[synced + (bit / 8) as usize] ^= 1 << (bit % 8);
+                }
+                let new_id = dst.next_id;
+                dst.next_id += 1;
+                let len = data.len();
+                dst.files.insert(
+                    new_id,
+                    FileState {
+                        data,
+                        synced_len: len,
+                    },
+                );
+                dst.live.insert(path.clone(), new_id);
+                dst.durable.insert(path.clone(), new_id);
+            }
+        }
+        out
+    }
+}
+
+/// A handle into a [`SimDisk`] file. Writes land in the shared file
+/// body immediately (visible to readers) but only extend `synced_len`
+/// at [`DiskFile::sync_all`].
+struct SimFile {
+    disk: SimDisk,
+    id: u64,
+    path: String,
+}
+
+impl Write for SimFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut inner = self.disk.lock();
+        self.disk.begin_op(&mut inner, "write")?;
+        let f = inner
+            .files
+            .get_mut(&self.id)
+            .ok_or_else(|| io::Error::other("file vanished"))?;
+        f.data.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl DiskFile for SimFile {
+    fn sync_all(&mut self) -> io::Result<()> {
+        let mut inner = self.disk.lock();
+        self.disk.begin_op(&mut inner, "sync_file")?;
+        let f = inner
+            .files
+            .get_mut(&self.id)
+            .ok_or_else(|| io::Error::other("file vanished"))?;
+        f.synced_len = f.data.len();
+        // fsync on a freshly created file also persists its dirent if
+        // the path was never durable before (matches ext4 fast-commit
+        // behaviour closely enough for our model); a *renamed* entry
+        // still needs the directory fsync.
+        if !inner.durable.contains_key(&self.path) && inner.live.get(&self.path) == Some(&self.id) {
+            inner.durable.insert(self.path.clone(), self.id);
+        }
+        Ok(())
+    }
+}
+
+impl Disk for SimDisk {
+    fn create_dir_all(&self, _dir: &Path) -> io::Result<()> {
+        let mut inner = self.lock();
+        self.begin_op(&mut inner, "create_dir")
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn DiskFile>> {
+        let mut inner = self.lock();
+        self.begin_op(&mut inner, "create")?;
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.files.insert(id, FileState::default());
+        inner.live.insert(key(path), id);
+        Ok(Box::new(SimFile {
+            disk: self.clone(),
+            id,
+            path: key(path),
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn DiskFile>> {
+        let mut inner = self.lock();
+        self.begin_op(&mut inner, "open_append")?;
+        let k = key(path);
+        let id = match inner.live.get(&k) {
+            Some(&id) => id,
+            None => {
+                let id = inner.next_id;
+                inner.next_id += 1;
+                inner.files.insert(id, FileState::default());
+                inner.live.insert(k.clone(), id);
+                id
+            }
+        };
+        Ok(Box::new(SimFile {
+            disk: self.clone(),
+            id,
+            path: k,
+        }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut inner = self.lock();
+        self.begin_op(&mut inner, "read")?;
+        let id = *inner
+            .live
+            .get(&key(path))
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))?;
+        Ok(inner.files[&id].data.clone())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut inner = self.lock();
+        self.begin_op(&mut inner, "rename")?;
+        let id = inner
+            .live
+            .remove(&key(from))
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))?;
+        inner.live.insert(key(to), id);
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut inner = self.lock();
+        self.begin_op(&mut inner, "remove")?;
+        inner
+            .live
+            .remove(&key(path))
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))?;
+        Ok(())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let mut inner = self.lock();
+        self.begin_op(&mut inner, "truncate")?;
+        let id = *inner
+            .live
+            .get(&key(path))
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))?;
+        let f = inner.files.get_mut(&id).expect("live id has a body");
+        let len = len as usize;
+        if len < f.data.len() {
+            f.data.truncate(len);
+        }
+        f.synced_len = f.synced_len.min(f.data.len());
+        // Truncation is modelled as immediately durable: recovery calls
+        // it on an already-synced image and then fsyncs via save paths.
+        f.synced_len = f.data.len();
+        Ok(())
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        let mut inner = self.lock();
+        self.begin_op(&mut inner, "sync_dir")?;
+        let prefix = {
+            let mut p = key(dir);
+            if !p.ends_with('/') {
+                p.push('/');
+            }
+            p
+        };
+        let snapshot: Vec<(String, Option<u64>)> = inner
+            .live
+            .iter()
+            .filter(|(p, _)| p.starts_with(&prefix))
+            .map(|(p, id)| (p.clone(), Some(*id)))
+            .collect();
+        // Entries that were removed or renamed away become durable-gone.
+        let gone: Vec<String> = inner
+            .durable
+            .keys()
+            .filter(|p| p.starts_with(&prefix) && !inner.live.contains_key(*p))
+            .cloned()
+            .collect();
+        for p in gone {
+            inner.durable.remove(&p);
+        }
+        for (p, id) in snapshot {
+            if let Some(id) = id {
+                inner.durable.insert(p, id);
+            }
+        }
+        Ok(())
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut inner = self.lock();
+        self.begin_op(&mut inner, "list_dir")?;
+        let prefix = {
+            let mut p = key(dir);
+            if !p.ends_with('/') {
+                p.push('/');
+            }
+            p
+        };
+        let names: Vec<String> = inner
+            .live
+            .keys()
+            .filter_map(|p| p.strip_prefix(&prefix).map(|s| s.to_string()))
+            .filter(|s| !s.contains('/'))
+            .collect();
+        Ok(names)
+    }
+}
+
+/// Convenience: the path `dir/name` (both backends treat paths as
+/// opaque strings, so plain join works for either).
+pub fn disk_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    fn write_all(d: &SimDisk, path: &str, bytes: &[u8], sync: bool) {
+        let mut f = d.create(&p(path)).unwrap();
+        f.write_all(bytes).unwrap();
+        if sync {
+            f.sync_all().unwrap();
+        }
+    }
+
+    #[test]
+    fn unsynced_writes_can_be_lost_at_crash() {
+        // With seed picked so the torn fragment is shorter than the
+        // write, some unsynced bytes are gone after the crash.
+        for seed in 0..32u64 {
+            let d = SimDisk::new(SimDiskConfig {
+                seed,
+                ..SimDiskConfig::default()
+            });
+            let mut f = d.create(&p("/s/a")).unwrap();
+            f.write_all(b"synced").unwrap();
+            f.sync_all().unwrap();
+            f.write_all(b"unsynced-tail").unwrap();
+            drop(f);
+            let crashed = d.crash();
+            let data = crashed.read(&p("/s/a")).unwrap();
+            assert!(data.len() >= b"synced".len(), "synced prefix survives");
+            assert!(data.len() <= b"syncedunsynced-tail".len());
+            // The synced prefix is bit-exact even when the tail tears.
+            if data.len() == b"synced".len() {
+                assert_eq!(&data, b"synced");
+            }
+        }
+    }
+
+    #[test]
+    fn some_seed_actually_tears() {
+        let mut saw_torn = false;
+        let mut saw_flip = false;
+        for seed in 0..64u64 {
+            let d = SimDisk::new(SimDiskConfig {
+                seed,
+                ..SimDiskConfig::default()
+            });
+            let mut f = d.create(&p("/s/a")).unwrap();
+            f.write_all(b"AAAA").unwrap();
+            f.sync_all().unwrap();
+            f.write_all(b"BBBBBBBB").unwrap();
+            drop(f);
+            let data = d.crash().read(&p("/s/a")).unwrap();
+            if data.len() > 4 && data.len() < 12 {
+                saw_torn = true;
+            }
+            if data.len() > 4 && data[4..].iter().any(|&b| b != b'B') {
+                saw_flip = true;
+            }
+        }
+        assert!(saw_torn, "no seed in 0..64 tore a write");
+        assert!(saw_flip, "no seed in 0..64 flipped a bit");
+    }
+
+    #[test]
+    fn rename_without_dir_fsync_is_lost_at_crash() {
+        let d = SimDisk::new(SimDiskConfig::default());
+        write_all(&d, "/s/reg.tmp", b"v3", true);
+        d.rename(&p("/s/reg.tmp"), &p("/s/reg")).unwrap();
+        // Live namespace sees the rename...
+        assert_eq!(d.read(&p("/s/reg")).unwrap(), b"v3");
+        // ...but a crash before sync_dir reverts to the old entry name.
+        let crashed = d.crash();
+        assert!(
+            crashed.read(&p("/s/reg")).is_err(),
+            "rename was not durable"
+        );
+        assert_eq!(crashed.read(&p("/s/reg.tmp")).unwrap(), b"v3");
+    }
+
+    #[test]
+    fn rename_with_dir_fsync_survives_crash() {
+        let d = SimDisk::new(SimDiskConfig::default());
+        write_all(&d, "/s/reg.tmp", b"v3", true);
+        d.rename(&p("/s/reg.tmp"), &p("/s/reg")).unwrap();
+        d.sync_dir(&p("/s")).unwrap();
+        let crashed = d.crash();
+        assert_eq!(crashed.read(&p("/s/reg")).unwrap(), b"v3");
+        assert!(crashed.read(&p("/s/reg.tmp")).is_err());
+    }
+
+    #[test]
+    fn crash_at_fails_every_later_op() {
+        let d = SimDisk::new(SimDiskConfig {
+            crash_at: Some(2),
+            ..SimDiskConfig::default()
+        });
+        let mut f = d.create(&p("/s/a")).unwrap(); // op 0
+        f.write_all(b"x").unwrap(); // op 1
+        assert!(f.write_all(b"y").is_err()); // op 2: crash
+        assert!(f.sync_all().is_err()); // op 3: still dead
+        assert!(d.create(&p("/s/b")).is_err());
+    }
+
+    #[test]
+    fn op_count_and_trace_cover_the_sequence() {
+        let d = SimDisk::new(SimDiskConfig::default());
+        write_all(&d, "/s/a.tmp", b"data", true);
+        d.rename(&p("/s/a.tmp"), &p("/s/a")).unwrap();
+        d.sync_dir(&p("/s")).unwrap();
+        assert_eq!(
+            d.op_trace(),
+            vec!["create", "write", "sync_file", "rename", "sync_dir"]
+        );
+        assert_eq!(d.op_count(), 5);
+    }
+
+    #[test]
+    fn same_seed_same_crash_image() {
+        let run = |seed: u64| {
+            let d = SimDisk::new(SimDiskConfig {
+                seed,
+                ..SimDiskConfig::default()
+            });
+            let mut f = d.create(&p("/s/a")).unwrap();
+            f.write_all(b"base").unwrap();
+            f.sync_all().unwrap();
+            f.write_all(b"tail-tail-tail").unwrap();
+            drop(f);
+            d.crash().read(&p("/s/a")).unwrap()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(
+            run(1),
+            run(3),
+            "distinct seeds should tear differently here"
+        );
+    }
+
+    #[test]
+    fn injected_faults_respect_rate_and_budget() {
+        let d = SimDisk::new(SimDiskConfig {
+            seed: 7,
+            fail_rate_pct: 100,
+            max_faults: 2,
+            ..SimDiskConfig::default()
+        });
+        assert!(d.create(&p("/s/a")).is_err());
+        assert!(d.create(&p("/s/a")).is_err());
+        // Budget exhausted: now everything works.
+        assert!(d.create(&p("/s/a")).is_ok());
+        assert_eq!(d.faults_fired(), 2);
+    }
+
+    #[test]
+    fn list_dir_and_remove() {
+        let d = SimDisk::new(SimDiskConfig::default());
+        write_all(&d, "/s/a", b"1", true);
+        write_all(&d, "/s/b.tmp", b"2", true);
+        let mut names = d.list_dir(&p("/s")).unwrap();
+        names.sort();
+        assert_eq!(names, vec!["a", "b.tmp"]);
+        d.remove_file(&p("/s/b.tmp")).unwrap();
+        assert_eq!(d.list_dir(&p("/s")).unwrap(), vec!["a"]);
+    }
+
+    #[test]
+    fn removal_becomes_durable_only_after_dir_fsync() {
+        let d = SimDisk::new(SimDiskConfig::default());
+        write_all(&d, "/s/stale.tmp", b"junk", true);
+        d.sync_dir(&p("/s")).unwrap();
+        d.remove_file(&p("/s/stale.tmp")).unwrap();
+        // Without a dir fsync the removal is lost: the file is back.
+        assert!(d.crash().read(&p("/s/stale.tmp")).is_ok());
+        d.sync_dir(&p("/s")).unwrap();
+        assert!(d.crash().read(&p("/s/stale.tmp")).is_err());
+    }
+
+    #[test]
+    fn truncate_cuts_and_is_durable() {
+        let d = SimDisk::new(SimDiskConfig::default());
+        write_all(&d, "/s/a", b"0123456789", true);
+        d.truncate(&p("/s/a"), 4).unwrap();
+        assert_eq!(d.read(&p("/s/a")).unwrap(), b"0123");
+        assert_eq!(d.crash().read(&p("/s/a")).unwrap(), b"0123");
+    }
+
+    #[test]
+    fn real_disk_round_trip() {
+        let dir = std::env::temp_dir().join(format!(
+            "graft-sim-disk-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let d = RealDisk;
+        d.create_dir_all(&dir).unwrap();
+        let tmp = dir.join("f.tmp");
+        let fin = dir.join("f");
+        let mut f = d.create(&tmp).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+        d.rename(&tmp, &fin).unwrap();
+        let _ = d.sync_dir(&dir);
+        assert_eq!(d.read(&fin).unwrap(), b"hello");
+        let mut a = d.open_append(&fin).unwrap();
+        a.write_all(b" world").unwrap();
+        a.sync_all().unwrap();
+        drop(a);
+        assert_eq!(d.read(&fin).unwrap(), b"hello world");
+        d.truncate(&fin, 5).unwrap();
+        assert_eq!(d.read(&fin).unwrap(), b"hello");
+        assert_eq!(d.list_dir(&dir).unwrap(), vec!["f"]);
+        d.remove_file(&fin).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,7 +1,7 @@
 //! Deterministic simulation substrate for the graft service stack.
 //!
-//! The service layer (`graft-svc`) talks to time and the network only
-//! through the two traits defined here:
+//! The service layer (`graft-svc`) talks to time, the network, and the
+//! disk only through the traits defined here:
 //!
 //! * [`Clock`] — `now()` / `sleep()` / deadline arithmetic. [`WallClock`]
 //!   is the production backend (plain `Instant::now` + `thread::sleep`);
@@ -13,6 +13,11 @@
 //!   seeded in-process network with configurable latency, partitions,
 //!   connection drops and duplicate delivery, all derived from the same
 //!   splitmix64 discipline as `svc::FaultPlan`.
+//! * [`Disk`] — `create()` / `open_append()` / `rename()` / `sync_dir()`
+//!   yielding trait-object file handles. [`RealDisk`] wraps `std::fs`;
+//!   [`SimDisk`] is an in-memory filesystem with seeded torn writes,
+//!   rename-without-dir-fsync loss, injected I/O errors, and crash-point
+//!   enumeration for exhaustive recovery testing.
 //!
 //! The design follows the FoundationDB simulation philosophy: the
 //! program under test runs unmodified real threads, but every source of
@@ -26,12 +31,14 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod disk;
 mod event_log;
 mod net;
 mod rng;
 mod transport;
 
 pub use clock::{Clock, SimClock, TimeHold, WallClock};
+pub use disk::{disk_path, Disk, DiskFile, RealDisk, SimDisk, SimDiskConfig};
 pub use event_log::EventLog;
 pub use net::{SimNet, SimNetConfig};
 pub use rng::mix64;

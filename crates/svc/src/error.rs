@@ -49,6 +49,10 @@ pub enum SvcError {
         /// Scheduler-assigned job id, for correlating with server traces.
         job: u64,
     },
+    /// The update was applied in memory but could not be made durable
+    /// (journal append/fsync failed under `--fsync always`). The ack is
+    /// withheld because ack must imply durable in that mode.
+    Durability(String),
 }
 
 impl SvcError {
@@ -63,6 +67,7 @@ impl SvcError {
             SvcError::BadRequest(_) => "bad-request",
             SvcError::TooLarge { .. } => "too-large",
             SvcError::Internal { .. } => "internal",
+            SvcError::Durability(_) => "durability",
         }
     }
 
@@ -72,7 +77,7 @@ impl SvcError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            SvcError::Overloaded { .. } | SvcError::Internal { .. }
+            SvcError::Overloaded { .. } | SvcError::Internal { .. } | SvcError::Durability(_)
         )
     }
 }
@@ -104,6 +109,9 @@ impl std::fmt::Display for SvcError {
             }
             SvcError::Internal { job } => {
                 write!(f, "job={job} panicked in a worker; the worker survived")
+            }
+            SvcError::Durability(msg) => {
+                write!(f, "update applied but not durable: {msg}")
             }
         }
     }

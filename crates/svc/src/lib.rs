@@ -53,9 +53,15 @@
 //! * **graceful drain** — `SHUTDOWN`/SIGTERM flip `HEALTH` to
 //!   `draining`, refuse new `SOLVE`s, and give in-flight jobs a bounded
 //!   grace period;
-//! * [`snapshot`] — crash-safe JSONL persistence of the registry
-//!   (sources + warm matchings) via atomic tmp+fsync+rename, restored on
-//!   boot for warm restarts;
+//! * [`snapshot`] / [`journal`] — crash-consistent JSONL persistence of
+//!   the registry (sources + warm matchings + dynamic deltas): every v3
+//!   record is sealed with a CRC32, full saves go through atomic
+//!   tmp+fsync+rename+dir-fsync, accepted updates are appended per the
+//!   [`FsyncPolicy`] (`always` fsyncs before the `OK`), and boot sweeps
+//!   orphaned tmp files, truncates a torn tail at the first bad record,
+//!   and restores the surviving prefix for warm restarts — all on a
+//!   swappable [`Disk`] so the crash matrix can enumerate every crash
+//!   point;
 //! * [`faults`] — a deterministic, seed-driven fault-injection plan
 //!   (panics, delays, I/O errors at named sites) that the chaos tests
 //!   drive end-to-end; without a plan the hooks compile to nothing on
@@ -89,6 +95,7 @@
 pub mod client;
 pub mod error;
 pub mod faults;
+pub mod journal;
 pub mod lru;
 pub mod metrics;
 pub mod protocol;
@@ -102,9 +109,10 @@ pub use client::{ClientError, RetryClient, RetryPolicy};
 pub use error::SvcError;
 pub use faults::{Fault, FaultPlan, FaultSite};
 pub use graft_sim::{
-    Clock, Conn, EventLog, Listener, SimClock, SimNet, SimNetConfig, TcpTransport, Transport,
-    WallClock,
+    Clock, Conn, Disk, DiskFile, EventLog, Listener, RealDisk, SimClock, SimDisk, SimDiskConfig,
+    SimNet, SimNetConfig, TcpTransport, Transport, WallClock,
 };
+pub use journal::{AppendOutcome, FsyncPolicy, Journal};
 pub use lru::{LruCache, LruStats};
 pub use metrics::Metrics;
 pub use protocol::{
@@ -115,4 +123,6 @@ pub use registry::{GraphRegistry, GraphSource, RegistryStats};
 pub use scenario::{Scenario, ScenarioConfig, ScenarioReport};
 pub use scheduler::Scheduler;
 pub use server::{serve, ServeConfig, Server, ShutdownHandle};
-pub use snapshot::{Snapshot, SnapshotDelta, SnapshotEntry, SnapshotError, WarmStart};
+pub use snapshot::{
+    LoadReport, Snapshot, SnapshotDelta, SnapshotEntry, SnapshotError, Truncation, WarmStart,
+};

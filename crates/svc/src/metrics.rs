@@ -104,6 +104,16 @@ pub struct Metrics {
     /// Graceful drains that gave up before the queue emptied (the
     /// server exited with jobs still in flight).
     pub drain_timeouts: AtomicU64,
+    /// Journal fsyncs performed (full saves plus policy-driven append
+    /// fsyncs).
+    pub fsync_count: AtomicU64,
+    /// Boots that cut a corrupt journal tail at the first bad record.
+    pub journal_truncations: AtomicU64,
+    /// Journal append/fsync failures (the update stayed in memory; the
+    /// client saw `ERR durability` under `--fsync always`).
+    pub journal_errors: AtomicU64,
+    /// Orphaned `*.tmp` snapshot files removed at boot.
+    pub stale_tmp_removed: AtomicU64,
 }
 
 impl Metrics {
@@ -140,6 +150,10 @@ impl Metrics {
             latency_per_algorithm: std::array::from_fn(|_| Histogram::default()),
             graph_solves: Mutex::new(HashMap::new()),
             drain_timeouts: AtomicU64::new(0),
+            fsync_count: AtomicU64::new(0),
+            journal_truncations: AtomicU64::new(0),
+            journal_errors: AtomicU64::new(0),
+            stale_tmp_removed: AtomicU64::new(0),
         }
     }
 
@@ -234,6 +248,14 @@ impl Metrics {
             self.updates_err.load(Ordering::Relaxed),
             self.rebuilds.load(Ordering::Relaxed),
             self.drain_timeouts.load(Ordering::Relaxed),
+        );
+        let _ = write!(
+            out,
+            " fsync_count={} journal_truncations={} journal_errors={} stale_tmp_removed={}",
+            self.fsync_count.load(Ordering::Relaxed),
+            self.journal_truncations.load(Ordering::Relaxed),
+            self.journal_errors.load(Ordering::Relaxed),
+            self.stale_tmp_removed.load(Ordering::Relaxed),
         );
         for (i, alg) in Algorithm::ALL.iter().enumerate() {
             let n = self.solves_per_algorithm[i].load(Ordering::Relaxed);

@@ -29,10 +29,15 @@
 //! [`SimNet`]: graft_sim::SimNet
 
 use crate::client::{RetryClient, RetryPolicy};
+use crate::journal::FsyncPolicy;
 use crate::metrics::Metrics;
 use crate::server::{ServeConfig, Server};
-use graft_sim::{mix64, Clock, SimClock, SimNet, SimNetConfig, Transport};
+use crate::snapshot;
+use graft_sim::{
+    mix64, Clock, Disk, RealDisk, SimClock, SimDisk, SimDiskConfig, SimNet, SimNetConfig, Transport,
+};
 use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
@@ -58,6 +63,11 @@ pub struct ScenarioConfig {
     /// `drain-timeout` violation. Exists to prove the harness catches
     /// and replays an injected timing bug.
     pub broken_drain_timer: bool,
+    /// Give the server a seeded [`SimDisk`] (`--fsync always`, write
+    /// faults derived from the master seed) and, after shutdown,
+    /// power-cut the disk and verify the journal recovers cleanly. Off
+    /// disables persistence entirely (the pre-disk scenario shape).
+    pub disk_faults: bool,
 }
 
 impl Default for ScenarioConfig {
@@ -68,6 +78,7 @@ impl Default for ScenarioConfig {
             max_connect_latency_ms: 3,
             with_faults: true,
             broken_drain_timer: false,
+            disk_faults: true,
         }
     }
 }
@@ -121,6 +132,10 @@ impl WorkloadRng {
 /// The two graphs every scenario registers. Different generators so
 /// warm-start and eviction behavior differ between them.
 const GRAPHS: [(&str, &str); 2] = [("ga", "kkt_power:tiny"), ("gb", "amazon0312:tiny")];
+
+/// Where the simulated disk keeps the journal (a path inside the
+/// in-memory filesystem; nothing touches the real one).
+const SIM_STATE_DIR: &str = "sim-state";
 
 /// A seeded end-to-end run of the whole service stack under simulation.
 pub struct Scenario {
@@ -183,7 +198,10 @@ fn field(reply: &str, key: &str) -> Option<u64> {
 /// taken on one thread and compared on another (queue-wait sums, the
 /// elapsed duration in a deadline error, server uptime) races against
 /// the worker's virtual-time jumps, so those values — and only those —
-/// are normalized out of the log.
+/// are normalized out of the log. `connections_open` is in the list
+/// because a partition's severed connection decrements it from the
+/// dying reader thread, which races (in real time) against the next
+/// `STATS` on the healed connection.
 fn normalize(reply: &str) -> String {
     if let Some(idx) = reply.find("deadline exceeded after ") {
         let prefix = &reply[..idx + "deadline exceeded after ".len()];
@@ -192,7 +210,9 @@ fn normalize(reply: &str) -> String {
     reply
         .split(' ')
         .map(|tok| match tok.split_once('=') {
-            Some((key @ ("uptime_us" | "wait_us_sum"), _)) => format!("{key}=_"),
+            Some((key @ ("uptime_us" | "wait_us_sum" | "connections_open"), _)) => {
+                format!("{key}=_")
+            }
             _ => tok.to_string(),
         })
         .collect::<Vec<_>>()
@@ -226,14 +246,30 @@ impl Scenario {
             Arc::clone(&clock) as Arc<dyn Clock>,
         );
 
+        // The disk dimension: a seeded in-memory filesystem whose write
+        // faults (and eventual power cut) are pure functions of the
+        // seed. `--fsync always` so every acked UPDATE claims
+        // durability — the post-run crash check holds it to that.
+        let sim_disk = self.cfg.disk_faults.then(|| {
+            SimDisk::new(SimDiskConfig {
+                seed: mix64(seed ^ 0xd15c),
+                fail_rate_pct: 4,
+                max_faults: 6,
+                crash_at: None,
+            })
+        });
         let serve_cfg = ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             // One worker and no snapshot poller: the determinism
             // contract allows at most one sleeping thread at a time.
+            // (`fsync: Always` keeps the poller unspawned even with a
+            // state dir.)
             workers: 1,
             queue_capacity: 16,
             drain_ms: 2_000,
             snapshot_interval_ms: 0,
+            state_dir: sim_disk.as_ref().map(|_| PathBuf::from(SIM_STATE_DIR)),
+            fsync: FsyncPolicy::Always,
             fault_spec: self
                 .cfg
                 .with_faults
@@ -241,10 +277,15 @@ impl Scenario {
             broken_drain_timer: self.cfg.broken_drain_timer,
             ..ServeConfig::default()
         };
-        let server = Server::bind_with(
+        let disk: Arc<dyn Disk> = match &sim_disk {
+            Some(d) => Arc::clone(d) as Arc<dyn Disk>,
+            None => Arc::new(RealDisk),
+        };
+        let server = Server::bind_with_disk(
             &serve_cfg,
             Arc::clone(&net) as Arc<dyn Transport>,
             Arc::clone(&clock) as Arc<dyn Clock>,
+            disk,
         )
         .expect("sim bind cannot fail");
         let addr = server.local_addr().expect("sim local addr");
@@ -405,6 +446,31 @@ impl Scenario {
         drop(client);
         drop(side);
 
+        // Power-cut the simulated disk and recover: whatever the run's
+        // fault schedule did to the journal, a restart must come back
+        // clean. The summary line keeps the log sensitive to the whole
+        // durability path — same seed, same bytes on disk.
+        if let Some(d) = &sim_disk {
+            let image = d.crash();
+            match snapshot::load_on(image.as_ref(), Path::new(SIM_STATE_DIR), None) {
+                Ok(report) => {
+                    use std::fmt::Write as _;
+                    let _ = writeln!(
+                        st.log,
+                        "# crash-recovery entries={} deltas={} rebuilds={} truncated={} \
+                         disk_ops={} disk_faults={}",
+                        report.snapshot.entries.len(),
+                        report.snapshot.deltas.len(),
+                        report.snapshot.rebuilds,
+                        report.truncated.is_some(),
+                        d.op_count(),
+                        d.faults_fired(),
+                    );
+                }
+                Err(e) => st.violation(format!("crash-recovery-failed: {e}")),
+            }
+        }
+
         // Post-run invariants, read straight off the server's metrics.
         self.check_invariants(&metrics, &mut st);
 
@@ -475,6 +541,22 @@ mod tests {
         let b = Scenario::from_seed(7).run();
         assert_eq!(a.log, b.log, "seed 7 diverged between runs");
         assert!(a.ok(), "violations: {:?}", a.violations);
+        assert!(
+            a.log.contains("# crash-recovery "),
+            "disk crash check missing from the log"
+        );
+    }
+
+    #[test]
+    fn disk_faults_off_runs_without_persistence() {
+        let report = Scenario::new(ScenarioConfig {
+            seed: 3,
+            disk_faults: false,
+            ..ScenarioConfig::default()
+        })
+        .run();
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert!(!report.log.contains("# crash-recovery "));
     }
 
     #[test]

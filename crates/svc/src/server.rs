@@ -38,6 +38,7 @@
 
 use crate::error::SvcError;
 use crate::faults::FaultPlan;
+use crate::journal::{AppendOutcome, FsyncPolicy, Journal};
 use crate::metrics::Metrics;
 use crate::protocol::{
     err_line, parse_batch_member, parse_request, parse_update_member, BatchMember, Request,
@@ -54,7 +55,7 @@ use graft_core::{
     SolveOptions, SolveWorkspace, Tracer,
 };
 use graft_dyn::{DynConfig, DynamicMatching, UpdateOutcome};
-use graft_sim::{Clock, Conn, Listener, TcpTransport, Transport, WallClock};
+use graft_sim::{Clock, Conn, Disk, Listener, RealDisk, TcpTransport, Transport, WallClock};
 use std::collections::{BTreeSet, HashMap};
 use std::io::{BufRead, BufReader, Write};
 use std::net::SocketAddr;
@@ -93,6 +94,9 @@ pub struct ServeConfig {
     pub state_dir: Option<PathBuf>,
     /// Interval between periodic snapshots; 0 snapshots only on drain.
     pub snapshot_interval_ms: u64,
+    /// When appended `UPDATE` journal records are fsynced (see
+    /// [`FsyncPolicy`]); only meaningful with `state_dir`.
+    pub fsync: FsyncPolicy,
     /// Fault-injection spec (see [`FaultPlan::from_spec`]); `None` (the
     /// default) injects nothing and costs nothing on the hot path.
     pub fault_spec: Option<String>,
@@ -117,6 +121,7 @@ impl Default for ServeConfig {
             drain_ms: 5_000,
             state_dir: None,
             snapshot_interval_ms: 30_000,
+            fsync: FsyncPolicy::Drain,
             fault_spec: None,
             broken_drain_timer: false,
         }
@@ -259,6 +264,7 @@ pub struct Server {
     faults: Option<&'static FaultPlan>,
     shrink_gen: Arc<AtomicU64>,
     dyn_store: Arc<DynStore>,
+    journal: Option<Arc<Journal>>,
     cfg: ServeConfig,
 }
 
@@ -281,6 +287,7 @@ fn run_job(
     metrics: &Metrics,
     tracer: &Tracer,
     dyn_store: &DynStore,
+    journal: Option<&Journal>,
     phase_hook: Option<PhaseHook>,
     now_hook: Option<NowHook>,
     clock: &dyn Clock,
@@ -291,7 +298,9 @@ fn run_job(
             clock.sleep(std::time::Duration::from_millis(ms));
             Ok(format!("OK slept_ms={ms}"))
         }
-        Job::Update(spec) => run_update(&spec, registry, metrics, tracer, dyn_store, clock),
+        Job::Update(spec) => {
+            run_update(&spec, registry, metrics, tracer, dyn_store, journal, clock)
+        }
         Job::Solve {
             name,
             algorithm,
@@ -359,13 +368,16 @@ fn run_job(
 
 /// Executes one `UPDATE`: finds (or lazily creates) the graph's dynamic
 /// state, applies the edge update incrementally, journals it for the
-/// snapshot, and renders the reply line.
+/// snapshot, persists it per the journal's fsync policy, and renders
+/// the reply line.
+#[allow(clippy::too_many_arguments)]
 fn run_update(
     spec: &UpdateSpec,
     registry: &GraphRegistry,
     metrics: &Metrics,
     tracer: &Tracer,
     store: &DynStore,
+    journal: Option<&Journal>,
     clock: &dyn Clock,
 ) -> JobReply {
     let slot = {
@@ -432,14 +444,14 @@ fn run_update(
         Ok(report) => {
             // A noop insert changed nothing; everything else moves the
             // journal.
-            if report.outcome != UpdateOutcome::Noop {
+            let applied = report.outcome != UpdateOutcome::Noop;
+            if applied {
                 state.journal(spec.add, spec.x, spec.y);
             }
             if report.rebuilt {
                 metrics.rebuilds.fetch_add(1, Ordering::Relaxed);
             }
-            metrics.updates_ok.fetch_add(1, Ordering::Relaxed);
-            Ok(format!(
+            let reply = format!(
                 "OK graph={} op={} x={} y={} outcome={} cardinality={} rebuilds={} elapsed_us={}",
                 spec.name,
                 if spec.add { "add" } else { "del" },
@@ -449,7 +461,54 @@ fn run_update(
                 report.cardinality,
                 state.dm.rebuilds(),
                 clock.now().saturating_duration_since(t0).as_micros(),
-            ))
+            );
+            // Release the slot before touching the journal (lock order:
+            // slots before journal, never while collecting other slots
+            // for a rewrite). Replaying update records is commutative —
+            // same-edge ops are inverse or idempotent pairs — so an
+            // append landing after another worker's interleaved save is
+            // harmless.
+            drop(guard);
+            if applied {
+                if let Some(j) = journal {
+                    let outcome = j.try_append(&spec.name, spec.add, spec.x, spec.y);
+                    let persisted = match outcome {
+                        Ok(AppendOutcome::Appended) => Ok(()),
+                        Ok(AppendOutcome::NeedsRewrite) => {
+                            // First update of a graph this epoch: its
+                            // `graph` record isn't on disk yet, so
+                            // rewrite the whole journal (which captures
+                            // this update via the collected deltas).
+                            let snap = Snapshot {
+                                entries: registry.snapshot_entries(),
+                                deltas: store.deltas(),
+                                rebuilds: metrics.rebuilds.load(Ordering::Relaxed),
+                            };
+                            j.save_full(&snap, None).map(|()| {
+                                metrics.snapshots_saved.fetch_add(1, Ordering::Relaxed);
+                            })
+                        }
+                        Err(e) => Err(e),
+                    };
+                    if let Err(e) = persisted {
+                        metrics.journal_errors.fetch_add(1, Ordering::Relaxed);
+                        if matches!(j.policy(), FsyncPolicy::Always) {
+                            // Ack must imply durable in this mode: the
+                            // update stays applied in memory, but the
+                            // client sees a retryable error instead of
+                            // a lying OK.
+                            metrics.updates_err.fetch_add(1, Ordering::Relaxed);
+                            return Err(SvcError::Durability(e.to_string()));
+                        }
+                        eprintln!(
+                            "graft-svc: journal append for `{}` failed (next save retries): {e}",
+                            spec.name
+                        );
+                    }
+                }
+            }
+            metrics.updates_ok.fetch_add(1, Ordering::Relaxed);
+            Ok(reply)
         }
     }
 }
@@ -461,6 +520,7 @@ fn save_snapshot(
     registry: &GraphRegistry,
     dyn_store: &DynStore,
     metrics: &Metrics,
+    journal: Option<&Journal>,
     faults: Option<&FaultPlan>,
 ) {
     let snap = Snapshot {
@@ -468,7 +528,12 @@ fn save_snapshot(
         deltas: dyn_store.deltas(),
         rebuilds: metrics.rebuilds.load(Ordering::Relaxed),
     };
-    let result = catch_unwind(AssertUnwindSafe(|| snapshot::save(dir, &snap, faults)));
+    // Through the journal when one exists so the save starts a fresh
+    // append epoch; the bare path only serves journal-less callers.
+    let result = catch_unwind(AssertUnwindSafe(|| match journal {
+        Some(j) => j.save_full(&snap, faults),
+        None => snapshot::save(dir, &snap, faults),
+    }));
     match result {
         Ok(Ok(())) => {
             metrics.snapshots_saved.fetch_add(1, Ordering::Relaxed);
@@ -503,6 +568,19 @@ impl Server {
         transport: Arc<dyn Transport>,
         clock: Arc<dyn Clock>,
     ) -> std::io::Result<Server> {
+        Self::bind_with_disk(cfg, transport, clock, Arc::new(RealDisk))
+    }
+
+    /// [`Server::bind_with`] with an explicit disk capability as well.
+    /// The crash-matrix tests pass a [`graft_sim::SimDisk`] here; every
+    /// snapshot byte, fsync, and rename the service performs then lands
+    /// in the simulated (crashable, fault-injectable) filesystem.
+    pub fn bind_with_disk(
+        cfg: &ServeConfig,
+        transport: Arc<dyn Transport>,
+        clock: Arc<dyn Clock>,
+        disk: Arc<dyn Disk>,
+    ) -> std::io::Result<Server> {
         let faults: Option<&'static FaultPlan> = match &cfg.fault_spec {
             None => None,
             Some(spec) => {
@@ -525,9 +603,54 @@ impl Server {
             Tracer::disabled()
         };
         let dyn_store = Arc::new(DynStore::default());
+        let journal = cfg.state_dir.as_ref().map(|dir| {
+            Arc::new(Journal::new(
+                Arc::clone(&disk),
+                dir.clone(),
+                cfg.fsync,
+                Arc::clone(&metrics),
+            ))
+        });
         if let Some(dir) = &cfg.state_dir {
-            match snapshot::load(dir, faults) {
-                Ok(snap) => {
+            // A crash between tmp creation and rename leaves an orphaned
+            // `registry.jsonl.tmp`; it is dead weight and would shadow a
+            // later save's tmp, so sweep it before loading.
+            match snapshot::cleanup_stale_tmp(disk.as_ref(), dir) {
+                Ok(removed) => {
+                    for name in &removed {
+                        metrics.stale_tmp_removed.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("graft-svc: removed orphaned snapshot tmp `{name}`");
+                    }
+                }
+                Err(e) => eprintln!("graft-svc: stale-tmp sweep failed: {e}"),
+            }
+            // The load runs under `catch_unwind` for the same reason
+            // saves do: an injected (or genuine) panic in the snapshot
+            // path must cost the warm restart, not the whole boot.
+            let loaded = catch_unwind(AssertUnwindSafe(|| {
+                snapshot::load_on(disk.as_ref(), dir, faults)
+            }))
+            .unwrap_or_else(|_| {
+                Err(snapshot::SnapshotError::Io(std::io::Error::other(
+                    "snapshot load panicked (contained)",
+                )))
+            });
+            match loaded {
+                Ok(report) => {
+                    if let Some(t) = &report.truncated {
+                        // v3 recovery cut the journal at its first bad
+                        // record; make the cut physical so the next
+                        // append lands after a clean prefix.
+                        metrics.journal_truncations.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "graft-svc: journal truncated at line {} (byte {}): {}",
+                            t.line, t.byte_offset, t.message
+                        );
+                        if let Err(e) = snapshot::truncate_at(disk.as_ref(), dir, t.byte_offset) {
+                            eprintln!("graft-svc: could not truncate journal: {e}");
+                        }
+                    }
+                    let snap = report.snapshot;
                     metrics.rebuilds.store(snap.rebuilds, Ordering::Relaxed);
                     {
                         let mut restored = lock_recover(&dyn_store.restored);
@@ -535,6 +658,7 @@ impl Server {
                             restored.insert(d.name.clone(), d);
                         }
                     }
+                    let mut entry_names = Vec::new();
                     for e in snap.entries {
                         let warm = match &e.warm {
                             None => None,
@@ -549,8 +673,45 @@ impl Server {
                                 }
                             },
                         };
+                        entry_names.push(e.name.clone());
                         registry.restore(&e.name, e.source, warm);
                     }
+                    let j = journal.as_ref().expect("state_dir implies journal");
+                    let needs_rewrite = report.truncated.is_some()
+                        || matches!(report.version, Some(v) if v < snapshot::SNAPSHOT_VERSION);
+                    if needs_rewrite {
+                        // Migration (v1/v2 file) or a truncated v3:
+                        // rewrite once at boot so the on-disk format is
+                        // current and appendable.
+                        let snap = Snapshot {
+                            entries: registry.snapshot_entries(),
+                            deltas: dyn_store.deltas(),
+                            rebuilds: metrics.rebuilds.load(Ordering::Relaxed),
+                        };
+                        match catch_unwind(AssertUnwindSafe(|| j.save_full(&snap, faults))) {
+                            Ok(Ok(())) => {
+                                metrics.snapshots_saved.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(Err(e)) => {
+                                metrics.snapshot_errors.fetch_add(1, Ordering::Relaxed);
+                                eprintln!("graft-svc: boot-time snapshot rewrite failed: {e}");
+                            }
+                            Err(_) => {
+                                metrics.snapshot_errors.fetch_add(1, Ordering::Relaxed);
+                                eprintln!(
+                                    "graft-svc: boot-time snapshot rewrite panicked (contained)"
+                                );
+                            }
+                        }
+                    } else if report.version == Some(snapshot::SNAPSHOT_VERSION) {
+                        // Clean current-version file: append onto it
+                        // instead of rewriting.
+                        if let Err(e) = j.adopt(entry_names) {
+                            eprintln!("graft-svc: could not adopt journal for appends: {e}");
+                        }
+                    }
+                    // A missing/empty file stays unadopted; the first
+                    // save or append-needing-rewrite establishes it.
                 }
                 Err(e) => {
                     // A corrupt snapshot must not brick the service:
@@ -583,6 +744,7 @@ impl Server {
             let shrink_gen = Arc::clone(&shrink_gen);
             let dyn_store = Arc::clone(&dyn_store);
             let clock = Arc::clone(&clock);
+            let journal = journal.clone();
             Arc::new(Scheduler::with_worker_state_on(
                 cfg.workers,
                 cfg.queue_capacity,
@@ -604,6 +766,7 @@ impl Server {
                         &metrics,
                         &tracer,
                         &dyn_store,
+                        journal.as_deref(),
                         phase_hook,
                         now_hook,
                         &*clock,
@@ -614,6 +777,7 @@ impl Server {
         };
         Ok(Server {
             dyn_store,
+            journal,
             listener,
             transport,
             clock,
@@ -659,11 +823,16 @@ impl Server {
         let addr = self.listener.local_addr()?;
         self.health.store(HEALTH_READY, Ordering::SeqCst);
 
-        // Periodic snapshot writer: wakes every 100ms (on the server's
-        // clock) so shutdown is prompt, saves every
-        // `snapshot_interval_ms`.
+        // Periodic snapshot writer (and `interval-ms` journal fsyncer):
+        // wakes every 100ms (on the server's clock) so shutdown is
+        // prompt, saves every `snapshot_interval_ms`, fsyncs dirty
+        // appends every `interval-ms` under that fsync policy.
         let snapshot_thread = self.cfg.state_dir.clone().and_then(|dir| {
-            if self.cfg.snapshot_interval_ms == 0 {
+            let fsync_every = match self.cfg.fsync {
+                FsyncPolicy::Interval(d) => Some(d),
+                _ => None,
+            };
+            if self.cfg.snapshot_interval_ms == 0 && fsync_every.is_none() {
                 return None;
             }
             let registry = Arc::clone(&self.registry);
@@ -672,14 +841,34 @@ impl Server {
             let stop = Arc::clone(&self.shutdown);
             let faults = self.faults;
             let clock = Arc::clone(&self.clock);
+            let journal = self.journal.clone();
             let interval = Duration::from_millis(self.cfg.snapshot_interval_ms);
             Some(std::thread::spawn(move || {
                 let mut last = clock.now();
+                let mut last_fsync = clock.now();
                 while !stop.load(Ordering::SeqCst) {
                     clock.sleep(Duration::from_millis(100));
-                    if clock.now().saturating_duration_since(last) >= interval {
-                        save_snapshot(&dir, &registry, &dyn_store, &metrics, faults);
+                    if interval > Duration::ZERO
+                        && clock.now().saturating_duration_since(last) >= interval
+                    {
+                        save_snapshot(
+                            &dir,
+                            &registry,
+                            &dyn_store,
+                            &metrics,
+                            journal.as_deref(),
+                            faults,
+                        );
                         last = clock.now();
+                    }
+                    if let (Some(every), Some(j)) = (fsync_every, journal.as_ref()) {
+                        if clock.now().saturating_duration_since(last_fsync) >= every {
+                            if let Err(e) = j.fsync_if_dirty() {
+                                metrics.journal_errors.fetch_add(1, Ordering::Relaxed);
+                                eprintln!("graft-svc: interval journal fsync failed: {e}");
+                            }
+                            last_fsync = clock.now();
+                        }
                     }
                 }
             }))
@@ -774,6 +963,7 @@ impl Server {
                 &self.registry,
                 &self.dyn_store,
                 &self.metrics,
+                self.journal.as_deref(),
                 self.faults,
             );
         }

@@ -28,23 +28,43 @@
 //! `mate_y` side. A `warm` line always refers to a `graph` line earlier
 //! in the file.
 //!
-//! Version 2 adds the dynamic-update state: `delta` lines record a
+//! Version 2 added the dynamic-update state: `delta` lines record a
 //! graph's pending edge updates relative to its registered source as
 //! flat `[x0,y0,x1,y1,...]` pairs (`adds` inserted, `dels` deleted), and
 //! one `rebuilds` line carries the service-wide overlay-compaction
-//! counter. Version 1 files load fine (no deltas). Delta and rebuilds
-//! lines that fail to decode are **skipped** — the affected graph simply
-//! starts its dynamic state cold — because losing replayable updates
-//! must not brick the whole registry; structurally corrupt lines (bad
-//! JSON, unknown kinds, broken `graph`/`warm` lines) still fail the
-//! load.
+//! counter. Version 1 files load fine (no deltas).
+//!
+//! Version 3 seals **every** line with a trailing `"crc"` field — the
+//! CRC32 (IEEE) of the line's bytes up to (not including) the `,"crc"`
+//! suffix — and adds the `update` record kind so single accepted
+//! `UPDATE`s can be *appended* to the live journal between full
+//! rewrites:
+//!
+//! ```text
+//! {"kind":"header","version":3,"crc":123456}
+//! {"kind":"update","name":"g","op":"add","x":0,"y":5,"crc":654321}
+//! ```
+//!
+//! `update` records replay with the same add/del cancellation semantics
+//! as the server's live journal, so append-then-load equals the state
+//! the server acked. v3 recovery **truncates at the first bad record**
+//! (CRC mismatch, unparseable line, unknown kind, semantic error) and
+//! returns everything before it — replacing v2's skip-corrupt-deltas
+//! policy, which could silently replay later deltas against a wrong
+//! base. v1/v2 files keep their original load semantics bit-for-bit
+//! (including the skip-bad-deltas degradation); the first save after
+//! loading one rewrites the file as v3.
 //!
 //! ## Crash safety
 //!
-//! Saves write `registry.jsonl.tmp`, `fsync` it, then `rename(2)` over
-//! the live file — a crash at any point leaves either the old or the new
-//! snapshot, never a torn file. Loads that find a corrupt line return a
-//! typed error (the server then starts cold rather than half-restored).
+//! All I/O goes through the [`Disk`] trait ([`RealDisk`] in production,
+//! `SimDisk` under simulation). Saves write `registry.jsonl.tmp`, fsync
+//! it, `rename(2)` over the live file, then fsync the directory — a
+//! crash at any point leaves either the old or the new snapshot, never
+//! a torn file. Appends may tear at a crash; v3's per-record CRC turns
+//! any torn or bit-flipped tail into a located truncation instead of a
+//! wrong registry. `tests/svc_crash_matrix.rs` enumerates every crash
+//! point of a save+append workload and checks recovery at each one.
 
 use crate::error::SvcError;
 use crate::faults::{FaultPlan, FaultSite};
@@ -52,18 +72,72 @@ use crate::registry::GraphSource;
 use graft_core::Matching;
 use graft_gen::Scale;
 use graft_graph::{VertexId, NONE};
-use std::fs::{self, File};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use graft_sim::{Disk, RealDisk};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u64 = 2;
+pub const SNAPSHOT_VERSION: u64 = 3;
 
 /// Oldest version [`load`] still accepts (pre-delta snapshots).
 pub const SNAPSHOT_MIN_VERSION: u64 = 1;
 
 /// File name inside the state directory.
 pub const SNAPSHOT_FILE: &str = "registry.jsonl";
+
+/// CRC32 (IEEE 802.3, reflected 0xEDB88320) of `bytes` — the checksum
+/// sealing every v3 record.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Seals one flat-JSON record body (`{...}`, no newline) with its
+/// `"crc"` field: pops the closing brace and appends
+/// `,"crc":<crc32 of everything before it>}`.
+pub fn seal_record(body: &str) -> String {
+    debug_assert!(body.ends_with('}'), "record body must be a JSON object");
+    let prefix = &body[..body.len() - 1];
+    format!("{prefix},\"crc\":{}}}", crc32(prefix.as_bytes()))
+}
+
+/// Checks a sealed v3 line: locates the trailing `,"crc":N}` suffix,
+/// recomputes the CRC of everything before it, and compares.
+fn verify_record(line: &str) -> Result<(), String> {
+    let at = line.rfind(",\"crc\":").ok_or("record has no crc field")?;
+    let prefix = &line[..at];
+    let digits = line[at + 7..]
+        .strip_suffix('}')
+        .ok_or("malformed crc suffix")?;
+    let stored: u32 = digits
+        .parse()
+        .map_err(|_| format!("bad crc value `{digits}`"))?;
+    let actual = crc32(prefix.as_bytes());
+    if stored != actual {
+        return Err(format!("crc mismatch: stored {stored}, computed {actual}"));
+    }
+    Ok(())
+}
 
 /// Everything a snapshot holds: the registry entries plus the dynamic
 /// per-graph deltas and the service-wide rebuild counter.
@@ -313,42 +387,40 @@ fn field<'a>(pairs: &'a [(String, Value)], key: &str) -> Result<&'a Value, Strin
         .ok_or_else(|| format!("missing field `{key}`"))
 }
 
-fn render_entry(entry: &SnapshotEntry, out: &mut String) {
+fn entry_bodies(entry: &SnapshotEntry, out: &mut Vec<String>) {
     use std::fmt::Write;
     let name = json_escape(&entry.name);
     match &entry.source {
         GraphSource::MtxFile(path) => {
-            let _ = writeln!(
-                out,
+            out.push(format!(
                 "{{\"kind\":\"graph\",\"name\":\"{name}\",\"source\":\"mtx\",\"path\":\"{}\"}}",
                 json_escape(&path.display().to_string())
-            );
+            ));
         }
         GraphSource::Suite {
             name: suite_name,
             scale,
         } => {
-            let _ = writeln!(
-                out,
+            out.push(format!(
                 "{{\"kind\":\"graph\",\"name\":\"{name}\",\"source\":\"suite\",\"suite\":\"{}\",\"scale\":\"{}\"}}",
                 json_escape(suite_name),
                 scale.name()
-            );
+            ));
         }
     }
     if let Some(warm) = &entry.warm {
-        let _ = write!(
-            out,
+        let mut line = format!(
             "{{\"kind\":\"warm\",\"name\":\"{name}\",\"ny\":{},\"mate_x\":[",
             warm.ny
         );
         for (i, m) in warm.mate_x.iter().enumerate() {
             if i > 0 {
-                out.push(',');
+                line.push(',');
             }
-            let _ = write!(out, "{m}");
+            let _ = write!(line, "{m}");
         }
-        out.push_str("]}\n");
+        line.push_str("]}");
+        out.push(line);
     }
 }
 
@@ -364,59 +436,102 @@ fn render_pairs(out: &mut String, pairs: &[(u32, u32)]) {
     out.push(']');
 }
 
-/// Serializes a snapshot to its text form (exposed for tests).
-pub fn render(snap: &Snapshot) -> String {
-    use std::fmt::Write;
-    let mut out = format!("{{\"kind\":\"header\",\"version\":{SNAPSHOT_VERSION}}}\n");
+/// The unsealed record bodies of `snap`, in file order.
+fn record_bodies(snap: &Snapshot) -> Vec<String> {
+    let mut bodies = vec![format!(
+        "{{\"kind\":\"header\",\"version\":{SNAPSHOT_VERSION}}}"
+    )];
     for e in &snap.entries {
-        render_entry(e, &mut out);
+        entry_bodies(e, &mut bodies);
     }
     for d in &snap.deltas {
         if d.adds.is_empty() && d.dels.is_empty() {
             continue;
         }
-        let _ = write!(
-            out,
+        let mut line = format!(
             "{{\"kind\":\"delta\",\"name\":\"{}\",\"adds\":",
             json_escape(&d.name)
         );
-        render_pairs(&mut out, &d.adds);
-        out.push_str(",\"dels\":");
-        render_pairs(&mut out, &d.dels);
-        out.push_str("}\n");
+        render_pairs(&mut line, &d.adds);
+        line.push_str(",\"dels\":");
+        render_pairs(&mut line, &d.dels);
+        line.push('}');
+        bodies.push(line);
     }
     if snap.rebuilds > 0 {
-        let _ = writeln!(out, "{{\"kind\":\"rebuilds\",\"count\":{}}}", snap.rebuilds);
+        bodies.push(format!(
+            "{{\"kind\":\"rebuilds\",\"count\":{}}}",
+            snap.rebuilds
+        ));
+    }
+    bodies
+}
+
+/// Serializes a snapshot to its sealed v3 text form (exposed for tests
+/// and for the crash-matrix driver's canonical-state comparison).
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for body in record_bodies(snap) {
+        out.push_str(&seal_record(&body));
+        out.push('\n');
     }
     out
 }
 
-/// Atomically writes `snap` to `dir/registry.jsonl` (tmp + fsync +
-/// rename). `faults` injects at [`FaultSite::SnapshotSave`].
-pub fn save(dir: &Path, snap: &Snapshot, faults: Option<&FaultPlan>) -> std::io::Result<()> {
+/// One sealed v3 `update` record (no trailing newline): a single
+/// accepted edge update, appended to the live journal by the fsync
+/// policy machinery.
+pub fn render_update_record(name: &str, add: bool, x: u32, y: u32) -> String {
+    let body = format!(
+        "{{\"kind\":\"update\",\"name\":\"{}\",\"op\":\"{}\",\"x\":{x},\"y\":{y}}}",
+        json_escape(name),
+        if add { "add" } else { "del" }
+    );
+    seal_record(&body)
+}
+
+/// Atomically writes `snap` to `dir/registry.jsonl` on `disk` (tmp +
+/// fsync + rename + directory fsync). `faults` injects at
+/// [`FaultSite::SnapshotSave`].
+///
+/// Each record is written as its own disk operation so crash-point
+/// enumeration can land *inside* the tmp file, not just between whole
+/// saves.
+pub fn save_on(
+    disk: &dyn Disk,
+    dir: &Path,
+    snap: &Snapshot,
+    faults: Option<&FaultPlan>,
+) -> std::io::Result<()> {
     if let Some(plan) = faults {
         plan.maybe_fail_io(FaultSite::SnapshotSave)?;
     }
-    fs::create_dir_all(dir)?;
+    disk.create_dir_all(dir)?;
     let final_path = dir.join(SNAPSHOT_FILE);
     let tmp_path = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
     {
-        let file = File::create(&tmp_path)?;
-        let mut w = BufWriter::new(file);
-        w.write_all(render(snap).as_bytes())?;
-        w.flush()?;
+        let mut f = disk.create(&tmp_path)?;
+        for body in record_bodies(snap) {
+            let mut line = seal_record(&body);
+            line.push('\n');
+            f.write_all(line.as_bytes())?;
+        }
+        f.flush()?;
         // fsync before rename: the rename must never become visible
         // ahead of the bytes it points at.
-        w.get_ref().sync_all()?;
+        f.sync_all()?;
     }
-    fs::rename(&tmp_path, &final_path)?;
-    // Persist the directory entry too, so the rename itself survives a
-    // crash. Some filesystems refuse to fsync a directory; that is not
-    // worth failing the snapshot over.
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
-    }
+    disk.rename(&tmp_path, &final_path)?;
+    // Persist the directory entry too: without this the rename itself
+    // can be lost at a crash, and a save acked to a client would
+    // silently roll back — the exact invariant the crash matrix checks.
+    disk.sync_dir(dir)?;
     Ok(())
+}
+
+/// [`save_on`] against the real filesystem.
+pub fn save(dir: &Path, snap: &Snapshot, faults: Option<&FaultPlan>) -> std::io::Result<()> {
+    save_on(&RealDisk, dir, snap, faults)
 }
 
 /// Errors from [`load`]: I/O vs. corrupt-content, so the caller can
@@ -486,31 +601,20 @@ fn decode_delta(pairs: &[(String, Value)], entries: &[SnapshotEntry]) -> Option<
     Some(SnapshotDelta { name, adds, dels })
 }
 
-/// Loads `dir/registry.jsonl`. A missing file is an empty snapshot (the
-/// cold-start case), not an error. `faults` injects at
-/// [`FaultSite::SnapshotLoad`].
-pub fn load(dir: &Path, faults: Option<&FaultPlan>) -> Result<Snapshot, SnapshotError> {
-    if let Some(plan) = faults {
-        plan.maybe_fail_io(FaultSite::SnapshotLoad)
-            .map_err(SnapshotError::Io)?;
-    }
-    let path = dir.join(SNAPSHOT_FILE);
-    let file = match File::open(&path) {
-        Ok(f) => f,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Snapshot::default()),
-        Err(e) => return Err(SnapshotError::Io(e)),
-    };
+/// The v1/v2 loader, preserved bit-for-bit from before schema v3:
+/// tolerant delta/rebuilds skipping, hard [`SnapshotError::Corrupt`] on
+/// structural damage.
+fn load_legacy(text: &str) -> Result<Snapshot, SnapshotError> {
     let mut entries: Vec<SnapshotEntry> = Vec::new();
     let mut deltas: Vec<SnapshotDelta> = Vec::new();
     let mut rebuilds = 0u64;
     let mut saw_header = false;
-    for (i, line) in BufReader::new(file).lines().enumerate() {
+    for (i, line) in text.lines().enumerate() {
         let lineno = i + 1;
-        let line = line.map_err(SnapshotError::Io)?;
         if line.trim().is_empty() {
             continue;
         }
-        let pairs = parse_flat_object(&line).map_err(|m| corrupt(lineno, m))?;
+        let pairs = parse_flat_object(line).map_err(|m| corrupt(lineno, m))?;
         let kind = field(&pairs, "kind")
             .and_then(|v| v.as_str().ok_or("`kind` must be a string".into()))
             .map_err(|m| corrupt(lineno, m))?
@@ -621,9 +725,395 @@ pub fn load(dir: &Path, faults: Option<&FaultPlan>) -> Result<Snapshot, Snapshot
     })
 }
 
+/// Where and why a v3 load stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Truncation {
+    /// 1-based line number of the first bad record.
+    pub line: usize,
+    /// Byte offset of that line's start — pass to [`truncate_at`] to
+    /// physically discard the bad tail.
+    pub byte_offset: u64,
+    /// What was wrong with the record.
+    pub message: String,
+}
+
+/// Everything [`load_on`] learned: the recovered snapshot plus the
+/// provenance the boot path needs to decide whether to adopt the file
+/// for appends or rewrite it.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// The recovered state (a prefix of the file if `truncated`).
+    pub snapshot: Snapshot,
+    /// Header version, `None` if the file was missing or empty.
+    pub version: Option<u64>,
+    /// Whether the journal file existed at all.
+    pub existed: bool,
+    /// Set when a v3 load stopped at the first bad record.
+    pub truncated: Option<Truncation>,
+}
+
+/// One raw line of the journal with its position.
+struct RawLine<'a> {
+    lineno: usize,
+    offset: usize,
+    bytes: &'a [u8],
+}
+
+fn split_lines(bytes: &[u8]) -> Vec<RawLine<'_>> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut lineno = 0usize;
+    while start <= bytes.len() {
+        let end = bytes[start..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|p| start + p)
+            .unwrap_or(bytes.len());
+        lineno += 1;
+        out.push(RawLine {
+            lineno,
+            offset: start,
+            bytes: &bytes[start..end],
+        });
+        if end == bytes.len() {
+            break;
+        }
+        start = end + 1;
+    }
+    out
+}
+
+fn is_blank(bytes: &[u8]) -> bool {
+    bytes.iter().all(|b| b.is_ascii_whitespace())
+}
+
+/// Per-graph live delta sets during a v3 replay: (adds, dels).
+type LiveDeltas = BTreeMap<String, (BTreeSet<(u32, u32)>, BTreeSet<(u32, u32)>)>;
+
+/// The v3 loader: verify each record's CRC, parse it, apply it
+/// strictly; the first failure of any kind truncates the load there.
+fn load_v3(lines: &[RawLine<'_>], header_idx: usize) -> LoadReport {
+    let mut entries: Vec<SnapshotEntry> = Vec::new();
+    let mut live: LiveDeltas = BTreeMap::new();
+    let mut rebuilds = 0u64;
+    let mut truncated = None;
+
+    for raw in &lines[header_idx..] {
+        if is_blank(raw.bytes) {
+            continue;
+        }
+        let bad = |message: String| Truncation {
+            line: raw.lineno,
+            byte_offset: raw.offset as u64,
+            message,
+        };
+        let step = (|| -> Result<(), String> {
+            let line =
+                std::str::from_utf8(raw.bytes).map_err(|_| "record is not UTF-8".to_string())?;
+            verify_record(line)?;
+            let pairs = parse_flat_object(line)?;
+            let kind = field(&pairs, "kind")?
+                .as_str()
+                .ok_or("`kind` must be a string")?
+                .to_string();
+            match kind.as_str() {
+                "header" => {
+                    if raw.lineno != lines[header_idx].lineno {
+                        return Err("header record in mid-file".into());
+                    }
+                }
+                "graph" => {
+                    let name = field(&pairs, "name")?
+                        .as_str()
+                        .ok_or("`name` must be a string")?
+                        .to_string();
+                    let source_kind = field(&pairs, "source")?
+                        .as_str()
+                        .ok_or("`source` must be a string")?;
+                    let source = match source_kind {
+                        "mtx" => {
+                            let path = field(&pairs, "path")?
+                                .as_str()
+                                .ok_or("`path` must be a string")?;
+                            GraphSource::MtxFile(PathBuf::from(path))
+                        }
+                        "suite" => {
+                            let suite = field(&pairs, "suite")?
+                                .as_str()
+                                .ok_or("`suite` must be a string")?;
+                            let scale_name = field(&pairs, "scale")?
+                                .as_str()
+                                .ok_or("`scale` must be a string")?;
+                            let scale = Scale::parse(scale_name)
+                                .ok_or_else(|| format!("unknown scale `{scale_name}`"))?;
+                            GraphSource::Suite {
+                                name: suite.to_string(),
+                                scale,
+                            }
+                        }
+                        other => return Err(format!("unknown source kind `{other}`")),
+                    };
+                    entries.push(SnapshotEntry {
+                        name,
+                        source,
+                        warm: None,
+                    });
+                }
+                "warm" => {
+                    let name = field(&pairs, "name")?
+                        .as_str()
+                        .ok_or("`name` must be a string")?;
+                    let ny = field(&pairs, "ny")?
+                        .as_int()
+                        .ok_or("`ny` must be an integer")?;
+                    if ny < 0 {
+                        return Err("`ny` must be non-negative".into());
+                    }
+                    let mate_x = match field(&pairs, "mate_x")? {
+                        Value::Ints(v) => v.clone(),
+                        _ => return Err("`mate_x` must be an integer array".into()),
+                    };
+                    let entry = entries
+                        .iter_mut()
+                        .find(|e| e.name == name)
+                        .ok_or_else(|| format!("warm record for unknown graph `{name}`"))?;
+                    entry.warm = Some(WarmStart {
+                        ny: ny as usize,
+                        mate_x,
+                    });
+                }
+                "delta" => {
+                    // v3 is strict: an undecodable delta truncates the
+                    // load instead of silently starting that graph cold.
+                    let delta = decode_delta(&pairs, &entries)
+                        .ok_or("undecodable delta record".to_string())?;
+                    live.insert(
+                        delta.name.clone(),
+                        (
+                            delta.adds.iter().copied().collect(),
+                            delta.dels.iter().copied().collect(),
+                        ),
+                    );
+                }
+                "update" => {
+                    let name = field(&pairs, "name")?
+                        .as_str()
+                        .ok_or("`name` must be a string")?
+                        .to_string();
+                    if !entries.iter().any(|e| e.name == name) {
+                        return Err(format!("update record for unknown graph `{name}`"));
+                    }
+                    let op = field(&pairs, "op")?
+                        .as_str()
+                        .ok_or("`op` must be a string")?;
+                    let add = match op {
+                        "add" => true,
+                        "del" => false,
+                        other => return Err(format!("unknown update op `{other}`")),
+                    };
+                    let x = field(&pairs, "x")?
+                        .as_int()
+                        .and_then(|v| u32::try_from(v).ok())
+                        .ok_or("`x` must be a u32")?;
+                    let y = field(&pairs, "y")?
+                        .as_int()
+                        .and_then(|v| u32::try_from(v).ok())
+                        .ok_or("`y` must be a u32")?;
+                    let (adds, dels) = live.entry(name).or_default();
+                    // Same cancellation semantics as the server's live
+                    // journal: an insert cancels a pending delete of the
+                    // same edge and vice versa.
+                    if add {
+                        if !dels.remove(&(x, y)) {
+                            adds.insert((x, y));
+                        }
+                    } else if !adds.remove(&(x, y)) {
+                        dels.insert((x, y));
+                    }
+                }
+                "rebuilds" => {
+                    rebuilds = field(&pairs, "count")?
+                        .as_int()
+                        .and_then(|v| u64::try_from(v).ok())
+                        .ok_or("`count` must be a non-negative integer")?;
+                }
+                other => return Err(format!("unknown record kind `{other}`")),
+            }
+            Ok(())
+        })();
+        if let Err(message) = step {
+            truncated = Some(bad(message));
+            break;
+        }
+    }
+
+    let deltas = live
+        .into_iter()
+        .filter(|(_, (adds, dels))| !adds.is_empty() || !dels.is_empty())
+        .map(|(name, (adds, dels))| SnapshotDelta {
+            name,
+            adds: adds.into_iter().collect(),
+            dels: dels.into_iter().collect(),
+        })
+        .collect();
+
+    LoadReport {
+        snapshot: Snapshot {
+            entries,
+            deltas,
+            rebuilds,
+        },
+        version: Some(3),
+        existed: true,
+        truncated,
+    }
+}
+
+/// Loads `dir/registry.jsonl` from `disk`. A missing file is an empty
+/// snapshot (the cold-start case), not an error; a v3 file with a bad
+/// record loads as the prefix before it ([`LoadReport::truncated`]
+/// locates the cut); v1/v2 files keep their original all-or-nothing
+/// semantics. `faults` injects at [`FaultSite::SnapshotLoad`].
+pub fn load_on(
+    disk: &dyn Disk,
+    dir: &Path,
+    faults: Option<&FaultPlan>,
+) -> Result<LoadReport, SnapshotError> {
+    if let Some(plan) = faults {
+        plan.maybe_fail_io(FaultSite::SnapshotLoad)
+            .map_err(SnapshotError::Io)?;
+    }
+    let path = dir.join(SNAPSHOT_FILE);
+    let bytes = match disk.read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(LoadReport {
+                snapshot: Snapshot::default(),
+                version: None,
+                existed: false,
+                truncated: None,
+            })
+        }
+        Err(e) => return Err(SnapshotError::Io(e)),
+    };
+    let lines = split_lines(&bytes);
+    let Some(first_idx) = lines.iter().position(|l| !is_blank(l.bytes)) else {
+        // Empty (or whitespace-only) file: a valid journal of nothing.
+        return Ok(LoadReport {
+            snapshot: Snapshot::default(),
+            version: None,
+            existed: true,
+            truncated: None,
+        });
+    };
+
+    // Peek the header version to dispatch. Anything that fails to peek
+    // (bad UTF-8, unparseable line, not a header) goes to the legacy
+    // loader, which reproduces the original typed errors.
+    let peeked: Option<i64> = std::str::from_utf8(lines[first_idx].bytes)
+        .ok()
+        .and_then(|l| parse_flat_object(l).ok())
+        .and_then(|pairs| {
+            let kind = field(&pairs, "kind").ok()?.as_str()?.to_string();
+            (kind == "header").then(|| field(&pairs, "version").ok()?.as_int())?
+        });
+
+    match peeked {
+        Some(3) => {
+            let first = &lines[first_idx];
+            let header_ok = std::str::from_utf8(first.bytes)
+                .ok()
+                .is_some_and(|l| verify_record(l).is_ok());
+            if !header_ok {
+                // A v3 header that fails its own CRC: the whole file is
+                // untrustworthy — truncate to nothing.
+                return Ok(LoadReport {
+                    snapshot: Snapshot::default(),
+                    version: Some(3),
+                    existed: true,
+                    truncated: Some(Truncation {
+                        line: first.lineno,
+                        byte_offset: first.offset as u64,
+                        message: "header record failed its crc".into(),
+                    }),
+                });
+            }
+            Ok(load_v3(&lines, first_idx))
+        }
+        Some(v) if v >= SNAPSHOT_MIN_VERSION as i64 && v < 3 => {
+            let text = String::from_utf8(bytes).map_err(|_| {
+                SnapshotError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "snapshot is not valid UTF-8",
+                ))
+            })?;
+            load_legacy(&text).map(|snapshot| LoadReport {
+                snapshot,
+                version: Some(v as u64),
+                existed: true,
+                truncated: None,
+            })
+        }
+        Some(v) => Err(corrupt(
+            lines[first_idx].lineno,
+            format!("unsupported version {v}"),
+        )),
+        None => {
+            let text = String::from_utf8(bytes).map_err(|_| {
+                SnapshotError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "snapshot is not valid UTF-8",
+                ))
+            })?;
+            load_legacy(&text).map(|snapshot| LoadReport {
+                snapshot,
+                version: None,
+                existed: true,
+                truncated: None,
+            })
+        }
+    }
+}
+
+/// [`load_on`] against the real filesystem, reduced to the snapshot —
+/// the pre-v3 API, kept for callers that don't manage the journal.
+pub fn load(dir: &Path, faults: Option<&FaultPlan>) -> Result<Snapshot, SnapshotError> {
+    load_on(&RealDisk, dir, faults).map(|r| r.snapshot)
+}
+
+/// Physically cuts `dir/registry.jsonl` at `byte_offset`, discarding a
+/// tail that [`load_on`] reported as corrupt.
+pub fn truncate_at(disk: &dyn Disk, dir: &Path, byte_offset: u64) -> std::io::Result<()> {
+    disk.truncate(&dir.join(SNAPSHOT_FILE), byte_offset)
+}
+
+/// Removes orphaned `*.tmp` files from the state directory (a crash
+/// between tmp create and rename leaves one behind) and fsyncs the
+/// directory so the removal sticks. Returns the names removed; a
+/// missing directory is an empty result, not an error.
+pub fn cleanup_stale_tmp(disk: &dyn Disk, dir: &Path) -> std::io::Result<Vec<String>> {
+    let names = match disk.list_dir(dir) {
+        Ok(n) => n,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut removed = Vec::new();
+    for name in names {
+        if name.ends_with(".tmp") {
+            disk.remove_file(&dir.join(&name))?;
+            removed.push(name);
+        }
+    }
+    if !removed.is_empty() {
+        let _ = disk.sync_dir(dir);
+    }
+    Ok(removed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn sample_entries() -> Vec<SnapshotEntry> {
         vec![
@@ -944,5 +1434,203 @@ mod tests {
         }
         assert!(failed > 0, "100% fault rate must fail some saves");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE 802.3 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn sealed_records_verify_and_flips_fail() {
+        let line = seal_record("{\"kind\":\"header\",\"version\":3}");
+        assert!(verify_record(&line).is_ok());
+        for bit in 0..(line.len() * 8) {
+            let mut bytes = line.clone().into_bytes();
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            if let Ok(flipped) = String::from_utf8(bytes) {
+                assert!(
+                    verify_record(&flipped).is_err(),
+                    "bit {bit} flip went undetected: {flipped}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v1_to_v3_migration_first_save_rewrites() {
+        let dir = std::env::temp_dir().join(format!("graft-snap-mig1-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join(SNAPSHOT_FILE),
+            "{\"kind\":\"header\",\"version\":1}\n\
+             {\"kind\":\"graph\",\"name\":\"g\",\"source\":\"suite\",\"suite\":\"kkt_power\",\"scale\":\"tiny\"}\n",
+        )
+        .unwrap();
+        let report = load_on(&RealDisk, &dir, None).unwrap();
+        assert_eq!(report.version, Some(1));
+        assert!(report.existed && report.truncated.is_none());
+        assert_eq!(report.snapshot.entries.len(), 1);
+        // First save after loading a v1 file rewrites as sealed v3.
+        save(&dir, &report.snapshot, None).unwrap();
+        let text = fs::read_to_string(dir.join(SNAPSHOT_FILE)).unwrap();
+        assert!(text.starts_with("{\"kind\":\"header\",\"version\":3,"));
+        for line in text.lines() {
+            verify_record(line).expect("every rewritten line is sealed");
+        }
+        let again = load_on(&RealDisk, &dir, None).unwrap();
+        assert_eq!(again.version, Some(3));
+        assert_eq!(again.snapshot.entries.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v2_to_v3_migration_preserves_deltas_and_rebuilds() {
+        let dir = std::env::temp_dir().join(format!("graft-snap-mig2-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join(SNAPSHOT_FILE),
+            "{\"kind\":\"header\",\"version\":2}\n\
+             {\"kind\":\"graph\",\"name\":\"g\",\"source\":\"suite\",\"suite\":\"kkt_power\",\"scale\":\"tiny\"}\n\
+             {\"kind\":\"delta\",\"name\":\"g\",\"adds\":[0,5,3,1],\"dels\":[2,2]}\n\
+             {\"kind\":\"rebuilds\",\"count\":4}\n",
+        )
+        .unwrap();
+        let report = load_on(&RealDisk, &dir, None).unwrap();
+        assert_eq!(report.version, Some(2));
+        assert_eq!(report.snapshot.deltas.len(), 1);
+        assert_eq!(report.snapshot.rebuilds, 4);
+        save(&dir, &report.snapshot, None).unwrap();
+        let v3 = load_on(&RealDisk, &dir, None).unwrap();
+        assert_eq!(v3.version, Some(3));
+        assert_eq!(v3.snapshot.deltas, report.snapshot.deltas);
+        assert_eq!(v3.snapshot.rebuilds, 4);
+        // v3 load→save→load is byte-stable.
+        let once = fs::read(dir.join(SNAPSHOT_FILE)).unwrap();
+        save(&dir, &v3.snapshot, None).unwrap();
+        assert_eq!(once, fs::read(dir.join(SNAPSHOT_FILE)).unwrap());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v3_update_records_replay_with_cancellation() {
+        let dir = std::env::temp_dir().join(format!("graft-snap-upd-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        save(
+            &dir,
+            &Snapshot::from_entries(vec![SnapshotEntry {
+                name: "g".into(),
+                source: GraphSource::Suite {
+                    name: "kkt_power".into(),
+                    scale: Scale::Tiny,
+                },
+                warm: None,
+            }]),
+            None,
+        )
+        .unwrap();
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut text = fs::read_to_string(&path).unwrap();
+        // add(0,5); del(2,2); add(2,2) cancels the delete; add(7,7)
+        // then del(7,7) cancels the add.
+        for (add, x, y) in [
+            (true, 0, 5),
+            (false, 2, 2),
+            (true, 2, 2),
+            (true, 7, 7),
+            (false, 7, 7),
+        ] {
+            text.push_str(&render_update_record("g", add, x, y));
+            text.push('\n');
+        }
+        fs::write(&path, &text).unwrap();
+        let report = load_on(&RealDisk, &dir, None).unwrap();
+        assert!(report.truncated.is_none(), "{:?}", report.truncated);
+        assert_eq!(
+            report.snapshot.deltas,
+            vec![SnapshotDelta {
+                name: "g".into(),
+                adds: vec![(0, 5)],
+                dels: vec![],
+            }]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v3_truncates_at_first_bad_record_and_cut_is_clean() {
+        let dir = std::env::temp_dir().join(format!("graft-snap-v3cut-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        save(
+            &dir,
+            &Snapshot::from_entries(vec![SnapshotEntry {
+                name: "g".into(),
+                source: GraphSource::Suite {
+                    name: "kkt_power".into(),
+                    scale: Scale::Tiny,
+                },
+                warm: None,
+            }]),
+            None,
+        )
+        .unwrap();
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut text = fs::read_to_string(&path).unwrap();
+        let good_len = text.len();
+        text.push_str(&render_update_record("g", true, 1, 2));
+        text.push('\n');
+        // A torn final record: half an update line.
+        let torn = render_update_record("g", true, 3, 4);
+        text.push_str(&torn[..torn.len() / 2]);
+        fs::write(&path, &text).unwrap();
+        let report = load_on(&RealDisk, &dir, None).unwrap();
+        let cut = report.truncated.expect("torn tail must be located");
+        assert_eq!(cut.line, 4);
+        assert!(cut.byte_offset > good_len as u64);
+        // The intact update before the tear is preserved.
+        assert_eq!(report.snapshot.deltas[0].adds, vec![(1, 2)]);
+        // Physically truncating at the reported offset yields a clean
+        // file that loads without truncation.
+        truncate_at(&RealDisk, &dir, cut.byte_offset).unwrap();
+        let clean = load_on(&RealDisk, &dir, None).unwrap();
+        assert!(clean.truncated.is_none());
+        assert_eq!(clean.snapshot.deltas[0].adds, vec![(1, 2)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v3_update_for_unknown_graph_truncates() {
+        let dir = std::env::temp_dir().join(format!("graft-snap-ghost3-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        save(&dir, &Snapshot::default(), None).unwrap();
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str(&render_update_record("ghost", true, 0, 0));
+        text.push('\n');
+        fs::write(&path, &text).unwrap();
+        let report = load_on(&RealDisk, &dir, None).unwrap();
+        assert_eq!(report.truncated.unwrap().line, 2);
+        assert!(report.snapshot.entries.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cleanup_stale_tmp_removes_orphans() {
+        let dir = std::env::temp_dir().join(format!("graft-snap-tmp-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        // Missing directory: nothing to do, not an error.
+        assert!(cleanup_stale_tmp(&RealDisk, &dir).unwrap().is_empty());
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("registry.jsonl.tmp"), "orphan").unwrap();
+        fs::write(dir.join(SNAPSHOT_FILE), "").unwrap();
+        let removed = cleanup_stale_tmp(&RealDisk, &dir).unwrap();
+        assert_eq!(removed, vec!["registry.jsonl.tmp".to_string()]);
+        assert!(!dir.join("registry.jsonl.tmp").exists());
+        assert!(dir.join(SNAPSHOT_FILE).exists(), "live file untouched");
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -67,6 +67,8 @@ fn usage() -> ! {
            --max-graph-mb N  refuse LOAD/GEN estimated above N MiB (default off)\n\
            --max-connections N  shed connections beyond N (default 256)\n\
            --snapshot-interval-ms N  periodic snapshot cadence (default 30000, 0 off)\n\
+           --fsync POLICY  when UPDATE journal appends fsync: always |\n\
+                           interval-ms=N | drain (default drain)\n\
            --faults SPEC   fault injection, e.g. seed=42,rate=25,max=16,sites=solver|reload\n\
          remote options:\n\
            --algorithm A   algorithm name sent with SOLVE (default ms-bfs-graft-par)\n\
@@ -81,6 +83,8 @@ fn usage() -> ! {
            --seed N        scenario seed; same seed => byte-identical log\n\
            --ops N         workload length in operations (default 48)\n\
            --no-faults     disable the seeded fault plan\n\
+           --no-disk-faults  disable the simulated disk (no persistence,\n\
+                           no post-run crash-recovery check)\n\
            --log           print the full normalized event log"
     );
     std::process::exit(2);
@@ -107,6 +111,12 @@ fn serve_main(args: Vec<String>) -> ! {
             "--max-connections" => cfg.max_connections = next().parse().unwrap_or_else(|_| usage()),
             "--snapshot-interval-ms" => {
                 cfg.snapshot_interval_ms = next().parse().unwrap_or_else(|_| usage())
+            }
+            "--fsync" => {
+                cfg.fsync = svc::FsyncPolicy::parse(&next()).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
             }
             "--faults" => cfg.fault_spec = Some(next()),
             _ => usage(),
@@ -279,6 +289,7 @@ fn sim_main(args: Vec<String>) -> ! {
             "--seed" => cfg.seed = next().parse().unwrap_or_else(|_| usage()),
             "--ops" => cfg.ops = next().parse().unwrap_or_else(|_| usage()),
             "--no-faults" => cfg.with_faults = false,
+            "--no-disk-faults" => cfg.disk_faults = false,
             "--log" => want_log = true,
             _ => usage(),
         }
