@@ -15,6 +15,7 @@ mod fig8;
 mod fig9;
 mod loadgen;
 mod perf_gate;
+mod scaling;
 mod tables;
 mod variability;
 
@@ -32,6 +33,7 @@ pub use fig8::fig8;
 pub use fig9::fig9;
 pub use loadgen::{loadgen, LoadgenOptions, LOADGEN_FILE, LOADGEN_SCHEMA, PIPELINE_SPEEDUP_MIN};
 pub use perf_gate::{perf_gate, BENCH_FILE, BENCH_SCHEMA};
+pub use scaling::{scaling, SCALE_RATIO, SCALING_FILE, SCALING_SCHEMA, THREAD_COUNTS};
 pub use tables::{table1, table2};
 pub use variability::variability;
 
@@ -109,6 +111,7 @@ pub fn run_by_name(name: &str, cfg: &Config) -> std::io::Result<bool> {
         "dist" => dist(cfg)?,
         "anatomy" => anatomy(cfg)?,
         "perf-gate" => perf_gate(cfg)?,
+        "scaling" => scaling(cfg)?,
         "dynbench" => dynbench(cfg)?,
         "loadgen" => loadgen(cfg, &LoadgenOptions::default())?,
         _ => return Ok(false),

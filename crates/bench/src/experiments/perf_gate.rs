@@ -56,7 +56,7 @@ struct GateRow {
 }
 
 /// Median of a sample (mean of the two middle values for even n).
-fn median(sorted: &[f64]) -> f64 {
+pub(crate) fn median(sorted: &[f64]) -> f64 {
     let n = sorted.len();
     if n == 0 {
         return 0.0;
@@ -69,7 +69,7 @@ fn median(sorted: &[f64]) -> f64 {
 }
 
 /// Nearest-rank p90 (the value ≥ 90% of the sample).
-fn p90(sorted: &[f64]) -> f64 {
+pub(crate) fn p90(sorted: &[f64]) -> f64 {
     let n = sorted.len();
     if n == 0 {
         return 0.0;
@@ -78,7 +78,7 @@ fn p90(sorted: &[f64]) -> f64 {
     sorted[rank - 1]
 }
 
-fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+pub(crate) fn sorted(mut v: Vec<f64>) -> Vec<f64> {
     v.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
     v
 }

@@ -61,14 +61,15 @@ impl Default for Config {
 }
 
 impl Config {
-    /// Effective thread count (resolving 0 to the machine's parallelism).
+    /// Effective thread count. `0` resolves to what parallel solves will
+    /// actually use — [`rayon::current_num_threads`] (the `GRAFT_THREADS`
+    /// override or the sequential default), not the machine's core count,
+    /// so figure labels match the executed configuration.
     pub fn max_threads(&self) -> usize {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            rayon::current_num_threads()
         }
     }
 }

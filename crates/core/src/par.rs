@@ -28,7 +28,13 @@
 //! Memory ordering: claims use `AcqRel` CAS; all other pointer stores are
 //! `Relaxed` and become visible to the next level / step through the
 //! happens-before edges of the rayon joins that end every parallel region
-//! (the level-synchronous barrier the paper relies on).
+//! (the level-synchronous barrier the paper relies on). Since the shim
+//! gained a real work-stealing pool these joins are genuine cross-thread
+//! barriers: every batch ends with the submitting thread acquiring a latch
+//! mutex that each worker released after finishing its piece, so all
+//! `Relaxed` stores from a level are ordered before every read in the next
+//! level. The engine code needed no changes to run multithreaded; see
+//! DESIGN.md §17 for the full argument.
 
 use crate::ms_bfs::MsBfsOptions;
 use crate::stats::{SearchStats, Step, Stopwatch};

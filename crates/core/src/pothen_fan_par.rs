@@ -11,7 +11,13 @@
 //!
 //! Interior path flips only touch `Y` vertices the search claimed and `X`
 //! vertices entered through them, so the relaxed stores cannot race; the
-//! rayon phase barrier publishes them to the next phase. This granularity
+//! rayon phase barrier publishes them to the next phase. The one subtlety
+//! is a *freshly matched* pair: between a winner's free-vertex CAS and the
+//! completion of its path flip, `mate_y[y]` already names an `X` whose own
+//! slot still points elsewhere — descending through such a pair would put
+//! that `X` on two stacks at once. The descent therefore adopts a mate
+//! only when `mate_x[mate] == y` confirms the pair is stable (see the
+//! comment at the check). This granularity
 //! is exactly why the paper finds PF load-imbalanced (§V-B): one long DFS
 //! serializes the tail of every phase — the behavior the variability
 //! experiment reproduces.
@@ -202,6 +208,19 @@ fn dfs_task(sh: &Shared<'_>, phase: u32, fair_reverse: bool, x0: VertexId) -> (u
                     }
                     return (1, edges, traversed);
                 }
+                continue;
+            }
+            // Only descend through a *stable* matched edge. If `mate` does
+            // not point back at `y`, another search free-claimed `y` an
+            // instant ago and is still flipping its path: adopting the X
+            // side now would put one vertex on two stacks and interleave
+            // two flips over the same mate slots. A relaxed load is enough:
+            // `mate_x[mate] == y` is only ever written *after* the claim
+            // that set `mate_y[y] = mate`, and once both slots agree the
+            // claiming search never writes either again — while a stale
+            // mismatch merely makes us skip a matched edge the next phase
+            // will see consistently.
+            if sh.mate_x[mate as usize].load(Ordering::Relaxed) != y {
                 continue;
             }
             stack.push((mate, 0, y));

@@ -69,6 +69,10 @@ pub struct Metrics {
     pub panics: AtomicU64,
     /// Jobs that completed with a typed error other than a panic.
     pub solves_err: AtomicU64,
+    /// Cumulative solver threads occupied by completed solves: each solve
+    /// adds its resolved `threads=k` (so `solve_threads_used / solves`
+    /// is the mean parallelism clients asked for).
+    pub solve_threads_used: AtomicU64,
     /// Jobs currently queued (not yet picked up by a worker).
     pub queue_depth: AtomicUsize,
     /// Connections currently being served.
@@ -134,6 +138,7 @@ impl Metrics {
             jobs_timed_out: AtomicU64::new(0),
             panics: AtomicU64::new(0),
             solves_err: AtomicU64::new(0),
+            solve_threads_used: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             connections_open: AtomicUsize::new(0),
             connections_shed: AtomicU64::new(0),
@@ -223,9 +228,10 @@ impl Metrics {
         }
         let _ = write!(
             out,
-            " solves_ok={solves_ok} solves_err={} panics={}",
+            " solves_ok={solves_ok} solves_err={} panics={} solve_threads_used={}",
             self.solves_err.load(Ordering::Relaxed),
             self.panics.load(Ordering::Relaxed),
+            self.solve_threads_used.load(Ordering::Relaxed),
         );
         let _ = write!(
             out,

@@ -19,6 +19,15 @@
 //! SHUTDOWN
 //! ```
 //!
+//! `SOLVE ... threads=N` requests an N-thread parallel solve: the job
+//! occupies N of the server's worker slots for its duration (scheduler
+//! admission is all-or-nothing, strict FIFO). `threads=0` or an omitted
+//! token means "use the server default" (`serve --threads-per-solve`,
+//! itself defaulting to 1); a request with `threads=N` larger than the
+//! worker pool is refused up front with `ERR bad-request`. The `STATS`
+//! counter `solve_threads_used` accumulates the resolved thread count of
+//! every dispatched solve.
+//!
 //! Replies are `OK key=value ...` or `ERR <code> <message>`, where
 //! `<code>` is [`SvcError::code`]. Keywords are case-insensitive;
 //! names are case-sensitive. `TRACE` is one of two multi-line replies:

@@ -14,6 +14,14 @@
 //!   current backlog and observed solve latency.
 //! * The capacity bounds *queued* jobs; jobs being executed by a worker
 //!   no longer count against it.
+//! * Jobs can be **weighted** ([`Scheduler::with_weight`]): a job of
+//!   weight `k` occupies `k` of the pool's worker slots while it runs —
+//!   the server maps a `SOLVE ... threads=k` request to weight `k`, so a
+//!   multi-threaded solve reserves the CPU it will actually use. Admission
+//!   is all-or-nothing at the queue head (strict FIFO): the head job waits
+//!   until enough slots are free, and later jobs wait behind it. A waiting
+//!   worker holds no slots, so weighted admission cannot deadlock; weights
+//!   are clamped to `[1, workers]`.
 //! * A job that **panics** does not kill its worker: the unwind is caught
 //!   at the job boundary, the submitter receives the typed
 //!   [`SvcError::Internal`] carrying the scheduler-assigned job id, the
@@ -86,8 +94,15 @@ struct Shared<J, R> {
 
 struct SchedState<J, R> {
     items: VecDeque<Item<J, R>>,
+    /// Worker slots a job occupies while running (clamped to
+    /// `[1, workers]`); `|_| 1` unless [`Scheduler::with_weight`] is used.
+    /// Lives under the queue mutex because workers consult it at pop time.
+    weight: Arc<dyn Fn(&J) -> usize + Send + Sync>,
     /// Jobs currently inside a worker (popped but not yet answered).
     active: usize,
+    /// Weighted worker slots held by running jobs (≥ `active`; a weight-k
+    /// job holds k slots out of `workers` total).
+    slots_in_use: usize,
     shutdown: bool,
 }
 
@@ -160,7 +175,9 @@ impl<J: Send + 'static, R: Send + 'static> Scheduler<J, R> {
         let shared = Arc::new(Shared {
             queue: Mutex::new(SchedState {
                 items: VecDeque::new(),
+                weight: Arc::new(|_: &J| 1),
                 active: 0,
+                slots_in_use: 0,
                 shutdown: false,
             }),
             cv: Condvar::new(),
@@ -190,6 +207,22 @@ impl<J: Send + 'static, R: Send + 'static> Scheduler<J, R> {
             shared,
             workers: handles,
         }
+    }
+
+    /// Sets the job-weight function: a job of weight `k` occupies `k` of
+    /// the pool's worker slots while running (clamped to `[1, workers]`).
+    /// The server maps `SOLVE ... threads=k` to weight `k` so a k-thread
+    /// solve is not co-scheduled with more work than the pool has CPU for.
+    /// Call before submitting jobs; already-queued jobs are re-weighed at
+    /// pop time.
+    pub fn with_weight<W>(self, weight: W) -> Self
+    where
+        W: Fn(&J) -> usize + Send + Sync + 'static,
+    {
+        let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.weight = Arc::new(weight);
+        drop(q);
+        self
     }
 
     /// Suggested client backoff when the queue is full: the backlog's
@@ -336,19 +369,34 @@ where
     F: Fn(J, &mut S) -> R,
 {
     loop {
-        let item = {
+        let (item, slots) = {
             let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
-                if let Some(item) = q.items.pop_front() {
-                    q.active += 1;
-                    shared
-                        .metrics
-                        .queue_depth
-                        .store(q.items.len(), Ordering::Relaxed);
-                    break item;
-                }
-                if q.shutdown {
-                    return;
+                // Strict FIFO with all-or-nothing slot admission: only the
+                // head job is considered, and it is popped only when its
+                // full weight fits in the free slots. Waiting here holds no
+                // slots, so weighted admission cannot deadlock.
+                let head_weight = q
+                    .items
+                    .front()
+                    .map(|it| (q.weight)(&it.job).clamp(1, shared.workers));
+                match head_weight {
+                    Some(w) if q.slots_in_use + w <= shared.workers => {
+                        let item = q.items.pop_front().expect("head exists");
+                        q.active += 1;
+                        q.slots_in_use += w;
+                        shared
+                            .metrics
+                            .queue_depth
+                            .store(q.items.len(), Ordering::Relaxed);
+                        break (item, w);
+                    }
+                    Some(_) => {} // head needs more slots than are free
+                    None => {
+                        if q.shutdown {
+                            return;
+                        }
+                    }
                 }
                 q = shared.cv.wait(q).unwrap_or_else(|e| e.into_inner());
             }
@@ -384,6 +432,7 @@ where
         // must not observe this job still counted as active.
         let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         q.active -= 1;
+        q.slots_in_use -= slots;
         drop(q);
         // Wake both idle workers and any drain_within waiter.
         shared.cv.notify_all();
@@ -646,6 +695,65 @@ mod tests {
             rx.recv().is_err(),
             "the rejected tag must never complete later"
         );
+        sched.join();
+    }
+
+    #[test]
+    fn weighted_job_occupies_multiple_slots() {
+        // 2 workers; job value = weight. A weight-2 job must have the pool
+        // to itself: the weight-1 job behind it cannot start until the
+        // weight-2 job finishes, even though a worker thread is idle.
+        let metrics = Arc::new(Metrics::new());
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<u32>();
+        let gate_rx = Mutex::new(gate_rx);
+        let sched = Scheduler::new(2, 16, Arc::clone(&metrics), move |job: u32| {
+            started_tx.send(job).ok();
+            gate_rx.lock().unwrap().recv().ok();
+            job
+        })
+        .with_weight(|job: &u32| *job as usize);
+
+        let rx_big = sched.submit(2).unwrap(); // weight 2 = whole pool
+        assert_eq!(started_rx.recv_timeout(LONG).unwrap(), 2);
+        let rx_small = sched.submit(1).unwrap(); // weight 1, queued behind
+        assert!(
+            started_rx.recv_timeout(Duration::from_millis(100)).is_err(),
+            "weight-1 job must not start while the weight-2 job holds both slots"
+        );
+        gate_tx.send(()).unwrap(); // release the big job
+        assert_eq!(rx_big.recv_timeout(LONG).unwrap().unwrap(), 2);
+        assert_eq!(
+            started_rx.recv_timeout(LONG).unwrap(),
+            1,
+            "small job starts once slots free up"
+        );
+        gate_tx.send(()).unwrap();
+        assert_eq!(rx_small.recv_timeout(LONG).unwrap().unwrap(), 1);
+        sched.join();
+    }
+
+    #[test]
+    fn oversized_weight_is_clamped_to_pool_size() {
+        // weight 99 on a 2-worker pool clamps to 2 and still runs.
+        let metrics = Arc::new(Metrics::new());
+        let sched =
+            Scheduler::new(2, 8, Arc::clone(&metrics), |job: u32| job + 1).with_weight(|_| 99);
+        let rx = sched.submit(7).unwrap();
+        assert_eq!(rx.recv_timeout(LONG).unwrap().unwrap(), 8);
+        sched.join();
+    }
+
+    #[test]
+    fn weighted_jobs_keep_fifo_order_and_all_complete() {
+        // Mixed weights through a 2-worker pool: everything completes.
+        let metrics = Arc::new(Metrics::new());
+        let sched = Scheduler::new(2, 64, Arc::clone(&metrics), |job: u32| job * 3)
+            .with_weight(|job: &u32| if job.is_multiple_of(3) { 2 } else { 1 });
+        let rxs: Vec<_> = (0..24).map(|i| sched.submit(i).unwrap()).collect();
+        for (i, rx) in rxs.into_iter().enumerate() {
+            assert_eq!(rx.recv_timeout(LONG).unwrap().unwrap(), i as u32 * 3);
+        }
         sched.join();
     }
 

@@ -72,6 +72,10 @@ pub struct ServeConfig {
     pub addr: String,
     /// Worker threads executing solve jobs.
     pub workers: usize,
+    /// Default solver thread count for `SOLVE` requests that do not pass
+    /// an explicit `threads=k`. A k-thread solve occupies k worker slots
+    /// in the scheduler while it runs. Must be in `[1, workers]`.
+    pub threads_per_solve: usize,
     /// Bound on queued (not yet running) jobs; beyond it `SOLVE` replies
     /// `ERR overloaded` with a `retry_after_ms` hint.
     pub queue_capacity: usize,
@@ -113,6 +117,7 @@ impl Default for ServeConfig {
         Self {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
+            threads_per_solve: 1,
             queue_capacity: 64,
             cache_bytes: 256 << 20,
             trace_events: 1024,
@@ -330,6 +335,9 @@ fn run_job(
                 ..SolveOptions::default()
             };
             let warm_used = warm.is_some() && !cold;
+            metrics
+                .solve_threads_used
+                .fetch_add(threads.max(1) as u64, Ordering::Relaxed);
             let t0 = clock.now();
             let out = match warm.filter(|_| !cold) {
                 Some(m0) => {
@@ -581,6 +589,16 @@ impl Server {
         clock: Arc<dyn Clock>,
         disk: Arc<dyn Disk>,
     ) -> std::io::Result<Server> {
+        let workers = cfg.workers.max(1);
+        if cfg.threads_per_solve == 0 || cfg.threads_per_solve > workers {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "threads_per_solve={} must be in [1, workers={workers}]",
+                    cfg.threads_per_solve
+                ),
+            ));
+        }
         let faults: Option<&'static FaultPlan> = match &cfg.fault_spec {
             None => None,
             Some(spec) => {
@@ -745,35 +763,43 @@ impl Server {
             let dyn_store = Arc::clone(&dyn_store);
             let clock = Arc::clone(&clock);
             let journal = journal.clone();
-            Arc::new(Scheduler::with_worker_state_on(
-                cfg.workers,
-                cfg.queue_capacity,
-                Arc::clone(&metrics),
-                Arc::clone(&clock),
-                || WorkerState {
-                    ws: SolveWorkspace::new(),
-                    seen_shrink_gen: 0,
-                },
-                move |job, state: &mut WorkerState| {
-                    let gen = shrink_gen.load(Ordering::Relaxed);
-                    if state.seen_shrink_gen != gen {
-                        state.ws.shrink();
-                        state.seen_shrink_gen = gen;
-                    }
-                    run_job(
-                        job,
-                        &registry,
-                        &metrics,
-                        &tracer,
-                        &dyn_store,
-                        journal.as_deref(),
-                        phase_hook,
-                        now_hook,
-                        &*clock,
-                        &mut state.ws,
-                    )
-                },
-            ))
+            Arc::new(
+                Scheduler::with_worker_state_on(
+                    cfg.workers,
+                    cfg.queue_capacity,
+                    Arc::clone(&metrics),
+                    Arc::clone(&clock),
+                    || WorkerState {
+                        ws: SolveWorkspace::new(),
+                        seen_shrink_gen: 0,
+                    },
+                    move |job, state: &mut WorkerState| {
+                        let gen = shrink_gen.load(Ordering::Relaxed);
+                        if state.seen_shrink_gen != gen {
+                            state.ws.shrink();
+                            state.seen_shrink_gen = gen;
+                        }
+                        run_job(
+                            job,
+                            &registry,
+                            &metrics,
+                            &tracer,
+                            &dyn_store,
+                            journal.as_deref(),
+                            phase_hook,
+                            now_hook,
+                            &*clock,
+                            &mut state.ws,
+                        )
+                    },
+                )
+                .with_weight(|job: &Job| match job {
+                    // A k-thread solve occupies k worker slots; everything
+                    // else (updates, sleeps) is single-slot.
+                    Job::Solve { threads, .. } => *threads,
+                    _ => 1,
+                }),
+            )
         };
         Ok(Server {
             dyn_store,
@@ -914,6 +940,8 @@ impl Server {
             let transport = Arc::clone(&self.transport);
             let clock = Arc::clone(&self.clock);
             let max_graph_bytes = self.cfg.max_graph_bytes;
+            let workers = self.cfg.workers.max(1);
+            let threads_per_solve = self.cfg.threads_per_solve;
             std::thread::spawn(move || {
                 let ctx = ConnCtx {
                     registry: &registry,
@@ -927,6 +955,8 @@ impl Server {
                     transport: &transport,
                     clock: &*clock,
                     max_graph_bytes,
+                    workers,
+                    threads_per_solve,
                     addr,
                 };
                 let _ = handle_connection(stream, &ctx);
@@ -992,6 +1022,10 @@ struct ConnCtx<'a> {
     transport: &'a Arc<dyn Transport>,
     clock: &'a dyn Clock,
     max_graph_bytes: usize,
+    /// Worker pool size — the hard ceiling for `SOLVE ... threads=k`.
+    workers: usize,
+    /// Default `threads` for solves that do not pass `threads=k`.
+    threads_per_solve: usize,
     addr: SocketAddr,
 }
 
@@ -1029,6 +1063,25 @@ fn register_guarded(ctx: &ConnCtx<'_>, name: &str, source: GraphSource) -> Strin
     }
 }
 
+/// Resolves a solve's thread count against the server's configuration:
+/// `threads=0` (unspecified) becomes the `--threads-per-solve` default; an
+/// explicit count larger than the worker pool is a typed bad-request (the
+/// scheduler could never grant that many slots).
+fn resolve_solve_threads(ctx: &ConnCtx<'_>, threads: usize) -> Result<usize, SvcError> {
+    let t = if threads == 0 {
+        ctx.threads_per_solve
+    } else {
+        threads
+    };
+    if t > ctx.workers {
+        return Err(SvcError::BadRequest(format!(
+            "threads={t} exceeds worker pool size {}",
+            ctx.workers
+        )));
+    }
+    Ok(t)
+}
+
 fn dispatch(req: Request, ctx: &ConnCtx<'_>) -> String {
     match req {
         Request::Load { name, path } => {
@@ -1038,10 +1091,14 @@ fn dispatch(req: Request, ctx: &ConnCtx<'_>) -> String {
             Ok(src) => register_guarded(ctx, &name, src),
             Err(e) => err_line(&e),
         },
-        Request::Solve(spec) => {
-            let job = job_from_spec(spec, ctx.clock);
-            submit_and_wait(ctx, job)
-        }
+        Request::Solve(mut spec) => match resolve_solve_threads(ctx, spec.threads) {
+            Err(e) => err_line(&e),
+            Ok(t) => {
+                spec.threads = t;
+                let job = job_from_spec(spec, ctx.clock);
+                submit_and_wait(ctx, job)
+            }
+        },
         Request::Update(spec) => submit_and_wait(ctx, Job::Update(spec)),
         Request::SolveBatch { .. } | Request::UpdateBatch { .. } => {
             // Batches are intercepted by `handle_connection` (only it can
@@ -1322,11 +1379,21 @@ fn handle_batch(
     // deadlines depend on a thread race instead of the batch contents.
     let jobs: Vec<Option<Job>> = members
         .into_iter()
-        .map(|member| {
-            member.map(|m| match m {
-                BatchMember::Sleep { ms } => Job::Sleep(ms),
-                BatchMember::Solve(spec) => job_from_spec(spec, ctx.clock),
-                BatchMember::Update(spec) => Job::Update(spec),
+        .enumerate()
+        .map(|(slot, member)| {
+            member.and_then(|m| match m {
+                BatchMember::Sleep { ms } => Some(Job::Sleep(ms)),
+                BatchMember::Solve(mut spec) => match resolve_solve_threads(ctx, spec.threads) {
+                    Err(e) => {
+                        replies[slot] = Some(err_line(&e));
+                        None
+                    }
+                    Ok(t) => {
+                        spec.threads = t;
+                        Some(job_from_spec(spec, ctx.clock))
+                    }
+                },
+                BatchMember::Update(spec) => Some(Job::Update(spec)),
             })
         })
         .collect();

@@ -8,7 +8,8 @@
 //! graftmatch --mtx matrix.mtx [--algorithm ms-bfs-graft-par] [--threads N]
 //!            [--init karp-sipser] [--seed S] [--dm] [--out matching.txt]
 //! graftmatch --suite wikipedia --scale small --dm --trace run.jsonl
-//! graftmatch serve [--addr 127.0.0.1:0] [--workers N] [--queue N] [--cache-mb N]
+//! graftmatch serve [--addr 127.0.0.1:0] [--workers N] [--threads-per-solve N]
+//!                  [--queue N] [--cache-mb N]
 //!                  [--trace-events N] [--state DIR] [--drain-ms N]
 //!                  [--max-graph-mb N] [--max-connections N]
 //!                  [--snapshot-interval-ms N] [--faults SPEC]
@@ -59,6 +60,8 @@ fn usage() -> ! {
          serve options:\n\
            --addr A        bind address (default 127.0.0.1:0 = ephemeral port)\n\
            --workers N     solver worker threads (default 2)\n\
+           --threads-per-solve N  default solver threads for a SOLVE that\n\
+                           omits threads=k (default 1, must be <= workers)\n\
            --queue N       queued-job bound before ERR overloaded (default 64)\n\
            --cache-mb N    graph cache budget in MiB (default 256)\n\
            --trace-events N  trace ring capacity for TRACE (default 1024, 0 off)\n\
@@ -98,6 +101,9 @@ fn serve_main(args: Vec<String>) -> ! {
         match a.as_str() {
             "--addr" => cfg.addr = next(),
             "--workers" => cfg.workers = next().parse().unwrap_or_else(|_| usage()),
+            "--threads-per-solve" => {
+                cfg.threads_per_solve = next().parse().unwrap_or_else(|_| usage())
+            }
             "--queue" => cfg.queue_capacity = next().parse().unwrap_or_else(|_| usage()),
             "--cache-mb" => {
                 cfg.cache_bytes = next().parse::<usize>().unwrap_or_else(|_| usage()) << 20

@@ -223,3 +223,63 @@ fn full_queue_returns_overloaded_and_recovers() {
     assert_eq!(c3.req("SHUTDOWN"), "OK bye");
     handle.join().unwrap().unwrap();
 }
+
+#[test]
+fn solve_threads_are_validated_defaulted_and_counted() {
+    // 2 workers, default 1 thread per solve.
+    let server = svc::Server::bind(&svc::ServeConfig {
+        workers: 2,
+        threads_per_solve: 1,
+        ..svc::ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    let mut c = Client::connect(&addr);
+
+    assert!(c.req("GEN g kkt_power:tiny").starts_with("OK "));
+
+    // threads=k beyond the worker pool: typed rejection, nothing runs.
+    let reply = c.req("SOLVE g ms-bfs-graft-par threads=3");
+    assert!(reply.starts_with("ERR bad-request"), "{reply}");
+
+    // Default solve counts threads_per_solve (= 1) in the ledger.
+    assert!(c.req("SOLVE g ms-bfs-graft").starts_with("OK "));
+    let stats = c.req("STATS");
+    assert_eq!(field_u64(&stats, "solve_threads_used"), 1, "{stats}");
+
+    // An explicit 2-thread parallel solve adds 2 more.
+    let par = c.req("SOLVE g ms-bfs-graft-par threads=2 cold");
+    assert!(par.starts_with("OK "), "{par}");
+    let stats = c.req("STATS");
+    assert_eq!(field_u64(&stats, "solve_threads_used"), 3, "{stats}");
+
+    assert_eq!(c.req("SHUTDOWN"), "OK bye");
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn threads_per_solve_must_fit_the_worker_pool() {
+    let err = svc::Server::bind(&svc::ServeConfig {
+        workers: 2,
+        threads_per_solve: 4,
+        ..svc::ServeConfig::default()
+    })
+    .err()
+    .expect("threads_per_solve > workers must be refused at bind");
+    assert!(err.to_string().contains("threads_per_solve"), "{err}");
+}
+
+#[test]
+fn serve_flag_threads_per_solve_sets_the_default() {
+    // `--threads-per-solve 2` on a 2-worker server: an unadorned SOLVE
+    // runs 2-threaded and the ledger counts 2.
+    let (mut guard, addr) = spawn_server(&["--workers", "2", "--threads-per-solve", "2"]);
+    let mut c = Client::connect(&addr);
+    assert!(c.req("GEN g kkt_power:tiny").starts_with("OK "));
+    assert!(c.req("SOLVE g ms-bfs-graft-par").starts_with("OK "));
+    let stats = c.req("STATS");
+    assert_eq!(field_u64(&stats, "solve_threads_used"), 2, "{stats}");
+    assert_eq!(c.req("SHUTDOWN"), "OK bye");
+    guard.0.wait().unwrap();
+}
