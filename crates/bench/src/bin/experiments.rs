@@ -8,9 +8,10 @@
 //! experiments trace-report <file.jsonl>
 //! experiments loadgen [--connections N] [--requests N] [--batch N] [--seed S]
 //!             [--open-loop-rate R] [--virtual-open-loop] [--scale ...] [--threads N] [--out DIR]
+//! experiments stress [--seed S] [--budget-secs N] [--scale ...] [--out DIR]
 //! ```
 
-use graft_bench::experiments::LoadgenOptions;
+use graft_bench::experiments::{LoadgenOptions, StressOptions};
 use graft_bench::{experiments, Config};
 use graft_gen::Scale;
 
@@ -19,7 +20,8 @@ fn usage() -> ! {
         "usage: experiments <experiment>... [--scale tiny|small|medium|large] [--threads N] [--reps N] [--out DIR] [--init none|greedy|random-greedy|karp-sipser]\n\
          \x20      experiments trace-report <file.jsonl>\n\
          \x20      experiments loadgen [--connections N] [--requests N] [--batch N] [--seed S] [--open-loop-rate R] [--virtual-open-loop]\n\
-         experiments: all table1 table2 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 variability ablation_alpha ablation_init ablation_pr_order dist anatomy perf-gate scaling dynbench loadgen"
+         \x20      experiments stress [--seed S] [--budget-secs N]\n\
+         experiments: all table1 table2 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 variability ablation_alpha ablation_init ablation_pr_order dist anatomy perf-gate scaling stress dynbench loadgen"
     );
     std::process::exit(2);
 }
@@ -39,10 +41,15 @@ fn main() {
     }
     let mut cfg = Config::default();
     let mut lg = LoadgenOptions::default();
+    let mut st = StressOptions::default();
     let mut names: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--budget-secs" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                st.budget = std::time::Duration::from_secs(v.parse().unwrap_or_else(|_| usage()));
+            }
             "--connections" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 lg.connections = v.parse().unwrap_or_else(|_| usage());
@@ -57,7 +64,9 @@ fn main() {
             }
             "--seed" => {
                 let v = it.next().unwrap_or_else(|| usage());
-                lg.seed = v.parse().unwrap_or_else(|_| usage());
+                let seed = v.parse().unwrap_or_else(|_| usage());
+                lg.seed = seed;
+                st.seed = seed;
             }
             "--open-loop-rate" => {
                 let v = it.next().unwrap_or_else(|| usage());
@@ -106,6 +115,8 @@ fn main() {
         // directly; everything else goes through the generic registry.
         let outcome = if name == "loadgen" {
             experiments::loadgen(&cfg, &lg).map(|()| true)
+        } else if name == "stress" {
+            experiments::stress(&cfg, &st).map(|()| true)
         } else {
             experiments::run_by_name(&name, &cfg)
         };

@@ -16,6 +16,7 @@ mod fig9;
 mod loadgen;
 mod perf_gate;
 mod scaling;
+mod stress;
 mod tables;
 mod variability;
 
@@ -34,6 +35,7 @@ pub use fig9::fig9;
 pub use loadgen::{loadgen, LoadgenOptions, LOADGEN_FILE, LOADGEN_SCHEMA, PIPELINE_SPEEDUP_MIN};
 pub use perf_gate::{perf_gate, BENCH_FILE, BENCH_SCHEMA};
 pub use scaling::{scaling, SCALE_RATIO, SCALING_FILE, SCALING_SCHEMA, THREAD_COUNTS};
+pub use stress::{stress, StressOptions};
 pub use tables::{table1, table2};
 pub use variability::variability;
 
@@ -112,6 +114,7 @@ pub fn run_by_name(name: &str, cfg: &Config) -> std::io::Result<bool> {
         "anatomy" => anatomy(cfg)?,
         "perf-gate" => perf_gate(cfg)?,
         "scaling" => scaling(cfg)?,
+        "stress" => stress(cfg, &StressOptions::default())?,
         "dynbench" => dynbench(cfg)?,
         "loadgen" => loadgen(cfg, &LoadgenOptions::default())?,
         _ => return Ok(false),

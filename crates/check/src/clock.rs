@@ -1,0 +1,89 @@
+//! Vector clocks tracking happens-before between model threads.
+//!
+//! Entry `c[t]` is the number of steps of thread `t` that the clock's
+//! owner has synchronized with. A store is *superseded* for a reader once
+//! a later store to the same location happens-before the reader's clock —
+//! that is the rule deciding which stale values a relaxed load may still
+//! return (see `exec.rs`).
+
+/// A vector clock over model-thread ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    pub(crate) fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    /// Value for thread `t` (absent entries are 0).
+    pub(crate) fn get(&self, t: usize) -> u32 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    /// Sets entry `t` to at least `v`.
+    pub(crate) fn raise(&mut self, t: usize, v: u32) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        if self.0[t] < v {
+            self.0[t] = v;
+        }
+    }
+
+    /// Pointwise maximum with `other`.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, &b) in self.0.iter_mut().zip(other.0.iter()) {
+            if *a < b {
+                *a = b;
+            }
+        }
+    }
+
+    /// Feeds the clock into a state hash.
+    pub(crate) fn hash_into(&self, h: &mut u64) {
+        for (i, &v) in self.0.iter().enumerate() {
+            if v != 0 {
+                *h = mix(*h ^ ((i as u64) << 32 | v as u64));
+            }
+        }
+    }
+}
+
+/// splitmix64 finalizer; the workspace's standard tiny hash.
+pub(crate) fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        a.raise(0, 3);
+        a.raise(2, 1);
+        let mut b = VClock::new();
+        b.raise(0, 1);
+        b.raise(1, 5);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 5);
+        assert_eq!(a.get(2), 1);
+        assert_eq!(a.get(3), 0);
+    }
+
+    #[test]
+    fn raise_only_increases() {
+        let mut a = VClock::new();
+        a.raise(1, 4);
+        a.raise(1, 2);
+        assert_eq!(a.get(1), 4);
+    }
+}

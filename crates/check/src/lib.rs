@@ -1,0 +1,67 @@
+//! graft-check: a deterministic concurrency model checker for the
+//! workspace's lock-free core, in the spirit of loom and shuttle.
+//!
+//! The checker runs a closure many times, serializing its threads so
+//! that every atomic access, fence, mutex operation, condvar wait/notify
+//! and spawn/join is a *scheduling point*. At each point with more than
+//! one possibility — which thread runs next, which visible store a
+//! relaxed load returns, which waiter a `notify_one` wakes — the
+//! explorer either enumerates the alternatives (exhaustive DFS under a
+//! preemption bound, with state-hash pruning) or samples them
+//! (seeded-random mode). Any failure is reported with a schedule string
+//! that replays that exact interleaving.
+//!
+//! # Usage
+//!
+//! ```
+//! use graft_check::{Checker, sync::atomic::{AtomicU32, Ordering}};
+//! use std::sync::Arc;
+//!
+//! Checker::new().check(|| {
+//!     let x = Arc::new(AtomicU32::new(0));
+//!     let x2 = Arc::clone(&x);
+//!     let t = graft_check::thread::spawn(move || {
+//!         x2.store(1, Ordering::Release);
+//!     });
+//!     let _ = x.load(Ordering::Acquire);
+//!     t.join().unwrap();
+//! });
+//! ```
+//!
+//! Production code opts in via `#[cfg(graft_check)]` type aliases (see
+//! `shims/rayon/src/pool.rs`): the instrumented types pass through to
+//! `std` on any thread that is not part of a checked execution, so the
+//! same binary runs normal tests and model tests.
+//!
+//! # Replaying a failure
+//!
+//! A violation panic prints `schedule: 3,0,1,…`. Re-run just that
+//! interleaving with:
+//!
+//! ```text
+//! CHECK_SCHEDULE='3,0,1' cargo test -p <crate> -- <exact test name>
+//! ```
+//!
+//! `CHECK_SEED=<n>` switches any checker into seeded-random mode for
+//! spaces too large to enumerate. See DESIGN.md §18 for the memory-model
+//! approximation and its limits versus C11.
+
+#![warn(missing_docs)]
+
+mod checker;
+mod clock;
+mod exec;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use checker::{Checker, Report, Violation};
+
+/// Explores `f` with default bounds, panicking on any violation with a
+/// replayable schedule. Shorthand for `Checker::new().check(f)`.
+pub fn check<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Checker::new().check(f)
+}

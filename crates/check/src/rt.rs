@@ -1,0 +1,55 @@
+//! Thread-local runtime context linking instrumented primitives to the
+//! execution that owns the calling thread.
+//!
+//! Outside a model-checked execution the context is `None` and every
+//! primitive in [`crate::sync`] / [`crate::thread`] falls through to its
+//! `std` counterpart — that is what makes the instrumented types safe to
+//! alias into production code under `--cfg graft_check` while ordinary
+//! unit tests in the same build keep working.
+
+use crate::exec::{Execution, OpResult};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// Panic payload used to unwind model threads when an execution aborts
+/// (violation found, deadlock, step budget). Thread wrappers swallow it;
+/// anything else unwinding out of user code is a real panic and becomes a
+/// violation.
+pub(crate) struct AbortSignal;
+
+struct Ctx {
+    exec: Arc<Execution>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn set(exec: Arc<Execution>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some(Ctx { exec, tid }));
+}
+
+pub(crate) fn clear() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// The calling thread's execution handle and model tid, if any.
+pub(crate) fn ctx() -> Option<(Arc<Execution>, usize)> {
+    CTX.with(|c| c.borrow().as_ref().map(|x| (x.exec.clone(), x.tid)))
+}
+
+/// Unwinds the current model thread with the abort payload.
+pub(crate) fn unwind_abort() -> ! {
+    std::panic::resume_unwind(Box::new(AbortSignal))
+}
+
+/// Unwraps an op result, unwinding the model thread on abort. Never call
+/// from a `Drop` impl that can run during unwinding — ignore the error
+/// there instead (panic-in-panic aborts the process).
+pub(crate) fn ok_or_unwind<T>(r: OpResult<T>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(_) => unwind_abort(),
+    }
+}

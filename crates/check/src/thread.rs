@@ -1,0 +1,98 @@
+//! Instrumented thread spawn/join.
+//!
+//! On a model thread, `spawn` registers a new model thread (the spawn is
+//! a scheduling point, and the child inherits the parent's vector clock)
+//! and runs the closure on a real OS thread that obeys the execution's
+//! token protocol. Off a model thread it is `std::thread::spawn`.
+
+use crate::checker::panic_msg;
+use crate::exec::Execution;
+use crate::rt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        exec: Arc<Execution>,
+        tid: usize,
+        result: Arc<StdMutex<Option<T>>>,
+    },
+}
+
+/// Handle to a spawned (possibly model) thread.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish; a model scheduling point.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            Inner::Model { exec, tid, result } => {
+                let (_, me) = rt::ctx().expect("joining a model thread from outside its execution");
+                rt::ok_or_unwind(exec.join_wait(me, tid));
+                match result.lock().unwrap_or_else(|p| p.into_inner()).take() {
+                    Some(v) => Ok(v),
+                    None => Err(Box::new("model thread produced no result")
+                        as Box<dyn std::any::Any + Send>),
+                }
+            }
+        }
+    }
+}
+
+/// Spawns a thread; on a model thread the child joins the execution.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::ctx() {
+        Some((exec, me)) => {
+            let tid = rt::ok_or_unwind(exec.spawn_register(me));
+            let result = Arc::new(StdMutex::new(None));
+            let r2 = Arc::clone(&result);
+            let e2 = Arc::clone(&exec);
+            let h = std::thread::Builder::new()
+                .name(format!("graft-check-t{tid}"))
+                .spawn(move || {
+                    rt::set(Arc::clone(&e2), tid);
+                    if e2.park_initial(tid).is_ok() {
+                        match catch_unwind(AssertUnwindSafe(f)) {
+                            Ok(v) => {
+                                *r2.lock().unwrap_or_else(|p| p.into_inner()) = Some(v);
+                            }
+                            Err(p) => {
+                                if p.downcast_ref::<rt::AbortSignal>().is_none() {
+                                    e2.fail(format!(
+                                        "panic in model thread t{tid}: {}",
+                                        panic_msg(&*p)
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    e2.thread_finished(tid);
+                    rt::clear();
+                })
+                .expect("failed to spawn model thread");
+            exec.real_handles
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(h);
+            // The child's OS thread exists now — only here may the
+            // scheduler hand it the token (spawn_register keeps it).
+            rt::ok_or_unwind(exec.yield_op(me));
+            JoinHandle(Inner::Model { exec, tid, result })
+        }
+        None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+    }
+}
+
+/// Yields; on a model thread this is a pure scheduling point.
+pub fn yield_now() {
+    match rt::ctx() {
+        Some((e, me)) => rt::ok_or_unwind(e.yield_op(me)),
+        None => std::thread::yield_now(),
+    }
+}

@@ -84,6 +84,10 @@ pub use par::{
 };
 pub use pothen_fan::{pothen_fan, pothen_fan_traced, pothen_fan_traced_in};
 pub use pothen_fan_par::pothen_fan_parallel;
+// Search internals for the graft-check model suite; invisible otherwise.
+#[cfg(graft_check)]
+#[doc(hidden)]
+pub use pothen_fan_par::check_api as pf_check_api;
 pub use push_relabel::{
     push_relabel, push_relabel_parallel, push_relabel_traced, push_relabel_traced_in, PrOrder,
     PushRelabelOptions,

@@ -26,8 +26,16 @@ use crate::stats::SearchStats;
 use crate::{Matching, RunOutcome};
 use graft_graph::{BipartiteCsr, VertexId, NONE};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Instant;
+
+// Under `--cfg graft_check` the mate/visited/lookahead atomics become their
+// graft-check instrumented twins, so the model suite explores the real
+// search protocol. Outside the checker they pass straight through to std.
+#[cfg(not(graft_check))]
+use std::sync::atomic::{AtomicU32, Ordering};
+
+#[cfg(graft_check)]
+use graft_check::sync::atomic::{AtomicU32, Ordering};
 
 /// Maximum matching by multithreaded Pothen-Fan with fairness + lookahead.
 ///
@@ -44,7 +52,11 @@ pub fn pothen_fan_parallel(g: &BipartiteCsr, m: Matching, threads: usize) -> Run
     pool.install(|| run(g, m))
 }
 
-struct Shared<'a> {
+/// Shared search state: one atomic slot per vertex for mates, phase-stamped
+/// visited claims, and the per-`X` lookahead cursors. Public only so the
+/// graft-check model suite can drive `dfs_task` directly; fields stay
+/// private and normal builds cannot reach the type at all.
+pub struct Shared<'a> {
     g: &'a BipartiteCsr,
     mate_x: Vec<AtomicU32>,
     mate_y: Vec<AtomicU32>,
@@ -220,7 +232,15 @@ fn dfs_task(sh: &Shared<'_>, phase: u32, fair_reverse: bool, x0: VertexId) -> (u
             // claiming search never writes either again — while a stale
             // mismatch merely makes us skip a matched edge the next phase
             // will see consistently.
-            if sh.mate_x[mate as usize].load(Ordering::Relaxed) != y {
+            // Mutation knob (model-check builds only): when set, descend
+            // without the check — reintroducing the adoption race the
+            // graft-check regression suite must find.
+            #[cfg(graft_check)]
+            let check_stability =
+                !check_api::DISABLE_STABILITY_CHECK.load(std::sync::atomic::Ordering::Relaxed);
+            #[cfg(not(graft_check))]
+            let check_stability = true;
+            if check_stability && sh.mate_x[mate as usize].load(Ordering::Relaxed) != y {
                 continue;
             }
             stack.push((mate, 0, y));
@@ -232,6 +252,53 @@ fn dfs_task(sh: &Shared<'_>, phase: u32, fair_reverse: bool, x0: VertexId) -> (u
         }
     }
     (0, 0, traversed)
+}
+
+/// Test-only surface for the graft-check model suite: build the shared
+/// search state, run one `dfs_task` exactly as a pool task would, and
+/// snapshot the mate arrays for post-execution invariant checks.
+#[cfg(graft_check)]
+pub mod check_api {
+    use super::*;
+
+    /// When set, `dfs_task` descends through freshly matched pairs without
+    /// confirming `mate_x[mate] == y` — reintroducing the adoption race the
+    /// stability check exists to prevent. A plain std atomic on purpose:
+    /// this is test configuration, not modeled state, so reading it adds no
+    /// scheduling points.
+    pub static DISABLE_STABILITY_CHECK: std::sync::atomic::AtomicBool =
+        std::sync::atomic::AtomicBool::new(false);
+
+    /// Shared search state for `g` starting from an empty matching.
+    pub fn make_shared(g: &BipartiteCsr) -> Shared<'_> {
+        Shared {
+            g,
+            mate_x: (0..g.num_x()).map(|_| AtomicU32::new(NONE)).collect(),
+            mate_y: (0..g.num_y()).map(|_| AtomicU32::new(NONE)).collect(),
+            visited: (0..g.num_y()).map(|_| AtomicU32::new(0)).collect(),
+            lookahead: (0..g.num_x()).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    /// One phase-1 search from root `x0` (forward fairness), exactly the
+    /// closure a pool task runs.
+    pub fn run_search(sh: &Shared<'_>, x0: VertexId) -> (u64, u64, u64) {
+        dfs_task(sh, 1, false, x0)
+    }
+
+    /// Snapshot `(mate_x, mate_y)`.
+    pub fn mates(sh: &Shared<'_>) -> (Vec<VertexId>, Vec<VertexId>) {
+        (
+            sh.mate_x
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            sh.mate_y
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+        )
+    }
 }
 
 #[cfg(test)]

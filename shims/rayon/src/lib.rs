@@ -38,6 +38,12 @@ pub mod prelude;
 
 pub use pool::{join, scope, Scope};
 
+// Executor internals for the graft-check model suites (and this crate's
+// unit tests). Invisible in normal downstream builds.
+#[cfg(graft_check)]
+#[doc(hidden)]
+pub use pool::check_api;
+
 /// Builder mirroring `rayon::ThreadPoolBuilder`.
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {

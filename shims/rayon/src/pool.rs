@@ -38,9 +38,23 @@
 
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicI64, AtomicPtr, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::sync::{mpsc, Arc, OnceLock};
 use std::time::Duration;
+
+// Under `--cfg graft_check` every synchronization primitive the lock-free
+// core touches is swapped for its graft-check instrumented twin (which
+// passes straight through to std outside a model-checked execution). The
+// production source is otherwise unchanged, so the protocol the model
+// checker explores is the protocol that ships.
+#[cfg(not(graft_check))]
+use std::sync::atomic::{fence, AtomicI64, AtomicPtr, Ordering};
+#[cfg(not(graft_check))]
+use std::sync::{Condvar, Mutex};
+
+#[cfg(graft_check)]
+use graft_check::sync::atomic::{fence, AtomicI64, AtomicPtr, Ordering};
+#[cfg(graft_check)]
+use graft_check::sync::{Condvar, Mutex};
 
 /// A heap-allocated erased task. Double-boxed so the deque can store a thin
 /// pointer (`*mut TaskObj`) in an `AtomicPtr`.
@@ -49,16 +63,17 @@ type TaskObj = Box<dyn FnOnce() + Send>;
 /// Thin raw pointer to a boxed task. `Send` is sound because the underlying
 /// closure is `Send` and ownership is transferred (never shared) through the
 /// deque/injector.
-struct TaskPtr(*mut TaskObj);
+pub struct TaskPtr(*mut TaskObj);
 unsafe impl Send for TaskPtr {}
 
 impl TaskPtr {
-    fn new(task: TaskObj) -> Self {
+    /// Box `task` a second time and keep the thin raw pointer.
+    pub fn new(task: TaskObj) -> Self {
         TaskPtr(Box::into_raw(Box::new(task)))
     }
 
     /// Take ownership back and run the task.
-    fn run(self) {
+    pub fn run(self) {
         // SAFETY: `self.0` came from `Box::into_raw` in `TaskPtr::new` and
         // the deque protocol hands each pointer to exactly one consumer.
         let task = unsafe { Box::from_raw(self.0) };
@@ -66,54 +81,95 @@ impl TaskPtr {
     }
 
     /// Take ownership back and drop without running (shutdown path).
-    fn discard(self) {
+    pub fn discard(self) {
         // SAFETY: as in `run`; the task is simply dropped.
         drop(unsafe { Box::from_raw(self.0) });
     }
+
+    /// Test-only: the raw pointer, for identity comparison *without*
+    /// taking ownership. The model suites use this to detect a
+    /// double-claimed task before any `Box::from_raw` could double-free.
+    #[cfg(any(test, graft_check))]
+    pub fn raw(&self) -> *const () {
+        self.0 as *const ()
+    }
 }
 
-const DEQUE_CAP: usize = 256; // power of two; overflow spills to the injector
+/// Deque capacity. Power of two; overflow spills to the injector.
+pub const DEQUE_CAP: usize = 256;
 const MASK: i64 = (DEQUE_CAP as i64) - 1;
 
 /// Fixed-capacity chase-lev work-stealing deque. The owner pushes and takes
 /// at the bottom; thieves steal from the top.
-struct Deque {
+pub struct Deque {
     top: AtomicI64,
     bottom: AtomicI64,
     slots: Box<[AtomicPtr<TaskObj>]>,
 }
 
 impl Deque {
-    fn new() -> Self {
+    /// An empty deque with indices starting at 0.
+    pub fn new() -> Self {
+        Self::with_start(0)
+    }
+
+    /// Test-only: an empty deque whose top/bottom indices start at
+    /// `start`, so wraparound at the slot mask can be exercised directly
+    /// instead of after `DEQUE_CAP` warm-up operations.
+    #[cfg(any(test, graft_check))]
+    pub fn new_at(start: i64) -> Self {
+        Self::with_start(start)
+    }
+
+    fn with_start(start: i64) -> Self {
         let slots = (0..DEQUE_CAP)
             .map(|_| AtomicPtr::new(std::ptr::null_mut()))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         Deque {
-            top: AtomicI64::new(0),
-            bottom: AtomicI64::new(0),
+            top: AtomicI64::new(start),
+            bottom: AtomicI64::new(start),
             slots,
         }
     }
+}
 
+impl Default for Deque {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deque {
     /// Owner-only. Returns the task back if the deque is full.
-    fn push(&self, task: TaskPtr) -> Result<(), TaskPtr> {
+    ///
+    /// The capacity refusal is load-bearing, not an optimization: the slot
+    /// array is never resized, so accepting element `DEQUE_CAP` would write
+    /// slot `b & MASK` — the same physical slot as the oldest live entry —
+    /// overwriting a raw task pointer a thief may be about to read (a leak
+    /// at best, a double-run at worst). Callers must route a refused task
+    /// to the injector.
+    pub fn push(&self, task: TaskPtr) -> Result<(), TaskPtr> {
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Acquire);
+        debug_assert!(
+            (0..=DEQUE_CAP as i64).contains(&(b - t)),
+            "deque size invariant violated: bottom {b} top {t}"
+        );
         if b - t >= DEQUE_CAP as i64 {
             return Err(task);
         }
         self.slots[(b & MASK) as usize].store(task.0, Ordering::Relaxed);
-        std::sync::atomic::fence(Ordering::Release);
+        fence(Ordering::Release);
         self.bottom.store(b + 1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Owner-only pop from the bottom.
-    fn take(&self) -> Option<TaskPtr> {
+    pub fn take(&self) -> Option<TaskPtr> {
         let b = self.bottom.load(Ordering::Relaxed) - 1;
         self.bottom.store(b, Ordering::Relaxed);
-        std::sync::atomic::fence(Ordering::SeqCst);
+        fence(Ordering::SeqCst);
         let t = self.top.load(Ordering::Relaxed);
         if t > b {
             // Deque was already empty.
@@ -136,10 +192,10 @@ impl Deque {
     }
 
     /// Thief-side steal from the top.
-    fn steal(&self) -> Option<TaskPtr> {
+    pub fn steal(&self) -> Option<TaskPtr> {
         loop {
             let t = self.top.load(Ordering::Acquire);
-            std::sync::atomic::fence(Ordering::SeqCst);
+            fence(Ordering::SeqCst);
             let b = self.bottom.load(Ordering::Acquire);
             if t >= b {
                 return None;
@@ -167,7 +223,7 @@ struct PoolState {
 /// Shared pool state. `threads` is the total executor count: `threads - 1`
 /// spawned workers plus the calling thread, which participates in every
 /// batch it submits.
-pub(crate) struct PoolInner {
+pub struct PoolInner {
     threads: usize,
     deques: Vec<Deque>,
     state: Mutex<PoolState>,
@@ -176,12 +232,12 @@ pub(crate) struct PoolInner {
 
 impl PoolInner {
     /// Number of executors (workers + participating caller).
-    pub(crate) fn num_threads(&self) -> usize {
+    pub fn num_threads(&self) -> usize {
         self.threads
     }
 
     /// Push a task onto the injector and wake one sleeper.
-    fn inject(&self, task: TaskPtr) {
+    pub fn inject(&self, task: TaskPtr) {
         let mut st = self.state.lock().unwrap();
         st.injector.push_back(task);
         drop(st);
@@ -207,7 +263,7 @@ impl PoolInner {
 
     /// Try to find any runnable task: own deque (if a worker), then the
     /// injector, then steal from peers.
-    fn find_task(&self, own_index: Option<usize>) -> Option<TaskPtr> {
+    pub fn find_task(&self, own_index: Option<usize>) -> Option<TaskPtr> {
         if let Some(t) = self.take_own(own_index) {
             return Some(t);
         }
@@ -289,7 +345,7 @@ impl PoolInner {
 /// Run a task, swallowing panics. Batch tasks capture their own panics into
 /// the batch latch before this sees them; a panic reaching here would be a
 /// bug in the shim itself, so abort loudly rather than poisoning a worker.
-fn run_task(task: TaskPtr) {
+pub fn run_task(task: TaskPtr) {
     if panic::catch_unwind(AssertUnwindSafe(|| task.run())).is_err() {
         // All tasks submitted through execute_batch/join/scope wrap user
         // code in catch_unwind already, so this is unreachable in practice.
@@ -486,13 +542,14 @@ struct LatchState {
 }
 
 /// Counts outstanding tasks; the waiter helps with pool work until zero.
-struct Latch {
+pub struct Latch {
     state: Mutex<LatchState>,
     cv: Condvar,
 }
 
 impl Latch {
-    fn new(count: usize) -> Self {
+    /// A latch expecting `count` completions.
+    pub fn new(count: usize) -> Self {
         Latch {
             state: Mutex::new(LatchState {
                 remaining: count,
@@ -502,7 +559,8 @@ impl Latch {
         }
     }
 
-    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+    /// Count one task down, recording the first panic payload seen.
+    pub fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
         let mut st = self.state.lock().unwrap();
         st.remaining -= 1;
         if st.panic.is_none() {
@@ -515,8 +573,21 @@ impl Latch {
         }
     }
 
-    fn add(&self, n: usize) {
+    /// Raise the expected completion count by `n`.
+    pub fn add(&self, n: usize) {
         self.state.lock().unwrap().remaining += n;
+    }
+
+    /// Test-only: block on the latch without helping with pool work — a
+    /// pure condvar wait. The model suites use this to check the latch
+    /// handoff protocol itself with no deque traffic in the schedule space.
+    #[cfg(graft_check)]
+    pub fn wait_parked(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        let mut st = self.state.lock().unwrap();
+        while st.remaining != 0 {
+            st = self.cv.wait(st).unwrap();
+        }
+        st.panic.take()
     }
 
     /// Block until all tasks complete, running pool work while waiting.
@@ -525,7 +596,7 @@ impl Latch {
     /// Own-deque tasks run freely (that is how the task we are waiting on
     /// gets executed when nobody stole it); foreign tasks are adopted only
     /// up to [`HELP_STEAL_CAP`] nested levels to bound stack growth.
-    fn wait_helping(
+    pub fn wait_helping(
         &self,
         pool: &Arc<PoolInner>,
         own_index: Option<usize>,
@@ -587,7 +658,7 @@ unsafe fn erase_lifetime<'a>(task: Box<dyn FnOnce() + Send + 'a>) -> TaskObj {
 /// Run `work` over `pieces` on the pool, returning results in piece order.
 /// The calling thread participates. Panics in any piece are re-thrown here
 /// after every piece has finished.
-pub(crate) fn execute_batch<S, T, W>(pool: &Arc<PoolInner>, pieces: Vec<S>, work: &W) -> Vec<T>
+pub fn execute_batch<S, T, W>(pool: &Arc<PoolInner>, pieces: Vec<S>, work: &W) -> Vec<T>
 where
     S: Send,
     T: Send,
@@ -638,8 +709,14 @@ where
         }
     }
 
+    // Every send happens-before its task's `latch.complete`, and the latch
+    // hit zero before `wait_helping` returned, so all results are already
+    // in the channel: drain without blocking. (A blocking `iter()` would
+    // wait for the last task's `tx` clone to *drop* — an uninstrumented
+    // instant after its completion that a model-checked schedule may not
+    // have reached yet.)
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for (idx, v) in rx.iter() {
+    for (idx, v) in rx.try_iter() {
         slots[idx] = Some(v);
     }
     slots
@@ -820,6 +897,36 @@ pub(crate) fn plan(len: usize) -> Plan {
     Plan::Par(pool, pieces)
 }
 
+/// Test-only surface for the graft-check model suites.
+///
+/// `pool` is a private module, so none of this is reachable from normal
+/// downstream builds; under `--cfg graft_check` the crate root re-exports
+/// it (`#[doc(hidden)]`) so the model tests in `tests/` can drive the
+/// executor internals — deques, latches, task pointers, and a worker-less
+/// pool — from checker-controlled model threads.
+#[cfg(graft_check)]
+pub mod check_api {
+    use super::*;
+    pub use super::{execute_batch, run_task, Deque, Latch, PoolInner, TaskPtr, DEQUE_CAP};
+
+    /// A pool with `threads` executor slots (one deque each) but NO OS
+    /// worker threads. Model tests spawn instrumented model threads and
+    /// drive [`PoolInner::find_task`] / [`run_task`] themselves, so the
+    /// checker controls every interleaving instead of racing real workers
+    /// it cannot schedule.
+    pub fn bare_pool(threads: usize) -> Arc<PoolInner> {
+        Arc::new(PoolInner {
+            threads,
+            deques: (0..threads).map(|_| Deque::new()).collect(),
+            state: Mutex::new(PoolState {
+                injector: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -900,6 +1007,82 @@ mod tests {
             }
         });
         assert_eq!(counter.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn deque_push_past_capacity_refused() {
+        let d = Deque::new();
+        for _ in 0..DEQUE_CAP {
+            d.push(TaskPtr::new(Box::new(|| {}))).ok().unwrap();
+        }
+        // Slot DEQUE_CAP would alias slot 0 under the mask; push must
+        // refuse and hand the task back instead of overwriting it.
+        let overflow = TaskPtr::new(Box::new(|| {}));
+        let raw = overflow.raw();
+        match d.push(overflow) {
+            Ok(()) => panic!("push past capacity must be refused"),
+            Err(t) => {
+                assert_eq!(t.raw(), raw, "refused task handed back intact");
+                t.discard();
+            }
+        }
+        // Draining one slot makes room again.
+        d.take().unwrap().discard();
+        d.push(TaskPtr::new(Box::new(|| {}))).ok().unwrap();
+        while let Some(t) = d.steal() {
+            t.discard();
+        }
+    }
+
+    #[test]
+    fn deque_final_element_take_vs_steal_boundary() {
+        // Owner side: taking the last element goes through the t == b CAS
+        // race window; sequentially the owner must always win it.
+        let d = Deque::new();
+        let t = TaskPtr::new(Box::new(|| {}));
+        let raw = t.raw();
+        d.push(t).ok().unwrap();
+        let got = d.take().expect("owner wins the final-element CAS");
+        assert_eq!(got.raw(), raw);
+        got.discard();
+        assert!(d.take().is_none());
+        assert!(d.steal().is_none());
+
+        // Thief side: stealing the only element empties the deque for the
+        // owner too.
+        let t = TaskPtr::new(Box::new(|| {}));
+        let raw = t.raw();
+        d.push(t).ok().unwrap();
+        let got = d.steal().expect("thief claims the only element");
+        assert_eq!(got.raw(), raw);
+        got.discard();
+        assert!(d.take().is_none());
+        assert!(d.steal().is_none());
+    }
+
+    #[test]
+    fn deque_wraparound_preserves_fifo_steal_order() {
+        // Indices straddle the mask boundary: pushes land in slots
+        // DEQUE_CAP-2, DEQUE_CAP-1, 0, 1 while logical order is FIFO for
+        // thieves and LIFO for the owner.
+        let d = Deque::new_at(DEQUE_CAP as i64 - 2);
+        let mut raws = Vec::new();
+        for _ in 0..4 {
+            let t = TaskPtr::new(Box::new(|| {}));
+            raws.push(t.raw());
+            d.push(t).ok().unwrap();
+        }
+        for &expect in &raws[..2] {
+            let got = d.steal().unwrap();
+            assert_eq!(got.raw(), expect, "steals come oldest-first");
+            got.discard();
+        }
+        for &expect in raws[2..].iter().rev() {
+            let got = d.take().unwrap();
+            assert_eq!(got.raw(), expect, "takes come newest-first");
+            got.discard();
+        }
+        assert!(d.take().is_none());
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Model-checked chase-lev deque suite (graft-check).
+//!
+//! Compiled only under `RUSTFLAGS="--cfg graft_check"`. Each test runs the
+//! real `Deque` code — the same `push`/`take`/`steal` the pool executes —
+//! on graft-check model threads, so the checker enumerates interleavings
+//! of the actual Lê-et-al. protocol, including the `take`-vs-`steal` CAS
+//! race on the final element and index wraparound at the slot mask.
+//!
+//! Pruning is off throughout: deque slots hold raw task *pointers*, whose
+//! allocation addresses differ between executions, so state hashes are not
+//! comparable across runs. With pruning off the DFS is exact and the
+//! execution counts below are deterministic.
+#![cfg(graft_check)]
+
+use graft_check::{thread, Checker};
+use rayon::check_api::{Deque, TaskPtr, DEQUE_CAP};
+use std::sync::Arc;
+
+/// A no-op task; the suite asserts on pointer identity, not side effects.
+fn noop_task() -> TaskPtr {
+    TaskPtr::new(Box::new(|| {}))
+}
+
+/// Claim result of one contender: the raw pointer, if it got the task.
+fn claim(t: Option<TaskPtr>) -> Option<usize> {
+    t.map(|p| {
+        let raw = p.raw() as usize;
+        p.discard();
+        raw
+    })
+}
+
+/// Owner `take` races one thief `steal` for a single element: exactly one
+/// side must win, and nobody may observe a pointer the other also claimed.
+fn one_element_scenario() {
+    let d = Arc::new(Deque::new());
+    d.push(noop_task()).ok().expect("push into empty deque");
+    let d2 = Arc::clone(&d);
+    let thief = thread::spawn(move || claim(d2.steal()));
+    let owner = claim(d.take());
+    let stolen = thief.join().unwrap();
+    match (owner, stolen) {
+        (Some(a), Some(b)) => panic!("double claim: owner {a:#x} thief {b:#x}"),
+        (None, None) => panic!("final element lost: neither take nor steal won"),
+        _ => {}
+    }
+}
+
+#[test]
+fn one_element_take_vs_steal() {
+    let report = Checker::new()
+        .prune(false)
+        .check_report(one_element_scenario);
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(report.complete, "exploration should exhaust: {report:?}");
+    assert_eq!(report.divergent, 0);
+}
+
+/// Two thieves race each other (and the owner's pop) over two elements:
+/// every element is claimed exactly once across all three contenders.
+fn steal_steal_scenario() {
+    let d = Arc::new(Deque::new());
+    let t1 = noop_task();
+    let t2 = noop_task();
+    let mut expected = vec![t1.raw() as usize, t2.raw() as usize];
+    expected.sort_unstable();
+    d.push(t1).ok().unwrap();
+    d.push(t2).ok().unwrap();
+    let (da, db) = (Arc::clone(&d), Arc::clone(&d));
+    let thief_a = thread::spawn(move || claim(da.steal()));
+    let thief_b = thread::spawn(move || claim(db.steal()));
+    let owner = claim(d.take());
+    let mut got: Vec<usize> = [owner, thief_a.join().unwrap(), thief_b.join().unwrap()]
+        .into_iter()
+        .flatten()
+        .collect();
+    got.sort_unstable();
+    assert_eq!(got, expected, "each task claimed exactly once");
+}
+
+/// As above, but the indices start at `DEQUE_CAP - 1` so both the push and
+/// every claim cross the power-of-two mask boundary mid-scenario.
+fn wraparound_scenario() {
+    let d = Arc::new(Deque::new_at(DEQUE_CAP as i64 - 1));
+    let t1 = noop_task();
+    let t2 = noop_task();
+    let mut expected = vec![t1.raw() as usize, t2.raw() as usize];
+    expected.sort_unstable();
+    d.push(t1).ok().unwrap();
+    d.push(t2).ok().unwrap();
+    let d2 = Arc::clone(&d);
+    let thief = thread::spawn(move || (claim(d2.steal()), claim(d2.steal())));
+    let owner = claim(d.take());
+    let (s1, s2) = thief.join().unwrap();
+    let mut got: Vec<usize> = [owner, s1, s2].into_iter().flatten().collect();
+    got.sort_unstable();
+    assert_eq!(got, expected, "wraparound: each task claimed exactly once");
+}
+
+/// The ISSUE-mandated coverage gate: across the three deque scenarios the
+/// checker must enumerate at least 10,000 distinct schedules. Counted here
+/// (rather than per test) so the bound tracks total protocol coverage.
+#[test]
+fn deque_schedule_space_at_least_10k() {
+    let mut total = 0usize;
+    // one_element and wraparound exhaust their spaces (~0.8k and ~1.9k);
+    // steal_steal's space is far larger than the CI budget allows, so it is
+    // capped — the cap is sized to push the suite total past the 10k gate.
+    for (name, cap, f) in [
+        ("one_element", 40_000, one_element_scenario as fn()),
+        ("steal_steal", 9_000, steal_steal_scenario as fn()),
+        ("wraparound", 40_000, wraparound_scenario as fn()),
+    ] {
+        let report = Checker::new()
+            .prune(false)
+            .max_executions(cap)
+            .check_report(f);
+        assert!(report.violation.is_none(), "{name}: {:?}", report.violation);
+        assert_eq!(report.divergent, 0, "{name} diverged");
+        eprintln!(
+            "{name}: {} schedules, complete={}, {} steps",
+            report.executions, report.complete, report.total_steps
+        );
+        total += report.executions;
+    }
+    assert!(
+        total >= 10_000,
+        "deque model checks explored only {total} distinct schedules"
+    );
+}

@@ -1,0 +1,181 @@
+//! Certificate coverage: every engine's output is König-certified on
+//! structured graph families, and the certificate constructors
+//! (`koenig_cover`, `hall_violator`) round-trip under proptest.
+//!
+//! Runs in both tier-1 legs (`GRAFT_THREADS` 1 and 4); thread counts 1 and
+//! 4 are additionally pinned per solve via `SolveOptions::threads`, so the
+//! parallel engines are certified at both concurrency levels regardless of
+//! the ambient leg.
+
+use ms_bfs_graft::prelude::*;
+use proptest::prelude::*;
+
+/// Structured families with known matching numbers: name, graph, expected
+/// maximum cardinality.
+fn structured_graphs() -> Vec<(&'static str, BipartiteCsr, usize)> {
+    // Perfect ladder: x_i — {y_i, y_{i-1}}.
+    let mut ladder = Vec::new();
+    for i in 0..24u32 {
+        ladder.push((i, i));
+        if i > 0 {
+            ladder.push((i, i - 1));
+        }
+    }
+    // Crown: complete bipartite minus the diagonal.
+    let mut crown = Vec::new();
+    for x in 0..8u32 {
+        for y in 0..8u32 {
+            if x != y {
+                crown.push((x, y));
+            }
+        }
+    }
+    // Deficient funnel: 6 X vertices share 2 Y vertices.
+    let mut funnel = Vec::new();
+    for x in 0..6u32 {
+        for y in 0..2u32 {
+            funnel.push((x, y));
+        }
+    }
+    // Two stars sharing no leaves: centers x0/x1, disjoint leaf sets.
+    let mut stars = Vec::new();
+    for y in 0..5u32 {
+        stars.push((0, y));
+    }
+    for y in 5..10u32 {
+        stars.push((1, y));
+    }
+    vec![
+        (
+            "complete_k5_7",
+            BipartiteCsr::from_edges(
+                5,
+                7,
+                &(0..5u32)
+                    .flat_map(|x| (0..7u32).map(move |y| (x, y)))
+                    .collect::<Vec<_>>(),
+            ),
+            5,
+        ),
+        ("ladder_24", BipartiteCsr::from_edges(24, 24, &ladder), 24),
+        ("crown_8", BipartiteCsr::from_edges(8, 8, &crown), 8),
+        ("funnel_6_2", BipartiteCsr::from_edges(6, 2, &funnel), 2),
+        ("stars_2_10", BipartiteCsr::from_edges(2, 10, &stars), 2),
+        (
+            "path_5",
+            BipartiteCsr::from_edges(3, 2, &[(0, 0), (1, 0), (1, 1), (2, 1)]),
+            2,
+        ),
+        (
+            "isolated_vertices",
+            BipartiteCsr::from_edges(4, 4, &[(0, 0), (2, 2)]),
+            2,
+        ),
+    ]
+}
+
+/// All 11 engines, on every structured family, at 1 and 4 threads: the
+/// result must carry a valid König certificate of the known optimum.
+#[test]
+fn all_engines_certified_on_structured_graphs() {
+    for (name, g, expect) in structured_graphs() {
+        for threads in [1usize, 4] {
+            let opts = SolveOptions {
+                threads,
+                ..SolveOptions::default()
+            };
+            for alg in Algorithm::ALL {
+                let out = solve(&g, alg, &opts);
+                assert_eq!(
+                    out.matching.cardinality(),
+                    expect,
+                    "{} on {name} (threads={threads}): wrong cardinality",
+                    alg.name()
+                );
+                let cover =
+                    matching::verify::certify_maximum(&g, &out.matching).unwrap_or_else(|e| {
+                        panic!("{} on {name} (threads={threads}): {e}", alg.name())
+                    });
+                assert!(
+                    cover.covers(&g),
+                    "{} on {name}: cover misses an edge",
+                    alg.name()
+                );
+                assert_eq!(
+                    cover.size(),
+                    expect,
+                    "{} on {name}: cover is not minimum",
+                    alg.name()
+                );
+            }
+        }
+    }
+}
+
+/// Deficient families must yield a Hall violator that validates and whose
+/// deficiency equals the count of unmatched `X` vertices exactly.
+#[test]
+fn hall_violators_explain_structured_deficiency() {
+    for (name, g, expect) in structured_graphs() {
+        let out = solve(&g, Algorithm::HopcroftKarp, &SolveOptions::default());
+        let unmatched = g.num_x() - expect;
+        match matching::verify::hall_violator(&g, &out.matching) {
+            Some(w) => {
+                w.validate(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
+                assert_eq!(w.deficiency(), unmatched, "{name}: wrong deficiency");
+            }
+            None => assert_eq!(unmatched, 0, "{name}: deficiency without witness"),
+        }
+    }
+}
+
+fn arb_graph() -> impl Strategy<Value = BipartiteCsr> {
+    (1usize..32, 1usize..32).prop_flat_map(|(nx, ny)| {
+        let max_edges = (nx * ny).min(240);
+        proptest::collection::vec((0..nx as u32, 0..ny as u32), 0..=max_edges)
+            .prop_map(move |edges| BipartiteCsr::from_edges(nx, ny, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // König round-trip: a maximum matching's candidate cover always
+    // covers every edge with size exactly the cardinality — at both
+    // pinned thread counts.
+    #[test]
+    fn koenig_cover_round_trips(g in arb_graph(), seed in 0u64..500) {
+        for threads in [1usize, 4] {
+            let opts = SolveOptions { seed, threads, ..SolveOptions::default() };
+            let out = solve(&g, Algorithm::MsBfsGraftParallel, &opts);
+            let cover = matching::verify::koenig_cover(&g, &out.matching);
+            prop_assert!(cover.covers(&g), "threads={threads}: cover misses an edge");
+            prop_assert_eq!(
+                cover.size(),
+                out.matching.cardinality(),
+                "threads={}: cover size mismatch", threads
+            );
+        }
+    }
+
+    // Hall round-trip: a witness exists iff some X vertex is unmatched,
+    // it validates against the graph, and its deficiency is exactly the
+    // number of unmatched X vertices.
+    #[test]
+    fn hall_violator_round_trips(g in arb_graph(), seed in 0u64..500) {
+        for threads in [1usize, 4] {
+            let opts = SolveOptions { seed, threads, ..SolveOptions::default() };
+            let out = solve(&g, Algorithm::PothenFanParallel, &opts);
+            let unmatched = g.num_x() - out.matching.cardinality();
+            match matching::verify::hall_violator(&g, &out.matching) {
+                Some(w) => {
+                    w.validate(&g).map_err(|e| {
+                        TestCaseError::fail(format!("threads={threads}: {e}"))
+                    })?;
+                    prop_assert_eq!(w.deficiency(), unmatched);
+                }
+                None => prop_assert_eq!(unmatched, 0),
+            }
+        }
+    }
+}
